@@ -1,0 +1,311 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index), plus micro-benchmarks of the
+// substrates the experiments lean on. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN / BenchmarkFigN measures the end-to-end cost of the
+// corresponding reproduction; the b.Run sub-benchmarks isolate the hot
+// pieces.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/game"
+	"repro/internal/lattice"
+	"repro/internal/optimize"
+	"repro/internal/policy"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchWorlds caches the pair of benchmark worlds across benchmarks.
+var benchWorlds struct {
+	bc, td *sim.World
+}
+
+func benchWorldConfig(src sim.CoeffSource) sim.WorldConfig {
+	cfg := sim.DefaultWorldConfig()
+	cfg.Net.Rows, cfg.Net.Cols = 12, 14
+	cfg.Trace.Taxis, cfg.Trace.Transit = 40, 25
+	cfg.Trace.Duration = 3 * time.Hour
+	cfg.Regions = 6
+	cfg.Source = src
+	return cfg
+}
+
+func getBenchWorlds(b *testing.B) (*sim.World, *sim.World) {
+	b.Helper()
+	if benchWorlds.bc == nil {
+		var err error
+		benchWorlds.bc, err = sim.BuildWorld(benchWorldConfig(sim.CoeffBC))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorlds.td, err = sim.BuildWorld(benchWorldConfig(sim.CoeffTD))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return benchWorlds.bc, benchWorlds.td
+}
+
+// BenchmarkTable2PayoffDerivation regenerates Table II (decision utilities
+// and privacy costs) from the Table III capability matrix.
+func BenchmarkTable2PayoffDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2()
+		if res.MaxUtilityErr != 0 {
+			b.Fatal("Table II no longer exact")
+		}
+	}
+}
+
+// BenchmarkTable3Capability regenerates the Table III capability matrix.
+func BenchmarkTable3Capability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7DatasetPrep regenerates the Fig. 7 dataset overview (edge
+// server cells, BC and TD heat-map summaries) on a prebuilt world.
+func BenchmarkFig7DatasetPrep(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(bc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Clustering regenerates the Fig. 8 clustering analysis
+// (Algorithm 1 stats, region graphs, time-resolved TD dispersion).
+func BenchmarkFig8Clustering(b *testing.B) {
+	bc, td := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(bc, td); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9FDSConvergence regenerates the Fig. 9 convergence-time sweep
+// (FDS run + per-eps measurement + lower bounds) for both coefficient
+// sources.
+func BenchmarkFig9FDSConvergence(b *testing.B) {
+	bc, td := getBenchWorlds(b)
+	cfg := experiments.Fig9Config{EpsValues: []float64{0.02, 0.05}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(bc, td, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Trajectories regenerates the Fig. 10 trajectory panels
+// (two fixed-ratio baselines, one FDS run, delta series).
+func BenchmarkFig10Trajectories(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(bc, experiments.Fig10Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLowerBoundFeasibility measures the subgradient solver on a
+// single-region relaxed problem (Eq. 22) — the expensive exact bound.
+func BenchmarkLowerBoundFeasibility(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	opts := sim.MacroOptions{}
+	start, err := bc.EquilibriumAt(0.2, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := bc.EquilibriumFrom(start, 0.8, 0.1, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	field, err := sim.FieldFromState(target, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := policy.SubgradientLowerBound(bc.Model, field, start, 0.1, 3,
+			optimize.Options{MaxIters: 400}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLambda measures the Lambda design-choice sweep.
+func BenchmarkAblationLambda(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LambdaAblation(bc, []float64{0.05, 0.2}, sim.MacroOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroMacroAgents measures one agent-based distributed run
+// (cloud + edges + vehicle clients over the in-process transport).
+func BenchmarkMicroMacroAgents(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MicroMacro(bc, []int{24}, sim.MacroOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWelfareComparison measures the utility/exposure comparison
+// (two fixed baselines + one FDS run + welfare evaluation).
+func BenchmarkWelfareComparison(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WelfareComparison(bc, experiments.WelfareConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBetaNoiseAblation measures one model-mismatch shaping run.
+func BenchmarkBetaNoiseAblation(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BetaNoise(bc, []float64{0.5}, sim.MacroOptions{MaxRounds: 600}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkBetweennessCentrality measures hop-based Brandes on the
+// benchmark network.
+func BenchmarkBetweennessCentrality(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bc.Net.BetweennessCentrality()
+	}
+}
+
+// BenchmarkWeightedBetweenness measures travel-time Brandes (Dijkstra).
+func BenchmarkWeightedBetweenness(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bc.Net.TravelTimeBetweenness()
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic fleet generator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 12, 14
+	net, err := roadnet.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tcfg := trace.DefaultGenConfig()
+	tcfg.Taxis, tcfg.Transit = 20, 10
+	tcfg.Duration = time.Hour
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(net, tcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicatorStep measures one synchronous replicator round across
+// all regions.
+func BenchmarkReplicatorStep(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	d, err := game.NewDynamics(bc.Model, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := game.NewUniformState(bc.Model.M(), bc.Model.K(), 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Step(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogitStep measures one smoothed-best-response round.
+func BenchmarkLogitStep(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	d, err := game.NewLogitDynamics(bc.Model, 0.15, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := game.NewUniformState(bc.Model.M(), bc.Model.K(), 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Step(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFDSUpdate measures one FDS control round (linearization +
+// interval solving across all regions and decisions).
+func BenchmarkFDSUpdate(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	opts := sim.MacroOptions{}
+	start, err := bc.EquilibriumAt(0.3, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := bc.EquilibriumFrom(start, 0.8, 0.1, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	field, err := sim.FieldFromState(target, 0.03)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fds, err := policy.NewFDS(bc.Model, field, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := start.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fds.UpdateRatios(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperLattice measures lattice construction plus the Table II
+// payoff derivation path used in hot loops.
+func BenchmarkPaperLattice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := lattice.PaperPayoffs()
+		if p.K() != 8 {
+			b.Fatal("bad lattice")
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Command cpnode runs one role of the cooperative-perception system over
+// real TCP, so the cloud/edge/vehicle protocol of Fig. 1 can be exercised
+// across processes (or machines):
+//
+//	# terminal 1: the cloud coordinator for 2 regions
+//	cpnode -role cloud -listen 127.0.0.1:7000 -regions 2
+//
+//	# terminals 2,3: one edge server per region
+//	cpnode -role edge -id 0 -listen 127.0.0.1:7100 -cloud 127.0.0.1:7000 -vehicles 20 -rounds 40
+//	cpnode -role edge -id 1 -listen 127.0.0.1:7101 -cloud 127.0.0.1:7000 -vehicles 20 -rounds 40
+//
+//	# terminals 4,5: vehicle fleets
+//	cpnode -role vehicles -edge 127.0.0.1:7100 -n 20 -id-base 100
+//	cpnode -role vehicles -edge 127.0.0.1:7101 -n 20 -id-base 200
+//
+// The cloud steers both regions toward a high-sharing desired field with
+// FDS; watch the per-round ratio and decision census printed by the edges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/edge"
+	"repro/internal/game"
+	"repro/internal/lattice"
+	"repro/internal/policy"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "", "cloud | edge | vehicles")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address (cloud, edge)")
+		cloudAddr = flag.String("cloud", "127.0.0.1:7000", "cloud address (edge)")
+		edgeAddr  = flag.String("edge", "127.0.0.1:7100", "edge address (vehicles)")
+		id        = flag.Int("id", 0, "edge/region id (edge)")
+		idBase    = flag.Int("id-base", 100, "first vehicle id (vehicles)")
+		regions   = flag.Int("regions", 2, "number of regions (cloud)")
+		n         = flag.Int("n", 20, "fleet size (vehicles)")
+		rounds    = flag.Int("rounds", 40, "rounds to run (edge)")
+		vehiclesN = flag.Int("vehicles", 20, "vehicles to wait for before starting (edge)")
+		x0        = flag.Float64("x0", 0.3, "initial sharing ratio (cloud)")
+		targetX   = flag.Float64("target-x", 0.85, "desired sharing regime (cloud)")
+		eps       = flag.Float64("eps", 0.05, "desired-field tolerance (cloud)")
+		fieldPath = flag.String("field", "", "desired-field JSON spec (cloud; overrides -target-x)")
+		beta      = flag.Float64("beta", 4.0, "utility coefficient (cloud, vehicles)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch *role {
+	case "cloud":
+		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath)
+	case "edge":
+		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed)
+	case "vehicles":
+		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed)
+	default:
+		err = fmt.Errorf("unknown role %q (want cloud, edge, or vehicles)", *role)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// demoTau is the choice temperature used by both the cloud's mean-field
+// probe and the vehicle agents; a soft temperature keeps the demo's
+// equilibria away from basin boundaries so small fleets track the mean
+// field (see EXPERIMENTS.md on multistability).
+const demoTau = 0.25
+
+// demoGraph is the cloud's region graph for the demo: all regions adjacent
+// with a dominant intra-region frequency.
+type demoGraph struct{ m int }
+
+func (g demoGraph) M() int { return g.m }
+func (g demoGraph) Gamma(i, j int) float64 {
+	if i == j {
+		return 0.9
+	}
+	if g.m == 1 {
+		return 0
+	}
+	return 0.1 / float64(g.m-1)
+}
+func (g demoGraph) Neighbors(i int) []int {
+	var out []int
+	for j := 0; j < g.m; j++ {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string) error {
+	betas := make([]float64, regions)
+	for i := range betas {
+		betas[i] = beta
+	}
+	model, err := game.NewModel(lattice.PaperPayoffs(), demoGraph{m: regions}, betas)
+	if err != nil {
+		return err
+	}
+
+	const lambda = 0.1
+	var field *policy.Field
+	if fieldPath != "" {
+		// Operator-supplied declarative field (see policy.FieldSpec).
+		fh, err := os.Open(fieldPath)
+		if err != nil {
+			return err
+		}
+		field, err = policy.ReadFieldSpec(fh)
+		fh.Close()
+		if err != nil {
+			return err
+		}
+		if field.M() != regions || field.K() != model.K() {
+			return fmt.Errorf("field spec is %dx%d, want %dx%d", field.M(), field.K(), regions, model.K())
+		}
+		return serveCloud(listen, model, field, regions, x0, lambda,
+			fmt.Sprintf("field spec %s", fieldPath))
+	}
+
+	// Desired field: the regime reachable from a uniform mix at the target
+	// ratio (adiabatic continuation under the same Lambda FDS uses).
+	dyn, err := game.NewLogitDynamics(model, demoTau, 0.5)
+	if err != nil {
+		return err
+	}
+	probe := game.NewUniformState(regions, model.K(), x0)
+	for ramping := true; ramping; {
+		ramping = false
+		for i := range probe.X {
+			if probe.X[i]+lambda < targetX {
+				probe.X[i] += lambda
+				ramping = true
+			} else {
+				probe.X[i] = targetX
+			}
+		}
+		if err := dyn.Step(probe); err != nil {
+			return err
+		}
+	}
+	if _, err := dyn.Equilibrium(probe, 1e-9, 20000); err != nil {
+		return err
+	}
+	field = policy.NewFreeField(regions, model.K())
+	for i := range probe.P {
+		for k, v := range probe.P[i] {
+			lo, hi := v-eps, v+eps
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > 1 {
+				hi = 1
+			}
+			field.P[i][k].Lo, field.P[i][k].Hi = lo, hi
+		}
+	}
+	return serveCloud(listen, model, field, regions, x0, lambda,
+		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps))
+}
+
+// serveCloud starts the FDS coordinator over TCP and blocks.
+func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string) error {
+	fds, err := policy.NewFDS(model, field, lambda)
+	if err != nil {
+		return err
+	}
+	srv, err := cloud.NewServer(fds, game.NewUniformState(regions, model.K(), x0))
+	if err != nil {
+		return err
+	}
+	l, err := transport.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloud: listening on %s, steering %d regions toward %s\n", l.Addr(), regions, what)
+	srv.Serve(l) // blocks
+	return nil
+}
+
+func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64) error {
+	srv := edge.NewServer(id, lattice.NewPaper(), seed)
+	l, err := transport.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	fmt.Printf("edge %d: listening on %s, waiting for %d vehicles\n", id, l.Addr(), vehiclesN)
+
+	for srv.NumVehicles() < vehiclesN {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("edge %d: %d vehicles registered, starting rounds\n", id, srv.NumVehicles())
+
+	cconn, err := transport.DialTCP(cloudAddr)
+	if err != nil {
+		return fmt.Errorf("dialing cloud: %w", err)
+	}
+	defer cconn.Close()
+
+	x := 0.3
+	for t := 0; t < rounds; t++ {
+		census, err := srv.RunRound(t, x, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", t, err)
+		}
+		next, err := srv.ReportCensus(cconn, t, census)
+		if err != nil {
+			return fmt.Errorf("reporting round %d: %w", t, err)
+		}
+		fmt.Printf("edge %d round %2d: x=%.2f census=%v -> next x=%.2f\n", id, t, x, census, next)
+		x = next
+	}
+	return nil
+}
+
+func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64) error {
+	payoffs := lattice.PaperPayoffs()
+	rng := rand.New(rand.NewSource(seed))
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for v := 0; v < n; v++ {
+		prof := vehicle.Profile{
+			ID:            idBase + v,
+			Equipped:      sensor.MaskAll,
+			Desired:       sensor.MaskAll,
+			PrivacyWeight: 1,
+			Beta:          beta,
+			Tau:           demoTau,
+		}
+		agent, err := vehicle.NewAgent(prof, payoffs, rng.Int63())
+		if err != nil {
+			return err
+		}
+		conn, err := transport.DialTCP(edgeAddr)
+		if err != nil {
+			return fmt.Errorf("vehicle %d dialing edge: %w", prof.ID, err)
+		}
+		client := &vehicle.Client{Agent: agent, Mu: 0.5, Cap: sensor.TableIII()}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := client.Run(conn); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	fmt.Printf("vehicles: %d agents connected to %s\n", n, edgeAddr)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	fmt.Println("vehicles: edge closed the session, exiting")
+	return nil
+}

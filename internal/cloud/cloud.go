@@ -1,0 +1,185 @@
+// Package cloud implements the cloud-server role of Fig. 1 (step S1): it
+// collects the per-region decision censuses from the edge servers (step ①),
+// rebuilds the game state, runs one FDS round to optimize the sharing
+// ratios, and answers each edge server with its region's new ratio
+// (step ②).
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/edge"
+	"repro/internal/game"
+	"repro/internal/policy"
+	"repro/internal/transport"
+)
+
+// Server is the networked cloud coordinator. Edge servers connect, send one
+// Census per round, and receive the next round's Ratio once every region
+// has reported — a barrier per round, matching the paper's synchronized
+// policy updates.
+type Server struct {
+	fds   *policy.FDS
+	state *game.State
+
+	mu     sync.Mutex
+	rounds map[int]*roundBarrier
+	m      int
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+type roundBarrier struct {
+	censuses map[int][]int
+	done     chan struct{}
+	err      error
+}
+
+// NewServer builds a cloud server steering toward the FDS controller's
+// desired field, starting from the given state (typically uniform
+// distributions at an initial ratio).
+func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
+	if f == nil || initial == nil {
+		return nil, fmt.Errorf("cloud: controller and state must be non-nil")
+	}
+	if err := initial.Validate(); err != nil {
+		return nil, fmt.Errorf("cloud: initial state: %w", err)
+	}
+	return &Server{
+		fds:    f,
+		state:  initial.Clone(),
+		rounds: make(map[int]*roundBarrier),
+		m:      len(initial.P),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// State returns a snapshot of the cloud's current view of the game state.
+func (s *Server) State() *game.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Clone()
+}
+
+// Converged reports whether the current state satisfies the desired field.
+func (s *Server) Converged() bool {
+	ok, _ := s.fds.Field().Converged(s.State())
+	return ok
+}
+
+// Serve accepts edge-server connections until the listener fails or the
+// server closes. Run in a goroutine.
+func (s *Server) Serve(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close shuts the server down; pending barriers fail.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		for _, rb := range s.rounds {
+			select {
+			case <-rb.done:
+			default:
+				rb.err = transport.ErrClosed
+				close(rb.done)
+			}
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+func (s *Server) handleConn(conn transport.Conn) {
+	defer conn.Close()
+	for {
+		m, err := conn.Recv()
+		if errors.Is(err, io.EOF) || err != nil {
+			return
+		}
+		var census transport.Census
+		if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
+			continue
+		}
+		x, err := s.Submit(census)
+		if err != nil {
+			// Closing: nothing sensible to answer.
+			return
+		}
+		reply, err := transport.Encode(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: x})
+		if err != nil {
+			return
+		}
+		if err := conn.Send(reply); err != nil {
+			return
+		}
+	}
+}
+
+// Submit records one region's census for a round and blocks until every
+// region has reported, then returns the region's next sharing ratio. It is
+// the transport-independent core of the coordinator (the in-process
+// simulator calls it directly).
+func (s *Server) Submit(census transport.Census) (float64, error) {
+	if census.Edge < 0 || census.Edge >= s.m {
+		return 0, fmt.Errorf("cloud: census from unknown edge %d", census.Edge)
+	}
+	s.mu.Lock()
+	rb, ok := s.rounds[census.Round]
+	if !ok {
+		rb = &roundBarrier{
+			censuses: make(map[int][]int, s.m),
+			done:     make(chan struct{}),
+		}
+		s.rounds[census.Round] = rb
+	}
+	rb.censuses[census.Edge] = census.Counts
+	if len(rb.censuses) == s.m {
+		s.applyRoundLocked(rb)
+		close(rb.done)
+		delete(s.rounds, census.Round)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-rb.done:
+		if rb.err != nil {
+			return 0, rb.err
+		}
+		s.mu.Lock()
+		x := s.state.X[census.Edge]
+		s.mu.Unlock()
+		return x, nil
+	case <-s.closed:
+		return 0, transport.ErrClosed
+	}
+}
+
+// applyRoundLocked folds the censuses into the state and runs one FDS
+// update. Called with s.mu held.
+func (s *Server) applyRoundLocked(rb *roundBarrier) {
+	for i, counts := range rb.censuses {
+		shares := edge.Shares(counts)
+		if len(shares) == len(s.state.P[i]) {
+			copy(s.state.P[i], shares)
+		}
+	}
+	if _, err := s.fds.UpdateRatios(s.state); err != nil {
+		rb.err = fmt.Errorf("cloud: FDS update: %w", err)
+	}
+}

@@ -1,0 +1,200 @@
+package cloud
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/lattice"
+	"repro/internal/policy"
+	"repro/internal/transport"
+)
+
+// lineGraph is a 2-region test graph.
+type lineGraph struct{}
+
+func (lineGraph) M() int { return 2 }
+func (lineGraph) Gamma(i, j int) float64 {
+	if i == j {
+		return 0.8
+	}
+	return 0.2
+}
+func (lineGraph) Neighbors(i int) []int {
+	if i == 0 {
+		return []int{1}
+	}
+	return []int{0}
+}
+
+func testFDS(t *testing.T) (*policy.FDS, *game.Model) {
+	t.Helper()
+	m, err := game.NewModel(lattice.PaperPayoffs(), lineGraph{}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steer toward "mostly full sharing" in both regions.
+	target := []float64{0.7, 0, 0, 0, 0, 0, 0, 0}
+	field, err := policy.NewUniformField(2, target, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave the other decisions unconstrained so the field is reachable.
+	for i := 0; i < 2; i++ {
+		for k := 1; k < 8; k++ {
+			field.P[i][k].Lo, field.P[i][k].Hi = 0, 1
+		}
+	}
+	fds, err := policy.NewFDS(m, field, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fds, m
+}
+
+func TestNewServerValidation(t *testing.T) {
+	fds, _ := testFDS(t)
+	if _, err := NewServer(nil, game.NewUniformState(2, 8, 0.5)); err == nil {
+		t.Error("nil controller must error")
+	}
+	if _, err := NewServer(fds, nil); err == nil {
+		t.Error("nil state must error")
+	}
+	bad := game.NewUniformState(2, 8, 0.5)
+	bad.X[0] = 2
+	if _, err := NewServer(fds, bad); err == nil {
+		t.Error("invalid state must error")
+	}
+}
+
+func TestSubmitBarrier(t *testing.T) {
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	census := func(edge int, counts []int) transport.Census {
+		return transport.Census{Edge: edge, Round: 1, Counts: counts}
+	}
+	// Region 0 census: everyone on decision 1; region 1: everyone on 8.
+	c0 := make([]int, 8)
+	c0[0] = 10
+	c1 := make([]int, 8)
+	c1[7] = 10
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var x0 float64
+	var err0 error
+	go func() {
+		defer wg.Done()
+		x0, err0 = srv.Submit(census(0, c0))
+	}()
+	x1, err := srv.Submit(census(1, c1))
+	wg.Wait()
+	if err != nil || err0 != nil {
+		t.Fatalf("submit errors: %v, %v", err, err0)
+	}
+	if x0 < 0 || x0 > 1 || x1 < 0 || x1 > 1 {
+		t.Errorf("ratios out of range: %f, %f", x0, x1)
+	}
+
+	// The cloud state now reflects the censuses.
+	st := srv.State()
+	if st.P[0][0] != 1 || st.P[1][7] != 1 {
+		t.Errorf("state = %v / %v", st.P[0], st.P[1])
+	}
+	if _, err := srv.Submit(transport.Census{Edge: 5, Round: 1}); err == nil {
+		t.Error("unknown edge must error")
+	}
+}
+
+func TestServeOverInproc(t *testing.T) {
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	report := func(edgeID int) float64 {
+		conn, err := net.Dial("cloud")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		counts := make([]int, 8)
+		counts[0] = 5
+		counts[7] = 5
+		m, err := transport.Encode(transport.KindCensus, transport.Census{Edge: edgeID, Round: 0, Counts: counts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r transport.Ratio
+		if err := transport.Decode(reply, transport.KindRatio, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Round != 1 {
+			t.Errorf("ratio round = %d, want 1", r.Round)
+		}
+		return r.X
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var xA float64
+	go func() {
+		defer wg.Done()
+		xA = report(0)
+	}()
+	xB := report(1)
+	wg.Wait()
+	if xA < 0 || xA > 1 || xB < 0 || xB > 1 {
+		t.Errorf("ratios %f, %f out of range", xA, xB)
+	}
+}
+
+func TestCloseUnblocksSubmit(t *testing.T) {
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(transport.Census{Edge: 0, Round: 9, Counts: make([]int, 8)})
+		done <- err
+	}()
+	srv.Close()
+	if err := <-done; err == nil {
+		t.Error("Submit should fail when the server closes mid-barrier")
+	}
+}
+
+func TestConverged(t *testing.T) {
+	fds, _ := testFDS(t)
+	state := game.NewUniformState(2, 8, 0.5)
+	srv, err := NewServer(fds, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Converged() {
+		t.Error("uniform state should not satisfy the 70% target")
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// GridPartition is the naive baseline Algorithm 1 is compared against: it
+// ignores utility coefficients entirely and splits the segments into a
+// rows x cols geographic grid of regions (merging empty cells into their
+// nearest non-empty neighbour so the assignment stays total and non-empty).
+// The paper motivates Algorithm 1 by the approximation error of replacing
+// every segment's coefficient with its region's constant; this baseline
+// quantifies how much of that error coefficient-aware growth removes.
+func GridPartition(net *roadnet.Network, box geo.BBox, m int) (*Assignment, error) {
+	n := net.NumSegments()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty network")
+	}
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("cluster: m = %d out of range [1,%d]", m, n)
+	}
+	if !box.Valid() {
+		return nil, fmt.Errorf("cluster: invalid bounding box")
+	}
+
+	rows := 1
+	for rows*rows < m {
+		rows++
+	}
+	cols := (m + rows - 1) / rows
+
+	// First pass: raw cell assignment.
+	cellOf := func(p geo.Point) int {
+		r := int(float64(rows) * (p.Lat - box.MinLat) / (box.MaxLat - box.MinLat))
+		c := int(float64(cols) * (p.Lon - box.MinLon) / (box.MaxLon - box.MinLon))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return r*cols + c
+	}
+	mid := net.Midpoints()
+	raw := make([]int, n)
+	counts := make(map[int]int)
+	for s, p := range mid {
+		raw[s] = cellOf(p)
+		counts[raw[s]]++
+	}
+
+	// Keep the m most populated cells as regions; everything else attaches
+	// to the nearest kept cell's centroid.
+	type cellPop struct{ cell, pop int }
+	pops := make([]cellPop, 0, len(counts))
+	for cell, pop := range counts {
+		pops = append(pops, cellPop{cell, pop})
+	}
+	// Selection by population, stable on cell id for determinism.
+	for i := 0; i < len(pops); i++ {
+		for j := i + 1; j < len(pops); j++ {
+			if pops[j].pop > pops[i].pop || (pops[j].pop == pops[i].pop && pops[j].cell < pops[i].cell) {
+				pops[i], pops[j] = pops[j], pops[i]
+			}
+		}
+	}
+	if len(pops) < m {
+		m = len(pops)
+	}
+	regionOfCell := make(map[int]int, m)
+	centroids := make([]geo.Point, m)
+	centroidN := make([]int, m)
+	for i := 0; i < m; i++ {
+		regionOfCell[pops[i].cell] = i
+	}
+	assigned := make([]int, n)
+	for s := range assigned {
+		assigned[s] = -1
+	}
+	for s, cell := range raw {
+		if r, ok := regionOfCell[cell]; ok {
+			assigned[s] = r
+			centroids[r] = geo.Point{
+				Lat: centroids[r].Lat + mid[s].Lat,
+				Lon: centroids[r].Lon + mid[s].Lon,
+			}
+			centroidN[r]++
+		}
+	}
+	for r := range centroids {
+		if centroidN[r] > 0 {
+			centroids[r].Lat /= float64(centroidN[r])
+			centroids[r].Lon /= float64(centroidN[r])
+		}
+	}
+	seeds := make([]roadnet.SegmentID, m)
+	seedDist := make([]float64, m)
+	for r := range seedDist {
+		seedDist[r] = math.Inf(1)
+	}
+	for s := range assigned {
+		if assigned[s] < 0 {
+			best, bestD := 0, math.Inf(1)
+			for r, c := range centroids {
+				if d := geo.Equirectangular(mid[s], c); d < bestD {
+					bestD, best = d, r
+				}
+			}
+			assigned[s] = best
+		}
+		r := assigned[s]
+		if d := geo.Equirectangular(mid[s], centroids[r]); d < seedDist[r] {
+			seedDist[r] = d
+			seeds[r] = roadnet.SegmentID(s)
+		}
+	}
+
+	a := &Assignment{Region: assigned, M: m, Seeds: seeds}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: grid partition: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func TestGridPartitionBasics(t *testing.T) {
+	net := testNetwork(t)
+	a, err := GridPartition(net, geo.FutianBBox(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.M < 1 || a.M > 6 {
+		t.Fatalf("M = %d", a.M)
+	}
+	total := 0
+	for _, n := range a.Sizes() {
+		total += n
+	}
+	if total != net.NumSegments() {
+		t.Errorf("sizes sum %d, want %d", total, net.NumSegments())
+	}
+}
+
+func TestGridPartitionValidation(t *testing.T) {
+	net := testNetwork(t)
+	if _, err := GridPartition(&roadnet.Network{}, geo.FutianBBox(), 3); err == nil {
+		t.Error("empty network must error")
+	}
+	if _, err := GridPartition(net, geo.FutianBBox(), 0); err == nil {
+		t.Error("m=0 must error")
+	}
+	bad := geo.BBox{MinLat: 1, MaxLat: 0, MinLon: 0, MaxLon: 1}
+	if _, err := GridPartition(net, bad, 3); err == nil {
+		t.Error("invalid box must error")
+	}
+}
+
+// TestAlgorithm1BeatsGridBaseline is the design-choice check behind
+// Algorithm 1: on a spatially coherent coefficient field (real BC/TD heat
+// maps form smooth hot and cold zones, Fig. 7), coefficient-aware growth
+// must leave less within-region variance than the geography-only grid
+// split with the same region count. (On adversarial checkerboard fields —
+// e.g. raw per-segment BC of a perfect lattice, where adjacent segments
+// alternate wildly — no spatial clustering can do better than geography,
+// and Algorithm 1 degrades gracefully to the grid's level.)
+func TestAlgorithm1BeatsGridBaseline(t *testing.T) {
+	net := testNetwork(t)
+	m := 8
+
+	// A smooth diagonal hot-zone field over the box, mimicking the paper's
+	// heat maps: high coefficients in the center-north, low at the fringes.
+	box := geo.FutianBBox()
+	weights := make([]float64, net.NumSegments())
+	for _, seg := range net.Segments() {
+		u := (seg.Midpoint.Lat - box.MinLat) / (box.MaxLat - box.MinLat)
+		v := (seg.Midpoint.Lon - box.MinLon) / (box.MaxLon - box.MinLon)
+		d := (u-0.65)*(u-0.65) + (v-0.5)*(v-0.5)
+		weights[seg.ID] = 100 * math.Exp(-6*d) * (0.6 + 0.4*u*v)
+	}
+
+	alg1, err := Cluster(net, weights, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, alg1Std, err := Stats(alg1, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grid, err := GridPartition(net, box, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gridStd, err := Stats(grid, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	greedy, err := ClusterGreedy(net, weights, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, greedyStd, err := Stats(greedy, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The global-greedy variant must dominate both the grid baseline and
+	// the round-robin original; the round-robin original must stay within
+	// 25% of the grid even on fields that favor geography.
+	if greedyStd >= gridStd {
+		t.Errorf("greedy within-region std %.4f should beat grid %.4f", greedyStd, gridStd)
+	}
+	if greedyStd >= alg1Std {
+		t.Errorf("greedy within-region std %.4f should beat round-robin %.4f", greedyStd, alg1Std)
+	}
+	if alg1Std > 1.25*gridStd {
+		t.Errorf("round-robin Algorithm 1 std %.4f degraded beyond 25%% of grid %.4f", alg1Std, gridStd)
+	}
+}
+
+func TestClusterGreedyValidation(t *testing.T) {
+	net := testNetwork(t)
+	w := make([]float64, net.NumSegments())
+	if _, err := ClusterGreedy(net, w, 0); err == nil {
+		t.Error("m=0 must error")
+	}
+	if _, err := ClusterGreedy(net, w[:2], 3); err == nil {
+		t.Error("short weights must error")
+	}
+	w[0] = math.NaN()
+	if _, err := ClusterGreedy(net, w, 2); err == nil {
+		t.Error("NaN weight must error")
+	}
+	if _, err := ClusterGreedy(&roadnet.Network{}, nil, 1); err == nil {
+		t.Error("empty network must error")
+	}
+}
+
+func TestClusterGreedyPartitionsAll(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := ClusterGreedy(net, bc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range a.Sizes() {
+		total += n
+	}
+	if total != net.NumSegments() {
+		t.Errorf("sizes sum %d, want %d", total, net.NumSegments())
+	}
+}

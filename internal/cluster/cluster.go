@@ -1,0 +1,289 @@
+// Package cluster implements Step 2 and Step 3 of the paper's decision
+// dynamics analysis: Algorithm 1 (variance-minimizing BFS clustering of road
+// segments into M regions by utility coefficient) and the auxiliary region
+// graph G = (R, E) with data-sharing frequency weights gamma.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Assignment maps every road segment to a region.
+type Assignment struct {
+	// Region[s] is the region index of segment s, in [0, M).
+	Region []int
+	// M is the number of regions.
+	M int
+	// Seeds[i] is the seed segment of region i.
+	Seeds []roadnet.SegmentID
+}
+
+// Members returns the segments assigned to region i.
+func (a *Assignment) Members(i int) []roadnet.SegmentID {
+	var out []roadnet.SegmentID
+	for s, r := range a.Region {
+		if r == i {
+			out = append(out, roadnet.SegmentID(s))
+		}
+	}
+	return out
+}
+
+// Sizes returns the number of segments per region.
+func (a *Assignment) Sizes() []int {
+	sizes := make([]int, a.M)
+	for _, r := range a.Region {
+		if r >= 0 && r < a.M {
+			sizes[r]++
+		}
+	}
+	return sizes
+}
+
+// Validate checks that every segment is assigned to a valid region and no
+// region is empty.
+func (a *Assignment) Validate() error {
+	sizes := make([]int, a.M)
+	for s, r := range a.Region {
+		if r < 0 || r >= a.M {
+			return fmt.Errorf("cluster: segment %d assigned to invalid region %d", s, r)
+		}
+		sizes[r]++
+	}
+	for i, n := range sizes {
+		if n == 0 {
+			return fmt.Errorf("cluster: region %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// Cluster runs Algorithm 1: it partitions the network's segments into m
+// regions, seeded by farthest-point sampling over the segment midpoints
+// ("seeds distributed in the area"), growing each region by BFS and
+// preferring neighbors whose utility coefficient w falls inside the region's
+// current [low, high] band; when none qualifies, the region admits the
+// frontier neighbor that widens the band the least.
+//
+// weight[s] must hold the utility coefficient of segment s (BC or TD).
+func Cluster(net *roadnet.Network, weight []float64, m int) (*Assignment, error) {
+	n := net.NumSegments()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty network")
+	}
+	if len(weight) != n {
+		return nil, fmt.Errorf("cluster: weight has %d entries, want %d", len(weight), n)
+	}
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("cluster: m = %d out of range [1,%d]", m, n)
+	}
+	for s, w := range weight {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("cluster: weight[%d] = %v is not finite", s, w)
+		}
+	}
+
+	// Line 1: seeds evenly distributed over the road network.
+	seedIdx := geo.FarthestPointSample(net.Midpoints(), m)
+	seeds := make([]roadnet.SegmentID, m)
+	for i, s := range seedIdx {
+		seeds[i] = roadnet.SegmentID(s)
+	}
+
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	type regionState struct {
+		queue   []roadnet.SegmentID
+		low, hi float64
+	}
+	regions := make([]regionState, m)
+	for i, s := range seeds {
+		assigned[s] = i
+		regions[i] = regionState{
+			queue: []roadnet.SegmentID{s},
+			low:   weight[s],
+			hi:    weight[s],
+		}
+	}
+
+	remaining := n - m
+	// Round-robin growth (lines 5-15).
+	for remaining > 0 {
+		progress := false
+		for i := range regions {
+			r := &regions[i]
+			// Drop exhausted frontier nodes.
+			for len(r.queue) > 0 && !hasUnassignedNeighbor(net, r.queue[0], assigned) {
+				r.queue = r.queue[1:]
+			}
+			if len(r.queue) == 0 {
+				continue
+			}
+			u := r.queue[0]
+			// Lines 8-11: admit all in-band unassigned neighbors of u.
+			admitted := false
+			for _, v := range net.Neighbors(u) {
+				if assigned[v] >= 0 {
+					continue
+				}
+				if weight[v] >= r.low && weight[v] <= r.hi {
+					assigned[v] = i
+					r.queue = append(r.queue, v)
+					remaining--
+					admitted = true
+				}
+			}
+			if admitted {
+				r.queue = r.queue[1:] // pop u
+				progress = true
+				continue
+			}
+			// Lines 12-15: admit the band-minimally-expanding neighbor.
+			best := roadnet.SegmentID(-1)
+			bestExp := math.Inf(1)
+			for _, v := range net.Neighbors(u) {
+				if assigned[v] >= 0 {
+					continue
+				}
+				exp := math.Min(math.Abs(weight[v]-r.low), math.Abs(weight[v]-r.hi))
+				if exp < bestExp {
+					bestExp, best = exp, v
+				}
+			}
+			if best >= 0 {
+				assigned[best] = i
+				r.queue = append(r.queue, best)
+				r.low = math.Min(r.low, weight[best])
+				r.hi = math.Max(r.hi, weight[best])
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Safety net for disconnected networks: attach any stranded segment to
+	// the region of its geographically nearest seed.
+	if remaining > 0 {
+		mid := net.Midpoints()
+		for s := range assigned {
+			if assigned[s] >= 0 {
+				continue
+			}
+			best, bestD := 0, math.Inf(1)
+			for i, seed := range seeds {
+				if d := geo.Equirectangular(mid[s], mid[seed]); d < bestD {
+					bestD, best = d, i
+				}
+			}
+			assigned[s] = best
+			remaining--
+		}
+	}
+
+	a := &Assignment{Region: assigned, M: m, Seeds: seeds}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return a, nil
+}
+
+func hasUnassignedNeighbor(net *roadnet.Network, u roadnet.SegmentID, assigned []int) bool {
+	for _, v := range net.Neighbors(u) {
+		if assigned[v] < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionStats summarizes the utility coefficients within one region
+// (Fig. 8(c): bar = mean, interval = spread).
+type RegionStats struct {
+	Region int
+	Size   int
+	Mean   float64
+	Std    float64
+	// P025 and P975 bound the central 95% of coefficient values.
+	P025, P975 float64
+}
+
+// Stats computes per-region coefficient statistics and the average
+// within-region standard deviation (the paper reports 17.08 for BC and
+// 30.31 for TD on its dataset).
+func Stats(a *Assignment, weight []float64) ([]RegionStats, float64, error) {
+	if len(weight) != len(a.Region) {
+		return nil, 0, fmt.Errorf("cluster: weight has %d entries, want %d", len(weight), len(a.Region))
+	}
+	byRegion := make([][]float64, a.M)
+	for s, r := range a.Region {
+		byRegion[r] = append(byRegion[r], weight[s])
+	}
+	out := make([]RegionStats, a.M)
+	sumStd := 0.0
+	for i, ws := range byRegion {
+		st := RegionStats{Region: i, Size: len(ws)}
+		if len(ws) > 0 {
+			mean := 0.0
+			for _, w := range ws {
+				mean += w
+			}
+			mean /= float64(len(ws))
+			variance := 0.0
+			for _, w := range ws {
+				variance += (w - mean) * (w - mean)
+			}
+			variance /= float64(len(ws))
+			st.Mean = mean
+			st.Std = math.Sqrt(variance)
+			sorted := append([]float64(nil), ws...)
+			sort.Float64s(sorted)
+			st.P025 = quantile(sorted, 0.025)
+			st.P975 = quantile(sorted, 0.975)
+		}
+		out[i] = st
+		sumStd += st.Std
+	}
+	return out, sumStd / float64(a.M), nil
+}
+
+// quantile returns the q-quantile of sorted xs by linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RegionCoefficients returns beta_i for each region: the mean utility
+// coefficient of its segments, which is the constant the coarse-grained
+// model approximates all the region's locations by (Step 2).
+func RegionCoefficients(a *Assignment, weight []float64) ([]float64, error) {
+	stats, _, err := Stats(a, weight)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, a.M)
+	for i, st := range stats {
+		out[i] = st.Mean
+	}
+	return out, nil
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+func testNetwork(t *testing.T) *roadnet.Network {
+	t.Helper()
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 10, 12
+	net, err := roadnet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestClusterPartitionsAllSegments(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M != 6 {
+		t.Fatalf("M = %d, want 6", a.M)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range a.Sizes() {
+		if n == 0 {
+			t.Error("empty region")
+		}
+		total += n
+	}
+	if total != net.NumSegments() {
+		t.Errorf("sizes sum to %d, want %d", total, net.NumSegments())
+	}
+	for i := 0; i < a.M; i++ {
+		if len(a.Members(i)) != a.Sizes()[i] {
+			t.Errorf("Members(%d) inconsistent with Sizes", i)
+		}
+	}
+}
+
+// TestClusterReducesVariance: clustering by coefficient must produce
+// regions whose average within-region std is below the global std.
+func TestClusterReducesVariance(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, avgStd, err := Stats(a, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global std.
+	mean := 0.0
+	for _, w := range bc {
+		mean += w
+	}
+	mean /= float64(len(bc))
+	variance := 0.0
+	for _, w := range bc {
+		variance += (w - mean) * (w - mean)
+	}
+	globalStd := math.Sqrt(variance / float64(len(bc)))
+	if avgStd >= globalStd {
+		t.Errorf("avg within-region std %.6f should be below global std %.6f", avgStd, globalStd)
+	}
+}
+
+func TestClusterSingleRegion(t *testing.T) {
+	net := testNetwork(t)
+	w := make([]float64, net.NumSegments())
+	a, err := Cluster(net, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, r := range a.Region {
+		if r != 0 {
+			t.Fatalf("segment %d in region %d, want 0", s, r)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	net := testNetwork(t)
+	w := make([]float64, net.NumSegments())
+	if _, err := Cluster(net, w, 0); err == nil {
+		t.Error("m=0 must error")
+	}
+	if _, err := Cluster(net, w, net.NumSegments()+1); err == nil {
+		t.Error("m > n must error")
+	}
+	if _, err := Cluster(net, w[:3], 2); err == nil {
+		t.Error("short weights must error")
+	}
+	w[0] = math.NaN()
+	if _, err := Cluster(net, w, 2); err == nil {
+		t.Error("NaN weight must error")
+	}
+	if _, err := Cluster(&roadnet.Network{}, nil, 1); err == nil {
+		t.Error("empty network must error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	net := testNetwork(t)
+	td := make([]float64, net.NumSegments())
+	for i := range td {
+		td[i] = float64(i % 10)
+	}
+	a, err := Cluster(net, td, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, avgStd, err := Stats(a, td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("got %d stats, want 4", len(stats))
+	}
+	for _, st := range stats {
+		if st.Size == 0 {
+			t.Error("empty region in stats")
+		}
+		if st.P025 > st.Mean || st.Mean > st.P975 {
+			t.Errorf("region %d: P025 %.3f <= mean %.3f <= P975 %.3f violated",
+				st.Region, st.P025, st.Mean, st.P975)
+		}
+		if st.Std < 0 {
+			t.Error("negative std")
+		}
+	}
+	if avgStd < 0 {
+		t.Error("negative average std")
+	}
+	if _, _, err := Stats(a, td[:5]); err == nil {
+		t.Error("short weights must error")
+	}
+}
+
+func TestRegionCoefficients(t *testing.T) {
+	net := testNetwork(t)
+	w := make([]float64, net.NumSegments())
+	for i := range w {
+		w[i] = 5.0
+	}
+	a, err := Cluster(net, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := RegionCoefficients(a, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range beta {
+		if math.Abs(b-5.0) > 1e-12 {
+			t.Errorf("beta[%d] = %f, want 5.0 for constant weights", i, b)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %f", q)
+	}
+	if q := quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %f", q)
+	}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Errorf("q0.5 = %f", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %f", q)
+	}
+	if q := quantile([]float64{7}, 0.9); q != 7 {
+		t.Errorf("singleton quantile = %f", q)
+	}
+}
+
+func TestRegionGraphFromAdjacency(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildRegionGraphFromAdjacency(a, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 5 {
+		t.Fatalf("M = %d, want 5", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A partition of a connected network into >1 regions must have edges.
+	if g.NumEdges() == 0 {
+		t.Error("region graph of connected network has no inter-region edges")
+	}
+	// Symmetric adjacency.
+	for i := 0; i < g.M(); i++ {
+		for _, j := range g.Neighbors(i) {
+			found := false
+			for _, back := range g.Neighbors(j) {
+				if back == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("adjacency not symmetric: %d->%d", i, j)
+			}
+		}
+	}
+	if g.Gamma(-1, 0) != 0 || g.Gamma(0, 99) != 0 {
+		t.Error("out-of-range Gamma should be 0")
+	}
+	if g.Neighbors(-1) != nil {
+		t.Error("out-of-range Neighbors should be nil")
+	}
+}
+
+func TestRegionGraphFromTrace(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := trace.DefaultGenConfig()
+	tcfg.Taxis, tcfg.Transit = 15, 5
+	tcfg.Duration = 2 * time.Hour
+	ts, err := trace.Generate(net, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildRegionGraphFromTrace(a, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Intra-region gamma should dominate: vehicles mostly move within a
+	// region between consecutive 10s fixes.
+	for i := 0; i < g.M(); i++ {
+		sumOthers := 0.0
+		for j := 0; j < g.M(); j++ {
+			if j != i {
+				sumOthers += g.Gamma(i, j)
+			}
+		}
+		if g.Gamma(i, i) <= sumOthers {
+			t.Errorf("region %d: intra gamma %.3f should dominate inter sum %.3f",
+				i, g.Gamma(i, i), sumOthers)
+		}
+	}
+}
+
+func TestRegionGraphFromEmptyTrace(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildRegionGraphFromTrace(a, trace.NewSet()); err == nil {
+		t.Error("empty trace must error")
+	}
+	if _, err := BuildRegionGraphFromAdjacency(a, &roadnet.Network{}); err == nil {
+		t.Error("mismatched network must error")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(net, bc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.Region {
+		if a.Region[s] != b.Region[s] {
+			t.Fatalf("clustering not deterministic at segment %d", s)
+		}
+	}
+}
+
+// TestClusterSpatialCoherence: regions grown by BFS should be spatially
+// coherent — a member's nearest seed-distance shouldn't be wildly larger
+// than the region diameter. We check a weaker invariant: every region's
+// members form a connected subgraph OR were attached by the safety net
+// (which cannot happen on a connected network).
+func TestClusterSpatialCoherence(t *testing.T) {
+	net := testNetwork(t)
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.M; i++ {
+		members := a.Members(i)
+		memberSet := make(map[roadnet.SegmentID]bool, len(members))
+		for _, s := range members {
+			memberSet[s] = true
+		}
+		// BFS within the region from its seed.
+		seen := map[roadnet.SegmentID]bool{a.Seeds[i]: true}
+		queue := []roadnet.SegmentID{a.Seeds[i]}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range net.Neighbors(u) {
+				if memberSet[v] && !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		if len(seen) != len(members) {
+			t.Errorf("region %d not connected: reached %d of %d members", i, len(seen), len(members))
+		}
+	}
+}
+
+func TestFutianClusteringScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale clustering in -short mode")
+	}
+	net, err := roadnet.Generate(roadnet.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := net.TravelTimeBetweenness()
+	a, err := Cluster(net, bc, 20) // the paper's 20 regions
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = geo.FutianBBox()
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// ClusterGreedy is a strengthened variant of Algorithm 1: it keeps the
+// paper's admission rule — grow a region by the adjacent segment that
+// widens its coefficient band [h_low, h_high] the least — but orders
+// admissions globally with a priority queue instead of strict round-robin,
+// so the cheapest admission anywhere in the city always happens first.
+// The paper's stated objective ("minimize the variance of node utility
+// coefficients in each cluster") is the invariant; only the scheduling
+// differs. On spatially coherent coefficient fields this variant dominates
+// both the round-robin original and the geographic grid baseline (see the
+// cluster tests), at the same O(E log E) cost.
+func ClusterGreedy(net *roadnet.Network, weight []float64, m int) (*Assignment, error) {
+	n := net.NumSegments()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty network")
+	}
+	if len(weight) != n {
+		return nil, fmt.Errorf("cluster: weight has %d entries, want %d", len(weight), n)
+	}
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("cluster: m = %d out of range [1,%d]", m, n)
+	}
+	for s, w := range weight {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("cluster: weight[%d] = %v is not finite", s, w)
+		}
+	}
+
+	seedIdx := geo.FarthestPointSample(net.Midpoints(), m)
+	seeds := make([]roadnet.SegmentID, m)
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	lo := make([]float64, m)
+	hi := make([]float64, m)
+
+	pq := &admissionHeap{}
+	heap.Init(pq)
+	push := func(region int, node roadnet.SegmentID) {
+		w := weight[node]
+		cost := 0.0
+		if w < lo[region] {
+			cost = lo[region] - w
+		} else if w > hi[region] {
+			cost = w - hi[region]
+		}
+		heap.Push(pq, admission{cost: cost, region: region, node: node})
+	}
+
+	for i, s := range seedIdx {
+		seeds[i] = roadnet.SegmentID(s)
+		assigned[s] = i
+		lo[i], hi[i] = weight[s], weight[s]
+	}
+	for i, s := range seeds {
+		for _, v := range net.Neighbors(s) {
+			if assigned[v] < 0 {
+				push(i, v)
+			}
+		}
+	}
+
+	remaining := n - m
+	for remaining > 0 && pq.Len() > 0 {
+		adm := heap.Pop(pq).(admission)
+		if assigned[adm.node] >= 0 {
+			continue
+		}
+		// Stale cost? The region's band may have widened since this entry
+		// was pushed, making the admission cheaper; or another push already
+		// covers it. Recompute and reinsert when the stored cost is stale
+		// on the expensive side.
+		w := weight[adm.node]
+		cur := 0.0
+		if w < lo[adm.region] {
+			cur = lo[adm.region] - w
+		} else if w > hi[adm.region] {
+			cur = w - hi[adm.region]
+		}
+		if cur < adm.cost-1e-15 {
+			heap.Push(pq, admission{cost: cur, region: adm.region, node: adm.node})
+			continue
+		}
+		assigned[adm.node] = adm.region
+		if w < lo[adm.region] {
+			lo[adm.region] = w
+		}
+		if w > hi[adm.region] {
+			hi[adm.region] = w
+		}
+		remaining--
+		for _, v := range net.Neighbors(adm.node) {
+			if assigned[v] < 0 {
+				push(adm.region, v)
+			}
+		}
+	}
+
+	// Disconnected leftovers attach to the geographically nearest seed.
+	if remaining > 0 {
+		mid := net.Midpoints()
+		for s := range assigned {
+			if assigned[s] >= 0 {
+				continue
+			}
+			best, bestD := 0, math.Inf(1)
+			for i, seed := range seeds {
+				if d := geo.Equirectangular(mid[s], mid[seed]); d < bestD {
+					bestD, best = d, i
+				}
+			}
+			assigned[s] = best
+		}
+	}
+
+	a := &Assignment{Region: assigned, M: m, Seeds: seeds}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: greedy: %w", err)
+	}
+	return a, nil
+}
+
+type admission struct {
+	cost   float64
+	region int
+	node   roadnet.SegmentID
+}
+
+type admissionHeap []admission
+
+func (h admissionHeap) Len() int            { return len(h) }
+func (h admissionHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h admissionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *admissionHeap) Push(x interface{}) { *h = append(*h, x.(admission)) }
+func (h *admissionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// RegionGraph is the paper's auxiliary graph G = (R, E): nodes are regions,
+// an edge e_{i,j} exists when vehicles in regions i and j can share data,
+// and the weight gamma_{i,j} reflects the data-sharing frequency between
+// them. gamma_{i,i} is the intra-region frequency.
+//
+// Gamma values are normalized so that, for each region i,
+// gamma_{i,i} + sum_j gamma_{j,i} = 1: they partition the sources of data
+// a vehicle in region i can hear from.
+type RegionGraph struct {
+	m     int
+	gamma [][]float64 // gamma[i][j]; symmetric by construction
+	adj   [][]int     // adj[i] = neighbor regions with gamma > 0, j != i
+}
+
+// M returns the number of regions.
+func (g *RegionGraph) M() int { return g.m }
+
+// Gamma returns gamma_{i,j} (or gamma_{i,i} for i == j).
+func (g *RegionGraph) Gamma(i, j int) float64 {
+	if i < 0 || i >= g.m || j < 0 || j >= g.m {
+		return 0
+	}
+	return g.gamma[i][j]
+}
+
+// Neighbors returns the regions adjacent to i (excluding i itself). The
+// returned slice must not be modified.
+func (g *RegionGraph) Neighbors(i int) []int {
+	if i < 0 || i >= g.m {
+		return nil
+	}
+	return g.adj[i]
+}
+
+// NumEdges returns the number of undirected inter-region edges.
+func (g *RegionGraph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// BuildRegionGraphFromTrace derives the region graph from map-matched
+// vehicle traces: each consecutive-fix transition between segments
+// contributes to gamma between the segments' regions (a transition within a
+// region feeds gamma_{i,i}). The counts are symmetrized and normalized per
+// region. Falls back to geometric adjacency for region pairs with no
+// observed transitions only in the sense that such pairs simply get no edge.
+func BuildRegionGraphFromTrace(a *Assignment, ts *trace.Set) (*RegionGraph, error) {
+	counts := make([][]float64, a.M)
+	for i := range counts {
+		counts[i] = make([]float64, a.M)
+	}
+	trans := trace.TransitionCounts(ts)
+	if len(trans) == 0 {
+		return nil, fmt.Errorf("cluster: trace has no segment transitions (is it map-matched?)")
+	}
+	for pair, c := range trans {
+		s0, s1 := pair[0], pair[1]
+		if s0 < 0 || s0 >= len(a.Region) || s1 < 0 || s1 >= len(a.Region) {
+			continue
+		}
+		r0, r1 := a.Region[s0], a.Region[s1]
+		counts[r0][r1] += float64(c)
+		if r0 != r1 {
+			counts[r1][r0] += float64(c)
+		}
+	}
+	return newRegionGraph(a.M, counts)
+}
+
+// BuildRegionGraphFromAdjacency derives the region graph purely from the
+// road network: gamma counts the number of segment adjacencies within and
+// across regions. Used when no trace is available.
+func BuildRegionGraphFromAdjacency(a *Assignment, net *roadnet.Network) (*RegionGraph, error) {
+	if net.NumSegments() != len(a.Region) {
+		return nil, fmt.Errorf("cluster: network has %d segments, assignment %d", net.NumSegments(), len(a.Region))
+	}
+	counts := make([][]float64, a.M)
+	for i := range counts {
+		counts[i] = make([]float64, a.M)
+	}
+	for s := 0; s < net.NumSegments(); s++ {
+		for _, v := range net.Neighbors(roadnet.SegmentID(s)) {
+			if int(v) <= s {
+				continue // count each undirected adjacency once
+			}
+			r0, r1 := a.Region[s], a.Region[v]
+			counts[r0][r1]++
+			if r0 != r1 {
+				counts[r1][r0]++
+			}
+		}
+	}
+	return newRegionGraph(a.M, counts)
+}
+
+func newRegionGraph(m int, counts [][]float64) (*RegionGraph, error) {
+	g := &RegionGraph{
+		m:     m,
+		gamma: make([][]float64, m),
+		adj:   make([][]int, m),
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, m)
+		total := 0.0
+		for j := 0; j < m; j++ {
+			total += counts[i][j]
+		}
+		if total == 0 {
+			// A region with no observed interaction at all talks only to
+			// itself.
+			row[i] = 1
+		} else {
+			for j := 0; j < m; j++ {
+				row[j] = counts[i][j] / total
+			}
+		}
+		g.gamma[i] = row
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j && g.gamma[i][j] > 0 {
+				g.adj[i] = append(g.adj[i], j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Validate checks the per-region normalization invariant.
+func (g *RegionGraph) Validate() error {
+	for i := 0; i < g.m; i++ {
+		total := 0.0
+		for j := 0; j < g.m; j++ {
+			if g.gamma[i][j] < 0 {
+				return fmt.Errorf("cluster: gamma[%d][%d] negative", i, j)
+			}
+			total += g.gamma[i][j]
+		}
+		if total < 0.999 || total > 1.001 {
+			return fmt.Errorf("cluster: gamma row %d sums to %f, want 1", i, total)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package core is the top-level facade of the cooperative-perception
+// data-sharing library: it wires the substrate packages (road network,
+// traces, clustering, game model) into the paper's policy loop and exposes
+// the operations a downstream user needs — derive the payoff tables, build
+// a world, construct desired decision fields, run FDS shaping or baselines,
+// compute lower bounds, and launch the distributed agent simulation.
+//
+// The paper's S1/S2 cycle maps onto this package as:
+//
+//	S1 (policy optimization)  -> System.Shape / policy.FDS
+//	S2 (policy implementation) -> System.RunDistributed / edge+vehicle
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+	"repro/internal/lattice"
+	"repro/internal/optimize"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// System is an assembled cooperative-perception world plus its policy
+// controller configuration.
+type System struct {
+	World *sim.World
+	// Opts are the default macroscopic run options.
+	Opts sim.MacroOptions
+}
+
+// NewSystem builds a system from a world configuration.
+func NewSystem(cfg sim.WorldConfig, opts sim.MacroOptions) (*System, error) {
+	w, err := sim.BuildWorld(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building world: %w", err)
+	}
+	return &System{World: w, Opts: opts}, nil
+}
+
+// NewSystemFromWorld wraps an existing world.
+func NewSystemFromWorld(w *sim.World, opts sim.MacroOptions) (*System, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: world must be non-nil")
+	}
+	return &System{World: w, Opts: opts}, nil
+}
+
+// Payoffs returns the Table II payoffs in use.
+func (s *System) Payoffs() *lattice.Payoffs { return s.World.Payoffs }
+
+// Model returns the game model.
+func (s *System) Model() *game.Model { return s.World.Model }
+
+// DesiredFieldFromRatio constructs a reachable desired decision field: the
+// equilibrium distribution the population reaches at reference ratio x,
+// widened by tolerance eps. This mirrors how the paper's per-condition
+// fields (fog vs. sunny) correspond to concrete sharing regimes.
+func (s *System) DesiredFieldFromRatio(x, eps float64) (*policy.Field, *game.State, error) {
+	if x < 0 || x > 1 {
+		return nil, nil, fmt.Errorf("core: reference ratio %f outside [0,1]", x)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, nil, fmt.Errorf("core: tolerance %f outside (0,1)", eps)
+	}
+	eq, err := s.World.EquilibriumAt(x, s.Opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	field, err := sim.FieldFromState(eq, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return field, eq, nil
+}
+
+// ReachableField is the experiment-grade variant of DesiredFieldFromRatio:
+// it derives the target distribution by adiabatic continuation from the
+// actual start state (ramping the ratio under the same Lambda constraint
+// FDS obeys), so the target lies on the attractor branch reachable from
+// that start. Use this to construct fields for shaping runs; the plain
+// DesiredFieldFromRatio equilibrates from a uniform population and can land
+// on a branch the dynamics cannot reach from an arbitrary start.
+func (s *System) ReachableField(start *game.State, x, eps float64) (*policy.Field, *game.State, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, nil, fmt.Errorf("core: tolerance %f outside (0,1)", eps)
+	}
+	lambda := s.Opts.Lambda
+	if lambda <= 0 {
+		lambda = 0.1
+	}
+	eq, err := s.World.EquilibriumFrom(start, x, lambda, s.Opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	field, err := sim.FieldFromState(eq, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return field, eq, nil
+}
+
+// StartAt returns the population state after equilibrating at ratio x —
+// the usual starting point of a shaping experiment.
+func (s *System) StartAt(x float64) (*game.State, error) {
+	return s.World.EquilibriumAt(x, s.Opts)
+}
+
+// Shape runs FDS from start toward field and returns the trajectory plus
+// the analytic lower bound.
+func (s *System) Shape(start *game.State, field *policy.Field) (*sim.MacroResult, error) {
+	return s.World.RunFDS(start, field, s.Opts)
+}
+
+// Baseline runs the fixed-ratio baseline from start.
+func (s *System) Baseline(start *game.State, field *policy.Field) (*policy.ShapeResult, error) {
+	return s.World.RunFixed(start, field, s.Opts)
+}
+
+// SubgradientLowerBound solves the relaxed problem (Eq. 22) for the given
+// instance. Use only for small region counts; the analytic bound in
+// Shape's result covers the general case.
+func (s *System) SubgradientLowerBound(start *game.State, field *policy.Field, maxRounds int) (int, bool, error) {
+	lambda := s.Opts.Lambda
+	if lambda <= 0 {
+		lambda = 0.1
+	}
+	return policy.SubgradientLowerBound(s.World.Model, field, start, lambda, maxRounds, optimize.Options{})
+}
+
+// RunDistributed launches the agent-based cloud/edge/vehicle simulation
+// steering toward field.
+func (s *System) RunDistributed(field *policy.Field, cfg sim.AgentSimConfig) (*sim.AgentSimResult, error) {
+	cfg.Field = field
+	return s.World.RunAgentSim(cfg)
+}

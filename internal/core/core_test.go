@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func tinySystem(t *testing.T) *System {
+	t.Helper()
+	cfg := sim.DefaultWorldConfig()
+	cfg.Net.Rows, cfg.Net.Cols = 8, 9
+	cfg.Trace.Taxis, cfg.Trace.Transit = 20, 10
+	cfg.Trace.Duration = 90 * time.Minute
+	cfg.Regions = 3
+	cfg.EdgeServers = 9
+	s, err := NewSystem(cfg, sim.MacroOptions{MaxRounds: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	bad := sim.DefaultWorldConfig()
+	bad.Regions = 0
+	if _, err := NewSystem(bad, sim.MacroOptions{}); err == nil {
+		t.Error("invalid config must error")
+	}
+	if _, err := NewSystemFromWorld(nil, sim.MacroOptions{}); err == nil {
+		t.Error("nil world must error")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	s := tinySystem(t)
+	if s.Payoffs() == nil || s.Model() == nil {
+		t.Fatal("accessors returned nil")
+	}
+	if s.Payoffs().K() != 8 {
+		t.Errorf("K = %d", s.Payoffs().K())
+	}
+}
+
+func TestDesiredFieldValidation(t *testing.T) {
+	s := tinySystem(t)
+	if _, _, err := s.DesiredFieldFromRatio(1.5, 0.03); err == nil {
+		t.Error("ratio out of range must error")
+	}
+	if _, _, err := s.DesiredFieldFromRatio(0.5, 0); err == nil {
+		t.Error("zero eps must error")
+	}
+}
+
+func TestReachableFieldValidation(t *testing.T) {
+	s := tinySystem(t)
+	start, err := s.StartAt(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReachableField(start, 0.5, 0); err == nil {
+		t.Error("zero eps must error")
+	}
+	if _, _, err := s.ReachableField(start, 1.5, 0.05); err == nil {
+		t.Error("ratio out of range must error")
+	}
+}
+
+// TestFacadeShapeLoop exercises the whole facade: target field from a high
+// sharing regime reached from a low-sharing start, shape, compare with the
+// baseline.
+func TestFacadeShapeLoop(t *testing.T) {
+	s := tinySystem(t)
+	start, err := s.StartAt(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, eq, err := s.ReachableField(start, 0.85, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := field.Converged(eq); !ok {
+		t.Fatal("equilibrium must satisfy its own field")
+	}
+	res, err := s.Shape(start.Clone(), field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Shape.Converged {
+		t.Fatalf("facade shape run did not converge (shortfall %f)", res.Shape.Shortfall)
+	}
+	if res.LowerBound > res.Shape.Rounds {
+		t.Errorf("bound %d > achieved %d", res.LowerBound, res.Shape.Rounds)
+	}
+
+	base, err := s.Baseline(start.Clone(), field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Converged {
+		t.Error("baseline at the wrong ratio should not converge")
+	}
+}
+
+func TestFacadeSubgradientBound(t *testing.T) {
+	s := tinySystem(t)
+	start, err := s.StartAt(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, _, err := s.ReachableField(start, 0.85, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, capped, err := s.SubgradientLowerBound(start, field, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped && lb < 1 {
+		t.Errorf("bound = %d for an unconverged start", lb)
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	s := tinySystem(t)
+	field, _, err := s.DesiredFieldFromRatio(0.8, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunDistributed(field, sim.AgentSimConfig{
+		VehiclesPerRegion: 30,
+		Rounds:            80,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Error("distributed run executed no rounds")
+	}
+}

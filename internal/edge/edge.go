@@ -1,0 +1,191 @@
+// Package edge implements the edge-server role of Fig. 1: it registers the
+// vehicles of its Voronoi cell, collects their per-round sensor uploads
+// (step ④), applies the lattice-based data-sharing policy with the sharing
+// ratio x set by the cloud, and distributes the collected data back
+// (step ⑤). It also aggregates the cell's decision census for the cloud
+// (step ①) and applies ratio updates (step ②).
+package edge
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/lattice"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+)
+
+// Distributor is the edge server's policy engine, independent of any
+// transport: it accumulates one round's uploads and computes each vehicle's
+// delivery under the lattice policy.
+type Distributor struct {
+	lat *lattice.Lattice
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	round   int
+	x       float64
+	uploads map[int]transport.Upload // by vehicle
+
+	// Edge-side perception (see perception.go); zero mask disables it.
+	edgeShare    sensor.Mask
+	edgeDecision lattice.Decision
+	edgeSeq      int
+}
+
+// NewDistributor builds a distributor over the decision lattice with the
+// given random seed (randomness implements the sharing-ratio coin flips).
+func NewDistributor(lat *lattice.Lattice, seed int64) *Distributor {
+	return &Distributor{
+		lat:     lat,
+		rng:     rand.New(rand.NewSource(seed)),
+		x:       1,
+		uploads: make(map[int]transport.Upload),
+	}
+}
+
+// BeginRound resets the upload buffer and records the round's sharing
+// ratio. It returns an error for an invalid ratio.
+func (d *Distributor) BeginRound(round int, x float64) error {
+	if x < 0 || x > 1 {
+		return fmt.Errorf("edge: sharing ratio %f outside [0,1]", x)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.round = round
+	d.x = x
+	d.uploads = make(map[int]transport.Upload)
+	return nil
+}
+
+// Round returns the current round number.
+func (d *Distributor) Round() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.round
+}
+
+// X returns the current sharing ratio.
+func (d *Distributor) X() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.x
+}
+
+// AddUpload records a vehicle's upload for the current round. Uploads for
+// other rounds are rejected; a vehicle uploading twice replaces its earlier
+// upload. The upload's decision must be valid, and every item's share set
+// must be consistent with the decision (the edge enforces the policy: a
+// vehicle cannot smuggle modalities its decision does not share).
+func (d *Distributor) AddUpload(u transport.Upload) error {
+	if u.Round != d.Round() {
+		return fmt.Errorf("edge: upload for round %d, current round is %d", u.Round, d.Round())
+	}
+	k := lattice.Decision(u.Decision)
+	share, err := d.lat.Share(k)
+	if err != nil {
+		return fmt.Errorf("edge: upload from vehicle %d: %w", u.Vehicle, err)
+	}
+	for _, item := range u.Items {
+		if !share.Has(item.Modality) {
+			return fmt.Errorf("edge: vehicle %d shared %v not covered by decision %d (%v)",
+				u.Vehicle, item.Modality, u.Decision, share)
+		}
+		if item.Owner != u.Vehicle {
+			return fmt.Errorf("edge: vehicle %d uploaded an item owned by %d", u.Vehicle, item.Owner)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.uploads[u.Vehicle] = u
+	return nil
+}
+
+// NumUploads returns the number of vehicles that uploaded this round.
+func (d *Distributor) NumUploads() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.uploads)
+}
+
+// Distribute computes each uploader's delivery: for every other vehicle b
+// with decision k_b such that P^{k_b} ⊆ P^{k_a}, vehicle a receives b's
+// items with probability x (one coin flip per sharer-receiver pair, so a
+// sharer's items are delivered atomically, matching the paper's
+// "probability x to access the shared data from b").
+func (d *Distributor) Distribute() map[int][]transport.Item {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	vehicles := make([]int, 0, len(d.uploads))
+	for v := range d.uploads {
+		vehicles = append(vehicles, v)
+	}
+	sort.Ints(vehicles) // determinism for a fixed seed
+
+	edgeContribution := d.edgeItems()
+
+	out := make(map[int][]transport.Item, len(vehicles))
+	for _, a := range vehicles {
+		ua := d.uploads[a]
+		var items []transport.Item
+		for _, b := range vehicles {
+			if a == b {
+				continue
+			}
+			ub := d.uploads[b]
+			if !d.lat.CanAccess(lattice.Decision(ua.Decision), lattice.Decision(ub.Decision)) {
+				continue
+			}
+			if d.rng.Float64() >= d.x {
+				continue
+			}
+			items = append(items, ub.Items...)
+		}
+		// Edge-side perception: delivered under the same lattice rule and
+		// sharing ratio, with the edge acting as a virtual sharer.
+		if len(edgeContribution) > 0 &&
+			d.lat.CanAccess(lattice.Decision(ua.Decision), d.edgeDecision) &&
+			d.rng.Float64() < d.x {
+			items = append(items, edgeContribution...)
+		}
+		out[a] = items
+	}
+	return out
+}
+
+// Census returns the decision counts of the current round's uploads
+// (Counts[k] = vehicles on decision k+1).
+func (d *Distributor) Census() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	counts := make([]int, d.lat.K())
+	for _, u := range d.uploads {
+		if u.Decision >= 1 && u.Decision <= d.lat.K() {
+			counts[u.Decision-1]++
+		}
+	}
+	return counts
+}
+
+// Shares converts a census into a decision distribution; a census with no
+// vehicles yields a uniform distribution.
+func Shares(counts []int) []float64 {
+	out := make([]float64, len(counts))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(counts))
+		}
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,393 @@
+package edge
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+)
+
+func upload(v, round, decision int, modalities ...sensor.Type) transport.Upload {
+	items := make([]transport.Item, 0, len(modalities))
+	for i, m := range modalities {
+		items = append(items, transport.Item{Owner: v, Modality: m, Seq: i + 1})
+	}
+	return transport.Upload{Vehicle: v, Round: round, Decision: decision, Items: items}
+}
+
+func TestDistributorRoundLifecycle(t *testing.T) {
+	d := NewDistributor(lattice.NewPaper(), 1)
+	if err := d.BeginRound(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Round() != 1 || d.X() != 0.5 {
+		t.Errorf("round/x = %d/%f", d.Round(), d.X())
+	}
+	if err := d.BeginRound(2, 1.5); err == nil {
+		t.Error("invalid ratio must error")
+	}
+}
+
+func TestAddUploadValidation(t *testing.T) {
+	d := NewDistributor(lattice.NewPaper(), 1)
+	if err := d.BeginRound(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddUpload(upload(1, 2, 1, sensor.Camera)); err == nil {
+		t.Error("wrong round must be rejected")
+	}
+	if err := d.AddUpload(upload(1, 3, 99, sensor.Camera)); err == nil {
+		t.Error("invalid decision must be rejected")
+	}
+	// Decision 7 = radar only: smuggling camera must be rejected.
+	if err := d.AddUpload(upload(1, 3, 7, sensor.Camera)); err == nil {
+		t.Error("modality outside decision must be rejected")
+	}
+	bad := upload(1, 3, 1, sensor.Camera)
+	bad.Items[0].Owner = 2
+	if err := d.AddUpload(bad); err == nil {
+		t.Error("foreign-owned item must be rejected")
+	}
+	if err := d.AddUpload(upload(1, 3, 7, sensor.Radar)); err != nil {
+		t.Errorf("valid upload rejected: %v", err)
+	}
+	if d.NumUploads() != 1 {
+		t.Errorf("NumUploads = %d", d.NumUploads())
+	}
+	// Replacement.
+	if err := d.AddUpload(upload(1, 3, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUploads() != 1 {
+		t.Errorf("replacement changed count: %d", d.NumUploads())
+	}
+}
+
+// TestDistributeLatticePolicy: with x = 1 every accessible item is
+// delivered and no inaccessible item leaks.
+func TestDistributeLatticePolicy(t *testing.T) {
+	d := NewDistributor(lattice.NewPaper(), 1)
+	if err := d.BeginRound(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Vehicle 1: decision 1 (everything); vehicle 2: decision 7 (radar);
+	// vehicle 3: decision 8 (nothing).
+	for _, u := range []transport.Upload{
+		upload(1, 1, 1, sensor.Camera, sensor.LiDAR, sensor.Radar),
+		upload(2, 1, 7, sensor.Radar),
+		upload(3, 1, 8),
+	} {
+		if err := d.AddUpload(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Distribute()
+
+	// Vehicle 1 (decision 1) accesses everyone: radar from 2, nothing from 3.
+	if len(got[1]) != 1 || got[1][0].Owner != 2 || got[1][0].Modality != sensor.Radar {
+		t.Errorf("vehicle 1 delivery = %v", got[1])
+	}
+	// Vehicle 2 (decision 7) accesses subsets of {radar}: only vehicle 3's
+	// empty share. Nothing from vehicle 1 (P1 is a superset).
+	if len(got[2]) != 0 {
+		t.Errorf("vehicle 2 delivery = %v, want empty", got[2])
+	}
+	// Vehicle 3 (decision 8) accesses nothing.
+	if len(got[3]) != 0 {
+		t.Errorf("vehicle 3 delivery = %v, want empty", got[3])
+	}
+}
+
+// TestDistributeZeroRatio: x = 0 delivers nothing.
+func TestDistributeZeroRatio(t *testing.T) {
+	d := NewDistributor(lattice.NewPaper(), 1)
+	if err := d.BeginRound(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []transport.Upload{
+		upload(1, 1, 1, sensor.Camera, sensor.LiDAR, sensor.Radar),
+		upload(2, 1, 1, sensor.Camera, sensor.LiDAR, sensor.Radar),
+	} {
+		if err := d.AddUpload(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v, items := range d.Distribute() {
+		if len(items) != 0 {
+			t.Errorf("vehicle %d received %d items at x=0", v, len(items))
+		}
+	}
+}
+
+// TestDistributeRatioStatistics: with many pairs, the delivered fraction
+// approaches x.
+func TestDistributeRatioStatistics(t *testing.T) {
+	d := NewDistributor(lattice.NewPaper(), 42)
+	x := 0.3
+	if err := d.BeginRound(1, x); err != nil {
+		t.Fatal(err)
+	}
+	n := 60
+	for v := 1; v <= n; v++ {
+		if err := d.AddUpload(upload(v, 1, 1, sensor.Camera, sensor.LiDAR, sensor.Radar)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deliveries := d.Distribute()
+	pairs := 0
+	delivered := 0
+	for _, items := range deliveries {
+		// Each delivered sharer contributes 3 items.
+		delivered += len(items) / 3
+		pairs += n - 1
+	}
+	frac := float64(delivered) / float64(pairs)
+	if math.Abs(frac-x) > 0.05 {
+		t.Errorf("delivered fraction %.3f, want ~%.1f", frac, x)
+	}
+}
+
+func TestCensusAndShares(t *testing.T) {
+	d := NewDistributor(lattice.NewPaper(), 1)
+	if err := d.BeginRound(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []transport.Upload{
+		upload(1, 1, 1, sensor.Camera, sensor.LiDAR, sensor.Radar),
+		upload(2, 1, 7, sensor.Radar),
+		upload(3, 1, 7, sensor.Radar),
+		upload(4, 1, 8),
+	} {
+		if err := d.AddUpload(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	census := d.Census()
+	if census[0] != 1 || census[6] != 2 || census[7] != 1 {
+		t.Errorf("census = %v", census)
+	}
+	shares := Shares(census)
+	if math.Abs(shares[6]-0.5) > 1e-12 {
+		t.Errorf("shares = %v", shares)
+	}
+	uniform := Shares(make([]int, 8))
+	for _, v := range uniform {
+		if math.Abs(v-0.125) > 1e-12 {
+			t.Errorf("empty census shares = %v", uniform)
+		}
+	}
+}
+
+// TestServerRoundOverInproc drives a full round over the in-process
+// transport with three scripted vehicle clients.
+func TestServerRoundOverInproc(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("edge-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(0, lattice.NewPaper(), 7)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	type client struct {
+		conn     transport.Conn
+		decision int
+		items    []sensor.Type
+	}
+	clients := []*client{
+		{decision: 1, items: []sensor.Type{sensor.Camera, sensor.LiDAR, sensor.Radar}},
+		{decision: 7, items: []sensor.Type{sensor.Radar}},
+		{decision: 8},
+	}
+	for i, c := range clients {
+		conn, err := net.Dial("edge-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.conn = conn
+		hello, err := transport.Encode(transport.KindHello, transport.Hello{Vehicle: i + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(hello); err != nil {
+			t.Fatal(err)
+		}
+		ack, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a transport.Ack
+		if err := transport.Decode(ack, transport.KindAck, &a); err != nil || a.Err != "" {
+			t.Fatalf("hello ack = %+v, %v", a, err)
+		}
+	}
+	// Wait until registration is visible.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.NumVehicles() < len(clients) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.NumVehicles() != len(clients) {
+		t.Fatalf("registered %d vehicles", srv.NumVehicles())
+	}
+
+	// Each client: receive policy, upload, expect ack + delivery.
+	var wg sync.WaitGroup
+	results := make([]transport.Delivery, len(clients))
+	for i, c := range clients {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := c.conn.Recv()
+			if err != nil {
+				t.Errorf("client %d: recv policy: %v", i, err)
+				return
+			}
+			var pol transport.Policy
+			if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if pol.X != 1 || pol.Round != 1 {
+				t.Errorf("client %d: policy = %+v", i, pol)
+			}
+			up := upload(i+1, 1, c.decision, c.items...)
+			msg, err := transport.Encode(transport.KindUpload, up)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if err := c.conn.Send(msg); err != nil {
+				t.Errorf("client %d: send upload: %v", i, err)
+				return
+			}
+			// Ack then delivery (order: ack is sent by the read loop,
+			// delivery by RunRound; both arrive on the same conn).
+			for n := 0; n < 2; n++ {
+				m, err := c.conn.Recv()
+				if err != nil {
+					t.Errorf("client %d: recv: %v", i, err)
+					return
+				}
+				switch m.Kind {
+				case transport.KindAck:
+					var a transport.Ack
+					if err := transport.Decode(m, transport.KindAck, &a); err != nil || a.Err != "" {
+						t.Errorf("client %d: upload ack %+v %v", i, a, err)
+					}
+				case transport.KindDelivery:
+					if err := transport.Decode(m, transport.KindDelivery, &results[i]); err != nil {
+						t.Errorf("client %d: %v", i, err)
+					}
+				}
+			}
+		}()
+	}
+
+	census, err := srv.RunRound(1, 1.0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if census[0] != 1 || census[6] != 1 || census[7] != 1 {
+		t.Errorf("census = %v", census)
+	}
+	// Vehicle 1 (decision 1, x=1) must receive vehicle 2's radar item.
+	if len(results[0].Items) != 1 || results[0].Items[0].Modality != sensor.Radar {
+		t.Errorf("vehicle 1 delivery = %+v", results[0])
+	}
+	for _, c := range clients {
+		_ = c.conn.Close()
+	}
+}
+
+// TestServerRoundTimeout: a round with a missing vehicle still completes
+// after the timeout.
+func TestServerRoundTimeout(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("edge-t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(0, lattice.NewPaper(), 7)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	conn, err := net.Dial("edge-t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello, _ := transport.Encode(transport.KindHello, transport.Hello{Vehicle: 1})
+	if err := conn.Send(hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil { // ack
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.NumVehicles() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	census, err := srv.RunRound(1, 0.5, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("round completed before timeout despite missing upload")
+	}
+	for _, c := range census {
+		if c != 0 {
+			t.Errorf("census should be empty, got %v", census)
+		}
+	}
+}
+
+func TestServerDuplicateRegistrationRejected(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("edge-d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(0, lattice.NewPaper(), 7)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	register := func() (transport.Conn, transport.Ack) {
+		conn, err := net.Dial("edge-d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hello, _ := transport.Encode(transport.KindHello, transport.Hello{Vehicle: 9})
+		if err := conn.Send(hello); err != nil {
+			t.Fatal(err)
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a transport.Ack
+		if err := transport.Decode(m, transport.KindAck, &a); err != nil {
+			t.Fatal(err)
+		}
+		return conn, a
+	}
+	c1, a1 := register()
+	defer c1.Close()
+	if a1.Err != "" {
+		t.Fatalf("first registration failed: %s", a1.Err)
+	}
+	c2, a2 := register()
+	defer c2.Close()
+	if a2.Err == "" {
+		t.Error("duplicate registration should be rejected")
+	}
+}

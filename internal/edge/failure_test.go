@@ -1,0 +1,176 @@
+package edge
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+)
+
+// scriptedVehicle is a minimal test client: it registers, then answers
+// every Policy with an Upload, until stopped or disconnected.
+type scriptedVehicle struct {
+	id       int
+	decision int
+	conn     transport.Conn
+	stop     chan struct{}
+	done     sync.WaitGroup
+}
+
+func startScriptedVehicle(t *testing.T, net *transport.InprocNetwork, addr string, id, decision int) *scriptedVehicle {
+	t.Helper()
+	conn, err := net.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &scriptedVehicle{id: id, decision: decision, conn: conn, stop: make(chan struct{})}
+	hello, err := transport.Encode(transport.KindHello, transport.Hello{Vehicle: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil { // registration ack
+		t.Fatal(err)
+	}
+	v.done.Add(1)
+	go func() {
+		defer v.done.Done()
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if m.Kind != transport.KindPolicy {
+				continue
+			}
+			var pol transport.Policy
+			if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
+				return
+			}
+			items := []transport.Item{}
+			if v.decision == 7 {
+				items = append(items, transport.Item{Owner: v.id, Modality: sensor.Radar, Seq: pol.Round + 1})
+			}
+			up, err := transport.Encode(transport.KindUpload, transport.Upload{
+				Vehicle:  v.id,
+				Round:    pol.Round,
+				Decision: v.decision,
+				Items:    items,
+			})
+			if err != nil {
+				return
+			}
+			if err := conn.Send(up); err != nil {
+				return
+			}
+		}
+	}()
+	return v
+}
+
+func (v *scriptedVehicle) disconnect() {
+	_ = v.conn.Close()
+	v.done.Wait()
+}
+
+// TestServerSurvivesVehicleDropout: a vehicle disconnecting mid-session is
+// dropped from subsequent rounds without blocking them.
+func TestServerSurvivesVehicleDropout(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("edge-f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(0, lattice.NewPaper(), 7)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	v1 := startScriptedVehicle(t, net, "edge-f", 1, 7)
+	v2 := startScriptedVehicle(t, net, "edge-f", 2, 8)
+	defer v1.disconnect()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.NumVehicles() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	census, err := srv.RunRound(0, 1, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census[6] != 1 || census[7] != 1 {
+		t.Fatalf("round 0 census = %v", census)
+	}
+
+	// Vehicle 2 drops out.
+	v2.disconnect()
+	deadline = time.Now().Add(2 * time.Second)
+	for srv.NumVehicles() > 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.NumVehicles() != 1 {
+		t.Fatalf("dropout not detected: %d vehicles", srv.NumVehicles())
+	}
+
+	census, err = srv.RunRound(1, 1, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census[6] != 1 || census[7] != 0 {
+		t.Fatalf("round 1 census after dropout = %v", census)
+	}
+}
+
+// TestServerLateJoiner: a vehicle connecting between rounds participates
+// from the next round on.
+func TestServerLateJoiner(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("edge-l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(0, lattice.NewPaper(), 7)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	v1 := startScriptedVehicle(t, net, "edge-l", 1, 8)
+	defer v1.disconnect()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.NumVehicles() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	census, err := srv.RunRound(0, 1, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total(census) != 1 {
+		t.Fatalf("round 0 census = %v", census)
+	}
+
+	v2 := startScriptedVehicle(t, net, "edge-l", 2, 7)
+	defer v2.disconnect()
+	deadline = time.Now().Add(2 * time.Second)
+	for srv.NumVehicles() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	census, err = srv.RunRound(1, 1, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total(census) != 2 {
+		t.Fatalf("round 1 census = %v", census)
+	}
+}
+
+func total(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+)
+
+// Server is the networked edge server: it accepts vehicle connections on a
+// transport.Listener, drives synchronized data-sharing rounds, and talks to
+// the cloud through a client connection. The same server runs over the
+// in-process transport (simulation) and TCP (distributed demo).
+type Server struct {
+	// ID identifies this edge server / region to the cloud.
+	ID int
+
+	dist *Distributor
+
+	mu       sync.Mutex
+	conns    map[int]transport.Conn
+	shares   []float64 // last round's decision distribution
+	uploaded chan struct{}
+	closed   chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewServer builds an edge server with the given id over the decision
+// lattice.
+func NewServer(id int, lat *lattice.Lattice, seed int64) *Server {
+	k := lat.K()
+	shares := make([]float64, k)
+	for i := range shares {
+		shares[i] = 1 / float64(k)
+	}
+	return &Server{
+		ID:       id,
+		dist:     NewDistributor(lat, seed),
+		conns:    make(map[int]transport.Conn),
+		shares:   shares,
+		uploaded: make(chan struct{}, 1024),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Serve accepts vehicle connections until the listener fails or the server
+// closes. It blocks; run it in a goroutine.
+func (s *Server) Serve(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close terminates the server: vehicle connections are closed and Serve
+// goroutines drain.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.closed) })
+	s.mu.Lock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// EnablePerception configures edge-side perception (see perception.go):
+// the server contributes road-side sensor items of the given modalities to
+// every round's distribution.
+func (s *Server) EnablePerception(share sensor.Mask) error {
+	return s.dist.EnablePerception(share)
+}
+
+// NumVehicles returns the number of registered vehicle connections.
+func (s *Server) NumVehicles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) handleConn(conn transport.Conn) {
+	defer conn.Close()
+
+	// Registration handshake.
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	var hello transport.Hello
+	if err := transport.Decode(first, transport.KindHello, &hello); err != nil {
+		s.sendAck(conn, err)
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.conns[hello.Vehicle]; dup {
+		s.mu.Unlock()
+		s.sendAck(conn, fmt.Errorf("vehicle %d already registered", hello.Vehicle))
+		return
+	}
+	s.conns[hello.Vehicle] = conn
+	s.mu.Unlock()
+	s.sendAck(conn, nil)
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, hello.Vehicle)
+		s.mu.Unlock()
+	}()
+
+	for {
+		m, err := conn.Recv()
+		if errors.Is(err, io.EOF) || err != nil {
+			return
+		}
+		switch m.Kind {
+		case transport.KindUpload:
+			var up transport.Upload
+			if err := transport.Decode(m, transport.KindUpload, &up); err != nil {
+				s.sendAck(conn, err)
+				continue
+			}
+			err := s.dist.AddUpload(up)
+			s.sendAck(conn, err)
+			if err == nil {
+				select {
+				case s.uploaded <- struct{}{}:
+				case <-s.closed:
+					return
+				}
+			}
+		default:
+			s.sendAck(conn, fmt.Errorf("unexpected message kind %s", m.Kind))
+		}
+	}
+}
+
+func (s *Server) sendAck(conn transport.Conn, err error) {
+	ack := transport.Ack{}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	if m, encErr := transport.Encode(transport.KindAck, ack); encErr == nil {
+		_ = conn.Send(m)
+	}
+}
+
+// RunRound drives one synchronized data-sharing round: broadcast the policy
+// (step ③), wait until every registered vehicle has uploaded or the timeout
+// expires (step ④), distribute the collected items (step ⑤), and return the
+// decision census (for step ①).
+func (s *Server) RunRound(round int, x float64, timeout time.Duration) ([]int, error) {
+	if err := s.dist.BeginRound(round, x); err != nil {
+		return nil, err
+	}
+	// Drain stale upload signals from previous rounds.
+	for {
+		select {
+		case <-s.uploaded:
+			continue
+		default:
+		}
+		break
+	}
+
+	s.mu.Lock()
+	conns := make(map[int]transport.Conn, len(s.conns))
+	for v, c := range s.conns {
+		conns[v] = c
+	}
+	shares := append([]float64(nil), s.shares...)
+	s.mu.Unlock()
+
+	policy, err := transport.Encode(transport.KindPolicy, transport.Policy{
+		Round:  round,
+		X:      x,
+		Shares: shares,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range conns {
+		// Dead connections are detected by their read loop; ignore here.
+		_ = c.Send(policy)
+	}
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for s.dist.NumUploads() < len(conns) {
+		select {
+		case <-s.uploaded:
+		case <-deadline.C:
+			// Proceed with whatever arrived.
+			goto distribute
+		case <-s.closed:
+			return nil, transport.ErrClosed
+		}
+	}
+distribute:
+	deliveries := s.dist.Distribute()
+	for v, items := range deliveries {
+		conn, ok := conns[v]
+		if !ok {
+			continue
+		}
+		m, err := transport.Encode(transport.KindDelivery, transport.Delivery{Round: round, Items: items})
+		if err != nil {
+			return nil, err
+		}
+		_ = conn.Send(m)
+	}
+
+	census := s.dist.Census()
+	s.mu.Lock()
+	s.shares = Shares(census)
+	s.mu.Unlock()
+	return census, nil
+}
+
+// ReportCensus sends the census to the cloud on conn and waits for the
+// ratio answer for the next round.
+func (s *Server) ReportCensus(conn transport.Conn, round int, census []int) (float64, error) {
+	m, err := transport.Encode(transport.KindCensus, transport.Census{
+		Edge:   s.ID,
+		Round:  round,
+		Counts: census,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := conn.Send(m); err != nil {
+		return 0, fmt.Errorf("edge: sending census: %w", err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return 0, fmt.Errorf("edge: waiting for ratio: %w", err)
+	}
+	var ratio transport.Ratio
+	if err := transport.Decode(reply, transport.KindRatio, &ratio); err != nil {
+		return 0, err
+	}
+	return ratio.X, nil
+}

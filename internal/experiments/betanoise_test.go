@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBetaNoise(t *testing.T) {
+	bc, _ := testWorlds(t)
+	res, err := BetaNoise(bc, []float64{0, 0.5}, sim.MacroOptions{MaxRounds: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	exact := res.Points[0]
+	if !exact.Converged {
+		t.Error("exact-coefficient controller must converge")
+	}
+	if exact.Sigma != 0 {
+		t.Error("first point should be the exact controller")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "noise sigma") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestBetaNoiseSevereMismatch: a controller with wildly wrong coefficients
+// still keeps the state valid (no panics, simplex preserved) even when it
+// fails to converge.
+func TestBetaNoiseSevereMismatch(t *testing.T) {
+	bc, _ := testWorlds(t)
+	res, err := BetaNoise(bc, []float64{3.0}, sim.MacroOptions{MaxRounds: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[0]
+	if p.Converged && p.Rounds == 0 {
+		t.Error("severe mismatch cannot converge instantly")
+	}
+	if p.Shortfall < 0 {
+		t.Error("negative shortfall")
+	}
+}

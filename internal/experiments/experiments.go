@@ -1,0 +1,86 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V) plus the ablations DESIGN.md calls out. Each
+// experiment is a function that computes the result from the library's
+// public surfaces and renders it as text directly comparable with the
+// printed version. cmd/repro runs them from the command line; bench_test.go
+// wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+// Scales.
+const (
+	// ScaleSmall is the laptop-size default: a reduced network and fleet
+	// that preserves every qualitative result.
+	ScaleSmall Scale = iota + 1
+	// ScaleFull matches the paper's setup: Futian-scale network (~6k
+	// segments), 20 regions, 100 edge servers, one-day trace.
+	ScaleFull
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// WorldConfig returns the world configuration for a scale and coefficient
+// source.
+func WorldConfig(s Scale, src sim.CoeffSource) sim.WorldConfig {
+	var cfg sim.WorldConfig
+	switch s {
+	case ScaleFull:
+		cfg = sim.PaperWorldConfig()
+	default:
+		cfg = sim.DefaultWorldConfig()
+	}
+	cfg.Source = src
+	return cfg
+}
+
+// Worlds builds (and caches per call) the BC- and TD-coefficient worlds for
+// a scale. Both share the same network and trace seeds, so the two
+// coefficient sources are computed over identical substrates, as in the
+// paper.
+func Worlds(s Scale) (bc, td *sim.World, err error) {
+	bc, err = sim.BuildWorld(WorldConfig(s, sim.CoeffBC))
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building BC world: %w", err)
+	}
+	td, err = sim.BuildWorld(WorldConfig(s, sim.CoeffTD))
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building TD world: %w", err)
+	}
+	return bc, td, nil
+}
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n\n", title)
+}
+
+// note prints an indented remark.
+func note(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, "  · "+format+"\n", args...)
+}
+
+// stopwatch reports elapsed wall time for experiment logs.
+func stopwatch() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}

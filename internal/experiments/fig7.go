@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Fig7Result reproduces Fig. 7: the dataset overview — edge-server
+// deployment (7a), the BC heat map (7b) and the average-TD heat map (7c),
+// summarized per road class (the printable analogue of the spatial heat
+// maps: arterials must dominate both).
+type Fig7Result struct {
+	EdgeServers   int
+	CellVehicles  metrics.Summary // vehicles per Voronoi cell at peak
+	Vehicles      int
+	Taxis         int
+	Transit       int
+	Fixes         int
+	BCByClass     map[roadnet.RoadClass]metrics.Summary
+	TDByClass     map[roadnet.RoadClass]metrics.Summary
+	BCArterialTop bool // arterial mean BC is the class maximum
+	TDArterialTop bool
+}
+
+// Fig7 computes the dataset overview from the BC world (which carries both
+// the trace and the network; TD is recomputed here so both heat maps come
+// from the same substrate).
+func Fig7(w *sim.World) (*Fig7Result, error) {
+	res := &Fig7Result{
+		EdgeServers: w.Voronoi.NumCells(),
+		BCByClass:   make(map[roadnet.RoadClass]metrics.Summary),
+		TDByClass:   make(map[roadnet.RoadClass]metrics.Summary),
+	}
+	res.Vehicles = w.Trace.NumVehicles()
+	res.Taxis, res.Transit = w.Trace.KindCounts()
+	res.Fixes = w.Trace.NumFixes()
+
+	// Vehicles per edge-server cell in a peak 10-minute window.
+	start, _, ok := w.Trace.TimeSpan()
+	if !ok {
+		return nil, fmt.Errorf("experiments: empty trace")
+	}
+	peak := start.Add(150 * time.Minute)
+	window := w.Trace.Window(peak, peak.Add(10*time.Minute))
+	perCell := make(map[int]map[int]struct{})
+	for _, f := range window {
+		cell := w.Voronoi.CellOf(f.Position)
+		if perCell[cell] == nil {
+			perCell[cell] = make(map[int]struct{})
+		}
+		perCell[cell][int(f.Vehicle)] = struct{}{}
+	}
+	counts := make([]float64, 0, len(perCell))
+	for _, vs := range perCell {
+		counts = append(counts, float64(len(vs)))
+	}
+	res.CellVehicles = metrics.Summarize(counts)
+
+	bc := w.Net.TravelTimeBetweenness()
+	td, err := trace.AverageDensity(w.Trace, w.Net.NumSegments(), 10*time.Minute)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: computing TD: %w", err)
+	}
+	byClass := func(values []float64) map[roadnet.RoadClass]metrics.Summary {
+		groups := make(map[roadnet.RoadClass][]float64)
+		for _, s := range w.Net.Segments() {
+			groups[s.Class] = append(groups[s.Class], values[s.ID])
+		}
+		out := make(map[roadnet.RoadClass]metrics.Summary, len(groups))
+		for c, vs := range groups {
+			out[c] = metrics.Summarize(vs)
+		}
+		return out
+	}
+	res.BCByClass = byClass(bc)
+	res.TDByClass = byClass(td)
+	res.BCArterialTop = classTop(res.BCByClass)
+	res.TDArterialTop = classTop(res.TDByClass)
+	return res, nil
+}
+
+func classTop(m map[roadnet.RoadClass]metrics.Summary) bool {
+	art, ok := m[roadnet.ClassArterial]
+	if !ok {
+		return false
+	}
+	for c, s := range m {
+		if c != roadnet.ClassArterial && s.Mean > art.Mean {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the figure summary.
+func (r *Fig7Result) Render(w io.Writer) error {
+	header(w, "Fig. 7 — dataset: edge servers, BC and TD heat maps")
+	rows := [][]string{
+		{"Quantity", "Value"},
+		{"edge servers (7a)", fmt.Sprintf("%d evenly deployed", r.EdgeServers)},
+		{"vehicles", fmt.Sprintf("%d (%d taxi + %d transit)", r.Vehicles, r.Taxis, r.Transit)},
+		{"GPS fixes", fmt.Sprintf("%d", r.Fixes)},
+		{"vehicles/cell @peak", fmt.Sprintf("mean %.1f max %.0f", r.CellVehicles.Mean, r.CellVehicles.Max)},
+	}
+	if err := metrics.Table(w, rows); err != nil {
+		return err
+	}
+
+	for _, panel := range []struct {
+		name string
+		data map[roadnet.RoadClass]metrics.Summary
+		top  bool
+	}{
+		{"7(b) betweenness centrality by road class", r.BCByClass, r.BCArterialTop},
+		{"7(c) average traffic density by road class", r.TDByClass, r.TDArterialTop},
+	} {
+		fmt.Fprintf(w, "\n%s:\n", panel.name)
+		labels := []string{"arterial", "collector", "local"}
+		values := []float64{
+			panel.data[roadnet.ClassArterial].Mean,
+			panel.data[roadnet.ClassCollector].Mean,
+			panel.data[roadnet.ClassLocal].Mean,
+		}
+		if err := metrics.BarChart(w, labels, values, 40); err != nil {
+			return err
+		}
+		note(w, "heat concentrates on arterials (paper heat maps): %v", panel.top)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Fig8Result reproduces Fig. 8: Algorithm-1 clustering of the road segments
+// into M regions under BC and TD coefficients (8a, 8b), the per-region
+// coefficient distributions (8c), and the region-graph summaries (8d, 8e).
+type Fig8Result struct {
+	Regions int
+	// BC and TD carry the per-source results.
+	BC, TD Fig8Source
+	// TDStdHigher reports the paper's headline observation: the average
+	// within-region standard deviation is higher for TD than for BC
+	// (paper: 30.31 vs 17.08) because TD is time-averaged.
+	TDStdHigher bool
+}
+
+// Fig8Source is one coefficient source's clustering summary.
+type Fig8Source struct {
+	Name string
+	// Sizes are the region segment counts (node sizes in 8d/8e).
+	Sizes []int
+	// Stats are the per-region coefficient statistics (8c).
+	Stats []RegionBar
+	// AvgWithinStd is the average within-region std.
+	AvgWithinStd float64
+	// GlobalStd is the whole-network coefficient std (for the reduction
+	// ratio).
+	GlobalStd float64
+	// NormAvgStd is AvgWithinStd expressed in units of the source's global
+	// coefficient standard deviation, making BC and TD spreads comparable
+	// (the paper reports 17.08 for BC vs 30.31 for TD on a common scale).
+	NormAvgStd float64
+	// TimeResolvedNormStd is the within-region std over time-resolved
+	// coefficient samples in the same global-sigma units. For the static BC
+	// it equals NormAvgStd; for TD the samples are the per-10-minute window
+	// densities, which is where the extra dispersion the paper describes
+	// comes from ("their TD at each time point might have a higher
+	// difference").
+	TimeResolvedNormStd float64
+	// Edges is the number of inter-region edges in the auxiliary graph.
+	Edges int
+	// MeanGammaSelf is the average intra-region data-sharing frequency.
+	MeanGammaSelf float64
+}
+
+// RegionBar is one bar of Fig. 8(c).
+type RegionBar struct {
+	Region     int
+	Mean       float64
+	P025, P975 float64
+	Std        float64
+}
+
+// Fig8 summarizes the clustering of both worlds (which share network and
+// trace seeds).
+func Fig8(bc, td *sim.World) (*Fig8Result, error) {
+	if bc.Assignment.M != td.Assignment.M {
+		return nil, fmt.Errorf("experiments: BC and TD worlds disagree on M: %d vs %d",
+			bc.Assignment.M, td.Assignment.M)
+	}
+	res := &Fig8Result{Regions: bc.Assignment.M}
+	var err error
+	res.BC, err = fig8Source("BC", bc)
+	if err != nil {
+		return nil, err
+	}
+	res.TD, err = fig8Source("TD", td)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's comparison (17.08 BC vs 30.31 TD) contrasts the static BC
+	// spread with the time-resolved TD spread on a common unit scale.
+	res.TDStdHigher = res.TD.TimeResolvedNormStd > res.BC.TimeResolvedNormStd
+	return res, nil
+}
+
+func fig8Source(name string, w *sim.World) (Fig8Source, error) {
+	src := Fig8Source{Name: name, Sizes: w.Assignment.Sizes()}
+	for _, st := range w.RegionStats {
+		src.Stats = append(src.Stats, RegionBar{
+			Region: st.Region,
+			Mean:   st.Mean,
+			P025:   st.P025,
+			P975:   st.P975,
+			Std:    st.Std,
+		})
+	}
+	src.AvgWithinStd = w.AvgWithinStd
+	src.GlobalStd = metrics.Summarize(w.Weights).Std
+	src.Edges = w.Graph.NumEdges()
+	total := 0.0
+	for i := 0; i < w.Graph.M(); i++ {
+		total += w.Graph.Gamma(i, i)
+	}
+	src.MeanGammaSelf = total / float64(w.Graph.M())
+
+	if src.GlobalStd > 0 {
+		src.NormAvgStd = src.AvgWithinStd / src.GlobalStd
+	}
+	src.TimeResolvedNormStd = src.NormAvgStd
+	if name == "TD" {
+		trStd, err := timeResolvedTDStd(w, src.GlobalStd)
+		if err != nil {
+			return Fig8Source{}, err
+		}
+		src.TimeResolvedNormStd = trStd
+	}
+	return src, nil
+}
+
+// timeResolvedTDStd computes the average within-region std of the
+// per-window TD samples, expressed in units of the static global std.
+func timeResolvedTDStd(w *sim.World, globalStd float64) (float64, error) {
+	if globalStd == 0 {
+		return 0, nil
+	}
+	windows, err := trace.WindowDensities(w.Trace, w.Net.NumSegments(), 10*time.Minute)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: time-resolved TD: %w", err)
+	}
+	total := 0.0
+	for i := 0; i < w.Assignment.M; i++ {
+		var samples []float64
+		for _, seg := range w.Assignment.Members(i) {
+			for _, win := range windows {
+				samples = append(samples, win[seg]/globalStd)
+			}
+		}
+		total += metrics.Summarize(samples).Std
+	}
+	return total / float64(w.Assignment.M), nil
+}
+
+// Render prints the clustering summary.
+func (r *Fig8Result) Render(w io.Writer) error {
+	header(w, fmt.Sprintf("Fig. 8 — road segment clustering into %d regions (Algorithm 1)", r.Regions))
+	for _, src := range []Fig8Source{r.BC, r.TD} {
+		fmt.Fprintf(w, "source %s (8%s):\n", src.Name, map[string]string{"BC": "a", "TD": "b"}[src.Name])
+		rows := [][]string{{"region", "segments", "mean", "p2.5", "p97.5", "std"}}
+		for _, b := range src.Stats {
+			rows = append(rows, []string{
+				fmt.Sprintf("r%d", b.Region),
+				fmt.Sprintf("%d", src.Sizes[b.Region]),
+				metrics.FormatFloat(b.Mean),
+				metrics.FormatFloat(b.P025),
+				metrics.FormatFloat(b.P975),
+				metrics.FormatFloat(b.Std),
+			})
+		}
+		if err := metrics.Table(w, rows); err != nil {
+			return err
+		}
+		note(w, "avg within-region std %.5f (global %.5f, reduction x%.2f); region graph: %d edges, mean gamma_ii %.3f",
+			src.AvgWithinStd, src.GlobalStd, safeRatio(src.GlobalStd, src.AvgWithinStd), src.Edges, src.MeanGammaSelf)
+		fmt.Fprintln(w)
+	}
+	note(w, "paper: avg within-region std 17.08 (BC) vs 30.31 (TD, time-resolved) — reproduced: %v "+
+		"(global-sigma units: BC %.2f vs TD %.2f)", r.TDStdHigher, r.BC.TimeResolvedNormStd, r.TD.TimeResolvedNormStd)
+	return nil
+}
+
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

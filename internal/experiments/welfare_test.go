@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWelfareComparison(t *testing.T) {
+	bc, _ := testWorlds(t)
+	res, err := WelfareComparison(bc, WelfareConfig{Opts: sim.MacroOptions{MaxRounds: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	low, high, fds := res.Points[0], res.Points[1], res.Points[2]
+
+	// The structural ordering the paper's motivation implies.
+	if high.Utility <= low.Utility {
+		t.Errorf("full sharing utility %.3f should exceed low sharing %.3f", high.Utility, low.Utility)
+	}
+	if high.PrivacyCost <= low.PrivacyCost {
+		t.Errorf("full sharing exposure %.3f should exceed low sharing %.3f", high.PrivacyCost, low.PrivacyCost)
+	}
+	if !fds.Converged {
+		t.Error("FDS should converge to the moderate field")
+	}
+	if fds.Utility <= low.Utility {
+		t.Errorf("FDS utility %.3f should beat the privacy-only baseline %.3f", fds.Utility, low.Utility)
+	}
+	if fds.PrivacyCost >= high.PrivacyCost {
+		t.Errorf("FDS exposure %.3f should undercut full sharing %.3f", fds.PrivacyCost, high.PrivacyCost)
+	}
+
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "privacy cost") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestModelWelfareConsistency: Welfare's fitness must equal utility minus
+// privacy cost.
+func TestModelWelfareConsistency(t *testing.T) {
+	bc, _ := testWorlds(t)
+	s, err := bc.EquilibriumAt(0.7, sim.MacroOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := bc.Model.Welfare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := w.Fitness - (w.Utility - w.PrivacyCost); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("fitness %.6f != utility %.6f - cost %.6f", w.Fitness, w.Utility, w.PrivacyCost)
+	}
+	if w.PrivacyCost < 0 || w.Utility < 0 {
+		t.Error("welfare terms must be non-negative")
+	}
+}

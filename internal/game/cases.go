@@ -1,0 +1,113 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// Convergence-case classification (Eqs. 6-10). For the linearized 1-D
+// dynamics dp/dt = p*(alpha1*p + alpha2) on p in [0,1]:
+//
+//   - Case 1  (alpha1+alpha2 >= 0, alpha2 >= 0): growth is non-negative on
+//     the whole interval; p converges to 1.
+//   - Case 2  (alpha1+alpha2 <= 0, alpha2 <= 0): p converges to 0.
+//   - Case 3  (alpha1+alpha2 >= 0, alpha2 <= 0): alpha1 > 0 and the interior
+//     rest point p* = -alpha2/alpha1 is unstable. Above p* the share flows
+//     to 1 (Case 3a), below it to 0 (Case 3b).
+//   - Case 4  (alpha1+alpha2 <= 0, alpha2 >= 0): alpha1 < 0 and p* is a
+//     stable interior rest point - the evolutionarily stable strategy (ESS);
+//     p converges to p*.
+//
+// NOTE (see DESIGN.md §3): the paper's printed Eqs. (8)-(9) label the Case-3
+// sub-cases opposite to their own FDS usage (Algorithm 2 pairs X_3a with
+// targets containing 1). We implement the mathematically consistent version,
+// which matches the FDS pseudo-code.
+
+// Case identifies the convergence behaviour of one (region, decision) share.
+type Case int
+
+// Convergence cases.
+const (
+	// CaseToOne: converges to 1 regardless of the current share (Case 1).
+	CaseToOne Case = iota + 1
+	// CaseToZero: converges to 0 regardless of the current share (Case 2).
+	CaseToZero
+	// CaseUnstableUp: unstable rest point below the current share; flows to
+	// 1 (Case 3a).
+	CaseUnstableUp
+	// CaseUnstableDown: unstable rest point above the current share; flows
+	// to 0 (Case 3b).
+	CaseUnstableDown
+	// CaseESS: stable interior rest point; converges to -alpha2/alpha1
+	// (Case 4).
+	CaseESS
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	switch c {
+	case CaseToOne:
+		return "case1(->1)"
+	case CaseToZero:
+		return "case2(->0)"
+	case CaseUnstableUp:
+		return "case3a(->1)"
+	case CaseUnstableDown:
+		return "case3b(->0)"
+	case CaseESS:
+		return "case4(ESS)"
+	default:
+		return fmt.Sprintf("Case(%d)", int(c))
+	}
+}
+
+// Classification is the result of classifying one share's dynamics.
+type Classification struct {
+	Case Case
+	// Limit is the predicted limit of the share under the frozen
+	// linearization: 0, 1, or the interior rest point.
+	Limit float64
+	// RestPoint is -alpha2/alpha1 when an interior rest point exists
+	// (Cases 3 and 4); NaN otherwise.
+	RestPoint float64
+}
+
+// Classify determines the convergence case of a share currently at p under
+// coefficients alpha1, alpha2.
+func Classify(alpha1, alpha2, p float64) Classification {
+	sum := alpha1 + alpha2
+	switch {
+	case sum >= 0 && alpha2 >= 0:
+		return Classification{Case: CaseToOne, Limit: 1, RestPoint: math.NaN()}
+	case sum <= 0 && alpha2 <= 0:
+		return Classification{Case: CaseToZero, Limit: 0, RestPoint: math.NaN()}
+	case sum >= 0 && alpha2 <= 0:
+		// alpha1 >= -alpha2 >= 0; alpha1 == 0 only if alpha2 == 0 too,
+		// which the first branch catches.
+		rest := -alpha2 / alpha1
+		if p >= rest {
+			return Classification{Case: CaseUnstableUp, Limit: 1, RestPoint: rest}
+		}
+		return Classification{Case: CaseUnstableDown, Limit: 0, RestPoint: rest}
+	default:
+		// sum <= 0 && alpha2 >= 0: alpha1 <= -alpha2 <= 0 and alpha1 < 0.
+		rest := -alpha2 / alpha1
+		return Classification{Case: CaseESS, Limit: rest, RestPoint: rest}
+	}
+}
+
+// ClassifyRegion classifies every decision share of region i at the current
+// state, using the frozen linearization at the region's current x_i.
+func (m *Model) ClassifyRegion(s *State, i int) ([]Classification, error) {
+	coeffs, err := m.Linearize(s, i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Classification, m.K())
+	for k := range coeffs {
+		a1 := coeffs[k].Alpha1At(s.X[i])
+		a2 := coeffs[k].Alpha2At(s.X[i])
+		out[k] = Classify(a1, a2, s.P[i][k])
+	}
+	return out, nil
+}

@@ -1,0 +1,340 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// fullGraph is a tiny test Graph: m regions, all pairs adjacent, uniform
+// gamma with intra-region weight selfW and the rest split evenly.
+type fullGraph struct {
+	m     int
+	selfW float64
+}
+
+func (g fullGraph) M() int { return g.m }
+func (g fullGraph) Gamma(i, j int) float64 {
+	if i < 0 || i >= g.m || j < 0 || j >= g.m {
+		return 0
+	}
+	if i == j {
+		return g.selfW
+	}
+	if g.m == 1 {
+		return 0
+	}
+	return (1 - g.selfW) / float64(g.m-1)
+}
+func (g fullGraph) Neighbors(i int) []int {
+	var out []int
+	for j := 0; j < g.m; j++ {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func singleRegionModel(t *testing.T, beta float64) *Model {
+	t.Helper()
+	m, err := NewModel(lattice.PaperPayoffs(), fullGraph{m: 1, selfW: 1}, []float64{beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func twoRegionModel(t *testing.T, beta float64) *Model {
+	t.Helper()
+	m, err := NewModel(lattice.PaperPayoffs(), fullGraph{m: 2, selfW: 0.8}, []float64{beta, beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	p := lattice.PaperPayoffs()
+	if _, err := NewModel(nil, fullGraph{m: 1, selfW: 1}, []float64{1}); err == nil {
+		t.Error("nil payoffs must error")
+	}
+	if _, err := NewModel(p, nil, []float64{1}); err == nil {
+		t.Error("nil graph must error")
+	}
+	if _, err := NewModel(p, fullGraph{m: 2, selfW: 1}, []float64{1}); err == nil {
+		t.Error("beta length mismatch must error")
+	}
+	if _, err := NewModel(p, fullGraph{m: 1, selfW: 1}, []float64{-1}); err == nil {
+		t.Error("negative beta must error")
+	}
+	if _, err := NewModel(p, fullGraph{m: 1, selfW: 1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN beta must error")
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	s := NewUniformState(2, 8, 0.5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c.P[0][0] = 0.9
+	if s.P[0][0] == 0.9 {
+		t.Error("Clone must deep-copy")
+	}
+	s.X[0] = 1.5
+	if err := s.Validate(); err == nil {
+		t.Error("ratio > 1 must fail validation")
+	}
+	s.X[0] = 0.5
+	s.P[0][0] = -0.5
+	if err := s.Validate(); err == nil {
+		t.Error("negative share must fail validation")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := []float64{2, 1, 1}
+	Normalize(p)
+	if math.Abs(p[0]-0.5) > 1e-12 {
+		t.Errorf("Normalize = %v", p)
+	}
+	q := []float64{-1, -2}
+	Normalize(q)
+	if q[0] != 0.5 || q[1] != 0.5 {
+		t.Errorf("all-negative normalizes to uniform, got %v", q)
+	}
+	r := []float64{-0.1, 1.1}
+	Normalize(r)
+	if r[0] != 0 || math.Abs(r[1]-1) > 1e-12 {
+		t.Errorf("negative clipped: %v", r)
+	}
+}
+
+// TestAccessibleValue: for the paper lattice, decision 8 (share nothing)
+// accesses only decision 8 whose f is 0; decision 1 accesses everything.
+func TestAccessibleValue(t *testing.T) {
+	m := singleRegionModel(t, 1)
+	p := []float64{0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125}
+	if v := m.AccessibleValue(7, p); v != 0 {
+		t.Errorf("bottom decision accessible value = %f, want 0", v)
+	}
+	full := m.AccessibleValue(0, p)
+	wantFull := 0.0
+	for k := 0; k < 8; k++ {
+		wantFull += p[k] * m.Payoffs().Utility[k]
+	}
+	if math.Abs(full-wantFull) > 1e-12 {
+		t.Errorf("top decision accessible value = %f, want %f", full, wantFull)
+	}
+	// {camera} (decision 5, index 4) accesses {camera} and {} only.
+	v5 := m.AccessibleValue(4, p)
+	want5 := p[4]*m.Payoffs().Utility[4] + p[7]*m.Payoffs().Utility[7]
+	if math.Abs(v5-want5) > 1e-12 {
+		t.Errorf("decision 5 accessible value = %f, want %f", v5, want5)
+	}
+}
+
+// TestFitnessEquation verifies Eq. 4 by direct recomputation in a 2-region
+// setting.
+func TestFitnessEquation(t *testing.T) {
+	m := twoRegionModel(t, 3.0)
+	s := NewUniformState(2, 8, 0.6)
+	s.X[1] = 0.3
+	s.P[1][0] = 0.5
+	s.P[1][7] = 0.5
+	for k := 1; k < 7; k++ {
+		s.P[1][k] = 0
+	}
+
+	q := make([]float64, 8)
+	if err := m.Fitness(s, 0, q); err != nil {
+		t.Fatal(err)
+	}
+	g := m.Graph()
+	for k := 0; k < 8; k++ {
+		want := 3.0*s.X[0]*g.Gamma(0, 0)*m.AccessibleValue(k, s.P[0]) +
+			3.0*s.X[1]*g.Gamma(1, 0)*m.AccessibleValue(k, s.P[1]) -
+			m.Payoffs().Cost[k]
+		if math.Abs(q[k]-want) > 1e-12 {
+			t.Errorf("q[%d] = %f, want %f", k, q[k], want)
+		}
+	}
+
+	if err := m.Fitness(s, 5, q); err == nil {
+		t.Error("out-of-range region must error")
+	}
+	if err := m.Fitness(s, 0, q[:3]); err == nil {
+		t.Error("short out must error")
+	}
+}
+
+// TestFitnessMonotoneInSharingRatio: raising x weakly increases every
+// decision's fitness (utility term scales with x, cost unchanged).
+func TestFitnessMonotoneInSharingRatio(t *testing.T) {
+	m := singleRegionModel(t, 2.0)
+	s := NewUniformState(1, 8, 0.2)
+	qLow := make([]float64, 8)
+	if err := m.Fitness(s, 0, qLow); err != nil {
+		t.Fatal(err)
+	}
+	s.X[0] = 0.9
+	qHigh := make([]float64, 8)
+	if err := m.Fitness(s, 0, qHigh); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		if qHigh[k] < qLow[k]-1e-12 {
+			t.Errorf("fitness of decision %d decreased with x: %f -> %f", k+1, qLow[k], qHigh[k])
+		}
+	}
+	// And strictly so for the top decision.
+	if qHigh[0] <= qLow[0] {
+		t.Error("top decision fitness should strictly increase with x")
+	}
+}
+
+func TestReplicatorPreservesSimplex(t *testing.T) {
+	m := twoRegionModel(t, 3.0)
+	d, err := NewDynamics(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(2, 8, 0.7)
+	for round := 0; round < 200; round++ {
+		if err := d.Step(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestReplicatorExtinctStaysExtinct: pure replicator cannot resurrect a
+// zero share.
+func TestReplicatorExtinctStaysExtinct(t *testing.T) {
+	m := singleRegionModel(t, 3.0)
+	d, err := NewDynamics(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(1, 8, 1)
+	s.P[0][2] = 0
+	Normalize(s.P[0])
+	for round := 0; round < 50; round++ {
+		if err := d.Step(s); err != nil {
+			t.Fatal(err)
+		}
+		if s.P[0][2] != 0 {
+			t.Fatalf("extinct decision resurrected at round %d: %f", round, s.P[0][2])
+		}
+	}
+}
+
+// TestMutationFloorKeepsDecisionsAlive: with a floor, every share stays at
+// or above it.
+func TestMutationFloorKeepsDecisionsAlive(t *testing.T) {
+	m := singleRegionModel(t, 3.0)
+	d, err := NewDynamics(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MutationFloor = 1e-4
+	s := NewUniformState(1, 8, 1)
+	for round := 0; round < 100; round++ {
+		if err := d.Step(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range s.P[0] {
+		if v < 1e-4/2 {
+			t.Errorf("decision %d fell below floor: %g", k+1, v)
+		}
+	}
+}
+
+// TestHighSharingFavorsGenerousDecisions: with x = 1 and a strong utility
+// coefficient, the full-sharing decision P1 should end up dominant — the
+// paper's Fig. 10 (x=1.0) regime.
+func TestHighSharingFavorsGenerousDecisions(t *testing.T) {
+	m := singleRegionModel(t, 4.0)
+	d, err := NewDynamics(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(1, 8, 1.0)
+	for round := 0; round < 400; round++ {
+		if err := d.Step(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.P[0][0] < 0.5 {
+		t.Errorf("P1 share = %f after convergence at x=1, want > 0.5 (distribution %v)", s.P[0][0], s.P[0])
+	}
+}
+
+// TestLowSharingFavorsWithholding: with x = 0.05 the utility term vanishes
+// and low-cost decisions (P7 radar-only, P8 nothing) dominate — Fig. 10
+// (x=0.2) regime.
+func TestLowSharingFavorsWithholding(t *testing.T) {
+	m := singleRegionModel(t, 4.0)
+	d, err := NewDynamics(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(1, 8, 0.05)
+	for round := 0; round < 400; round++ {
+		if err := d.Step(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	low := s.P[0][6] + s.P[0][7] // P7 + P8
+	if low < 0.5 {
+		t.Errorf("P7+P8 share = %f at x=0.05, want > 0.5 (distribution %v)", low, s.P[0])
+	}
+}
+
+func TestDynamicsValidation(t *testing.T) {
+	m := singleRegionModel(t, 1)
+	if _, err := NewDynamics(m, 0); err == nil {
+		t.Error("zero eta must error")
+	}
+	if _, err := NewDynamics(m, -1); err == nil {
+		t.Error("negative eta must error")
+	}
+}
+
+func TestRunTrajectory(t *testing.T) {
+	m := singleRegionModel(t, 3.0)
+	d, err := NewDynamics(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(1, 8, 0.8)
+	traj, err := d.Run(s, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 11 {
+		t.Fatalf("trajectory has %d snapshots, want 11", len(traj))
+	}
+	for _, snap := range traj {
+		if err := ValidateSimplex(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Run(s, 5, 9); err == nil {
+		t.Error("bad region must error")
+	}
+}
+
+func TestMaxChange(t *testing.T) {
+	a := [][]float64{{0.5, 0.5}, {1, 0}}
+	b := [][]float64{{0.4, 0.6}, {0.7, 0.3}}
+	if got := MaxChange(a, b); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("MaxChange = %f, want 0.3", got)
+	}
+}

@@ -1,0 +1,113 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogitDynamics is the smoothed-best-response (logit / quantal-response)
+// dynamic: each round a fraction Mu of each region's population revises its
+// decision, choosing decision k with probability proportional to
+// exp(q_k / Tau). It is the exact mean field of the vehicle-level choice
+// rule implemented in internal/vehicle, and — unlike the pure replicator —
+// it has interior fixed points that move continuously with the sharing
+// ratio, which is what makes mixed desired fields such as the paper's
+// {65%, 25%, 5%, 5%} reachable by tuning x. As Tau -> 0 it approaches best
+// response; large Tau approaches uniform mixing.
+type LogitDynamics struct {
+	model *Model
+	// Tau is the choice temperature (> 0).
+	Tau float64
+	// Mu is the per-round revision fraction in (0, 1].
+	Mu float64
+
+	q    []float64
+	next [][]float64
+}
+
+// NewLogitDynamics builds the dynamic.
+func NewLogitDynamics(m *Model, tau, mu float64) (*LogitDynamics, error) {
+	if tau <= 0 {
+		return nil, fmt.Errorf("game: temperature tau must be positive, got %f", tau)
+	}
+	if mu <= 0 || mu > 1 {
+		return nil, fmt.Errorf("game: revision fraction mu must be in (0,1], got %f", mu)
+	}
+	d := &LogitDynamics{
+		model: m,
+		Tau:   tau,
+		Mu:    mu,
+		q:     make([]float64, m.K()),
+		next:  make([][]float64, m.M()),
+	}
+	for i := range d.next {
+		d.next[i] = make([]float64, m.K())
+	}
+	return d, nil
+}
+
+// Model returns the underlying game model.
+func (d *LogitDynamics) Model() *Model { return d.model }
+
+// Step advances all regions one round synchronously.
+func (d *LogitDynamics) Step(s *State) error {
+	m := d.model
+	for i := 0; i < m.M(); i++ {
+		if err := m.Fitness(s, i, d.q); err != nil {
+			return err
+		}
+		Softmax(d.q, d.Tau, d.next[i])
+		p := s.P[i]
+		for k := range p {
+			d.next[i][k] = (1-d.Mu)*p[k] + d.Mu*d.next[i][k]
+		}
+	}
+	for i := range s.P {
+		copy(s.P[i], d.next[i])
+	}
+	return nil
+}
+
+// Softmax writes softmax(q/tau) into out (numerically stable).
+func Softmax(q []float64, tau float64, out []float64) {
+	maxQ := math.Inf(-1)
+	for _, v := range q {
+		if v > maxQ {
+			maxQ = v
+		}
+	}
+	total := 0.0
+	for k, v := range q {
+		e := math.Exp((v - maxQ) / tau)
+		out[k] = e
+		total += e
+	}
+	for k := range out {
+		out[k] /= total
+	}
+}
+
+// Equilibrium iterates the dynamic at fixed sharing ratios until the
+// distribution change falls below tol or maxRounds is hit, returning the
+// number of rounds taken. The state is updated in place.
+func (d *LogitDynamics) Equilibrium(s *State, tol float64, maxRounds int) (int, error) {
+	if tol <= 0 {
+		return 0, fmt.Errorf("game: tol must be positive, got %f", tol)
+	}
+	prev := make([][]float64, len(s.P))
+	for i := range s.P {
+		prev[i] = make([]float64, len(s.P[i]))
+	}
+	for t := 1; t <= maxRounds; t++ {
+		for i := range s.P {
+			copy(prev[i], s.P[i])
+		}
+		if err := d.Step(s); err != nil {
+			return t, err
+		}
+		if MaxChange(prev, s.P) < tol {
+			return t, nil
+		}
+	}
+	return maxRounds, nil
+}

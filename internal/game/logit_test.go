@@ -1,0 +1,137 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewLogitDynamicsValidation(t *testing.T) {
+	m := singleRegionModel(t, 1)
+	if _, err := NewLogitDynamics(m, 0, 0.5); err == nil {
+		t.Error("zero tau must error")
+	}
+	if _, err := NewLogitDynamics(m, 0.1, 0); err == nil {
+		t.Error("zero mu must error")
+	}
+	if _, err := NewLogitDynamics(m, 0.1, 1.5); err == nil {
+		t.Error("mu > 1 must error")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	out := make([]float64, 3)
+	Softmax([]float64{1, 1, 1}, 1, out)
+	for _, v := range out {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Errorf("uniform q must give uniform softmax, got %v", out)
+		}
+	}
+	// Low temperature concentrates on the max.
+	Softmax([]float64{0, 1, 0.5}, 0.01, out)
+	if out[1] < 0.999 {
+		t.Errorf("low-tau softmax = %v, want concentration on index 1", out)
+	}
+	// Large q values must not overflow.
+	Softmax([]float64{1e8, 1e8 + 1}, 1, out[:2])
+	if math.IsNaN(out[0]) || out[1] < out[0] {
+		t.Errorf("softmax unstable for large inputs: %v", out[:2])
+	}
+}
+
+func TestLogitStepPreservesSimplex(t *testing.T) {
+	m := twoRegionModel(t, 3)
+	d, err := NewLogitDynamics(m, 0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(2, 8, 0.5)
+	for round := 0; round < 100; round++ {
+		if err := d.Step(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestLogitInteriorFixedPoint: unlike the replicator, logit keeps every
+// decision at positive share, and the equilibrium is interior.
+func TestLogitInteriorFixedPoint(t *testing.T) {
+	m := singleRegionModel(t, 4)
+	d, err := NewLogitDynamics(m, 0.15, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(1, 8, 0.9)
+	rounds, err := d.Equilibrium(s, 1e-9, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds >= 5000 {
+		t.Fatal("logit dynamic did not equilibrate")
+	}
+	for k, v := range s.P[0] {
+		if v <= 0 {
+			t.Errorf("decision %d has non-positive share %g at logit equilibrium", k+1, v)
+		}
+	}
+}
+
+// TestLogitEquilibriumMovesWithRatio: raising x shifts mass toward generous
+// decisions — the monotone response FDS exploits.
+func TestLogitEquilibriumMovesWithRatio(t *testing.T) {
+	m := singleRegionModel(t, 4)
+	share1 := func(x float64) float64 {
+		d, err := NewLogitDynamics(m, 0.15, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewUniformState(1, 8, x)
+		if _, err := d.Equilibrium(s, 1e-10, 5000); err != nil {
+			t.Fatal(err)
+		}
+		return s.P[0][0]
+	}
+	lo, hi := share1(0.1), share1(1.0)
+	if hi <= lo {
+		t.Errorf("P1 equilibrium share must grow with x: x=0.1 -> %f, x=1.0 -> %f", lo, hi)
+	}
+}
+
+func TestLogitEquilibriumValidation(t *testing.T) {
+	m := singleRegionModel(t, 1)
+	d, err := NewLogitDynamics(m, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(1, 8, 0.5)
+	if _, err := d.Equilibrium(s, 0, 10); err == nil {
+		t.Error("zero tol must error")
+	}
+}
+
+// TestSteppersImplementInterface is a compile-time check plus a smoke test
+// that both dynamics can drive the same state type.
+func TestSteppersImplementInterface(t *testing.T) {
+	m := singleRegionModel(t, 2)
+	var steppers []Stepper
+	rd, err := NewDynamics(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewLogitDynamics(m, 0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steppers = append(steppers, rd, ld)
+	for _, st := range steppers {
+		s := NewUniformState(1, 8, 0.5)
+		if err := st.Step(s); err != nil {
+			t.Fatal(err)
+		}
+		if st.Model() != m {
+			t.Error("Model() mismatch")
+		}
+	}
+}

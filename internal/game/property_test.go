@@ -1,0 +1,217 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// randomSimplex fills p with a random distribution.
+func randomSimplex(rng *rand.Rand, p []float64) {
+	total := 0.0
+	for k := range p {
+		p[k] = rng.ExpFloat64()
+		total += p[k]
+	}
+	for k := range p {
+		p[k] /= total
+	}
+}
+
+// TestFitnessLinearInBeta: Eq. 4's utility term scales linearly with the
+// region coefficient, so q(beta) + g must be proportional to beta.
+func TestFitnessLinearInBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pay := lattice.PaperPayoffs()
+	for trial := 0; trial < 20; trial++ {
+		b := 0.5 + rng.Float64()*5
+		m1, err := NewModel(pay, fullGraph{m: 1, selfW: 1}, []float64{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := NewModel(pay, fullGraph{m: 1, selfW: 1}, []float64{2 * b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewUniformState(1, 8, rng.Float64())
+		randomSimplex(rng, s.P[0])
+		q1 := make([]float64, 8)
+		q2 := make([]float64, 8)
+		if err := m1.Fitness(s, 0, q1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Fitness(s, 0, q2); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 8; k++ {
+			u1 := q1[k] + pay.Cost[k]
+			u2 := q2[k] + pay.Cost[k]
+			if math.Abs(u2-2*u1) > 1e-9 {
+				t.Fatalf("utility term not linear in beta: %f vs 2*%f", u2, u1)
+			}
+		}
+	}
+}
+
+// TestReplicatorInvariantToFitnessShift: adding a constant to every
+// decision's fitness leaves the replicator update unchanged (q - qbar is
+// shift-invariant). We verify through the public API by checking that the
+// bottom decision's zero payoff anchors the dynamics: scaling all g by the
+// same amount as adding utility... instead, directly verify the identity
+// q_k - qbar is shift-invariant on random vectors.
+func TestReplicatorShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(10)
+		p := make([]float64, k)
+		randomSimplex(rng, p)
+		q := make([]float64, k)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		c := rng.NormFloat64() * 10
+		qbar := MeanFitness(p, q)
+		shifted := make([]float64, k)
+		for i := range q {
+			shifted[i] = q[i] + c
+		}
+		qbarShifted := MeanFitness(p, shifted)
+		for i := range q {
+			a := q[i] - qbar
+			b := shifted[i] - qbarShifted
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("growth rate not shift invariant: %f vs %f", a, b)
+			}
+		}
+	}
+}
+
+// TestReplicatorMassConservation: across many random states and steps the
+// simplex is preserved exactly (post-normalization) and no share goes
+// negative.
+func TestReplicatorMassConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := twoRegionModel(t, 5)
+	d, err := NewDynamics(m, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		s := NewUniformState(2, 8, rng.Float64())
+		for i := range s.P {
+			randomSimplex(rng, s.P[i])
+		}
+		for step := 0; step < 20; step++ {
+			if err := d.Step(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestLogitMassConservation: the same invariant for the logit dynamic.
+func TestLogitMassConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := twoRegionModel(t, 5)
+	d, err := NewLogitDynamics(m, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		s := NewUniformState(2, 8, rng.Float64())
+		for i := range s.P {
+			randomSimplex(rng, s.P[i])
+		}
+		for step := 0; step < 20; step++ {
+			if err := d.Step(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestDominatedDecisionShrinks: under the replicator, a strictly dominated
+// decision's share never grows. P2 = {camera,lidar} is dominated by P1 at
+// full sharing? Not in general — construct directly: with x = 0 every
+// decision's utility term is 0 except inter-region (none here), so fitness
+// is -g_k; the replicator must monotonically favor lower-cost decisions.
+func TestZeroRatioFavorsLowCost(t *testing.T) {
+	m := singleRegionModel(t, 5)
+	d, err := NewDynamics(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniformState(1, 8, 0)
+	prev8 := s.P[0][7] // P8 has g=0: the unique maximizer at x=0
+	prev1 := s.P[0][0] // P1 has g=1: the unique minimizer
+	for step := 0; step < 100; step++ {
+		if err := d.Step(s); err != nil {
+			t.Fatal(err)
+		}
+		if s.P[0][7] < prev8-1e-12 {
+			t.Fatalf("step %d: cost-free share shrank %f -> %f", step, prev8, s.P[0][7])
+		}
+		if s.P[0][0] > prev1+1e-12 {
+			t.Fatalf("step %d: max-cost share grew %f -> %f", step, prev1, s.P[0][0])
+		}
+		prev8, prev1 = s.P[0][7], s.P[0][0]
+	}
+	if s.P[0][7] < 0.95 {
+		t.Errorf("at x=0 the free decision should absorb the population, got %f", s.P[0][7])
+	}
+}
+
+// TestLatticePartialOrder: Precedes is reflexive, antisymmetric, and
+// transitive over all decision pairs/triples.
+func TestLatticePartialOrder(t *testing.T) {
+	l := lattice.NewPaper()
+	k := l.K()
+	for a := 1; a <= k; a++ {
+		if !l.Precedes(lattice.Decision(a), lattice.Decision(a)) {
+			t.Fatalf("not reflexive at %d", a)
+		}
+		for b := 1; b <= k; b++ {
+			ab := l.Precedes(lattice.Decision(a), lattice.Decision(b))
+			ba := l.Precedes(lattice.Decision(b), lattice.Decision(a))
+			if ab && ba && a != b {
+				t.Fatalf("antisymmetry violated at %d,%d", a, b)
+			}
+			for c := 1; c <= k; c++ {
+				bc := l.Precedes(lattice.Decision(b), lattice.Decision(c))
+				ac := l.Precedes(lattice.Decision(a), lattice.Decision(c))
+				if ab && bc && !ac {
+					t.Fatalf("transitivity violated at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestAccessibleDownwardClosed: if a decision can access l's data and m
+// shares a subset of l, it can access m's data too.
+func TestAccessibleDownwardClosed(t *testing.T) {
+	l := lattice.NewPaper()
+	k := l.K()
+	for a := 1; a <= k; a++ {
+		for b := 1; b <= k; b++ {
+			if !l.CanAccess(lattice.Decision(a), lattice.Decision(b)) {
+				continue
+			}
+			for c := 1; c <= k; c++ {
+				if l.MustShare(lattice.Decision(c)).SubsetOf(l.MustShare(lattice.Decision(b))) {
+					if !l.CanAccess(lattice.Decision(a), lattice.Decision(c)) {
+						t.Fatalf("access not downward closed: %d accesses %d but not %d", a, b, c)
+					}
+				}
+			}
+		}
+	}
+}

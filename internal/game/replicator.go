@@ -1,0 +1,114 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// Replicator dynamics (Eq. 5): each decision's share grows at a per-capita
+// rate equal to its fitness advantage over the region average,
+//
+//	delta p_{i,k} / p_{i,k} = q_{i,k} - qbar_i.
+//
+// The discrete map p' = p * (1 + eta * (q - qbar)) uses a step size eta to
+// keep the map well-defined when fitness differences are large (eta = 1
+// reproduces the paper's round-per-update reading). Shares are clipped at
+// zero and renormalized, and a small mutation floor can be enabled so that
+// extinct decisions may re-enter when the environment changes - the
+// standard replicator-mutator regularization, needed because the paper's
+// policy shaping re-targets distributions after decisions may have gone
+// extinct.
+
+// Dynamics advances the decision distributions of all regions by rounds.
+type Dynamics struct {
+	model *Model
+	// Eta is the replicator step size (default 1).
+	Eta float64
+	// MutationFloor is the minimum share kept alive per decision (default
+	// 0: pure replicator).
+	MutationFloor float64
+	// scratch buffers
+	q    []float64
+	next [][]float64
+}
+
+// NewDynamics builds a Dynamics over the model with the given step size.
+func NewDynamics(m *Model, eta float64) (*Dynamics, error) {
+	if eta <= 0 {
+		return nil, fmt.Errorf("game: step size eta must be positive, got %f", eta)
+	}
+	d := &Dynamics{
+		model: m,
+		Eta:   eta,
+		q:     make([]float64, m.K()),
+		next:  make([][]float64, m.M()),
+	}
+	for i := range d.next {
+		d.next[i] = make([]float64, m.K())
+	}
+	return d, nil
+}
+
+// Model returns the underlying game model.
+func (d *Dynamics) Model() *Model { return d.model }
+
+// Step advances the state by one round in place: all regions update
+// synchronously from the round-t distributions, matching the paper's
+// per-round policy/data-sharing cycle.
+func (d *Dynamics) Step(s *State) error {
+	m := d.model
+	for i := 0; i < m.M(); i++ {
+		if err := m.Fitness(s, i, d.q); err != nil {
+			return err
+		}
+		p := s.P[i]
+		qbar := MeanFitness(p, d.q)
+		nxt := d.next[i]
+		for k := range p {
+			growth := 1 + d.Eta*(d.q[k]-qbar)
+			if growth < 0 {
+				growth = 0
+			}
+			nxt[k] = p[k] * growth
+			if nxt[k] < d.MutationFloor {
+				nxt[k] = d.MutationFloor
+			}
+		}
+		Normalize(nxt)
+	}
+	for i := range s.P {
+		copy(s.P[i], d.next[i])
+	}
+	return nil
+}
+
+// Run advances the state by n rounds and returns the trajectory of region
+// region's distribution (n+1 snapshots including the initial state).
+func (d *Dynamics) Run(s *State, n, region int) ([][]float64, error) {
+	if region < 0 || region >= d.model.M() {
+		return nil, fmt.Errorf("game: region %d out of range", region)
+	}
+	traj := make([][]float64, 0, n+1)
+	traj = append(traj, append([]float64(nil), s.P[region]...))
+	for t := 0; t < n; t++ {
+		if err := d.Step(s); err != nil {
+			return nil, err
+		}
+		traj = append(traj, append([]float64(nil), s.P[region]...))
+	}
+	return traj, nil
+}
+
+// MaxChange returns the largest absolute per-decision share change between
+// two consecutive distribution snapshots of the same region.
+func MaxChange(prev, cur [][]float64) float64 {
+	worst := 0.0
+	for i := range prev {
+		for k := range prev[i] {
+			if d := math.Abs(cur[i][k] - prev[i][k]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

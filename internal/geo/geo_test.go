@@ -1,0 +1,342 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"origin", Point{0, 0}, true},
+		{"futian", Point{22.54, 114.05}, true},
+		{"north pole", Point{90, 0}, true},
+		{"lat too high", Point{90.01, 0}, false},
+		{"lat too low", Point{-90.01, 0}, false},
+		{"lon too high", Point{0, 180.1}, false},
+		{"lon too low", Point{0, -180.1}, false},
+		{"nan lat", Point{math.NaN(), 0}, false},
+		{"inf lon", Point{0, math.Inf(1)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Valid(); got != tt.want {
+				t.Errorf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64
+	}{
+		{"same point", Point{22.54, 114.05}, Point{22.54, 114.05}, 0, 1e-9},
+		// 1 degree of latitude is ~111.19 km on a 6371km sphere.
+		{"one degree lat", Point{0, 0}, Point{1, 0}, 111_195, 50},
+		// One degree of longitude at the equator, same magnitude.
+		{"one degree lon equator", Point{0, 0}, Point{0, 1}, 111_195, 50},
+		// Futian bbox diagonal ~ sqrt(10km^2 + 12.3km^2).
+		{"futian corners", Point{22.50, 113.98}, Point{22.59, 114.10}, 15_880, 300},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Haversine(tt.a, tt.b)
+			if !almostEqual(got, tt.want, tt.tol) {
+				t.Errorf("Haversine(%v, %v) = %.1f, want %.1f±%.1f", tt.a, tt.b, got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Point{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		return almostEqual(Haversine(a, b), Haversine(b, a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquirectangularMatchesHaversineAtCityScale(t *testing.T) {
+	box := FutianBBox()
+	pts := box.GridPoints(7, 9)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			h := Haversine(pts[i], pts[j])
+			e := Equirectangular(pts[i], pts[j])
+			if h == 0 {
+				continue
+			}
+			if rel := math.Abs(h-e) / h; rel > 1e-3 {
+				t.Fatalf("equirectangular deviates %.4f%% from haversine for %v-%v", rel*100, pts[i], pts[j])
+			}
+		}
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		p := Point{math.Mod(math.Abs(a1), 89), math.Mod(o1, 179)}
+		q := Point{math.Mod(math.Abs(a2), 89), math.Mod(o2, 179)}
+		r := Point{math.Mod(math.Abs(a3), 89), math.Mod(o3, 179)}
+		return Haversine(p, r) <= Haversine(p, q)+Haversine(q, r)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpEndpointsAndMidpoint(t *testing.T) {
+	a := Point{22.50, 113.98}
+	b := Point{22.59, 114.10}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp(a,b,0) = %v, want %v", got, a)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp(a,b,1) = %v, want %v", got, b)
+	}
+	mid := Midpoint(a, b)
+	if !almostEqual(mid.Lat, 22.545, 1e-9) || !almostEqual(mid.Lon, 114.04, 1e-9) {
+		t.Errorf("Midpoint = %v", mid)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	box := FutianBBox()
+	if !box.Valid() {
+		t.Fatal("FutianBBox should be valid")
+	}
+	if !box.Contains(box.Center()) {
+		t.Error("box must contain its center")
+	}
+	if box.Contains(Point{22.49, 114.0}) {
+		t.Error("point south of box should not be contained")
+	}
+	outside := Point{22.70, 113.90}
+	clamped := box.Clamp(outside)
+	if !box.Contains(clamped) {
+		t.Errorf("Clamp(%v) = %v not inside box", outside, clamped)
+	}
+	if clamped.Lat != box.MaxLat || clamped.Lon != box.MinLon {
+		t.Errorf("Clamp(%v) = %v, want corner (%v,%v)", outside, clamped, box.MaxLat, box.MinLon)
+	}
+
+	if w := box.WidthMeters(); !almostEqual(w, 12_330, 300) {
+		t.Errorf("WidthMeters = %.0f, want ~12330", w)
+	}
+	if h := box.HeightMeters(); !almostEqual(h, 10_010, 300) {
+		t.Errorf("HeightMeters = %.0f, want ~10010", h)
+	}
+
+	degenerate := BBox{MinLat: 1, MaxLat: 1, MinLon: 0, MaxLon: 2}
+	if degenerate.Valid() {
+		t.Error("degenerate box must be invalid")
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	box := FutianBBox()
+	pts := box.GridPoints(10, 10)
+	if len(pts) != 100 {
+		t.Fatalf("GridPoints(10,10) returned %d points, want 100", len(pts))
+	}
+	for _, p := range pts {
+		if !box.Contains(p) {
+			t.Fatalf("grid point %v outside box", p)
+		}
+	}
+	// Cell-center placement: first point is half a cell in from the corner.
+	first := pts[0]
+	wantLat := box.MinLat + (box.MaxLat-box.MinLat)/20
+	if !almostEqual(first.Lat, wantLat, 1e-12) {
+		t.Errorf("first grid point lat %v, want %v", first.Lat, wantLat)
+	}
+	if got := box.GridPoints(0, 5); got != nil {
+		t.Errorf("GridPoints(0,5) = %v, want nil", got)
+	}
+}
+
+func TestGridIndexNearestExactness(t *testing.T) {
+	box := FutianBBox()
+	pts := box.GridPoints(9, 11)
+	idx, err := NewGridIndex(box, 16, 16, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force oracle on a secondary grid of query points.
+	queries := box.GridPoints(13, 17)
+	for _, q := range queries {
+		got, gotD := idx.Nearest(q)
+		want, wantD := -1, math.Inf(1)
+		for i, p := range pts {
+			if d := Equirectangular(q, p); d < wantD {
+				wantD, want = d, i
+			}
+		}
+		if got != want && !almostEqual(gotD, wantD, 1e-9) {
+			t.Fatalf("Nearest(%v) = %d (%.2fm), brute force = %d (%.2fm)", q, got, gotD, want, wantD)
+		}
+	}
+}
+
+func TestGridIndexErrors(t *testing.T) {
+	box := FutianBBox()
+	if _, err := NewGridIndex(box, 4, 4, nil); err == nil {
+		t.Error("empty point set should error")
+	}
+	if _, err := NewGridIndex(box, 0, 4, box.GridPoints(2, 2)); err == nil {
+		t.Error("zero rows should error")
+	}
+	bad := BBox{MinLat: 3, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	if _, err := NewGridIndex(bad, 4, 4, box.GridPoints(2, 2)); err == nil {
+		t.Error("invalid box should error")
+	}
+}
+
+func TestGridIndexWithinRadius(t *testing.T) {
+	box := FutianBBox()
+	pts := box.GridPoints(10, 10)
+	idx, err := NewGridIndex(box, 20, 20, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := box.Center()
+	radius := 2000.0
+	got := idx.WithinRadius(center, radius)
+	want := 0
+	for _, p := range pts {
+		if Equirectangular(center, p) <= radius {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("WithinRadius found %d points, brute force %d", len(got), want)
+	}
+	for _, i := range got {
+		if d := Equirectangular(center, idx.Point(i)); d > radius {
+			t.Errorf("point %d at %.1fm exceeds radius %.1fm", i, d, radius)
+		}
+	}
+	if got := idx.WithinRadius(center, -1); got != nil {
+		t.Errorf("negative radius should return nil, got %v", got)
+	}
+}
+
+func TestVoronoiAssignsNearestSite(t *testing.T) {
+	box := FutianBBox()
+	sites := box.GridPoints(10, 10) // the paper's 100 edge servers
+	v, err := NewVoronoi(box, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumCells() != 100 {
+		t.Fatalf("NumCells = %d, want 100", v.NumCells())
+	}
+	// Every site's own location must map to its own cell.
+	for i := range sites {
+		if got := v.CellOf(sites[i]); got != i {
+			t.Fatalf("CellOf(site %d) = %d", i, got)
+		}
+	}
+	// Oracle check on random-ish interior points.
+	queries := box.GridPoints(23, 29)
+	for _, q := range queries {
+		got := v.CellOf(q)
+		want, wantD := -1, math.Inf(1)
+		for i, s := range sites {
+			if d := Equirectangular(q, s); d < wantD {
+				wantD, want = d, i
+			}
+		}
+		if got != want {
+			gotD := Equirectangular(q, sites[got])
+			if !almostEqual(gotD, wantD, 1e-9) {
+				t.Fatalf("CellOf(%v) = %d, want %d", q, got, want)
+			}
+		}
+	}
+}
+
+func TestVoronoiCellCountsTotal(t *testing.T) {
+	box := FutianBBox()
+	v, err := NewVoronoi(box, box.GridPoints(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := box.GridPoints(17, 19)
+	counts := v.CellCounts(pts)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(pts) {
+		t.Errorf("cell counts sum to %d, want %d", total, len(pts))
+	}
+	assign := v.Assign(pts)
+	if len(assign) != len(pts) {
+		t.Fatalf("Assign returned %d entries, want %d", len(assign), len(pts))
+	}
+}
+
+func TestVoronoiEmptySites(t *testing.T) {
+	if _, err := NewVoronoi(FutianBBox(), nil); err == nil {
+		t.Error("NewVoronoi with no sites should error")
+	}
+}
+
+func TestFarthestPointSample(t *testing.T) {
+	box := FutianBBox()
+	cands := box.GridPoints(12, 12)
+	k := 20
+	sel := FarthestPointSample(cands, k)
+	if len(sel) != k {
+		t.Fatalf("selected %d, want %d", len(sel), k)
+	}
+	seen := make(map[int]bool, k)
+	for _, i := range sel {
+		if seen[i] {
+			t.Fatalf("duplicate selection %d", i)
+		}
+		seen[i] = true
+	}
+	// Spread check: the minimum pairwise distance among selected points must
+	// be much larger than the candidate grid spacing (~1km).
+	minD := math.Inf(1)
+	for i := 0; i < len(sel); i++ {
+		for j := i + 1; j < len(sel); j++ {
+			if d := Equirectangular(cands[sel[i]], cands[sel[j]]); d < minD {
+				minD = d
+			}
+		}
+	}
+	if minD < 1500 {
+		t.Errorf("farthest point sample min pairwise distance %.0fm, want >= 1500m", minD)
+	}
+}
+
+func TestFarthestPointSampleEdgeCases(t *testing.T) {
+	box := FutianBBox()
+	cands := box.GridPoints(2, 2)
+	if got := FarthestPointSample(cands, 0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+	if got := FarthestPointSample(nil, 3); got != nil {
+		t.Errorf("empty candidates should return nil, got %v", got)
+	}
+	all := FarthestPointSample(cands, 10)
+	if len(all) != len(cands) {
+		t.Errorf("k > len returns all %d candidates, got %d", len(cands), len(all))
+	}
+}

@@ -1,0 +1,162 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridIndex is a uniform spatial grid over a bounding box that supports fast
+// approximate-nearest-neighbour queries among a fixed point set. It is the
+// workhorse behind Voronoi cell assignment (vehicle -> nearest edge server)
+// and map matching (GPS fix -> nearest road segment).
+//
+// The zero value is not usable; construct with NewGridIndex.
+type GridIndex struct {
+	box        BBox
+	rows, cols int
+	cellLat    float64
+	cellLon    float64
+	points     []Point
+	cells      [][]int32 // cells[r*cols+c] = indices into points
+}
+
+// NewGridIndex builds an index over pts within box using a rows x cols grid.
+// Points outside the box are clamped to the boundary cell. It returns an
+// error for an empty point set, a degenerate box, or non-positive dimensions.
+func NewGridIndex(box BBox, rows, cols int, pts []Point) (*GridIndex, error) {
+	if !box.Valid() {
+		return nil, fmt.Errorf("geo: invalid bounding box %+v", box)
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("geo: grid dimensions must be positive, got %dx%d", rows, cols)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("geo: cannot index an empty point set")
+	}
+	g := &GridIndex{
+		box:     box,
+		rows:    rows,
+		cols:    cols,
+		cellLat: (box.MaxLat - box.MinLat) / float64(rows),
+		cellLon: (box.MaxLon - box.MinLon) / float64(cols),
+		points:  make([]Point, len(pts)),
+		cells:   make([][]int32, rows*cols),
+	}
+	copy(g.points, pts)
+	for i, p := range g.points {
+		r, c := g.cellOf(p)
+		idx := r*cols + c
+		g.cells[idx] = append(g.cells[idx], int32(i))
+	}
+	return g, nil
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.points) }
+
+// Point returns the i-th indexed point.
+func (g *GridIndex) Point(i int) Point { return g.points[i] }
+
+func (g *GridIndex) cellOf(p Point) (row, col int) {
+	row = int((p.Lat - g.box.MinLat) / g.cellLat)
+	col = int((p.Lon - g.box.MinLon) / g.cellLon)
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.rows {
+		row = g.rows - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.cols {
+		col = g.cols - 1
+	}
+	return row, col
+}
+
+// Nearest returns the index of the indexed point closest to q (by
+// equirectangular distance) and that distance in meters. The search expands
+// ring by ring from q's cell; once a candidate is found the search continues
+// one extra ring to guarantee exactness despite cell-boundary effects.
+func (g *GridIndex) Nearest(q Point) (idx int, dist float64) {
+	qr, qc := g.cellOf(q)
+	best := -1
+	bestDist := math.Inf(1)
+	maxRing := g.rows
+	if g.cols > maxRing {
+		maxRing = g.cols
+	}
+	// extraRings ensures exactness: after the first hit, a nearer point can
+	// still hide in the next ring because distance-to-cell is not uniform.
+	extraAfterHit := -1
+	for ring := 0; ring <= maxRing; ring++ {
+		if extraAfterHit >= 0 && ring > extraAfterHit {
+			break
+		}
+		found := g.scanRing(q, qr, qc, ring, &best, &bestDist)
+		if found && extraAfterHit < 0 {
+			// Continue scanning rings until the ring's minimum possible
+			// distance exceeds bestDist; +2 rings is a safe bound for a
+			// uniform grid at city scale.
+			extraAfterHit = ring + 2
+		}
+	}
+	return best, bestDist
+}
+
+// scanRing scans the square ring at Chebyshev radius ring around (qr,qc),
+// updating best/bestDist. It reports whether the ring contained any point.
+func (g *GridIndex) scanRing(q Point, qr, qc, ring int, best *int, bestDist *float64) bool {
+	found := false
+	visit := func(r, c int) {
+		if r < 0 || r >= g.rows || c < 0 || c >= g.cols {
+			return
+		}
+		for _, i := range g.cells[r*g.cols+c] {
+			found = true
+			d := Equirectangular(q, g.points[i])
+			if d < *bestDist {
+				*bestDist = d
+				*best = int(i)
+			}
+		}
+	}
+	if ring == 0 {
+		visit(qr, qc)
+		return found
+	}
+	for c := qc - ring; c <= qc+ring; c++ {
+		visit(qr-ring, c)
+		visit(qr+ring, c)
+	}
+	for r := qr - ring + 1; r <= qr+ring-1; r++ {
+		visit(r, qc-ring)
+		visit(r, qc+ring)
+	}
+	return found
+}
+
+// WithinRadius returns the indices of all indexed points within radius meters
+// of q, in unspecified order.
+func (g *GridIndex) WithinRadius(q Point, radius float64) []int {
+	if radius < 0 {
+		return nil
+	}
+	// Conservative cell window: convert radius to degree extents.
+	latExtent := radius / EarthRadiusMeters * 180 / math.Pi
+	lonExtent := latExtent / math.Cos(degToRad(q.Lat))
+	r0, c0 := g.cellOf(Point{Lat: q.Lat - latExtent, Lon: q.Lon - lonExtent})
+	r1, c1 := g.cellOf(Point{Lat: q.Lat + latExtent, Lon: q.Lon + lonExtent})
+	var out []int
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			for _, i := range g.cells[r*g.cols+c] {
+				if Equirectangular(q, g.points[i]) <= radius {
+					out = append(out, int(i))
+				}
+			}
+		}
+	}
+	return out
+}

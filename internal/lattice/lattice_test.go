@@ -1,0 +1,273 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sensor"
+)
+
+// TestPaperEnumeration verifies the lattice reproduces the paper's P1..P8
+// listing exactly.
+func TestPaperEnumeration(t *testing.T) {
+	l := NewPaper()
+	if l.K() != 8 {
+		t.Fatalf("K = %d, want 8", l.K())
+	}
+	want := []sensor.Mask{
+		sensor.MaskOf(sensor.Camera, sensor.LiDAR, sensor.Radar), // P1
+		sensor.MaskOf(sensor.Camera, sensor.LiDAR),               // P2
+		sensor.MaskOf(sensor.Camera, sensor.Radar),               // P3
+		sensor.MaskOf(sensor.LiDAR, sensor.Radar),                // P4
+		sensor.MaskOf(sensor.Camera),                             // P5
+		sensor.MaskOf(sensor.LiDAR),                              // P6
+		sensor.MaskOf(sensor.Radar),                              // P7
+		0,                                                        // P8
+	}
+	for k, m := range want {
+		got, err := l.Share(Decision(k + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Errorf("P%d = %v, want %v", k+1, got, m)
+		}
+	}
+	if l.Top() != 1 || l.Bottom() != 8 {
+		t.Errorf("Top/Bottom = %d/%d, want 1/8", l.Top(), l.Bottom())
+	}
+}
+
+func TestDecisionOfRoundTrip(t *testing.T) {
+	l := NewPaper()
+	for k := Decision(1); int(k) <= l.K(); k++ {
+		m := l.MustShare(k)
+		got, err := l.DecisionOf(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Errorf("DecisionOf(Share(%d)) = %d", k, got)
+		}
+	}
+	if _, err := l.DecisionOf(sensor.Mask(0xF0)); err == nil {
+		t.Error("unknown mask must error")
+	}
+}
+
+func TestShareErrors(t *testing.T) {
+	l := NewPaper()
+	if _, err := l.Share(0); err == nil {
+		t.Error("decision 0 must error")
+	}
+	if _, err := l.Share(9); err == nil {
+		t.Error("decision 9 must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustShare(0) must panic")
+		}
+	}()
+	l.MustShare(0)
+}
+
+// TestPrecedesMatchesSubset: k ⪯ l iff P^l ⊆ P^k, over all pairs.
+func TestPrecedesMatchesSubset(t *testing.T) {
+	l := NewPaper()
+	for k := Decision(1); k <= 8; k++ {
+		for j := Decision(1); j <= 8; j++ {
+			want := l.MustShare(j).SubsetOf(l.MustShare(k))
+			if got := l.Precedes(k, j); got != want {
+				t.Errorf("Precedes(%d,%d) = %v, want %v", k, j, got, want)
+			}
+			wantStrict := want && k != j
+			if got := l.StrictlyPrecedes(k, j); got != wantStrict {
+				t.Errorf("StrictlyPrecedes(%d,%d) = %v, want %v", k, j, got, wantStrict)
+			}
+		}
+	}
+	if l.Precedes(0, 1) || l.Precedes(1, 99) {
+		t.Error("invalid decisions must not precede anything")
+	}
+}
+
+// TestAccessibilityRule spot-checks the policy semantics: the all-sharing
+// decision accesses everyone; the empty decision accesses only other empty
+// sharers; {camera} cannot access {lidar}.
+func TestAccessibilityRule(t *testing.T) {
+	l := NewPaper()
+	if got := l.Accessible(1); len(got) != 8 {
+		t.Errorf("P1 accesses %d decisions, want all 8", len(got))
+	}
+	got := l.Accessible(8)
+	if len(got) != 1 || got[0] != 8 {
+		t.Errorf("P8 accesses %v, want [8]", got)
+	}
+	if l.CanAccess(5, 6) {
+		t.Error("{camera} must not access {lidar} shares")
+	}
+	if !l.CanAccess(2, 6) {
+		t.Error("{camera,lidar} must access {lidar} shares")
+	}
+	if !l.CanAccess(4, 8) {
+		t.Error("every decision accesses empty shares")
+	}
+	// Accessibility count equals 2^|P^k|: all subsets of what you share.
+	for k := Decision(1); k <= 8; k++ {
+		want := 1 << l.MustShare(k).Count()
+		if got := len(l.Accessible(k)); got != want {
+			t.Errorf("|Accessible(%d)| = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestDAGStructure verifies Fig. 2: immediate successors remove exactly one
+// modality, immediate predecessors add exactly one.
+func TestDAGStructure(t *testing.T) {
+	l := NewPaper()
+	wantSuccessors := map[Decision][]Decision{
+		1: {2, 3, 4},
+		2: {5, 6},
+		3: {5, 7},
+		4: {6, 7},
+		5: {8},
+		6: {8},
+		7: {8},
+		8: nil,
+	}
+	for k, want := range wantSuccessors {
+		got := l.Successors(k)
+		if len(got) != len(want) {
+			t.Errorf("Successors(%d) = %v, want %v", k, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Successors(%d) = %v, want %v", k, got, want)
+				break
+			}
+		}
+	}
+	wantPredecessors := map[Decision][]Decision{
+		1: nil,
+		8: {5, 6, 7},
+		5: {2, 3},
+		4: {1},
+	}
+	for k, want := range wantPredecessors {
+		got := l.Predecessors(k)
+		if len(got) != len(want) {
+			t.Errorf("Predecessors(%d) = %v, want %v", k, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Predecessors(%d) = %v, want %v", k, got, want)
+				break
+			}
+		}
+	}
+	if got := l.Successors(0); got != nil {
+		t.Errorf("Successors(0) = %v, want nil", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("empty universe must error")
+	}
+	if _, err := New(sensor.Mask(0x80)); err == nil {
+		t.Error("invalid universe must error")
+	}
+	l, err := New(sensor.MaskOf(sensor.LiDAR, sensor.Radar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K() != 4 {
+		t.Errorf("2-modality lattice has %d decisions, want 4", l.K())
+	}
+	if l.MustShare(l.Top()) != sensor.MaskOf(sensor.LiDAR, sensor.Radar) {
+		t.Error("top of sub-lattice must be its universe")
+	}
+	if l.MustShare(l.Bottom()) != 0 {
+		t.Error("bottom must be empty")
+	}
+}
+
+// TestTableII verifies the derived payoffs against the paper's Table II
+// numbers exactly.
+func TestTableII(t *testing.T) {
+	p := PaperPayoffs()
+	wantUtility := []float64{20, 13, 14, 13, 7, 6, 7, 0}
+	wantCost := []float64{1.6, 1.5, 1.1, 0.6, 1.0, 0.5, 0.1, 0}
+	for i := range wantUtility {
+		if math.Abs(p.RawUtility[i]-wantUtility[i]) > 1e-12 {
+			t.Errorf("Table II utility P%d = %f, want %f", i+1, p.RawUtility[i], wantUtility[i])
+		}
+		if math.Abs(p.RawCost[i]-wantCost[i]) > 1e-12 {
+			t.Errorf("Table II cost P%d = %f, want %f", i+1, p.RawCost[i], wantCost[i])
+		}
+	}
+	// Normalized values: divide by maxima 20 and 1.6.
+	for i := range wantUtility {
+		if math.Abs(p.Utility[i]-wantUtility[i]/20) > 1e-12 {
+			t.Errorf("normalized f_%d = %f, want %f", i+1, p.Utility[i], wantUtility[i]/20)
+		}
+		if math.Abs(p.Cost[i]-wantCost[i]/1.6) > 1e-12 {
+			t.Errorf("normalized g_%d = %f, want %f", i+1, p.Cost[i], wantCost[i]/1.6)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("paper payoffs must validate: %v", err)
+	}
+}
+
+func TestPayoffAccessors(t *testing.T) {
+	p := PaperPayoffs()
+	if p.K() != 8 {
+		t.Fatalf("K = %d", p.K())
+	}
+	f1, err := p.F(1)
+	if err != nil || f1 != 1 {
+		t.Errorf("F(1) = %f, %v; want 1", f1, err)
+	}
+	g1, err := p.G(1)
+	if err != nil || g1 != 1 {
+		t.Errorf("G(1) = %f, %v; want 1", g1, err)
+	}
+	if _, err := p.F(0); err == nil {
+		t.Error("F(0) must error")
+	}
+	if _, err := p.G(9); err == nil {
+		t.Error("G(9) must error")
+	}
+	if p.Lattice() == nil {
+		t.Error("Lattice() must not be nil")
+	}
+}
+
+// TestDerivePayoffsCustomWeights exercises derivation with non-paper
+// weights and checks scaling invariance of the normalized values.
+func TestDerivePayoffsCustomWeights(t *testing.T) {
+	l := NewPaper()
+	w := sensor.PrivacyWeights{Camera: 2.0, LiDAR: 1.0, Radar: 0.2}
+	p, err := DerivePayoffs(l, sensor.TableIII(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling all weights must leave normalized costs unchanged.
+	w2 := sensor.PrivacyWeights{Camera: 4.0, LiDAR: 2.0, Radar: 0.4}
+	p2, err := DerivePayoffs(l, sensor.TableIII(), w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Cost {
+		if math.Abs(p.Cost[i]-p2.Cost[i]) > 1e-12 {
+			t.Errorf("normalized cost %d not scale-invariant: %f vs %f", i, p.Cost[i], p2.Cost[i])
+		}
+	}
+	bad := sensor.PrivacyWeights{Camera: -1}
+	if _, err := DerivePayoffs(l, sensor.TableIII(), bad); err == nil {
+		t.Error("negative weights must be rejected")
+	}
+}

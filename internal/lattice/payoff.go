@@ -1,0 +1,130 @@
+package lattice
+
+import (
+	"fmt"
+
+	"repro/internal/sensor"
+)
+
+// Payoffs holds, per decision k, the utility value f_k of the data set P^k
+// and the privacy cost g_k of sharing P^k — the two columns of Table II —
+// in both raw and normalized form. The paper normalizes both utility and
+// privacy cost to [0, 1] before running the game.
+type Payoffs struct {
+	lat *Lattice
+	// RawUtility[k-1] and RawCost[k-1] are the Table II values.
+	RawUtility []float64
+	RawCost    []float64
+	// Utility[k-1] = f_k and Cost[k-1] = g_k, normalized to [0, 1] by the
+	// respective maxima.
+	Utility []float64
+	Cost    []float64
+}
+
+// DerivePayoffs computes Table II from the capability matrix (Table III) and
+// the privacy weights, then normalizes. This is the exact derivation the
+// paper describes: a decision's utility is the sum contribution of its
+// shared modalities to the 11 perception factors, and its privacy cost is
+// the sum of its modalities' sensitivity weights.
+func DerivePayoffs(l *Lattice, cap *sensor.CapabilityTable, w sensor.PrivacyWeights) (*Payoffs, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Payoffs{
+		lat:        l,
+		RawUtility: make([]float64, l.K()),
+		RawCost:    make([]float64, l.K()),
+		Utility:    make([]float64, l.K()),
+		Cost:       make([]float64, l.K()),
+	}
+	maxU, maxC := 0.0, 0.0
+	for k := Decision(1); int(k) <= l.K(); k++ {
+		m := l.MustShare(k)
+		u, err := cap.MaskUtility(m)
+		if err != nil {
+			return nil, fmt.Errorf("lattice: deriving utility of decision %d: %w", k, err)
+		}
+		c, err := w.MaskCost(m)
+		if err != nil {
+			return nil, fmt.Errorf("lattice: deriving cost of decision %d: %w", k, err)
+		}
+		p.RawUtility[k-1] = u
+		p.RawCost[k-1] = c
+		if u > maxU {
+			maxU = u
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i := range p.Utility {
+		if maxU > 0 {
+			p.Utility[i] = p.RawUtility[i] / maxU
+		}
+		if maxC > 0 {
+			p.Cost[i] = p.RawCost[i] / maxC
+		}
+	}
+	return p, nil
+}
+
+// PaperPayoffs derives Table II with the paper's exact inputs: the Table III
+// capability matrix and privacy weights camera=1.0, lidar=0.5, radar=0.1.
+func PaperPayoffs() *Payoffs {
+	p, err := DerivePayoffs(NewPaper(), sensor.TableIII(), sensor.PaperPrivacyWeights())
+	if err != nil {
+		// The paper inputs are static and always valid.
+		panic(fmt.Sprintf("lattice: internal error: %v", err))
+	}
+	return p
+}
+
+// K returns the number of decisions.
+func (p *Payoffs) K() int { return len(p.Utility) }
+
+// Lattice returns the decision lattice the payoffs are defined over.
+func (p *Payoffs) Lattice() *Lattice { return p.lat }
+
+// F returns f_k, the normalized utility value of decision k's shared data.
+func (p *Payoffs) F(k Decision) (float64, error) {
+	if k < 1 || int(k) > len(p.Utility) {
+		return 0, fmt.Errorf("lattice: decision %d out of range [1,%d]", k, len(p.Utility))
+	}
+	return p.Utility[k-1], nil
+}
+
+// G returns g_k, the normalized privacy cost of decision k.
+func (p *Payoffs) G(k Decision) (float64, error) {
+	if k < 1 || int(k) > len(p.Cost) {
+		return 0, fmt.Errorf("lattice: decision %d out of range [1,%d]", k, len(p.Cost))
+	}
+	return p.Cost[k-1], nil
+}
+
+// Validate checks the structural properties the game relies on:
+// monotonicity of utility and cost along the lattice order (sharing more
+// never has lower raw utility or lower raw cost), f over [0,1], g over
+// [0,1], and f_Bottom = g_Bottom = 0.
+func (p *Payoffs) Validate() error {
+	l := p.lat
+	for k := Decision(1); int(k) <= l.K(); k++ {
+		fk := p.Utility[k-1]
+		gk := p.Cost[k-1]
+		if fk < 0 || fk > 1 || gk < 0 || gk > 1 {
+			return fmt.Errorf("lattice: decision %d payoffs (%f, %f) outside [0,1]", k, fk, gk)
+		}
+		for _, j := range l.Successors(k) {
+			if p.RawUtility[j-1] > p.RawUtility[k-1] {
+				return fmt.Errorf("lattice: utility not monotone: f_%d=%f > f_%d=%f", j, p.RawUtility[j-1], k, p.RawUtility[k-1])
+			}
+			if p.RawCost[j-1] > p.RawCost[k-1] {
+				return fmt.Errorf("lattice: cost not monotone: g_%d=%f > g_%d=%f", j, p.RawCost[j-1], k, p.RawCost[k-1])
+			}
+		}
+	}
+	bottom := l.Bottom()
+	if p.Utility[bottom-1] != 0 || p.Cost[bottom-1] != 0 {
+		return fmt.Errorf("lattice: empty decision must have zero utility and cost")
+	}
+	return nil
+}

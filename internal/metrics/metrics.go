@@ -1,0 +1,196 @@
+// Package metrics provides the measurement and reporting layer of the
+// experiment harness: time series of decision shares, convergence-time
+// detection with tolerance eps (the quantity plotted in Fig. 9), summary
+// statistics, CSV export, and ASCII renderings of the paper's figures for
+// terminal output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is a named sequence of float samples, one per round.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Append adds a sample.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Last returns the final sample; ok is false for an empty series.
+func (s *Series) Last() (float64, bool) {
+	if len(s.Values) == 0 {
+		return 0, false
+	}
+	return s.Values[len(s.Values)-1], true
+}
+
+// ConvergenceRound returns the first round t such that every sample from t
+// to the end lies within [target-eps, target+eps] — the paper's definition
+// of convergence time ("the time duration that p converges to the interval
+// [p* - eps, p* + eps]"). ok is false if the series never converges.
+func (s *Series) ConvergenceRound(target, eps float64) (round int, ok bool) {
+	if len(s.Values) == 0 {
+		return 0, false
+	}
+	// Scan backward for the last out-of-band sample.
+	last := -1
+	for i := len(s.Values) - 1; i >= 0; i-- {
+		if math.Abs(s.Values[i]-target) > eps {
+			last = i
+			break
+		}
+	}
+	if last == len(s.Values)-1 {
+		return 0, false
+	}
+	return last + 1, true
+}
+
+// MaxAbsDelta returns the largest |v[t] - v[t-1]|, the per-round change
+// plotted in Fig. 10's fourth panel. Zero for series shorter than 2.
+func (s *Series) MaxAbsDelta() float64 {
+	worst := 0.0
+	for i := 1; i < len(s.Values); i++ {
+		if d := math.Abs(s.Values[i] - s.Values[i-1]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Deltas returns the per-round absolute changes (length Len()-1).
+func (s *Series) Deltas() []float64 {
+	if len(s.Values) < 2 {
+		return nil
+	}
+	out := make([]float64, len(s.Values)-1)
+	for i := 1; i < len(s.Values); i++ {
+		out[i-1] = math.Abs(s.Values[i] - s.Values[i-1])
+	}
+	return out
+}
+
+// Summary holds basic statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	P25, P75       float64
+	CoeffVariation float64 // Std / Mean; 0 when Mean == 0
+}
+
+// Summarize computes summary statistics. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range xs {
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, v := range xs {
+		s.Std += (v - s.Mean) * (v - s.Mean)
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
+	if s.Mean != 0 {
+		s.CoeffVariation = s.Std / s.Mean
+	}
+	return s
+}
+
+// Quantile returns the q-quantile of an ascending-sorted slice by linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	switch len(sorted) {
+	case 0:
+		return 0
+	case 1:
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram buckets xs into n equal-width bins over [min, max] and returns
+// the counts. Returns nil for empty input or n < 1.
+func Histogram(xs []float64, n int) []int {
+	if len(xs) == 0 || n < 1 {
+		return nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	counts := make([]int, n)
+	if hi == lo {
+		counts[0] = len(xs)
+		return counts
+	}
+	for _, v := range xs {
+		b := int(float64(n) * (v - lo) / (hi - lo))
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// ApproximationRatio returns achieved/bound, the quantity the paper reports
+// as "approximation ratios in [1.00, 1.15]". A zero bound with a zero
+// achieved value is 1; a zero bound otherwise is +Inf.
+func ApproximationRatio(achieved, bound int) float64 {
+	if bound == 0 {
+		if achieved == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(achieved) / float64(bound)
+}
+
+// FormatFloat renders a float compactly for table output.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.Abs(v) >= 1000 || (v != 0 && math.Abs(v) < 0.001):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

@@ -1,0 +1,278 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Name = "p1"
+	if _, ok := s.Last(); ok {
+		t.Error("empty series has no last")
+	}
+	s.Append(0.1)
+	s.Append(0.2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last != 0.2 {
+		t.Errorf("Last = %f,%v", last, ok)
+	}
+}
+
+func TestConvergenceRound(t *testing.T) {
+	s := Series{Values: []float64{0.1, 0.3, 0.5, 0.62, 0.64, 0.65, 0.66}}
+	tests := []struct {
+		target, eps float64
+		wantRound   int
+		wantOK      bool
+	}{
+		{0.65, 0.02, 4, true},    // rounds 4..6 stay within 0.02
+		{0.65, 0.005, 0, false},  // the final 0.66 is 0.01 away: never converges
+		{0.65, 0.0005, 0, false}, // likewise
+		{0.9, 0.05, 0, false},
+		{0.1, 5, 0, true}, // huge eps: converged from the start
+	}
+	for _, tt := range tests {
+		got, ok := s.ConvergenceRound(tt.target, tt.eps)
+		if ok != tt.wantOK || (ok && got != tt.wantRound) {
+			t.Errorf("ConvergenceRound(%f,%f) = %d,%v want %d,%v",
+				tt.target, tt.eps, got, ok, tt.wantRound, tt.wantOK)
+		}
+	}
+	empty := Series{}
+	if _, ok := empty.ConvergenceRound(0.5, 0.1); ok {
+		t.Error("empty series cannot converge")
+	}
+}
+
+// TestConvergenceRoundMonotoneInEps: looser tolerance never converges later.
+func TestConvergenceRoundMonotoneInEps(t *testing.T) {
+	s := Series{Values: []float64{0.9, 0.7, 0.5, 0.45, 0.42, 0.41, 0.405, 0.401, 0.4005, 0.4001}}
+	prev := -1
+	for _, eps := range []float64{0.2, 0.1, 0.05, 0.01, 0.001} {
+		r, ok := s.ConvergenceRound(0.4, eps)
+		if !ok {
+			continue
+		}
+		if prev >= 0 && r < prev {
+			t.Errorf("eps=%f converged at %d, earlier than tighter tolerance %d", eps, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	s := Series{Values: []float64{0.1, 0.4, 0.2}}
+	d := s.Deltas()
+	if len(d) != 2 || math.Abs(d[0]-0.3) > 1e-12 || math.Abs(d[1]-0.2) > 1e-12 {
+		t.Errorf("Deltas = %v", d)
+	}
+	if got := s.MaxAbsDelta(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("MaxAbsDelta = %f", got)
+	}
+	if (&Series{Values: []float64{1}}).Deltas() != nil {
+		t.Error("short series has no deltas")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Std = %f", s.Std)
+	}
+	if math.Abs(s.P25-2) > 1e-12 || math.Abs(s.P75-4) > 1e-12 {
+		t.Errorf("quartiles = %f, %f", s.P25, s.P75)
+	}
+	if math.Abs(s.CoeffVariation-s.Std/3) > 1e-12 {
+		t.Errorf("CV = %f", s.CoeffVariation)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1000))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 && s.P75 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Error("singleton quantile")
+	}
+	xs := []float64{1, 2, 3}
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 3 {
+		t.Error("clamped quantiles wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.1, 0.2, 0.9, 1.0}, 2)
+	if len(h) != 2 || h[0] != 3 || h[1] != 2 {
+		t.Errorf("Histogram = %v", h)
+	}
+	if Histogram(nil, 3) != nil {
+		t.Error("empty input")
+	}
+	if Histogram([]float64{1}, 0) != nil {
+		t.Error("zero bins")
+	}
+	same := Histogram([]float64{5, 5, 5}, 4)
+	if same[0] != 3 {
+		t.Errorf("constant input histogram = %v", same)
+	}
+}
+
+func TestApproximationRatio(t *testing.T) {
+	if r := ApproximationRatio(23, 20); math.Abs(r-1.15) > 1e-12 {
+		t.Errorf("ratio = %f", r)
+	}
+	if r := ApproximationRatio(0, 0); r != 1 {
+		t.Errorf("0/0 ratio = %f", r)
+	}
+	if r := ApproximationRatio(5, 0); !math.IsInf(r, 1) {
+		t.Errorf("n/0 ratio = %f", r)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(math.NaN()) != "nan" {
+		t.Error("NaN format")
+	}
+	if got := FormatFloat(0.5); got != "0.5000" {
+		t.Errorf("FormatFloat(0.5) = %q", got)
+	}
+	if got := FormatFloat(123456); !strings.Contains(got, "e") {
+		t.Errorf("large value should use scientific notation, got %q", got)
+	}
+	if got := FormatFloat(0.0000001); !strings.Contains(got, "e") {
+		t.Errorf("tiny value should use scientific notation, got %q", got)
+	}
+	if got := FormatFloat(0); got != "0.0000" {
+		t.Errorf("zero = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]string{
+		{"decision", "utility", "cost"},
+		{"P1", "20", "1.6"},
+		{"P8", "0", "0"},
+	}
+	if err := Table(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Error("missing header underline")
+	}
+	if !strings.Contains(lines[2], "P1") || !strings.Contains(lines[2], "1.6") {
+		t.Error("row content missing")
+	}
+	if err := Table(&buf, nil); err != nil {
+		t.Error("empty table must be a no-op")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart(&buf, []string{"a", "bb"}, []float64{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bar chart lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("max bar should be full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Errorf("half bar should be half width: %q", lines[0])
+	}
+	if err := BarChart(&buf, []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Name: "p1", Values: []float64{0, 0.25, 0.5, 0.75, 1}},
+		{Name: "p8", Values: []float64{1, 0.75, 0.5, 0.25, 0}},
+	}
+	if err := LineChart(&buf, series, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p1") || !strings.Contains(out, "p8") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series glyphs missing")
+	}
+	if err := LineChart(&buf, nil, 40, 8); err == nil {
+		t.Error("no series must error")
+	}
+	if err := LineChart(&buf, []Series{{Name: "e"}}, 40, 8); err == nil {
+		t.Error("empty series must error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Name: "a", Values: []float64{1, 2, 3}},
+		{Name: "b", Values: []float64{4}},
+	}
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "round,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Errorf("short series should pad: %q", lines[2])
+	}
+	if err := WriteCSV(&buf, nil); err == nil {
+		t.Error("no series must error")
+	}
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ASCII rendering of the experiment outputs: bar charts (Fig. 8(c)-style
+// coefficient distributions, Fig. 9-style convergence bars) and line charts
+// (Fig. 10-style share trajectories), plus aligned text tables. The goal is
+// that `cmd/repro` prints every table and figure of the paper in a form
+// directly comparable with the printed version.
+
+// Table renders rows with aligned columns. The first row is treated as the
+// header and underlined.
+func Table(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for c, cell := range row {
+			if c >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	writeRow := func(row []string) error {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(rows[0]); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range rows[1:] {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarChart renders horizontal bars scaled to maxWidth characters.
+func BarChart(w io.Writer, labels []string, values []float64, maxWidth int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("metrics: %d labels but %d values", len(labels), len(values))
+	}
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	peak := 0.0
+	for _, v := range values {
+		if v > peak {
+			peak = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if peak > 0 && v > 0 {
+			n = int(float64(maxWidth) * v / peak)
+			if n == 0 {
+				n = 1
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s %s\n", labelW, labels[i],
+			strings.Repeat("#", n), FormatFloat(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LineChart renders multiple series as a height x width character plot with
+// one glyph per series, sharing the y-range [0, max]. Series are sampled
+// (nearest) to fit the width.
+func LineChart(w io.Writer, series []Series, width, height int) error {
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series to plot")
+	}
+	if width < 8 {
+		width = 60
+	}
+	if height < 4 {
+		height = 12
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '@', '%', '&', '='}
+	peak := 0.0
+	longest := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > peak {
+				peak = v
+			}
+		}
+		if s.Len() > longest {
+			longest = s.Len()
+		}
+	}
+	if longest == 0 {
+		return fmt.Errorf("metrics: all series empty")
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for c := 0; c < width; c++ {
+			idx := c * (s.Len() - 1) / maxInt(1, width-1)
+			if idx >= s.Len() {
+				idx = s.Len() - 1
+			}
+			if s.Len() == 0 {
+				continue
+			}
+			v := s.Values[idx]
+			r := height - 1 - int(v/peak*float64(height-1)+0.5)
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][c] = g
+		}
+	}
+	for r, row := range grid {
+		y := peak * float64(height-1-r) / float64(height-1)
+		if _, err := fmt.Fprintf(w, "%8s |%s\n", FormatFloat(y), string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	var legend strings.Builder
+	for si, s := range series {
+		if si > 0 {
+			legend.WriteString("   ")
+		}
+		fmt.Fprintf(&legend, "%c=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	_, err := fmt.Fprintf(w, "%8s  %s\n", "", legend.String())
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV emits series as columns with a header row; series of different
+// lengths are padded with empty cells.
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series to export")
+	}
+	longest := 0
+	var header []string
+	header = append(header, "round")
+	for _, s := range series {
+		header = append(header, s.Name)
+		if s.Len() > longest {
+			longest = s.Len()
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for r := 0; r < longest; r++ {
+		row := []string{fmt.Sprintf("%d", r)}
+		for _, s := range series {
+			if r < s.Len() {
+				row = append(row, FormatFloat(s.Values[r]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

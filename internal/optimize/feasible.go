@@ -1,0 +1,162 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Projected-subgradient feasibility checking (the paper's Section IV-B
+// lower-bound machinery, citing [24]): given box-constrained variables and a
+// list of smooth-ish constraints c_j(z) <= 0, minimize the maximum violation
+//
+//	V(z) = max_j c_j(z)
+//
+// by subgradient steps projected onto the box; the problem is declared
+// feasible when V drops to (numerically) zero. Subgradients are evaluated by
+// forward finite differences of the active constraint, which is exact enough
+// for the quadratic constraints of Eq. (20)/(21).
+
+// Constraint is one inequality c(z) <= 0.
+type Constraint func(z []float64) float64
+
+// Problem is a box-constrained feasibility problem.
+type Problem struct {
+	// Lower and Upper bound each variable; they must have equal length.
+	Lower, Upper []float64
+	// Constraints are the inequalities c_j(z) <= 0.
+	Constraints []Constraint
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIters bounds subgradient iterations (default 2000).
+	MaxIters int
+	// Tol is the violation threshold under which the problem is declared
+	// feasible (default 1e-6).
+	Tol float64
+	// Step0 is the initial step size of the diminishing-step rule
+	// step = Step0 / sqrt(iter) (default 0.5).
+	Step0 float64
+	// FDEps is the finite-difference epsilon (default 1e-6).
+	FDEps float64
+}
+
+func (o *Options) fill() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Step0 <= 0 {
+		o.Step0 = 0.5
+	}
+	if o.FDEps <= 0 {
+		o.FDEps = 1e-6
+	}
+}
+
+// Result reports the solver outcome.
+type Result struct {
+	Feasible  bool
+	Z         []float64 // best point found
+	Violation float64   // V at Z
+	Iters     int
+}
+
+// Validate checks the problem shape.
+func (p *Problem) Validate() error {
+	if len(p.Lower) != len(p.Upper) {
+		return fmt.Errorf("optimize: bounds length mismatch %d vs %d", len(p.Lower), len(p.Upper))
+	}
+	if len(p.Lower) == 0 {
+		return fmt.Errorf("optimize: problem has no variables")
+	}
+	for i := range p.Lower {
+		if p.Lower[i] > p.Upper[i] {
+			return fmt.Errorf("optimize: variable %d has empty box [%f,%f]", i, p.Lower[i], p.Upper[i])
+		}
+		if math.IsNaN(p.Lower[i]) || math.IsNaN(p.Upper[i]) {
+			return fmt.Errorf("optimize: variable %d has NaN bounds", i)
+		}
+	}
+	if len(p.Constraints) == 0 {
+		return fmt.Errorf("optimize: problem has no constraints")
+	}
+	return nil
+}
+
+// violation returns V(z) and the index of the most violated constraint.
+func (p *Problem) violation(z []float64) (float64, int) {
+	worst, arg := math.Inf(-1), -1
+	for j, c := range p.Constraints {
+		if v := c(z); v > worst {
+			worst, arg = v, j
+		}
+	}
+	return worst, arg
+}
+
+func (p *Problem) project(z []float64) {
+	for i := range z {
+		if z[i] < p.Lower[i] {
+			z[i] = p.Lower[i]
+		}
+		if z[i] > p.Upper[i] {
+			z[i] = p.Upper[i]
+		}
+	}
+}
+
+// Solve runs projected subgradient descent on the max violation, starting
+// from the box midpoint.
+func (p *Problem) Solve(opts Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts.fill()
+	n := len(p.Lower)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = (p.Lower[i] + p.Upper[i]) / 2
+	}
+
+	best := append([]float64(nil), z...)
+	bestV, _ := p.violation(z)
+	grad := make([]float64, n)
+
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		v, j := p.violation(z)
+		if v < bestV {
+			bestV = v
+			copy(best, z)
+		}
+		if bestV <= opts.Tol {
+			return Result{Feasible: true, Z: best, Violation: bestV, Iters: iter}, nil
+		}
+		// Finite-difference subgradient of the active constraint.
+		c := p.Constraints[j]
+		base := c(z)
+		norm := 0.0
+		for i := range z {
+			h := opts.FDEps * math.Max(1, math.Abs(z[i]))
+			orig := z[i]
+			z[i] = orig + h
+			grad[i] = (c(z) - base) / h
+			z[i] = orig
+			norm += grad[i] * grad[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-15 {
+			// Flat active constraint: nothing to descend along.
+			break
+		}
+		step := opts.Step0 / math.Sqrt(float64(iter))
+		for i := range z {
+			z[i] -= step * grad[i] / norm
+		}
+		p.project(z)
+	}
+	v, _ := p.violation(best)
+	return Result{Feasible: v <= opts.Tol, Z: best, Violation: v, Iters: opts.MaxIters}, nil
+}

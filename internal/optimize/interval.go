@@ -1,0 +1,186 @@
+// Package optimize provides the numeric primitives behind the policy
+// optimizer: closed-interval algebra on [0,1] (used by FDS to solve the
+// convergence-case conditions for the sharing ratio analytically) and a
+// projected-subgradient feasibility solver (used by the relaxed lower-bound
+// problem of Eq. 22).
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a closed interval [Lo, Hi]. An interval with Lo > Hi is empty.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{Lo: math.Max(iv.Lo, other.Lo), Hi: math.Min(iv.Hi, other.Hi)}
+}
+
+// Width returns the length of the interval (0 for empty ones).
+func (iv Interval) Width() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Clamp returns the point of the interval nearest to x. Calling Clamp on an
+// empty interval is a bug; it returns NaN to make the misuse loud.
+func (iv Interval) Clamp(x float64) float64 {
+	if iv.Empty() {
+		return math.NaN()
+	}
+	return math.Max(iv.Lo, math.Min(iv.Hi, x))
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "∅"
+	}
+	return fmt.Sprintf("[%.4f,%.4f]", iv.Lo, iv.Hi)
+}
+
+// Unit is the interval [0, 1].
+func Unit() Interval { return Interval{Lo: 0, Hi: 1} }
+
+// EmptyInterval returns a canonical empty interval.
+func EmptyInterval() Interval { return Interval{Lo: 1, Hi: 0} }
+
+// SolveAffineGE returns {x in [0,1] : a + b*x >= 0} as an interval.
+func SolveAffineGE(a, b float64) Interval {
+	const eps = 1e-12
+	switch {
+	case math.Abs(b) <= eps:
+		if a >= -eps {
+			return Unit()
+		}
+		return EmptyInterval()
+	case b > 0:
+		return Interval{Lo: math.Max(0, -a/b), Hi: 1}.Intersect(Unit())
+	default:
+		return Interval{Lo: 0, Hi: math.Min(1, -a/b)}.Intersect(Unit())
+	}
+}
+
+// SolveAffineLE returns {x in [0,1] : a + b*x <= 0} as an interval.
+func SolveAffineLE(a, b float64) Interval {
+	return SolveAffineGE(-a, -b)
+}
+
+// Set is a union of disjoint, sorted, non-empty intervals within [0,1].
+// The zero Set is the empty set.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a Set from arbitrary intervals (they are cleaned, sorted,
+// and merged).
+func NewSet(ivs ...Interval) Set {
+	var kept []Interval
+	for _, iv := range ivs {
+		iv = iv.Intersect(Unit())
+		if !iv.Empty() {
+			kept = append(kept, iv)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Lo < kept[j].Lo })
+	var merged []Interval
+	for _, iv := range kept {
+		if n := len(merged); n > 0 && iv.Lo <= merged[n-1].Hi+1e-12 {
+			if iv.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return Set{ivs: merged}
+}
+
+// FullSet returns the set {[0,1]}.
+func FullSet() Set { return NewSet(Unit()) }
+
+// Empty reports whether the set contains no points.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Intervals returns the disjoint intervals of the set in ascending order.
+func (s Set) Intervals() []Interval { return append([]Interval(nil), s.ivs...) }
+
+// Contains reports membership.
+func (s Set) Contains(x float64) bool {
+	for _, iv := range s.ivs {
+		if iv.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the union of two sets.
+func (s Set) Union(other Set) Set {
+	return NewSet(append(s.Intervals(), other.ivs...)...)
+}
+
+// Intersect returns the intersection of two sets.
+func (s Set) Intersect(other Set) Set {
+	var out []Interval
+	for _, a := range s.ivs {
+		for _, b := range other.ivs {
+			if c := a.Intersect(b); !c.Empty() {
+				out = append(out, c)
+			}
+		}
+	}
+	return NewSet(out...)
+}
+
+// Nearest returns the point of the set closest to x. ok is false when the
+// set is empty.
+func (s Set) Nearest(x float64) (nearest float64, ok bool) {
+	if s.Empty() {
+		return 0, false
+	}
+	best, bestD := 0.0, math.Inf(1)
+	for _, iv := range s.ivs {
+		c := iv.Clamp(x)
+		if d := math.Abs(c - x); d < bestD {
+			bestD, best = d, c
+		}
+	}
+	return best, true
+}
+
+// Min returns the smallest point of the set. ok is false when empty.
+func (s Set) Min() (float64, bool) {
+	if s.Empty() {
+		return 0, false
+	}
+	return s.ivs[0].Lo, true
+}
+
+// String implements fmt.Stringer.
+func (s Set) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	out := ""
+	for i, iv := range s.ivs {
+		if i > 0 {
+			out += "∪"
+		}
+		out += iv.String()
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+)
+
+// RunFixedRatio is the baseline the paper contrasts FDS against in Fig. 10:
+// the sharing ratios stay at their initial values (e.g. 0.2 or 1.0) while
+// the decision dynamics run. It records the same trajectory data as Shape
+// and reports whether the uncontrolled dynamics happened to reach the field.
+func RunFixedRatio(d game.Stepper, s *game.State, f *Field, maxRounds int) (*ShapeResult, error) {
+	if maxRounds <= 0 {
+		return nil, fmt.Errorf("policy: maxRounds must be positive, got %d", maxRounds)
+	}
+	if err := f.Validate(d.Model()); err != nil {
+		return nil, err
+	}
+	res := &ShapeResult{}
+	snapshot := func() {
+		res.RatioTrace = append(res.RatioTrace, append([]float64(nil), s.X...))
+		pt := make([][]float64, len(s.P))
+		for i := range s.P {
+			pt[i] = append([]float64(nil), s.P[i]...)
+		}
+		res.Trajectory = append(res.Trajectory, pt)
+	}
+	snapshot()
+	for t := 0; t < maxRounds; t++ {
+		if ok, short := f.Converged(s); ok {
+			res.Converged = true
+			res.Rounds = t
+			res.Shortfall = short
+			return res, nil
+		}
+		if err := d.Step(s); err != nil {
+			return nil, err
+		}
+		snapshot()
+	}
+	ok, short := f.Converged(s)
+	res.Converged = ok
+	res.Rounds = maxRounds
+	res.Shortfall = short
+	return res, nil
+}

@@ -1,0 +1,351 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/game"
+	"repro/internal/optimize"
+)
+
+// FDS is the Fast Decision Shaping algorithm (Algorithm 2). Each round it
+// re-linearizes the replicator dynamics of every region, solves — in closed
+// form, since alpha1 and alpha2 are affine in the region's own sharing
+// ratio — for the set X_i of ratios that put each tracked decision share in
+// a convergence case flowing toward its desired field, intersects those sets
+// over the decisions, and moves x_i toward the feasible set by at most
+// Lambda per round (Eq. 13).
+//
+// Deviations from the pseudo-code, both documented in DESIGN.md §3: we use
+// the corrected Case-3a/3b orientation, and when x_i must move we step
+// toward the *nearest* point of X_i rather than min{X_i} (identical when
+// X_i is a single interval, weakly faster otherwise).
+type FDS struct {
+	model *game.Model
+	field *Field
+	// Lambda is the maximum per-round change of each sharing ratio.
+	Lambda float64
+	// BestEffort controls what happens when the per-decision condition sets
+	// have an empty intersection (possible, since one scalar ratio steers K
+	// coupled shares): when true (the default for Shape), decisions are
+	// dropped greedily from the intersection, farthest-from-target last, so
+	// the ratio still makes progress on the shares that matter most.
+	BestEffort bool
+	// StallPatience is the number of consecutive rounds a region may sit
+	// out of band without improving while its linearized conditions claim
+	// the current ratio is fine, before the controller nudges the ratio in
+	// the direction that helps the worst share. The replicator-based
+	// linearization can declare satisfaction at a ratio whose true
+	// (smoothed) fixed point is slightly outside the band; the nudge
+	// escapes that plateau. Zero disables stall detection (pure
+	// Algorithm 2).
+	StallPatience int
+
+	// Controller state for stall detection, reset by ResetStallState.
+	lastShortfall []float64
+	stallRounds   []int
+}
+
+// NewFDS validates inputs and builds the controller.
+func NewFDS(m *game.Model, f *Field, lambda float64) (*FDS, error) {
+	if m == nil {
+		return nil, fmt.Errorf("policy: model must be non-nil")
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("policy: lambda %f outside (0,1]", lambda)
+	}
+	if err := f.Validate(m); err != nil {
+		return nil, err
+	}
+	return &FDS{
+		model:         m,
+		field:         f,
+		Lambda:        lambda,
+		BestEffort:    true,
+		StallPatience: 8,
+		lastShortfall: make([]float64, m.M()),
+		stallRounds:   make([]int, m.M()),
+	}, nil
+}
+
+// ResetStallState clears the stall-detection memory (call when reusing one
+// controller across independent runs).
+func (f *FDS) ResetStallState() {
+	for i := range f.stallRounds {
+		f.stallRounds[i] = 0
+		f.lastShortfall[i] = 0
+	}
+}
+
+// Field returns the controller's desired field.
+func (f *FDS) Field() *Field { return f.field }
+
+// conditionSet returns the set of x values that place decision k of region
+// i (current share p, linearized coefficients c) in a case flowing to its
+// desired interval.
+func conditionSet(c game.LinearCoeffs, p float64, want optimize.Interval) optimize.Set {
+	a1, a2 := c.Alpha1, c.Alpha2
+	sum := a1.Add(a2)
+
+	sumGE := optimize.SolveAffineGE(sum.A, sum.B)
+	sumLE := optimize.SolveAffineLE(sum.A, sum.B)
+	a2GE := optimize.SolveAffineGE(a2.A, a2.B)
+	a2LE := optimize.SolveAffineLE(a2.A, a2.B)
+
+	switch {
+	case want.Contains(1):
+		// Case 1 or Case 3a: growth positive at the current share.
+		x1 := sumGE.Intersect(a2GE)
+		// Case 3a: unstable rest point below p, i.e. alpha1*p + alpha2 >= 0.
+		atP := optimize.SolveAffineGE(a1.A*p+a2.A, a1.B*p+a2.B)
+		x3a := sumGE.Intersect(a2LE).Intersect(atP)
+		return optimize.NewSet(x1, x3a)
+	case want.Contains(0):
+		// Case 2 or Case 3b.
+		x2 := sumLE.Intersect(a2LE)
+		atP := optimize.SolveAffineLE(a1.A*p+a2.A, a1.B*p+a2.B)
+		x3b := sumGE.Intersect(a2LE).Intersect(atP)
+		return optimize.NewSet(x2, x3b)
+	default:
+		// Case 4: stable interior rest point inside the desired interval.
+		// With alpha1 < 0, p* >= lo <=> alpha1*lo + alpha2 >= 0 and
+		// p* <= hi <=> alpha1*hi + alpha2 <= 0.
+		lo := optimize.SolveAffineGE(a1.A*want.Lo+a2.A, a1.B*want.Lo+a2.B)
+		hi := optimize.SolveAffineLE(a1.A*want.Hi+a2.A, a1.B*want.Hi+a2.B)
+		x4 := sumLE.Intersect(a2GE).Intersect(lo).Intersect(hi)
+		return optimize.NewSet(x4)
+	}
+}
+
+// UpdateRatios performs one FDS round: it recomputes X_i for every region
+// from the current state and moves each x_i toward it by at most Lambda,
+// writing the new ratios into s.X. It returns, per region, whether the
+// current ratio already satisfied its condition set.
+func (f *FDS) UpdateRatios(s *game.State) ([]bool, error) {
+	m := f.model
+	satisfied := make([]bool, m.M())
+	for i := 0; i < m.M(); i++ {
+		coeffs, err := m.Linearize(s, i)
+		if err != nil {
+			return nil, err
+		}
+
+		type cond struct {
+			set  optimize.Set
+			dist float64 // how far the share is from its target interval
+		}
+		conds := make([]cond, 0, m.K())
+		for k := 0; k < m.K(); k++ {
+			want := f.field.P[i][k]
+			if want.Lo <= 0 && want.Hi >= 1 {
+				continue // unconstrained share
+			}
+			p := s.P[i][k]
+			d := 0.0
+			switch {
+			case p < want.Lo:
+				d = want.Lo - p
+			case p > want.Hi:
+				d = p - want.Hi
+			}
+			set := conditionSet(coeffs[k], p, want)
+			if set.Empty() && d > 0 {
+				// No ratio places this share in a case flowing to its
+				// target under the frozen linearization — typical when the
+				// share is near-extinct and its growth rate is negative for
+				// every x. Fall back to the ratio extreme that maximizes
+				// (if the share must rise) or minimizes (if it must fall)
+				// the linearized growth rate alpha1*p + alpha2, so the
+				// system is at least steered toward eventual satisfiability.
+				set = growthExtremeSet(coeffs[k], p, p < want.Lo)
+			}
+			conds = append(conds, cond{set: set, dist: d})
+		}
+
+		xSet := optimize.FullSet()
+		if len(conds) > 0 {
+			// Intersect most-urgent first so best-effort dropping removes
+			// the least-urgent conditions.
+			sort.SliceStable(conds, func(a, b int) bool { return conds[a].dist > conds[b].dist })
+			for _, c := range conds {
+				next := xSet.Intersect(c.set)
+				if next.Empty() {
+					if !f.BestEffort {
+						xSet = next
+						break
+					}
+					continue // drop this condition
+				}
+				xSet = next
+			}
+		}
+
+		// Region shortfall for stall detection.
+		worstDist, worstK := 0.0, -1
+		for k := 0; k < m.K(); k++ {
+			want := f.field.P[i][k]
+			p := s.P[i][k]
+			d := 0.0
+			switch {
+			case p < want.Lo:
+				d = want.Lo - p
+			case p > want.Hi:
+				d = p - want.Hi
+			}
+			if d > worstDist {
+				worstDist, worstK = d, k
+			}
+		}
+
+		x := s.X[i]
+		if xSet.Empty() {
+			// No ratio helps under the frozen linearization; hold position.
+			satisfied[i] = false
+			f.noteProgress(i, worstDist)
+			continue
+		}
+		if xSet.Contains(x) {
+			satisfied[i] = true
+			if f.stalled(i, worstDist) && worstK >= 0 {
+				// The linearization says the ratio is fine, but the region
+				// has sat out of band without improving: nudge the ratio
+				// toward the extreme that raises (or lowers) the worst
+				// share's growth rate.
+				up := s.P[i][worstK] < f.field.P[i][worstK].Lo
+				nudge := growthExtremeSet(coeffs[worstK], s.P[i][worstK], up)
+				if target, ok := nudge.Nearest(x); ok {
+					step := clampStep(target-x, f.Lambda)
+					s.X[i] = clamp01(x + step)
+				}
+			}
+			continue
+		}
+		f.noteProgress(i, worstDist)
+		target, _ := xSet.Nearest(x)
+		s.X[i] = clamp01(x + clampStep(target-x, f.Lambda))
+	}
+	return satisfied, nil
+}
+
+// noteProgress records the region's shortfall and resets its stall counter
+// when the shortfall improved.
+func (f *FDS) noteProgress(i int, worstDist float64) {
+	if worstDist < f.lastShortfall[i]-1e-9 || worstDist == 0 {
+		f.stallRounds[i] = 0
+	}
+	f.lastShortfall[i] = worstDist
+}
+
+// stalled updates the stall counter and reports whether the region has been
+// stuck for StallPatience rounds.
+func (f *FDS) stalled(i int, worstDist float64) bool {
+	if f.StallPatience <= 0 || worstDist == 0 {
+		f.stallRounds[i] = 0
+		f.lastShortfall[i] = worstDist
+		return false
+	}
+	if worstDist < f.lastShortfall[i]-1e-9 {
+		f.stallRounds[i] = 0
+	} else {
+		f.stallRounds[i]++
+	}
+	f.lastShortfall[i] = worstDist
+	if f.stallRounds[i] >= f.StallPatience {
+		f.stallRounds[i] = 0
+		return true
+	}
+	return false
+}
+
+func clampStep(step, lambda float64) float64 {
+	if step > lambda {
+		return lambda
+	}
+	if step < -lambda {
+		return -lambda
+	}
+	return step
+}
+
+// growthExtremeSet returns the single ratio (as a point set) that extremizes
+// the linearized growth rate (alpha1*p + alpha2)(x), which is affine in x
+// with slope b1*p + b2: the maximizing endpoint when up is true, the
+// minimizing one otherwise.
+func growthExtremeSet(c game.LinearCoeffs, p float64, up bool) optimize.Set {
+	slope := c.Alpha1.B*p + c.Alpha2.B
+	hi := slope > 0
+	if !up {
+		hi = !hi
+	}
+	if hi {
+		return optimize.NewSet(optimize.Interval{Lo: 1, Hi: 1})
+	}
+	return optimize.NewSet(optimize.Interval{Lo: 0, Hi: 0})
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ShapeResult reports a full FDS run.
+type ShapeResult struct {
+	// Converged reports whether every share reached its desired interval
+	// within the round budget.
+	Converged bool
+	// Rounds is the number of rounds until convergence (or the budget).
+	Rounds int
+	// RatioTrace[t][i] is x_i at round t.
+	RatioTrace [][]float64
+	// Trajectory[t][i][k] is p_{i,k} at round t (including round 0).
+	Trajectory [][][]float64
+	// Shortfall is the final worst distance from a share to its interval.
+	Shortfall float64
+}
+
+// Shape runs the closed loop: each round FDS adjusts the sharing ratios,
+// then the replicator dynamics advance one round. It stops as soon as every
+// share is inside its desired field or after maxRounds.
+func (f *FDS) Shape(d game.Stepper, s *game.State, maxRounds int) (*ShapeResult, error) {
+	if maxRounds <= 0 {
+		return nil, fmt.Errorf("policy: maxRounds must be positive, got %d", maxRounds)
+	}
+	if d.Model() != f.model {
+		return nil, fmt.Errorf("policy: dynamics and FDS use different models")
+	}
+	res := &ShapeResult{}
+	snapshot := func() {
+		res.RatioTrace = append(res.RatioTrace, append([]float64(nil), s.X...))
+		pt := make([][]float64, len(s.P))
+		for i := range s.P {
+			pt[i] = append([]float64(nil), s.P[i]...)
+		}
+		res.Trajectory = append(res.Trajectory, pt)
+	}
+	snapshot()
+	for t := 0; t < maxRounds; t++ {
+		if ok, short := f.field.Converged(s); ok {
+			res.Converged = true
+			res.Rounds = t
+			res.Shortfall = short
+			return res, nil
+		}
+		if _, err := f.UpdateRatios(s); err != nil {
+			return nil, err
+		}
+		if err := d.Step(s); err != nil {
+			return nil, err
+		}
+		snapshot()
+	}
+	ok, short := f.field.Converged(s)
+	res.Converged = ok
+	res.Rounds = maxRounds
+	res.Shortfall = short
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/optimize"
+)
+
+// Desired-field JSON format. Operators describe fields declaratively (for
+// cmd/cpnode or their own tooling) instead of constructing intervals in
+// code:
+//
+//	{
+//	  "regions": 4,
+//	  "decisions": 8,
+//	  "defaults": [{"decision": 1, "min": 0.2}],
+//	  "overrides": [{"region": 2, "decision": 1, "min": 0.5, "max": 1}]
+//	}
+//
+// `defaults` apply to every region; `overrides` refine single regions.
+// Omitted min/max default to 0 and 1 — a bound-only entry is the common
+// one-sided operational constraint.
+
+// FieldSpec is the serializable description of a desired decision field.
+type FieldSpec struct {
+	// Regions and Decisions fix the field shape (required).
+	Regions   int `json:"regions"`
+	Decisions int `json:"decisions"`
+	// Defaults are per-decision constraints applied to every region.
+	Defaults []FieldBound `json:"defaults,omitempty"`
+	// Overrides are region-specific constraints applied after Defaults.
+	Overrides []FieldBound `json:"overrides,omitempty"`
+}
+
+// FieldBound is one constraint: decision indices are 1-based (P1..PK) as in
+// the paper; Region is ignored for Defaults entries.
+type FieldBound struct {
+	Region   int      `json:"region,omitempty"`
+	Decision int      `json:"decision"`
+	Min      *float64 `json:"min,omitempty"`
+	Max      *float64 `json:"max,omitempty"`
+}
+
+// interval converts the bound's min/max into an interval.
+func (b FieldBound) interval() optimize.Interval {
+	iv := optimize.Unit()
+	if b.Min != nil {
+		iv.Lo = *b.Min
+	}
+	if b.Max != nil {
+		iv.Hi = *b.Max
+	}
+	return iv
+}
+
+func (b FieldBound) validate(regions, decisions int, requireRegion bool) error {
+	if b.Decision < 1 || b.Decision > decisions {
+		return fmt.Errorf("policy: decision %d out of range [1,%d]", b.Decision, decisions)
+	}
+	if requireRegion && (b.Region < 0 || b.Region >= regions) {
+		return fmt.Errorf("policy: region %d out of range [0,%d)", b.Region, regions)
+	}
+	iv := b.interval()
+	if iv.Lo < 0 || iv.Hi > 1 || iv.Empty() {
+		return fmt.Errorf("policy: bound for decision %d yields invalid interval %v", b.Decision, iv)
+	}
+	return nil
+}
+
+// Build materializes the spec into a Field.
+func (spec FieldSpec) Build() (*Field, error) {
+	if spec.Regions < 1 {
+		return nil, fmt.Errorf("policy: field spec needs at least one region, got %d", spec.Regions)
+	}
+	if spec.Decisions < 1 {
+		return nil, fmt.Errorf("policy: field spec needs at least one decision, got %d", spec.Decisions)
+	}
+	f := NewFreeField(spec.Regions, spec.Decisions)
+	for _, b := range spec.Defaults {
+		if err := b.validate(spec.Regions, spec.Decisions, false); err != nil {
+			return nil, fmt.Errorf("policy: defaults: %w", err)
+		}
+		for i := 0; i < spec.Regions; i++ {
+			f.P[i][b.Decision-1] = f.P[i][b.Decision-1].Intersect(b.interval())
+		}
+	}
+	for _, b := range spec.Overrides {
+		if err := b.validate(spec.Regions, spec.Decisions, true); err != nil {
+			return nil, fmt.Errorf("policy: overrides: %w", err)
+		}
+		f.P[b.Region][b.Decision-1] = f.P[b.Region][b.Decision-1].Intersect(b.interval())
+	}
+	for i := range f.P {
+		for k, iv := range f.P[i] {
+			if iv.Empty() {
+				return nil, fmt.Errorf("policy: combined bounds empty for region %d decision %d", i, k+1)
+			}
+		}
+	}
+	return f, nil
+}
+
+// ReadFieldSpec parses a FieldSpec from JSON and builds the field.
+func ReadFieldSpec(r io.Reader) (*Field, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec FieldSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("policy: parsing field spec: %w", err)
+	}
+	return spec.Build()
+}
+
+// WriteFieldSpec serializes a Field back into the spec format (every
+// non-free interval becomes an override entry).
+func WriteFieldSpec(w io.Writer, f *Field) error {
+	spec := FieldSpec{Regions: f.M(), Decisions: f.K()}
+	for i, row := range f.P {
+		for k, iv := range row {
+			if iv.Lo <= 0 && iv.Hi >= 1 {
+				continue
+			}
+			b := FieldBound{Region: i, Decision: k + 1}
+			if iv.Lo > 0 {
+				lo := iv.Lo
+				b.Min = &lo
+			}
+			if iv.Hi < 1 {
+				hi := iv.Hi
+				b.Max = &hi
+			}
+			spec.Overrides = append(spec.Overrides, b)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spec); err != nil {
+		return fmt.Errorf("policy: writing field spec: %w", err)
+	}
+	return nil
+}

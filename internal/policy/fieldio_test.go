@@ -1,0 +1,117 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func TestFieldSpecBuild(t *testing.T) {
+	spec := FieldSpec{
+		Regions:   3,
+		Decisions: 8,
+		Defaults: []FieldBound{
+			{Decision: 1, Min: f64(0.2)},
+			{Decision: 5, Max: f64(0.1)},
+		},
+		Overrides: []FieldBound{
+			{Region: 1, Decision: 1, Min: f64(0.5), Max: f64(0.9)},
+		},
+	}
+	field, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if field.M() != 3 || field.K() != 8 {
+		t.Fatalf("field shape %dx%d", field.M(), field.K())
+	}
+	// Defaults everywhere.
+	if field.P[0][0].Lo != 0.2 || field.P[2][0].Lo != 0.2 {
+		t.Errorf("default min not applied: %v / %v", field.P[0][0], field.P[2][0])
+	}
+	if field.P[0][4].Hi != 0.1 {
+		t.Errorf("default max not applied: %v", field.P[0][4])
+	}
+	// Override intersects with the default.
+	if field.P[1][0].Lo != 0.5 || field.P[1][0].Hi != 0.9 {
+		t.Errorf("override not applied: %v", field.P[1][0])
+	}
+	// Untouched shares stay free.
+	if field.P[0][3].Lo != 0 || field.P[0][3].Hi != 1 {
+		t.Errorf("free share modified: %v", field.P[0][3])
+	}
+}
+
+func TestFieldSpecValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		spec FieldSpec
+	}{
+		{"no regions", FieldSpec{Regions: 0, Decisions: 8}},
+		{"no decisions", FieldSpec{Regions: 1, Decisions: 0}},
+		{"decision too large", FieldSpec{Regions: 1, Decisions: 8,
+			Defaults: []FieldBound{{Decision: 9, Min: f64(0.1)}}}},
+		{"decision zero", FieldSpec{Regions: 1, Decisions: 8,
+			Defaults: []FieldBound{{Decision: 0}}}},
+		{"override region out of range", FieldSpec{Regions: 2, Decisions: 8,
+			Overrides: []FieldBound{{Region: 5, Decision: 1, Min: f64(0.1)}}}},
+		{"inverted interval", FieldSpec{Regions: 1, Decisions: 8,
+			Defaults: []FieldBound{{Decision: 1, Min: f64(0.8), Max: f64(0.2)}}}},
+		{"min above one", FieldSpec{Regions: 1, Decisions: 8,
+			Defaults: []FieldBound{{Decision: 1, Min: f64(1.2)}}}},
+		{"contradictory combination", FieldSpec{Regions: 1, Decisions: 8,
+			Defaults:  []FieldBound{{Decision: 1, Min: f64(0.8)}},
+			Overrides: []FieldBound{{Region: 0, Decision: 1, Max: f64(0.2)}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.spec.Build(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestFieldSpecJSONRoundTrip(t *testing.T) {
+	input := `{
+	  "regions": 2,
+	  "decisions": 8,
+	  "defaults": [{"decision": 1, "min": 0.3}],
+	  "overrides": [{"region": 1, "decision": 7, "max": 0.05}]
+	}`
+	field, err := ReadFieldSpec(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if field.P[0][0].Lo != 0.3 || field.P[1][6].Hi != 0.05 {
+		t.Fatalf("parsed field wrong: %v / %v", field.P[0][0], field.P[1][6])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFieldSpec(&buf, field); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFieldSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range field.P {
+		for k := range field.P[i] {
+			if field.P[i][k] != back.P[i][k] {
+				t.Fatalf("round trip changed region %d decision %d: %v vs %v",
+					i, k+1, field.P[i][k], back.P[i][k])
+			}
+		}
+	}
+}
+
+func TestReadFieldSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadFieldSpec(strings.NewReader(`{"regions":1,"decisions":8,"bogus":true}`)); err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+	if _, err := ReadFieldSpec(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed JSON must be rejected")
+	}
+}

@@ -1,0 +1,395 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/game"
+	"repro/internal/optimize"
+)
+
+// Lower bound of the optimal convergence time (Section IV-B). Two methods:
+//
+//  1. AnalyticLowerBound: Proposition 4.1 bounds each per-round movement
+//     |delta p_{i,k}| by a closed-form envelope that is increasing in the
+//     sharing ratio; with the ratio itself limited to move Lambda per round
+//     (Eq. 13), the cumulative reachable displacement after T rounds is
+//     maximized by the x-trajectory that saturates the Lambda constraint.
+//     The smallest T whose cumulative envelope covers the share's distance
+//     to its target interval is a valid lower bound, and the maximum over
+//     all (i,k) bounds the whole problem.
+//
+//  2. SubgradientLowerBound: the paper's relaxed feasibility program
+//     (Eq. 22) solved for increasing T with the projected-subgradient
+//     checker; the first feasible T is the bound. Exact on the relaxation
+//     but costly, so it is intended for small instances and as a
+//     cross-check of method 1.
+
+// envelopes returns, per decision k of region i, the quantities of
+// Prop. 4.1 that do not depend on the round: F_k = sum_{l in Acc(k)} f_l,
+// Fmax = max_l F_l, Gamma_i = sum_{j in N_i} gamma_{j,i}, and gmax.
+type envelope struct {
+	fK     float64 // sum of f over decisions accessible from k
+	fMax   float64 // max over l of fK(l)
+	gammaN float64 // sum of neighbour gamma_{j,i}
+	gSelf  float64 // gamma_{i,i}
+	gK     float64 // g_k
+	gMax   float64 // max_l g_l
+	beta   float64
+}
+
+// maxUpStep bounds delta p from above at share p and ratio x (Eq. 20):
+//
+//	delta p <= beta*(1-p)*F_k*(gamma_ii*x + Gamma)*p - (g_k - sum p_l g_l)*p
+//	        <= [beta*(1-p)*F_k*(gamma_ii*x + Gamma) + max(0, gmax - g_k)] * p.
+//
+// The multiplicative factor p is what makes the bound informative when the
+// share starts near extinction: growth is at most geometric.
+func (m envelope) maxUpStep(p, x float64) float64 {
+	return (m.beta*(1-p)*m.fK*(m.gSelf*x+m.gammaN) + math.Max(0, m.gMax-m.gK)) * p
+}
+
+// maxDownStep bounds -delta p from above at share p and ratio x (Eq. 21):
+//
+//	-delta p <= [beta*Fmax*(gamma_ii*x + Gamma) + g_k] * p.
+func (m envelope) maxDownStep(p, x float64) float64 {
+	return (m.beta*m.fMax*(m.gSelf*x+m.gammaN) + m.gK) * p
+}
+
+func buildEnvelope(mod *game.Model, i, k int) envelope {
+	pay := mod.Payoffs()
+	ones := make([]float64, mod.K())
+	for l := range ones {
+		ones[l] = 1
+	}
+	fK := mod.AccessibleValue(k, ones) // sum_{l in Acc(k)} f_l
+	fMax := 0.0
+	for l := 0; l < mod.K(); l++ {
+		if v := mod.AccessibleValue(l, ones); v > fMax {
+			fMax = v
+		}
+	}
+	gammaN := 0.0
+	for _, j := range mod.Graph().Neighbors(i) {
+		gammaN += mod.Graph().Gamma(j, i)
+	}
+	gMax := 0.0
+	for l := 0; l < mod.K(); l++ {
+		if pay.Cost[l] > gMax {
+			gMax = pay.Cost[l]
+		}
+	}
+	return envelope{
+		fK:     fK,
+		fMax:   fMax,
+		gammaN: gammaN,
+		gSelf:  mod.Graph().Gamma(i, i),
+		gK:     pay.Cost[k],
+		gMax:   gMax,
+		beta:   mod.Beta(i),
+	}
+}
+
+// AnalyticLowerBound returns a lower bound on the number of rounds any
+// policy respecting the Lambda constraint needs to move the state s into
+// the field f, under the model's dynamics envelope (Prop. 4.1). maxRounds
+// caps the search; if even maxRounds cannot cover the distance the bound is
+// reported as maxRounds with capped=true.
+func AnalyticLowerBound(mod *game.Model, f *Field, s *game.State, lambda float64, maxRounds int) (bound int, capped bool, err error) {
+	if err := f.Validate(mod); err != nil {
+		return 0, false, err
+	}
+	if lambda <= 0 || lambda > 1 {
+		return 0, false, fmt.Errorf("policy: lambda %f outside (0,1]", lambda)
+	}
+	if maxRounds <= 0 {
+		return 0, false, fmt.Errorf("policy: maxRounds must be positive")
+	}
+	worst := 0
+	for i := 0; i < mod.M(); i++ {
+		for k := 0; k < mod.K(); k++ {
+			want := f.P[i][k]
+			p := s.P[i][k]
+			up := p < want.Lo
+			if !up && p <= want.Hi {
+				continue
+			}
+			env := buildEnvelope(mod, i, k)
+			x := s.X[i]
+			t := 0
+			// Integrate the fastest-possible envelope trajectory: the ratio
+			// saturates its Lambda budget toward the favorable extreme and
+			// the share takes the extreme step every round. The bound is
+			// one-sided reachability — the first round the envelope touches
+			// the near edge of the desired interval — because the envelope
+			// is an upper bound on progress, not a trajectory.
+			for (up && p < want.Lo) || (!up && p > want.Hi) {
+				if t >= maxRounds {
+					return maxRounds, true, nil
+				}
+				if up {
+					p += env.maxUpStep(p, x)
+					x = math.Min(1, x+lambda)
+				} else {
+					p -= env.maxDownStep(p, x)
+					if p < 0 {
+						p = 0
+					}
+					x = math.Max(0, x-lambda)
+				}
+				t++
+			}
+			if t > worst {
+				worst = t
+			}
+		}
+	}
+	return worst, false, nil
+}
+
+// RevisionLowerBound is the lower bound matching the logit
+// (smoothed-best-response) dynamic. Two envelopes constrain any policy:
+//
+//  1. Revision rate: only a fraction mu of the population revises per
+//     round, so delta p <= mu*(sigma - p) rising and -delta p <= mu*p
+//     falling.
+//  2. Choice probability: the softmax target sigma_k cannot exceed
+//     1/(1 + exp(-q_k^max(x)/tau)), because the empty decision always has
+//     fitness exactly 0 (f and g are both zero for it) and
+//     q_k <= beta*(gamma_ii*x + Gamma_i)*maxf_k - g_k with maxf_k the best
+//     utility value accessible from k. The ratio x itself can rise by at
+//     most lambda per round (Eq. 13), so early rounds cap sigma well below
+//     1 — this is what makes the bound track the Lambda-limited ramp.
+//
+// The bound integrates the joint envelope per (region, decision) from the
+// current state; the maximum over pairs bounds the whole problem.
+func RevisionLowerBound(mod *game.Model, f *Field, s *game.State, mu, tau, lambda float64, maxRounds int) (bound int, capped bool, err error) {
+	if err := f.Validate(mod); err != nil {
+		return 0, false, err
+	}
+	if mu <= 0 || mu > 1 {
+		return 0, false, fmt.Errorf("policy: mu %f outside (0,1]", mu)
+	}
+	if tau <= 0 {
+		return 0, false, fmt.Errorf("policy: tau %f must be positive", tau)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return 0, false, fmt.Errorf("policy: lambda %f outside (0,1]", lambda)
+	}
+	if maxRounds <= 0 {
+		return 0, false, fmt.Errorf("policy: maxRounds must be positive")
+	}
+
+	// maxf[k] = max_{l in Acc(k)} f_l.
+	maxf := make([]float64, mod.K())
+	oneHot := make([]float64, mod.K())
+	for k := 0; k < mod.K(); k++ {
+		for l := 0; l < mod.K(); l++ {
+			oneHot[l] = 1
+			if v := mod.AccessibleValue(k, oneHot); v > maxf[k] {
+				maxf[k] = v
+			}
+			oneHot[l] = 0
+		}
+	}
+
+	worst := 0
+	for i := 0; i < mod.M(); i++ {
+		gammaN := 0.0
+		for _, j := range mod.Graph().Neighbors(i) {
+			gammaN += mod.Graph().Gamma(j, i)
+		}
+		gSelf := mod.Graph().Gamma(i, i)
+		beta := mod.Beta(i)
+		for k := 0; k < mod.K(); k++ {
+			want := f.P[i][k]
+			p := s.P[i][k]
+			up := p < want.Lo
+			if !up && p <= want.Hi {
+				continue
+			}
+			x := s.X[i]
+			t := 0
+			// One-sided reachability: first round the envelope touches the
+			// near edge of the band (a narrow band could otherwise be
+			// jumped over forever, which would not be a valid bound).
+			for (up && p < want.Lo) || (!up && p > want.Hi) {
+				if t >= maxRounds {
+					return maxRounds, true, nil
+				}
+				if up {
+					qMax := beta*(gSelf*x+gammaN)*maxf[k] - mod.Payoffs().Cost[k]
+					sigmaMax := 1 / (1 + math.Exp(-qMax/tau))
+					if sigmaMax > p {
+						p += mu * (sigmaMax - p)
+					}
+					x = math.Min(1, x+lambda)
+				} else {
+					p -= mu * p
+					x = math.Max(0, x-lambda)
+				}
+				t++
+				// A share capped below its target by the sigma envelope
+				// even at x = 1 can never arrive under this relaxation;
+				// report the search as capped.
+				if up && x >= 1 && p < want.Lo {
+					qMax := beta*(gSelf+gammaN)*maxf[k] - mod.Payoffs().Cost[k]
+					if sig := 1 / (1 + math.Exp(-qMax/tau)); sig <= p+1e-15 {
+						return maxRounds, true, nil
+					}
+				}
+			}
+			if t > worst {
+				worst = t
+			}
+		}
+	}
+	return worst, false, nil
+}
+
+// SubgradientLowerBound solves the relaxed program (Eq. 22) for T = 1, 2,
+// ... maxRounds: variables are the per-round sharing ratios and decision
+// shares, constrained by the Prop. 4.1 movement band, the per-round Lambda
+// limit, the simplex conditions, and the terminal desired field. The first
+// feasible T is returned. Intended for small instances (M*K*T up to a few
+// hundred variables).
+func SubgradientLowerBound(mod *game.Model, f *Field, s *game.State, lambda float64, maxRounds int, opts optimize.Options) (bound int, capped bool, err error) {
+	if err := f.Validate(mod); err != nil {
+		return 0, false, err
+	}
+	if lambda <= 0 || lambda > 1 {
+		return 0, false, fmt.Errorf("policy: lambda %f outside (0,1]", lambda)
+	}
+	if ok, _ := f.Converged(s); ok {
+		return 0, false, nil
+	}
+	for T := 1; T <= maxRounds; T++ {
+		prob := buildRelaxedProblem(mod, f, s, lambda, T)
+		res, err := prob.Solve(opts)
+		if err != nil {
+			return 0, false, fmt.Errorf("policy: relaxed problem T=%d: %w", T, err)
+		}
+		if res.Feasible {
+			return T, false, nil
+		}
+	}
+	return maxRounds, true, nil
+}
+
+// Variable layout for the relaxed problem with horizon T:
+//
+//	x[i][t]   at index i*T + t                      (t = 0..T-1), M*T vars
+//	p[i][k][t] at index M*T + (i*K+k)*(T+1) + t     (t = 0..T),  M*K*(T+1) vars
+func buildRelaxedProblem(mod *game.Model, f *Field, s *game.State, lambda float64, T int) *optimize.Problem {
+	M, K := mod.M(), mod.K()
+	nx := M * T
+	np := M * K * (T + 1)
+	lower := make([]float64, nx+np)
+	upper := make([]float64, nx+np)
+
+	xIdx := func(i, t int) int { return i*T + t }
+	pIdx := func(i, k, t int) int { return nx + (i*K+k)*(T+1) + t }
+
+	for i := 0; i < M; i++ {
+		for t := 0; t < T; t++ {
+			lower[xIdx(i, t)] = 0
+			upper[xIdx(i, t)] = 1
+		}
+		// x at t=0 is the current ratio.
+		lower[xIdx(i, 0)] = s.X[i]
+		upper[xIdx(i, 0)] = s.X[i]
+		for k := 0; k < K; k++ {
+			for t := 0; t <= T; t++ {
+				lower[pIdx(i, k, t)] = 0
+				upper[pIdx(i, k, t)] = 1
+			}
+			// p at t=0 is the current distribution.
+			lower[pIdx(i, k, 0)] = s.P[i][k]
+			upper[pIdx(i, k, 0)] = s.P[i][k]
+			// p at t=T must lie in the desired field.
+			want := f.P[i][k]
+			lower[pIdx(i, k, T)] = math.Max(lower[pIdx(i, k, T)], want.Lo)
+			upper[pIdx(i, k, T)] = math.Min(upper[pIdx(i, k, T)], want.Hi)
+		}
+	}
+
+	var cons []optimize.Constraint
+	for i := 0; i < M; i++ {
+		i := i
+		// Lambda constraints between consecutive ratios.
+		for t := 0; t+1 < T; t++ {
+			t := t
+			cons = append(cons,
+				func(z []float64) float64 { return z[xIdx(i, t+1)] - z[xIdx(i, t)] - lambda },
+				func(z []float64) float64 { return z[xIdx(i, t)] - z[xIdx(i, t+1)] - lambda },
+			)
+		}
+		// Simplex: sum_k p = 1 at every round.
+		for t := 1; t <= T; t++ {
+			t := t
+			cons = append(cons,
+				func(z []float64) float64 {
+					total := 0.0
+					for k := 0; k < K; k++ {
+						total += z[pIdx(i, k, t)]
+					}
+					return total - 1
+				},
+				func(z []float64) float64 {
+					total := 0.0
+					for k := 0; k < K; k++ {
+						total += z[pIdx(i, k, t)]
+					}
+					return 1 - total
+				},
+			)
+		}
+		// Movement band from Prop. 4.1. fAll[l] = sum_{k_a in Acc(l)} f_{k_a}
+		// as needed by the Eq. (21) lower envelope.
+		ones := make([]float64, K)
+		for l := range ones {
+			ones[l] = 1
+		}
+		fAll := make([]float64, K)
+		for l := 0; l < K; l++ {
+			fAll[l] = mod.AccessibleValue(l, ones)
+		}
+		for k := 0; k < K; k++ {
+			k := k
+			env := buildEnvelope(mod, i, k)
+			pay := mod.Payoffs()
+			for t := 0; t < T; t++ {
+				t := t
+				cons = append(cons,
+					// Upper: p_{t+1} - p_t <= UB(p_t, x_t).
+					func(z []float64) float64 {
+						p := z[pIdx(i, k, t)]
+						x := z[xIdx(i, t)]
+						sumPG := 0.0
+						for l := 0; l < K; l++ {
+							sumPG += z[pIdx(i, l, t)] * pay.Cost[l]
+						}
+						ub := env.beta*(1-p)*env.fK*(env.gSelf*x+env.gammaN)*p - (env.gK-sumPG)*p
+						return z[pIdx(i, k, t+1)] - p - ub
+					},
+					// Lower: p_{t+1} - p_t >= LB(p_t, x_t).
+					func(z []float64) float64 {
+						p := z[pIdx(i, k, t)]
+						x := z[xIdx(i, t)]
+						sumPG := 0.0
+						sumOtherF := 0.0
+						for l := 0; l < K; l++ {
+							sumPG += z[pIdx(i, l, t)] * pay.Cost[l]
+							if l != k {
+								sumOtherF += z[pIdx(i, l, t)] * fAll[l]
+							}
+						}
+						lb := -env.beta*sumOtherF*(env.gSelf*x+env.gammaN)*p - (env.gK-sumPG)*p
+						return lb - (z[pIdx(i, k, t+1)] - p)
+					},
+				)
+			}
+		}
+	}
+	return &optimize.Problem{Lower: lower, Upper: upper, Constraints: cons}
+}

@@ -1,0 +1,141 @@
+package roadnet
+
+// Betweenness centrality (BC) of road segments, Eq. (2) of the paper:
+//
+//	BC_i = 1/((N-1)(N-2)) * sum_{j != k != i} eta_{j,k}(u_i) / eta_{j,k}
+//
+// where eta_{j,k} is the number of shortest paths between segments u_j and
+// u_k and eta_{j,k}(u_i) the number of those passing through u_i. Computed
+// with Brandes' algorithm (unweighted, BFS variant), O(V*E).
+
+// BetweennessCentrality returns the normalized betweenness centrality of
+// every segment, indexed by SegmentID. Endpoints are excluded (standard
+// vertex betweenness), matching Eq. (2)'s j != i != k restriction, and values
+// are normalized by (N-1)(N-2) — the number of ordered source/target pairs
+// excluding i — so results lie in [0, 1].
+func (n *Network) BetweennessCentrality() []float64 {
+	nv := len(n.segments)
+	bc := make([]float64, nv)
+	if nv < 3 {
+		return bc
+	}
+
+	// Brandes' accumulation with per-source scratch buffers.
+	var (
+		stack = make([]SegmentID, 0, nv)
+		preds = make([][]SegmentID, nv)
+		sigma = make([]float64, nv)
+		dist  = make([]int, nv)
+		delta = make([]float64, nv)
+		queue = make([]SegmentID, 0, nv)
+	)
+
+	for s := 0; s < nv; s++ {
+		stack = stack[:0]
+		queue = queue[:0]
+		for i := 0; i < nv; i++ {
+			sigma[i] = 0
+			dist[i] = -1
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+
+		src := SegmentID(s)
+		sigma[src] = 1
+		dist[src] = 0
+		queue = append(queue, src)
+
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range n.adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+
+		// Back-propagation of dependencies.
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != src {
+				bc[w] += delta[w]
+			}
+		}
+	}
+
+	// The accumulation above counts each unordered pair twice (once per
+	// direction); Eq. (2) sums over ordered pairs, so no halving. Normalize
+	// by (N-1)(N-2).
+	norm := 1.0 / (float64(nv-1) * float64(nv-2))
+	for i := range bc {
+		bc[i] *= norm
+	}
+	return bc
+}
+
+// CountShortestPaths returns eta_{src,dst}: the number of distinct
+// minimum-hop paths between src and dst. Intended for testing BC against the
+// definitional formula on small graphs; it runs one BFS per call.
+func (n *Network) CountShortestPaths(src, dst SegmentID) int {
+	nv := len(n.segments)
+	if src < 0 || int(src) >= nv || dst < 0 || int(dst) >= nv {
+		return 0
+	}
+	if src == dst {
+		return 1
+	}
+	sigma := make([]int, nv)
+	dist := make([]int, nv)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[src] = 1
+	dist[src] = 0
+	queue := []SegmentID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range n.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+			if dist[w] == dist[v]+1 {
+				sigma[w] += sigma[v]
+			}
+		}
+	}
+	return sigma[dst]
+}
+
+// CountShortestPathsThrough returns eta_{src,dst}(mid): the number of
+// minimum-hop src-dst paths passing through mid (mid interior, per Eq. (2)).
+// Returns 0 when mid equals src or dst.
+func (n *Network) CountShortestPathsThrough(src, dst, mid SegmentID) int {
+	if mid == src || mid == dst {
+		return 0
+	}
+	total := n.CountShortestPaths(src, dst)
+	if total == 0 {
+		return 0
+	}
+	dSrc := n.BFSDistances(src)
+	dDst := n.BFSDistances(dst)
+	if dSrc[mid] < 0 || dDst[mid] < 0 || dSrc[dst] < 0 {
+		return 0
+	}
+	if dSrc[mid]+dDst[mid] != dSrc[dst] {
+		return 0
+	}
+	return n.CountShortestPaths(src, mid) * n.CountShortestPaths(mid, dst)
+}

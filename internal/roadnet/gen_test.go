@@ -1,0 +1,241 @@
+package roadnet
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func smallGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 12, 14
+	return cfg
+}
+
+func TestGenerateProducesConnectedNetwork(t *testing.T) {
+	net, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Connected() {
+		t.Fatal("generated network must be connected")
+	}
+	if net.NumSegments() < 200 {
+		t.Errorf("generated only %d segments", net.NumSegments())
+	}
+	box := geo.FutianBBox()
+	for _, s := range net.Segments() {
+		if !box.Contains(s.Midpoint) {
+			t.Fatalf("segment %d midpoint %v outside box", s.ID, s.Midpoint)
+		}
+		if s.LengthMeters <= 0 {
+			t.Fatalf("segment %d has non-positive length", s.ID)
+		}
+		if s.Class < ClassArterial || s.Class > ClassLocal {
+			t.Fatalf("segment %d has invalid class %v", s.ID, s.Class)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSegments() != b.NumSegments() || a.NumAdjacencies() != b.NumAdjacencies() {
+		t.Fatalf("same seed produced different networks: %d/%d vs %d/%d segments/adjacencies",
+			a.NumSegments(), a.NumAdjacencies(), b.NumSegments(), b.NumAdjacencies())
+	}
+	for i := 0; i < a.NumSegments(); i++ {
+		if a.Segment(SegmentID(i)).Midpoint != b.Segment(SegmentID(i)).Midpoint {
+			t.Fatalf("segment %d midpoints differ", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesNetwork(t *testing.T) {
+	cfg := smallGenConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.NumSegments() == b.NumSegments()
+	if same {
+		identical := true
+		for i := 0; i < a.NumSegments(); i++ {
+			if a.Segment(SegmentID(i)).Midpoint != b.Segment(SegmentID(i)).Midpoint {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical networks")
+		}
+	}
+}
+
+func TestGenerateFutianScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	net, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports Futian has ~5,000-6,000 discrete locations.
+	if net.NumSegments() < 5000 || net.NumSegments() > 7000 {
+		t.Errorf("Futian-scale network has %d segments, want 5000-7000", net.NumSegments())
+	}
+	if !net.Connected() {
+		t.Error("Futian-scale network must be connected")
+	}
+}
+
+func TestGenerateArterialsCarryHigherBC(t *testing.T) {
+	net, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := net.TravelTimeBetweenness()
+	var arterial, local []float64
+	for _, s := range net.Segments() {
+		switch s.Class {
+		case ClassArterial:
+			arterial = append(arterial, bc[s.ID])
+		case ClassLocal:
+			local = append(local, bc[s.ID])
+		}
+	}
+	if len(arterial) == 0 || len(local) == 0 {
+		t.Fatal("expected both arterial and local segments")
+	}
+	if med(arterial) <= med(local) {
+		t.Errorf("median arterial BC %.6f should exceed median local BC %.6f",
+			med(arterial), med(local))
+	}
+}
+
+func med(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*GenConfig)
+	}{
+		{"tiny grid", func(c *GenConfig) { c.Rows = 1 }},
+		{"bad arterial spacing", func(c *GenConfig) { c.ArterialEvery = 1 }},
+		{"negative removal", func(c *GenConfig) { c.RemoveLocalFrac = -0.1 }},
+		{"full removal", func(c *GenConfig) { c.RemoveLocalFrac = 1.0 }},
+		{"jitter too large", func(c *GenConfig) { c.Jitter = 0.6 }},
+		{"invalid box", func(c *GenConfig) { c.Box = geo.BBox{MinLat: 1, MaxLat: 0, MinLon: 0, MaxLon: 1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultGenConfig()
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+}
+
+func TestNetworkRoundTrip(t *testing.T) {
+	net, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSegments() != net.NumSegments() {
+		t.Fatalf("round trip lost segments: %d vs %d", got.NumSegments(), net.NumSegments())
+	}
+	if got.NumAdjacencies() != net.NumAdjacencies() {
+		t.Fatalf("round trip lost adjacencies: %d vs %d", got.NumAdjacencies(), net.NumAdjacencies())
+	}
+	for i := 0; i < net.NumSegments(); i++ {
+		a, b := net.Segment(SegmentID(i)), got.Segment(SegmentID(i))
+		if a.Class != b.Class {
+			t.Fatalf("segment %d class mismatch", i)
+		}
+		if geo.Equirectangular(a.Midpoint, b.Midpoint) > 0.02 {
+			t.Fatalf("segment %d midpoint drifted", i)
+		}
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"unknown record", "X 1 2\n"},
+		{"short segment", "S 0 22.5\n"},
+		{"out of order id", "S 1 22.5 114.0 100 3\n"},
+		{"bad lat", "S 0 abc 114.0 100 3\n"},
+		{"invalid coordinate", "S 0 95.0 114.0 100 3\n"},
+		{"adjacency before segments", "A 0 1\n"},
+		{"short adjacency", "S 0 22.5 114.0 100 3\nA 0\n"},
+		{"bad adjacency id", "S 0 22.5 114.0 100 3\nA 0 x\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.input)); err == nil {
+				t.Errorf("Read(%q) should fail", tt.input)
+			}
+		})
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# header\n\nS 0 22.5 114.0 100 1\n  \nS 1 22.51 114.0 100 2\nA 0 1\n"
+	net, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumSegments() != 2 || net.NumAdjacencies() != 1 {
+		t.Errorf("got %d segments %d adjacencies, want 2 and 1", net.NumSegments(), net.NumAdjacencies())
+	}
+	if net.Segment(0).Class != ClassArterial {
+		t.Errorf("segment 0 class = %v, want arterial", net.Segment(0).Class)
+	}
+}
+
+func TestRoadClassString(t *testing.T) {
+	tests := []struct {
+		c    RoadClass
+		want string
+	}{
+		{ClassArterial, "arterial"},
+		{ClassCollector, "collector"},
+		{ClassLocal, "local"},
+		{RoadClass(42), "RoadClass(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("RoadClass(%d).String() = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}

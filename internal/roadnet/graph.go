@@ -1,0 +1,266 @@
+// Package roadnet models the road network of the target area as a graph of
+// road segments, and provides the analyses the paper's Step 1 requires:
+// betweenness centrality (Eq. 2) and shortest paths, plus a synthetic
+// "Futian-like" network generator standing in for the OpenStreetMap extract.
+//
+// Following the paper's segment-level analysis, the graph's vertices are road
+// segments (each with a representative midpoint location) and edges connect
+// segments that share an intersection. Betweenness centrality of a segment u
+// counts the fraction of shortest segment-to-segment paths passing through u,
+// matching Eq. (2).
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// SegmentID identifies a road segment within a Network.
+type SegmentID int
+
+// Segment is one road segment: the unit of the paper's Step 1 analysis.
+type Segment struct {
+	ID SegmentID
+	// Midpoint is the representative location of the segment, used for
+	// Voronoi assignment, clustering adjacency, and rendering.
+	Midpoint geo.Point
+	// LengthMeters is the travel length of the segment.
+	LengthMeters float64
+	// Class is the road class (arterial roads attract more traffic in the
+	// synthetic demand model).
+	Class RoadClass
+}
+
+// RoadClass distinguishes major and minor roads in the synthetic network.
+type RoadClass int
+
+// Road classes, from most to least important.
+const (
+	ClassArterial RoadClass = iota + 1
+	ClassCollector
+	ClassLocal
+)
+
+// String implements fmt.Stringer.
+func (c RoadClass) String() string {
+	switch c {
+	case ClassArterial:
+		return "arterial"
+	case ClassCollector:
+		return "collector"
+	case ClassLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("RoadClass(%d)", int(c))
+	}
+}
+
+// Network is an undirected graph over road segments. The zero value is an
+// empty network ready for AddSegment/AddAdjacency.
+type Network struct {
+	segments []Segment
+	adj      [][]SegmentID
+}
+
+// NumSegments returns the number of segments in the network.
+func (n *Network) NumSegments() int { return len(n.segments) }
+
+// Segment returns the segment with the given id.
+// It panics if id is out of range, mirroring slice indexing.
+func (n *Network) Segment(id SegmentID) Segment { return n.segments[id] }
+
+// Segments returns a copy of all segments.
+func (n *Network) Segments() []Segment {
+	return append([]Segment(nil), n.segments...)
+}
+
+// AddSegment adds a segment and returns its id. The caller-provided ID field
+// is overwritten with the assigned id.
+func (n *Network) AddSegment(s Segment) SegmentID {
+	id := SegmentID(len(n.segments))
+	s.ID = id
+	n.segments = append(n.segments, s)
+	n.adj = append(n.adj, nil)
+	return id
+}
+
+// AddAdjacency records that segments a and b meet at an intersection.
+// It is idempotent and ignores self-loops. It returns an error if either id
+// is out of range.
+func (n *Network) AddAdjacency(a, b SegmentID) error {
+	if a < 0 || int(a) >= len(n.segments) || b < 0 || int(b) >= len(n.segments) {
+		return fmt.Errorf("roadnet: adjacency %d-%d out of range [0,%d)", a, b, len(n.segments))
+	}
+	if a == b {
+		return nil
+	}
+	if !containsID(n.adj[a], b) {
+		n.adj[a] = append(n.adj[a], b)
+	}
+	if !containsID(n.adj[b], a) {
+		n.adj[b] = append(n.adj[b], a)
+	}
+	return nil
+}
+
+func containsID(s []SegmentID, id SegmentID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the ids of segments adjacent to id. The returned slice
+// must not be modified.
+func (n *Network) Neighbors(id SegmentID) []SegmentID { return n.adj[id] }
+
+// Degree returns the number of neighbors of id.
+func (n *Network) Degree(id SegmentID) int { return len(n.adj[id]) }
+
+// NumAdjacencies returns the number of undirected adjacencies.
+func (n *Network) NumAdjacencies() int {
+	total := 0
+	for _, a := range n.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Midpoints returns the midpoint of every segment, indexed by SegmentID.
+func (n *Network) Midpoints() []geo.Point {
+	pts := make([]geo.Point, len(n.segments))
+	for i, s := range n.segments {
+		pts[i] = s.Midpoint
+	}
+	return pts
+}
+
+// Connected reports whether the network is a single connected component.
+// An empty network is vacuously connected.
+func (n *Network) Connected() bool {
+	if len(n.segments) == 0 {
+		return true
+	}
+	return len(n.ComponentOf(0)) == len(n.segments)
+}
+
+// ComponentOf returns the ids of all segments reachable from start
+// (including start), in BFS order.
+func (n *Network) ComponentOf(start SegmentID) []SegmentID {
+	if start < 0 || int(start) >= len(n.segments) {
+		return nil
+	}
+	seen := make([]bool, len(n.segments))
+	queue := []SegmentID{start}
+	seen[start] = true
+	var order []SegmentID
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range n.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// Components returns all connected components, largest first.
+func (n *Network) Components() [][]SegmentID {
+	seen := make([]bool, len(n.segments))
+	var comps [][]SegmentID
+	for i := range n.segments {
+		if seen[i] {
+			continue
+		}
+		comp := n.ComponentOf(SegmentID(i))
+		for _, id := range comp {
+			seen[id] = true
+		}
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// BFSDistances returns hop distances from start to every segment; -1 marks
+// unreachable segments.
+func (n *Network) BFSDistances(start SegmentID) []int {
+	dist := make([]int, len(n.segments))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if start < 0 || int(start) >= len(n.segments) {
+		return dist
+	}
+	dist[start] = 0
+	queue := []SegmentID{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range n.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns a minimum-hop path from src to dst (inclusive), or nil
+// if none exists.
+func (n *Network) ShortestPath(src, dst SegmentID) []SegmentID {
+	if src < 0 || int(src) >= len(n.segments) || dst < 0 || int(dst) >= len(n.segments) {
+		return nil
+	}
+	if src == dst {
+		return []SegmentID{src}
+	}
+	prev := make([]SegmentID, len(n.segments))
+	for i := range prev {
+		prev[i] = -1
+	}
+	seen := make([]bool, len(n.segments))
+	seen[src] = true
+	queue := []SegmentID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, v := range n.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if !seen[dst] {
+		return nil
+	}
+	var rev []SegmentID
+	for at := dst; at != -1; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if rev[0] != src {
+		return nil
+	}
+	return rev
+}

@@ -1,0 +1,271 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// pathGraph builds a simple path 0-1-2-...-(n-1).
+func pathGraph(t *testing.T, n int) *Network {
+	t.Helper()
+	net := &Network{}
+	for i := 0; i < n; i++ {
+		net.AddSegment(Segment{
+			Midpoint:     geo.Point{Lat: 22.5 + float64(i)*0.001, Lon: 114.0},
+			LengthMeters: 100,
+			Class:        ClassLocal,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := net.AddAdjacency(SegmentID(i), SegmentID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestNetworkBasics(t *testing.T) {
+	net := pathGraph(t, 5)
+	if net.NumSegments() != 5 {
+		t.Fatalf("NumSegments = %d, want 5", net.NumSegments())
+	}
+	if net.NumAdjacencies() != 4 {
+		t.Fatalf("NumAdjacencies = %d, want 4", net.NumAdjacencies())
+	}
+	if net.Degree(0) != 1 || net.Degree(2) != 2 {
+		t.Errorf("degrees: end=%d mid=%d, want 1 and 2", net.Degree(0), net.Degree(2))
+	}
+	if !net.Connected() {
+		t.Error("path graph must be connected")
+	}
+	// Idempotent adjacency, self-loop ignored.
+	if err := net.AddAdjacency(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddAdjacency(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if net.NumAdjacencies() != 4 {
+		t.Errorf("NumAdjacencies after duplicates = %d, want 4", net.NumAdjacencies())
+	}
+	if err := net.AddAdjacency(0, 99); err == nil {
+		t.Error("out-of-range adjacency must error")
+	}
+	if got := net.Segment(2).ID; got != 2 {
+		t.Errorf("Segment(2).ID = %d", got)
+	}
+}
+
+func TestEmptyNetwork(t *testing.T) {
+	net := &Network{}
+	if !net.Connected() {
+		t.Error("empty network is vacuously connected")
+	}
+	if got := net.Components(); got != nil {
+		t.Errorf("Components of empty network = %v, want nil", got)
+	}
+	bc := net.BetweennessCentrality()
+	if len(bc) != 0 {
+		t.Errorf("BC of empty network has %d entries", len(bc))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	net := pathGraph(t, 6)
+	// Cut the middle by building two disjoint paths instead.
+	net2 := &Network{}
+	for i := 0; i < 6; i++ {
+		net2.AddSegment(Segment{Midpoint: geo.Point{Lat: 22.5, Lon: 114.0}})
+	}
+	for _, e := range [][2]SegmentID{{0, 1}, {1, 2}, {3, 4}} {
+		if err := net2.AddAdjacency(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comps := net2.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3 (sizes 3,2,1)", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Errorf("component sizes %d,%d,%d want 3,2,1", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if net2.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	_ = net // silence unused in case of refactor
+}
+
+func TestBFSDistancesAndShortestPath(t *testing.T) {
+	net := pathGraph(t, 7)
+	dist := net.BFSDistances(0)
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+	path := net.ShortestPath(1, 5)
+	want := []SegmentID{1, 2, 3, 4, 5}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	if p := net.ShortestPath(3, 3); len(p) != 1 || p[0] != 3 {
+		t.Errorf("trivial path = %v", p)
+	}
+	if p := net.ShortestPath(-1, 3); p != nil {
+		t.Errorf("invalid src should return nil, got %v", p)
+	}
+
+	// Unreachable: disconnected pair.
+	net2 := &Network{}
+	net2.AddSegment(Segment{})
+	net2.AddSegment(Segment{})
+	if p := net2.ShortestPath(0, 1); p != nil {
+		t.Errorf("unreachable path should be nil, got %v", p)
+	}
+	d := net2.BFSDistances(0)
+	if d[1] != -1 {
+		t.Errorf("unreachable distance = %d, want -1", d[1])
+	}
+}
+
+// TestBetweennessPathGraph checks BC against the closed form for a path:
+// for vertex i in a path of n vertices, the number of ordered pairs (j,k)
+// whose unique shortest path passes through i is 2*i*(n-1-i).
+func TestBetweennessPathGraph(t *testing.T) {
+	n := 9
+	net := pathGraph(t, n)
+	bc := net.BetweennessCentrality()
+	norm := float64(n-1) * float64(n-2)
+	for i := 0; i < n; i++ {
+		want := 2 * float64(i) * float64(n-1-i) / norm
+		if math.Abs(bc[i]-want) > 1e-12 {
+			t.Errorf("BC[%d] = %f, want %f", i, bc[i], want)
+		}
+	}
+}
+
+// TestBetweennessStarGraph: in a star with c leaves, the hub carries all
+// leaf-to-leaf shortest paths: c*(c-1) ordered pairs; leaves carry none.
+func TestBetweennessStarGraph(t *testing.T) {
+	leaves := 6
+	net := &Network{}
+	hub := net.AddSegment(Segment{})
+	for i := 0; i < leaves; i++ {
+		leaf := net.AddSegment(Segment{})
+		if err := net.AddAdjacency(hub, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc := net.BetweennessCentrality()
+	nv := leaves + 1
+	norm := float64(nv-1) * float64(nv-2)
+	wantHub := float64(leaves*(leaves-1)) / norm
+	if math.Abs(bc[hub]-wantHub) > 1e-12 {
+		t.Errorf("hub BC = %f, want %f", bc[hub], wantHub)
+	}
+	for i := 1; i < nv; i++ {
+		if bc[i] != 0 {
+			t.Errorf("leaf %d BC = %f, want 0", i, bc[i])
+		}
+	}
+}
+
+// TestBetweennessCycleGraph: all vertices of a cycle are symmetric, so all
+// BC values must be equal, and for even n each vertex lies on a known share.
+func TestBetweennessCycleGraph(t *testing.T) {
+	n := 8
+	net := &Network{}
+	for i := 0; i < n; i++ {
+		net.AddSegment(Segment{})
+	}
+	for i := 0; i < n; i++ {
+		if err := net.AddAdjacency(SegmentID(i), SegmentID((i+1)%n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc := net.BetweennessCentrality()
+	for i := 1; i < n; i++ {
+		if math.Abs(bc[i]-bc[0]) > 1e-12 {
+			t.Fatalf("cycle BC not uniform: bc[0]=%f bc[%d]=%f", bc[0], i, bc[i])
+		}
+	}
+	if bc[0] <= 0 {
+		t.Errorf("cycle BC must be positive, got %f", bc[0])
+	}
+}
+
+// TestBetweennessAgainstDefinition verifies Brandes against the definitional
+// Eq. (2) computation using CountShortestPathsThrough on a small irregular
+// graph.
+func TestBetweennessAgainstDefinition(t *testing.T) {
+	// Build a 3x3 grid-of-segments graph plus one diagonal chord.
+	net := &Network{}
+	for i := 0; i < 9; i++ {
+		net.AddSegment(Segment{})
+	}
+	edges := [][2]SegmentID{
+		{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}, {7, 8},
+		{0, 3}, {3, 6}, {1, 4}, {4, 7}, {2, 5}, {5, 8},
+		{0, 4}, // chord
+	}
+	for _, e := range edges {
+		if err := net.AddAdjacency(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := net.BetweennessCentrality()
+	nv := net.NumSegments()
+	norm := float64(nv-1) * float64(nv-2)
+	for i := 0; i < nv; i++ {
+		sum := 0.0
+		for j := 0; j < nv; j++ {
+			for k := 0; k < nv; k++ {
+				if j == k || j == i || k == i {
+					continue
+				}
+				total := net.CountShortestPaths(SegmentID(j), SegmentID(k))
+				if total == 0 {
+					continue
+				}
+				through := net.CountShortestPathsThrough(SegmentID(j), SegmentID(k), SegmentID(i))
+				sum += float64(through) / float64(total)
+			}
+		}
+		want := sum / norm
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Errorf("BC[%d] = %f, definitional = %f", i, got[i], want)
+		}
+	}
+}
+
+func TestCountShortestPaths(t *testing.T) {
+	// 4-cycle: two shortest paths between opposite corners.
+	net := &Network{}
+	for i := 0; i < 4; i++ {
+		net.AddSegment(Segment{})
+	}
+	for _, e := range [][2]SegmentID{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := net.AddAdjacency(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := net.CountShortestPaths(0, 2); got != 2 {
+		t.Errorf("eta(0,2) = %d, want 2", got)
+	}
+	if got := net.CountShortestPaths(0, 0); got != 1 {
+		t.Errorf("eta(0,0) = %d, want 1", got)
+	}
+	if got := net.CountShortestPathsThrough(0, 2, 1); got != 1 {
+		t.Errorf("eta(0,2 | through 1) = %d, want 1", got)
+	}
+	if got := net.CountShortestPathsThrough(0, 2, 0); got != 0 {
+		t.Errorf("endpoint must not count, got %d", got)
+	}
+}

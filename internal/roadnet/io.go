@@ -1,0 +1,111 @@
+package roadnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// The network text format is line-oriented:
+//
+//	S <id> <lat> <lon> <length_m> <class>
+//	A <id1> <id2>
+//
+// Segment lines must appear before any adjacency that references them, and
+// ids must be dense, in order, starting at 0 (the order AddSegment assigns).
+// Lines starting with '#' and blank lines are ignored.
+
+// Write serializes the network to w in the text format.
+func Write(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# roadnet v1: %d segments, %d adjacencies\n", n.NumSegments(), n.NumAdjacencies())
+	for _, s := range n.Segments() {
+		fmt.Fprintf(bw, "S %d %.7f %.7f %.2f %d\n", s.ID, s.Midpoint.Lat, s.Midpoint.Lon, s.LengthMeters, int(s.Class))
+	}
+	for i := 0; i < n.NumSegments(); i++ {
+		for _, j := range n.Neighbors(SegmentID(i)) {
+			if j > SegmentID(i) {
+				fmt.Fprintf(bw, "A %d %d\n", i, j)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("roadnet: writing network: %w", err)
+	}
+	return nil
+}
+
+// Read parses a network from r in the text format.
+func Read(r io.Reader) (*Network, error) {
+	net := &Network{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "S":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("roadnet: line %d: segment record needs 6 fields, got %d", lineNo, len(fields))
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad segment id: %w", lineNo, err)
+			}
+			if id != net.NumSegments() {
+				return nil, fmt.Errorf("roadnet: line %d: segment id %d out of order (want %d)", lineNo, id, net.NumSegments())
+			}
+			lat, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad latitude: %w", lineNo, err)
+			}
+			lon, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad longitude: %w", lineNo, err)
+			}
+			length, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad length: %w", lineNo, err)
+			}
+			class, err := strconv.Atoi(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad class: %w", lineNo, err)
+			}
+			p := geo.Point{Lat: lat, Lon: lon}
+			if !p.Valid() {
+				return nil, fmt.Errorf("roadnet: line %d: invalid coordinate %v", lineNo, p)
+			}
+			net.AddSegment(Segment{Midpoint: p, LengthMeters: length, Class: RoadClass(class)})
+		case "A":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("roadnet: line %d: adjacency record needs 3 fields, got %d", lineNo, len(fields))
+			}
+			a, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad adjacency id: %w", lineNo, err)
+			}
+			b, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad adjacency id: %w", lineNo, err)
+			}
+			if err := net.AddAdjacency(SegmentID(a), SegmentID(b)); err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("roadnet: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("roadnet: reading network: %w", err)
+	}
+	return net, nil
+}

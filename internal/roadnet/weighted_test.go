@@ -1,0 +1,141 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpeedMPS(t *testing.T) {
+	if SpeedMPS(ClassArterial) <= SpeedMPS(ClassCollector) {
+		t.Error("arterial must be faster than collector")
+	}
+	if SpeedMPS(ClassCollector) <= SpeedMPS(ClassLocal) {
+		t.Error("collector must be faster than local")
+	}
+	if SpeedMPS(RoadClass(99)) != SpeedLocalMPS {
+		t.Error("unknown class defaults to local speed")
+	}
+}
+
+func TestTravelTime(t *testing.T) {
+	s := Segment{LengthMeters: 167, Class: ClassArterial}
+	if got := s.TravelTimeSeconds(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("TravelTimeSeconds = %f, want 10", got)
+	}
+}
+
+// TestWeightedBCMatchesUnweightedOnUniformCosts: with equal costs, weighted
+// BC must coincide with the hop-based Brandes result.
+func TestWeightedBCMatchesUnweightedOnUniformCosts(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 6, 7
+	net, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweighted := net.BetweennessCentrality()
+	uniform := make([]float64, net.NumSegments())
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	weighted, err := net.WeightedBetweennessCentrality(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range unweighted {
+		if math.Abs(unweighted[i]-weighted[i]) > 1e-9 {
+			t.Fatalf("BC[%d]: unweighted %f != weighted-uniform %f", i, unweighted[i], weighted[i])
+		}
+	}
+}
+
+// TestWeightedBCRoutesAroundSlowVertex: in a 4-cycle where one of the two
+// middle vertices is expensive, all traffic between the opposite endpoints
+// must flow through the cheap vertex.
+func TestWeightedBCRoutesAroundSlowVertex(t *testing.T) {
+	net := &Network{}
+	for i := 0; i < 4; i++ {
+		net.AddSegment(Segment{})
+	}
+	// 0 - 1 - 2 and 0 - 3 - 2.
+	for _, e := range [][2]SegmentID{{0, 1}, {1, 2}, {0, 3}, {3, 2}} {
+		if err := net.AddAdjacency(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := []float64{1, 1, 1, 10} // vertex 3 is slow
+	bc, err := net.WeightedBetweennessCentrality(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc[1] <= bc[3] {
+		t.Errorf("fast vertex BC %f must exceed slow vertex BC %f", bc[1], bc[3])
+	}
+	if bc[3] != 0 {
+		t.Errorf("slow vertex should carry no shortest paths, BC = %f", bc[3])
+	}
+	// 0<->2 in both directions pass through 1: 2 ordered pairs out of
+	// (N-1)(N-2) = 6.
+	want := 2.0 / 6.0
+	if math.Abs(bc[1]-want) > 1e-9 {
+		t.Errorf("BC[1] = %f, want %f", bc[1], want)
+	}
+}
+
+// TestWeightedBCSplitsTies: two equal-cost parallel middle vertices each
+// carry half of the paths between the endpoints.
+func TestWeightedBCSplitsTies(t *testing.T) {
+	net := &Network{}
+	for i := 0; i < 4; i++ {
+		net.AddSegment(Segment{})
+	}
+	for _, e := range [][2]SegmentID{{0, 1}, {1, 2}, {0, 3}, {3, 2}} {
+		if err := net.AddAdjacency(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := []float64{1, 2, 1, 2}
+	bc, err := net.WeightedBetweennessCentrality(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bc[1]-bc[3]) > 1e-9 {
+		t.Errorf("tied vertices must split evenly: %f vs %f", bc[1], bc[3])
+	}
+	want := 1.0 / 6.0 // each carries 1/2 of 2 ordered pairs, normalized by 6
+	if math.Abs(bc[1]-want) > 1e-9 {
+		t.Errorf("BC[1] = %f, want %f", bc[1], want)
+	}
+}
+
+func TestWeightedBCValidation(t *testing.T) {
+	net := pathGraph(t, 3)
+	if _, err := net.WeightedBetweennessCentrality([]float64{1, 1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := net.WeightedBetweennessCentrality([]float64{1, 0, 1}); err == nil {
+		t.Error("zero cost must error")
+	}
+	if _, err := net.WeightedBetweennessCentrality([]float64{1, -1, 1}); err == nil {
+		t.Error("negative cost must error")
+	}
+	if _, err := net.WeightedBetweennessCentrality([]float64{1, math.NaN(), 1}); err == nil {
+		t.Error("NaN cost must error")
+	}
+	if _, err := net.WeightedBetweennessCentrality([]float64{1, math.Inf(1), 1}); err == nil {
+		t.Error("infinite cost must error")
+	}
+}
+
+func TestWeightedBCTinyGraphs(t *testing.T) {
+	net := pathGraph(t, 2)
+	bc, err := net.WeightedBetweennessCentrality([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range bc {
+		if v != 0 {
+			t.Errorf("BC[%d] = %f on a 2-vertex graph, want 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package sensor
+
+import "fmt"
+
+// Factor is one of the 11 perception factors of Table III.
+type Factor int
+
+// The 11 perception factors, in the paper's row order.
+const (
+	FactorRange Factor = iota
+	FactorResolution
+	FactorDistanceAccuracy
+	FactorVelocity
+	FactorColorPerception
+	FactorObjectDetection
+	FactorObjectClassification
+	FactorLaneDetection
+	FactorObstacleEdgeDetection
+	FactorIllumination
+	FactorWeather
+	numFactors
+)
+
+// NumFactors is the number of perception factors in Table III.
+const NumFactors = int(numFactors)
+
+// String implements fmt.Stringer.
+func (f Factor) String() string {
+	names := [...]string{
+		"range",
+		"resolution",
+		"distance accuracy",
+		"velocity",
+		"color perception",
+		"object detection",
+		"object classification",
+		"lane detection",
+		"obstacle edge detection",
+		"illumination conditions",
+		"weather conditions",
+	}
+	if f < 0 || int(f) >= len(names) {
+		return fmt.Sprintf("Factor(%d)", int(f))
+	}
+	return names[f]
+}
+
+// Contribution levels: "competently" = 1, "reasonably well" = 0.5,
+// "doesn't operate well" = 0 (Table III quantization).
+const (
+	LevelCompetent  = 1.0
+	LevelReasonable = 0.5
+	LevelPoor       = 0.0
+)
+
+// CapabilityTable holds the per-sensor contribution to each perception
+// factor: Table III of the paper.
+type CapabilityTable struct {
+	camera [NumFactors]float64
+	lidar  [NumFactors]float64
+	radar  [NumFactors]float64
+}
+
+// TableIII returns the capability matrix exactly as printed in the paper.
+func TableIII() *CapabilityTable {
+	return &CapabilityTable{
+		//       Range Resol Dist Vel Color ObjDet ObjCls Lane Edge Illum Weather
+		camera: [NumFactors]float64{0.5, 1, 0.5, 0.5, 1, 0.5, 1, 1, 1, 0, 0},
+		lidar:  [NumFactors]float64{0.5, 0.5, 1, 0, 0, 1, 0.5, 0, 1, 1, 0.5},
+		radar:  [NumFactors]float64{1, 0, 1, 1, 0, 1, 1, 0, 0, 1, 1},
+	}
+}
+
+// Contribution returns the contribution of sensor t to factor f.
+func (c *CapabilityTable) Contribution(t Type, f Factor) (float64, error) {
+	if f < 0 || f >= numFactors {
+		return 0, fmt.Errorf("sensor: factor %d out of range [0,%d)", f, NumFactors)
+	}
+	switch t {
+	case Camera:
+		return c.camera[f], nil
+	case LiDAR:
+		return c.lidar[f], nil
+	case Radar:
+		return c.radar[f], nil
+	default:
+		return 0, fmt.Errorf("sensor: unknown sensor type %v", t)
+	}
+}
+
+// SumContribution returns the sensor's total contribution across the 11
+// factors (the "Sum contribution" row of Table III: camera 7, LiDAR 6,
+// radar 7).
+func (c *CapabilityTable) SumContribution(t Type) (float64, error) {
+	total := 0.0
+	for f := Factor(0); f < numFactors; f++ {
+		v, err := c.Contribution(t, f)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// MaskUtility returns the raw (unnormalized) utility of sharing the sensor
+// set m: the sum contribution of its modalities across the 11 factors, the
+// paper's Table II utility column. For example, {camera, lidar} yields 13.
+func (c *CapabilityTable) MaskUtility(m Mask) (float64, error) {
+	if !m.Valid() {
+		return 0, fmt.Errorf("sensor: invalid mask %#x", uint8(m))
+	}
+	total := 0.0
+	for _, t := range m.Types() {
+		v, err := c.SumContribution(t)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// PrivacyWeights holds the per-modality privacy sensitivity: the paper ranks
+// camera "highest sensitive" (1.0), LiDAR "moderate" (0.5), radar "least"
+// (0.1).
+type PrivacyWeights struct {
+	Camera, LiDAR, Radar float64
+}
+
+// PaperPrivacyWeights returns the Table II privacy quantization.
+func PaperPrivacyWeights() PrivacyWeights {
+	return PrivacyWeights{Camera: 1.0, LiDAR: 0.5, Radar: 0.1}
+}
+
+// Validate checks the weights are non-negative.
+func (w PrivacyWeights) Validate() error {
+	if w.Camera < 0 || w.LiDAR < 0 || w.Radar < 0 {
+		return fmt.Errorf("sensor: privacy weights must be non-negative: %+v", w)
+	}
+	return nil
+}
+
+// MaskCost returns the raw (unnormalized) privacy cost of sharing the sensor
+// set m: the sum of its modalities' weights (Table II cost column). For
+// example, {camera, lidar} yields 1.5.
+func (w PrivacyWeights) MaskCost(m Mask) (float64, error) {
+	if !m.Valid() {
+		return 0, fmt.Errorf("sensor: invalid mask %#x", uint8(m))
+	}
+	total := 0.0
+	if m.Has(Camera) {
+		total += w.Camera
+	}
+	if m.Has(LiDAR) {
+		total += w.LiDAR
+	}
+	if m.Has(Radar) {
+		total += w.Radar
+	}
+	return total, nil
+}

@@ -1,0 +1,218 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		typ  Type
+		want string
+	}{
+		{Camera, "camera"},
+		{LiDAR, "lidar"},
+		{Radar, "radar"},
+		{Type(0), "Type(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("Type.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestMaskOperations(t *testing.T) {
+	cl := MaskOf(Camera, LiDAR)
+	if !cl.Has(Camera) || !cl.Has(LiDAR) || cl.Has(Radar) {
+		t.Error("MaskOf membership wrong")
+	}
+	if cl.Count() != 2 {
+		t.Errorf("Count = %d, want 2", cl.Count())
+	}
+	if !MaskOf(Camera).SubsetOf(cl) {
+		t.Error("{camera} should be subset of {camera,lidar}")
+	}
+	if !MaskOf(Camera).ProperSubsetOf(cl) {
+		t.Error("{camera} should be proper subset of {camera,lidar}")
+	}
+	if cl.ProperSubsetOf(cl) {
+		t.Error("a set is not a proper subset of itself")
+	}
+	if cl.Union(MaskOf(Radar)) != MaskAll {
+		t.Error("union wrong")
+	}
+	if cl.Intersect(MaskOf(LiDAR, Radar)) != MaskOf(LiDAR) {
+		t.Error("intersection wrong")
+	}
+	if Mask(0).String() != "{}" {
+		t.Errorf("empty mask string = %q", Mask(0).String())
+	}
+	if cl.String() != "{camera,lidar}" {
+		t.Errorf("mask string = %q", cl.String())
+	}
+	if !MaskAll.Valid() || Mask(0x80).Valid() {
+		t.Error("validity checks wrong")
+	}
+	types := MaskOf(Radar, Camera).Types()
+	if len(types) != 2 || types[0] != Camera || types[1] != Radar {
+		t.Errorf("Types() = %v, want canonical order [camera radar]", types)
+	}
+}
+
+func TestMaskSubsetProperties(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ma, mb := Mask(a)&MaskAll, Mask(b)&MaskAll
+		inter := ma.Intersect(mb)
+		union := ma.Union(mb)
+		return inter.SubsetOf(ma) && inter.SubsetOf(mb) &&
+			ma.SubsetOf(union) && mb.SubsetOf(union) &&
+			union.Count()+inter.Count() == ma.Count()+mb.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTableIIISums verifies the "Sum contribution" row: camera 7, LiDAR 6,
+// radar 7.
+func TestTableIIISums(t *testing.T) {
+	c := TableIII()
+	tests := []struct {
+		typ  Type
+		want float64
+	}{
+		{Camera, 7},
+		{LiDAR, 6},
+		{Radar, 7},
+	}
+	for _, tt := range tests {
+		got, err := c.SumContribution(tt.typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("SumContribution(%v) = %f, want %f", tt.typ, got, tt.want)
+		}
+	}
+}
+
+// TestTableIIISpotValues checks individual cells against the printed table.
+func TestTableIIISpotValues(t *testing.T) {
+	c := TableIII()
+	tests := []struct {
+		typ    Type
+		factor Factor
+		want   float64
+	}{
+		{Camera, FactorRange, LevelReasonable},
+		{Radar, FactorRange, LevelCompetent},
+		{Camera, FactorResolution, LevelCompetent},
+		{Radar, FactorResolution, LevelPoor},
+		{LiDAR, FactorDistanceAccuracy, LevelCompetent},
+		{Camera, FactorColorPerception, LevelCompetent},
+		{LiDAR, FactorColorPerception, LevelPoor},
+		{Camera, FactorLaneDetection, LevelCompetent},
+		{Radar, FactorLaneDetection, LevelPoor},
+		{LiDAR, FactorWeather, LevelReasonable},
+		{Radar, FactorWeather, LevelCompetent},
+		{Camera, FactorIllumination, LevelPoor},
+	}
+	for _, tt := range tests {
+		got, err := c.Contribution(tt.typ, tt.factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Contribution(%v, %v) = %f, want %f", tt.typ, tt.factor, got, tt.want)
+		}
+	}
+}
+
+func TestContributionErrors(t *testing.T) {
+	c := TableIII()
+	if _, err := c.Contribution(Camera, Factor(-1)); err == nil {
+		t.Error("negative factor must error")
+	}
+	if _, err := c.Contribution(Camera, Factor(11)); err == nil {
+		t.Error("factor 11 must error")
+	}
+	if _, err := c.Contribution(Type(0), FactorRange); err == nil {
+		t.Error("unknown sensor must error")
+	}
+	if _, err := c.MaskUtility(Mask(0x80)); err == nil {
+		t.Error("invalid mask must error")
+	}
+}
+
+func TestMaskUtility(t *testing.T) {
+	c := TableIII()
+	tests := []struct {
+		mask Mask
+		want float64
+	}{
+		{MaskAll, 20},
+		{MaskOf(Camera, LiDAR), 13},
+		{MaskOf(Camera, Radar), 14},
+		{MaskOf(LiDAR, Radar), 13},
+		{MaskOf(Camera), 7},
+		{MaskOf(LiDAR), 6},
+		{MaskOf(Radar), 7},
+		{Mask(0), 0},
+	}
+	for _, tt := range tests {
+		got, err := c.MaskUtility(tt.mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("MaskUtility(%v) = %f, want %f", tt.mask, got, tt.want)
+		}
+	}
+}
+
+func TestPrivacyCosts(t *testing.T) {
+	w := PaperPrivacyWeights()
+	tests := []struct {
+		mask Mask
+		want float64
+	}{
+		{MaskAll, 1.6},
+		{MaskOf(Camera, LiDAR), 1.5},
+		{MaskOf(Camera, Radar), 1.1},
+		{MaskOf(LiDAR, Radar), 0.6},
+		{MaskOf(Camera), 1.0},
+		{MaskOf(LiDAR), 0.5},
+		{MaskOf(Radar), 0.1},
+		{Mask(0), 0},
+	}
+	for _, tt := range tests {
+		got, err := w.MaskCost(tt.mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("MaskCost(%v) = %f, want %f", tt.mask, got, tt.want)
+		}
+	}
+	if _, err := w.MaskCost(Mask(0x80)); err == nil {
+		t.Error("invalid mask must error")
+	}
+	bad := PrivacyWeights{Camera: -0.5}
+	if bad.Validate() == nil {
+		t.Error("negative weight must fail validation")
+	}
+}
+
+func TestFactorString(t *testing.T) {
+	if FactorRange.String() != "range" {
+		t.Errorf("FactorRange = %q", FactorRange.String())
+	}
+	if FactorWeather.String() != "weather conditions" {
+		t.Errorf("FactorWeather = %q", FactorWeather.String())
+	}
+	if Factor(99).String() != "Factor(99)" {
+		t.Errorf("unknown factor = %q", Factor(99).String())
+	}
+}

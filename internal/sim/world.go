@@ -1,0 +1,239 @@
+// Package sim assembles the full end-to-end reproduction pipeline: synthetic
+// Futian-like world construction (road network → utility coefficients →
+// Algorithm-1 clustering → region graph → game model), the macroscopic
+// FDS shaping runs used by Figs. 9 and 10, and the agent-based distributed
+// simulation (cloud + edge servers + vehicle agents over the in-process
+// transport) used for the micro/macro consistency experiment.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/game"
+	"repro/internal/geo"
+	"repro/internal/lattice"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// CoeffSource selects how road-segment utility coefficients are computed
+// (Step 1 of the paper's analysis).
+type CoeffSource int
+
+// Coefficient sources.
+const (
+	// CoeffBC uses travel-time betweenness centrality (Eq. 2).
+	CoeffBC CoeffSource = iota + 1
+	// CoeffTD uses average traffic density (Eq. 3).
+	CoeffTD
+)
+
+// String implements fmt.Stringer.
+func (c CoeffSource) String() string {
+	switch c {
+	case CoeffBC:
+		return "BC"
+	case CoeffTD:
+		return "TD"
+	default:
+		return fmt.Sprintf("CoeffSource(%d)", int(c))
+	}
+}
+
+// WorldConfig parameterizes world construction.
+type WorldConfig struct {
+	// Net configures the synthetic road network.
+	Net roadnet.GenConfig
+	// Trace configures the synthetic vehicle fleet.
+	Trace trace.GenConfig
+	// Regions is M, the number of Algorithm-1 regions (paper: 20).
+	Regions int
+	// Source selects BC or TD coefficients.
+	Source CoeffSource
+	// BetaMean rescales the region coefficients so their mean equals this
+	// value; the game's utility coefficient scale. Zero keeps raw values.
+	BetaMean float64
+	// EdgeServers is the number of evenly deployed edge servers (paper:
+	// 100, a 10x10 grid).
+	EdgeServers int
+	// MatchRadiusMeters bounds map matching (fixes farther than this from
+	// any segment stay unmatched).
+	MatchRadiusMeters float64
+	// GreedyClustering selects the global-greedy Algorithm-1 variant
+	// (cluster.ClusterGreedy) instead of the paper's round-robin growth;
+	// it yields markedly lower within-region coefficient variance on
+	// spatially coherent fields.
+	GreedyClustering bool
+}
+
+// DefaultWorldConfig returns the laptop-scale configuration used by tests
+// and the experiment harness. The full paper-scale run (5,000+ segments,
+// hundreds of vehicles, 20 regions) is selected by cmd/repro -scale full.
+func DefaultWorldConfig() WorldConfig {
+	net := roadnet.DefaultGenConfig()
+	net.Rows, net.Cols = 16, 18
+	tr := trace.DefaultGenConfig()
+	tr.Taxis, tr.Transit = 60, 40
+	tr.Duration = 4 * time.Hour
+	tr.Start = tr.Start.Add(6 * time.Hour) // cover the morning peak
+	return WorldConfig{
+		Net:               net,
+		Trace:             tr,
+		Regions:           8,
+		Source:            CoeffBC,
+		BetaMean:          4.0,
+		EdgeServers:       100,
+		MatchRadiusMeters: 400,
+	}
+}
+
+// PaperWorldConfig returns the full-scale configuration matching the
+// paper's setup: a Futian-scale network, 20 regions, 100 edge servers and a
+// one-day trace.
+func PaperWorldConfig() WorldConfig {
+	cfg := DefaultWorldConfig()
+	cfg.Net = roadnet.DefaultGenConfig()
+	cfg.Trace = trace.DefaultGenConfig()
+	cfg.Regions = 20
+	return cfg
+}
+
+// World is the assembled simulation substrate.
+type World struct {
+	Config     WorldConfig
+	Net        *roadnet.Network
+	Trace      *trace.Set // map-matched
+	Weights    []float64  // per-segment utility coefficients (BC or TD)
+	Assignment *cluster.Assignment
+	Graph      *cluster.RegionGraph
+	Beta       []float64 // per-region utility coefficients (scaled)
+	Payoffs    *lattice.Payoffs
+	Model      *game.Model
+	Voronoi    *geo.Voronoi // edge-server cells
+	// RegionStats holds the per-region coefficient statistics (Fig. 8(c)).
+	RegionStats []cluster.RegionStats
+	// AvgWithinStd is the average within-region coefficient standard
+	// deviation the paper reports (17.08 for BC, 30.31 for TD).
+	AvgWithinStd float64
+}
+
+// BuildWorld runs the full substrate pipeline.
+func BuildWorld(cfg WorldConfig) (*World, error) {
+	if cfg.Regions < 1 {
+		return nil, fmt.Errorf("sim: need at least one region, got %d", cfg.Regions)
+	}
+	if cfg.Source != CoeffBC && cfg.Source != CoeffTD {
+		return nil, fmt.Errorf("sim: unknown coefficient source %d", int(cfg.Source))
+	}
+	if cfg.EdgeServers < 1 {
+		return nil, fmt.Errorf("sim: need at least one edge server, got %d", cfg.EdgeServers)
+	}
+
+	net, err := roadnet.Generate(cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("sim: generating road network: %w", err)
+	}
+
+	raw, err := trace.Generate(net, cfg.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("sim: generating trace: %w", err)
+	}
+	matched, err := trace.MatchToNetwork(raw, net, cfg.Net.Box, cfg.MatchRadiusMeters)
+	if err != nil {
+		return nil, fmt.Errorf("sim: map matching: %w", err)
+	}
+
+	var weights []float64
+	switch cfg.Source {
+	case CoeffBC:
+		weights = net.TravelTimeBetweenness()
+	case CoeffTD:
+		weights, err = trace.AverageDensity(matched, net.NumSegments(), 10*time.Minute)
+		if err != nil {
+			return nil, fmt.Errorf("sim: computing traffic density: %w", err)
+		}
+	}
+
+	clusterFn := cluster.Cluster
+	if cfg.GreedyClustering {
+		clusterFn = cluster.ClusterGreedy
+	}
+	assignment, err := clusterFn(net, weights, cfg.Regions)
+	if err != nil {
+		return nil, fmt.Errorf("sim: clustering: %w", err)
+	}
+	graph, err := cluster.BuildRegionGraphFromTrace(assignment, matched)
+	if err != nil {
+		// Sparse traces may have no transitions; fall back to road
+		// adjacency.
+		graph, err = cluster.BuildRegionGraphFromAdjacency(assignment, net)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building region graph: %w", err)
+		}
+	}
+
+	beta, err := cluster.RegionCoefficients(assignment, weights)
+	if err != nil {
+		return nil, fmt.Errorf("sim: region coefficients: %w", err)
+	}
+	if cfg.BetaMean > 0 {
+		mean := 0.0
+		for _, b := range beta {
+			mean += b
+		}
+		mean /= float64(len(beta))
+		if mean > 0 {
+			for i := range beta {
+				beta[i] = beta[i] / mean * cfg.BetaMean
+			}
+		} else {
+			for i := range beta {
+				beta[i] = cfg.BetaMean
+			}
+		}
+	}
+
+	stats, avgStd, err := cluster.Stats(assignment, weights)
+	if err != nil {
+		return nil, fmt.Errorf("sim: region stats: %w", err)
+	}
+
+	payoffs := lattice.PaperPayoffs()
+	model, err := game.NewModel(payoffs, graph, beta)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building game model: %w", err)
+	}
+
+	sites := cfg.Net.Box.GridPoints(gridDim(cfg.EdgeServers))
+	vor, err := geo.NewVoronoi(cfg.Net.Box, sites)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building edge-server cells: %w", err)
+	}
+
+	return &World{
+		Config:       cfg,
+		Net:          net,
+		Trace:        matched,
+		Weights:      weights,
+		Assignment:   assignment,
+		Graph:        graph,
+		Beta:         beta,
+		Payoffs:      payoffs,
+		Model:        model,
+		Voronoi:      vor,
+		RegionStats:  stats,
+		AvgWithinStd: avgStd,
+	}, nil
+}
+
+// gridDim factors n into the most-square rows x cols grid with rows*cols >= n.
+func gridDim(n int) (rows, cols int) {
+	rows = 1
+	for rows*rows < n {
+		rows++
+	}
+	cols = (n + rows - 1) / rows
+	return rows, cols
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// CSV layout (one fix per row, RFC 3339 timestamps):
+//
+//	vehicle_id,kind,timestamp,lat,lon,speed_mps,segment
+//
+// A header row is written and tolerated on read. This mirrors the shape of
+// the Shenzhen dataset exports (id, timestamp, GPS position, velocity) with
+// an extra segment column for map-matched traces.
+
+var csvHeader = []string{"vehicle_id", "kind", "timestamp", "lat", "lon", "speed_mps", "segment"}
+
+// WriteCSV serializes the set to w.
+func WriteCSV(w io.Writer, s *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for _, f := range s.Fixes() {
+		row[0] = strconv.Itoa(int(f.Vehicle))
+		row[1] = strconv.Itoa(int(s.Kind(f.Vehicle)))
+		row[2] = f.Time.UTC().Format(time.RFC3339)
+		row[3] = strconv.FormatFloat(f.Position.Lat, 'f', 7, 64)
+		row[4] = strconv.FormatFloat(f.Position.Lon, 'f', 7, 64)
+		row[5] = strconv.FormatFloat(f.SpeedMPS, 'f', 2, 64)
+		row[6] = strconv.Itoa(f.Segment)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace set from r.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	s := NewSet()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == csvHeader[0] {
+			continue // header
+		}
+		vid, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad vehicle id %q: %w", line, rec[0], err)
+		}
+		kind, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad kind %q: %w", line, rec[1], err)
+		}
+		ts, err := time.Parse(time.RFC3339, rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q: %w", line, rec[2], err)
+		}
+		lat, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad latitude %q: %w", line, rec[3], err)
+		}
+		lon, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad longitude %q: %w", line, rec[4], err)
+		}
+		speed, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad speed %q: %w", line, rec[5], err)
+		}
+		seg, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad segment %q: %w", line, rec[6], err)
+		}
+		s.AddVehicle(VehicleID(vid), VehicleKind(kind))
+		if err := s.Append(Fix{
+			Vehicle:  VehicleID(vid),
+			Time:     ts,
+			Position: geo.Point{Lat: lat, Lon: lon},
+			SpeedMPS: speed,
+			Segment:  seg,
+		}); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Traffic density (TD), Eq. (3) of the paper:
+//
+//	TD_i = (# of vehicles traveling through u_i during [t_s, t_e]) / (t_e - t_s)
+//
+// The paper counts TD per road segment in 10-minute windows and averages over
+// one day to obtain each segment's utility coefficient.
+
+// MatchToNetwork assigns every fix to its nearest road segment and returns a
+// new set with the Segment field populated. Fixes farther than maxMeters
+// from any segment midpoint keep Segment = -1.
+func MatchToNetwork(s *Set, net *roadnet.Network, box geo.BBox, maxMeters float64) (*Set, error) {
+	if net.NumSegments() == 0 {
+		return nil, fmt.Errorf("trace: cannot match against an empty network")
+	}
+	idx, err := geo.NewGridIndex(box, 64, 64, net.Midpoints())
+	if err != nil {
+		return nil, fmt.Errorf("trace: building match index: %w", err)
+	}
+	out := NewSet()
+	for id, kind := range s.kinds {
+		out.AddVehicle(id, kind)
+	}
+	for _, f := range s.Fixes() {
+		seg, d := idx.Nearest(f.Position)
+		if maxMeters > 0 && d > maxMeters {
+			f.Segment = -1
+		} else {
+			f.Segment = seg
+		}
+		if err := out.Append(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DensityWindow counts, per segment, the number of distinct vehicles whose
+// fixes land on the segment during [start, end), divided by the window
+// length in minutes — Eq. (3) with the paper's per-10-minute unit. The set's
+// fixes must be map-matched (Segment >= 0 for counted fixes).
+func DensityWindow(s *Set, numSegments int, start, end time.Time) ([]float64, error) {
+	if !end.After(start) {
+		return nil, fmt.Errorf("trace: density window [%v, %v) is empty", start, end)
+	}
+	minutes := end.Sub(start).Minutes()
+	seen := make(map[int64]struct{})
+	counts := make([]float64, numSegments)
+	for _, f := range s.Window(start, end) {
+		if f.Segment < 0 || f.Segment >= numSegments {
+			continue
+		}
+		key := int64(f.Vehicle)<<24 | int64(f.Segment)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		counts[f.Segment]++
+	}
+	for i := range counts {
+		counts[i] /= minutes
+	}
+	return counts, nil
+}
+
+// AverageDensity computes the per-segment TD averaged over consecutive
+// windows of the given size spanning the whole trace — the paper's "average
+// value of TD over one day" used as the TD utility coefficient.
+func AverageDensity(s *Set, numSegments int, window time.Duration) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window must be positive, got %v", window)
+	}
+	start, end, ok := s.TimeSpan()
+	if !ok {
+		return nil, fmt.Errorf("trace: cannot compute density of an empty trace")
+	}
+	sum := make([]float64, numSegments)
+	n := 0
+	for ws := start; ws.Before(end); ws = ws.Add(window) {
+		we := ws.Add(window)
+		d, err := DensityWindow(s, numSegments, ws, we)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range d {
+			sum[i] += v
+		}
+		n++
+	}
+	if n == 0 {
+		return sum, nil
+	}
+	for i := range sum {
+		sum[i] /= float64(n)
+	}
+	return sum, nil
+}
+
+// WindowDensities returns one per-segment TD vector per consecutive window
+// spanning the trace — the time-resolved view behind AverageDensity, used
+// by the Fig. 8 analysis of within-region TD dispersion over time.
+func WindowDensities(s *Set, numSegments int, window time.Duration) ([][]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window must be positive, got %v", window)
+	}
+	start, end, ok := s.TimeSpan()
+	if !ok {
+		return nil, fmt.Errorf("trace: cannot compute density of an empty trace")
+	}
+	var out [][]float64
+	for ws := start; ws.Before(end); ws = ws.Add(window) {
+		d, err := DensityWindow(s, numSegments, ws, ws.Add(window))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// TransitionCounts counts, for every ordered pair of consecutive fixes of
+// the same vehicle, a transition between the fixes' segments. The resulting
+// map is used to derive inter-region data-sharing frequencies (the gamma
+// edge weights in the paper's auxiliary graph). Unmatched fixes are skipped.
+func TransitionCounts(s *Set) map[[2]int]int {
+	out := make(map[[2]int]int)
+	last := make(map[VehicleID]int)
+	for _, f := range s.Fixes() {
+		if f.Segment < 0 {
+			continue
+		}
+		if prev, ok := last[f.Vehicle]; ok {
+			out[[2]int{prev, f.Segment}]++
+		}
+		last[f.Vehicle] = f.Segment
+	}
+	return out
+}
+
+// SegmentVisitTotals returns, per segment, the total number of fixes landing
+// on it across the whole trace (a cheap popularity measure used in reports).
+func SegmentVisitTotals(s *Set, numSegments int) []int {
+	counts := make([]int, numSegments)
+	for _, f := range s.Fixes() {
+		if f.Segment >= 0 && f.Segment < numSegments {
+			counts[f.Segment]++
+		}
+	}
+	return counts
+}

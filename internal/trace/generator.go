@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// GenConfig parameterizes the synthetic fleet generator. See the package
+// comment and DESIGN.md §1 for the substitution rationale.
+type GenConfig struct {
+	// Taxis and Transit are the fleet sizes. The paper's dataset has 15,610
+	// taxis and 12,386 transit vehicles; default reproduction runs use a
+	// 1:40 scale (390 + 310) to stay laptop-sized while preserving density
+	// ratios.
+	Taxis, Transit int
+	// Start is the beginning of the generated day.
+	Start time.Time
+	// Duration of the generated trace (default one day, as the paper
+	// averages TD over one day).
+	Duration time.Duration
+	// SampleInterval between fixes (paper: 10 s).
+	SampleInterval time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// SpeedJitter is the relative standard deviation of speed noise.
+	SpeedJitter float64
+	// GPSJitterMeters is the standard deviation of position noise.
+	GPSJitterMeters float64
+}
+
+// DefaultGenConfig returns the laptop-scale defaults used in tests and the
+// experiment harness.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Taxis:           390,
+		Transit:         310,
+		Start:           time.Date(2022, 3, 14, 0, 0, 0, 0, time.UTC),
+		Duration:        24 * time.Hour,
+		SampleInterval:  10 * time.Second,
+		Seed:            1,
+		SpeedJitter:     0.15,
+		GPSJitterMeters: 8,
+	}
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	if c.Taxis < 0 || c.Transit < 0 || c.Taxis+c.Transit == 0 {
+		return fmt.Errorf("trace: fleet sizes must be non-negative and total > 0, got %d+%d", c.Taxis, c.Transit)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace: duration must be positive, got %v", c.Duration)
+	}
+	if c.SampleInterval <= 0 {
+		return fmt.Errorf("trace: sample interval must be positive, got %v", c.SampleInterval)
+	}
+	if c.SampleInterval > c.Duration {
+		return fmt.Errorf("trace: sample interval %v exceeds duration %v", c.SampleInterval, c.Duration)
+	}
+	if c.SpeedJitter < 0 || c.GPSJitterMeters < 0 {
+		return fmt.Errorf("trace: jitter parameters must be non-negative")
+	}
+	return nil
+}
+
+// DemandFactor returns the diurnal demand multiplier in (0, 1] for a time of
+// day: morning (8-9h) and evening (18-19h) peaks, a midday shoulder, and a
+// deep night trough. Exported so TD-based experiments can reason about the
+// demand curve.
+func DemandFactor(t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60
+	peak := func(center, width float64) float64 {
+		d := (h - center) / width
+		return math.Exp(-d * d / 2)
+	}
+	f := 0.15 + 0.85*math.Max(peak(8.5, 1.5), peak(18.5, 1.7)) + 0.35*peak(13, 2.5)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Generate produces a trace set over the given road network. Vehicles run
+// trips between origin/destination segments sampled with a bias toward
+// high-centrality roads (mimicking real demand concentration); between trips
+// they idle with probability governed by the diurnal demand curve. Routes
+// follow minimum-hop paths on the segment graph; positions advance along the
+// route at the segment design speed with noise.
+func Generate(net *roadnet.Network, cfg GenConfig) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if net.NumSegments() == 0 {
+		return nil, fmt.Errorf("trace: cannot generate over an empty network")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Demand weights: arterials attract the most trip endpoints. Weight by
+	// class, approximating the BC-skewed endpoint distribution of real taxi
+	// demand without paying for a full BC computation here.
+	weights := make([]float64, net.NumSegments())
+	total := 0.0
+	for i, s := range net.Segments() {
+		w := 1.0
+		switch s.Class {
+		case roadnet.ClassArterial:
+			w = 6.0
+		case roadnet.ClassCollector:
+			w = 2.5
+		}
+		weights[i] = w
+		total += w
+	}
+	sampleSegment := func() roadnet.SegmentID {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				return roadnet.SegmentID(i)
+			}
+		}
+		return roadnet.SegmentID(net.NumSegments() - 1)
+	}
+
+	s := NewSet()
+	nVehicles := cfg.Taxis + cfg.Transit
+	steps := int(cfg.Duration / cfg.SampleInterval)
+	dt := cfg.SampleInterval.Seconds()
+
+	for v := 0; v < nVehicles; v++ {
+		id := VehicleID(v)
+		kind := KindTaxi
+		if v >= cfg.Taxis {
+			kind = KindTransit
+		}
+		s.AddVehicle(id, kind)
+
+		w := &walker{
+			net:  net,
+			rng:  rng,
+			kind: kind,
+			at:   sampleSegment(),
+		}
+		// Transit vehicles follow a fixed loop between two anchors; taxis
+		// roam between random OD pairs.
+		if kind == KindTransit {
+			w.anchorA = w.at
+			w.anchorB = sampleSegment()
+		}
+
+		for step := 0; step < steps; step++ {
+			now := cfg.Start.Add(time.Duration(step) * cfg.SampleInterval)
+			moving := w.advance(dt, now, sampleSegment)
+			seg := net.Segment(w.at)
+			pos := seg.Midpoint
+			if cfg.GPSJitterMeters > 0 {
+				pos = jitterPosition(rng, pos, cfg.GPSJitterMeters)
+			}
+			speed := 0.0
+			if moving {
+				speed = roadnet.SpeedMPS(seg.Class) * (1 + rng.NormFloat64()*cfg.SpeedJitter)
+				if speed < 0 {
+					speed = 0
+				}
+			}
+			if err := s.Append(Fix{
+				Vehicle:  id,
+				Time:     now,
+				Position: pos,
+				SpeedMPS: speed,
+				Segment:  int(w.at),
+			}); err != nil {
+				return nil, fmt.Errorf("trace: generating vehicle %d: %w", v, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// walker is a single vehicle's route-following state.
+type walker struct {
+	net     *roadnet.Network
+	rng     *rand.Rand
+	kind    VehicleKind
+	at      roadnet.SegmentID
+	route   []roadnet.SegmentID // remaining segments, route[0] == at
+	remain  float64             // seconds left on the current segment
+	idle    float64             // seconds left idling (no trip)
+	anchorA roadnet.SegmentID   // transit loop endpoints
+	anchorB roadnet.SegmentID
+}
+
+// advance moves the walker forward by dt seconds and reports whether the
+// vehicle was moving.
+func (w *walker) advance(dt float64, now time.Time, sampleSegment func() roadnet.SegmentID) bool {
+	if w.idle > 0 {
+		w.idle -= dt
+		return false
+	}
+	if len(w.route) <= 1 {
+		// Need a new trip?
+		if w.rng.Float64() > DemandFactor(now) {
+			// Idle 1-5 minutes before reconsidering.
+			w.idle = 60 + w.rng.Float64()*240
+			return false
+		}
+		w.startTrip(sampleSegment)
+		if len(w.route) <= 1 {
+			return false
+		}
+	}
+	w.remain -= dt
+	for w.remain <= 0 && len(w.route) > 1 {
+		w.route = w.route[1:]
+		w.at = w.route[0]
+		seg := w.net.Segment(w.at)
+		w.remain += seg.TravelTimeSeconds()
+	}
+	return true
+}
+
+func (w *walker) startTrip(sampleSegment func() roadnet.SegmentID) {
+	var dst roadnet.SegmentID
+	if w.kind == KindTransit {
+		// Shuttle between anchors.
+		if w.at == w.anchorA {
+			dst = w.anchorB
+		} else {
+			dst = w.anchorA
+		}
+	} else {
+		dst = sampleSegment()
+	}
+	if dst == w.at {
+		return
+	}
+	route := w.net.ShortestPath(w.at, dst)
+	if len(route) <= 1 {
+		return
+	}
+	w.route = route
+	w.remain = w.net.Segment(w.at).TravelTimeSeconds() * w.rng.Float64()
+}
+
+// jitterPosition displaces p by Gaussian noise with the given standard
+// deviation in meters.
+func jitterPosition(rng *rand.Rand, p geo.Point, sigmaMeters float64) geo.Point {
+	const metersPerDegLat = 111_195.0
+	dLat := rng.NormFloat64() * sigmaMeters / metersPerDegLat
+	dLon := rng.NormFloat64() * sigmaMeters / (metersPerDegLat * math.Cos(p.Lat*math.Pi/180))
+	return geo.Point{Lat: p.Lat + dLat, Lon: p.Lon + dLon}
+}

@@ -1,0 +1,461 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func t0() time.Time { return time.Date(2022, 3, 14, 0, 0, 0, 0, time.UTC) }
+
+func mkFix(v int, offset time.Duration, lat, lon float64) Fix {
+	return Fix{
+		Vehicle:  VehicleID(v),
+		Time:     t0().Add(offset),
+		Position: geo.Point{Lat: lat, Lon: lon},
+		SpeedMPS: 5,
+		Segment:  -1,
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	s.AddVehicle(1, KindTaxi)
+	s.AddVehicle(2, KindTransit)
+	if s.NumVehicles() != 2 {
+		t.Fatalf("NumVehicles = %d, want 2", s.NumVehicles())
+	}
+	if s.Kind(1) != KindTaxi || s.Kind(2) != KindTransit {
+		t.Error("kinds not registered")
+	}
+	if s.Kind(99) != 0 {
+		t.Error("unknown vehicle should have zero kind")
+	}
+	taxis, transit := s.KindCounts()
+	if taxis != 1 || transit != 1 {
+		t.Errorf("KindCounts = %d,%d want 1,1", taxis, transit)
+	}
+	ids := s.VehicleIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("VehicleIDs = %v", ids)
+	}
+}
+
+func TestSetAppendValidation(t *testing.T) {
+	s := NewSet()
+	s.AddVehicle(1, KindTaxi)
+	if err := s.Append(mkFix(9, 0, 22.5, 114.0)); err == nil {
+		t.Error("unregistered vehicle must be rejected")
+	}
+	bad := mkFix(1, 0, 95.0, 114.0)
+	if err := s.Append(bad); err == nil {
+		t.Error("invalid position must be rejected")
+	}
+	neg := mkFix(1, 0, 22.5, 114.0)
+	neg.SpeedMPS = -1
+	if err := s.Append(neg); err == nil {
+		t.Error("negative speed must be rejected")
+	}
+	if err := s.Append(mkFix(1, 0, 22.5, 114.0)); err != nil {
+		t.Errorf("valid fix rejected: %v", err)
+	}
+}
+
+func TestSetSortingAndWindow(t *testing.T) {
+	s := NewSet()
+	s.AddVehicle(1, KindTaxi)
+	s.AddVehicle(2, KindTaxi)
+	// Append out of order.
+	for _, f := range []Fix{
+		mkFix(2, 30*time.Second, 22.5, 114.0),
+		mkFix(1, 10*time.Second, 22.5, 114.0),
+		mkFix(2, 10*time.Second, 22.5, 114.0),
+		mkFix(1, 0, 22.5, 114.0),
+	} {
+		if err := s.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixes := s.Fixes()
+	for i := 1; i < len(fixes); i++ {
+		if fixes[i].Time.Before(fixes[i-1].Time) {
+			t.Fatal("fixes not time-sorted")
+		}
+		if fixes[i].Time.Equal(fixes[i-1].Time) && fixes[i].Vehicle < fixes[i-1].Vehicle {
+			t.Fatal("ties not vehicle-sorted")
+		}
+	}
+	start, end, ok := s.TimeSpan()
+	if !ok || !start.Equal(t0()) || !end.Equal(t0().Add(30*time.Second)) {
+		t.Errorf("TimeSpan = %v %v %v", start, end, ok)
+	}
+	win := s.Window(t0().Add(5*time.Second), t0().Add(30*time.Second))
+	if len(win) != 2 {
+		t.Errorf("Window returned %d fixes, want 2", len(win))
+	}
+	if got := s.ByVehicle(1); len(got) != 2 {
+		t.Errorf("ByVehicle(1) = %d fixes, want 2", len(got))
+	}
+}
+
+func TestEmptySetTimeSpan(t *testing.T) {
+	s := NewSet()
+	if _, _, ok := s.TimeSpan(); ok {
+		t.Error("empty set should report no time span")
+	}
+}
+
+func TestVehicleKindString(t *testing.T) {
+	if KindTaxi.String() != "taxi" || KindTransit.String() != "transit" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(VehicleKind(9).String(), "9") {
+		t.Error("unknown kind should include numeric value")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.AddVehicle(7, KindTaxi)
+	s.AddVehicle(8, KindTransit)
+	for i := 0; i < 5; i++ {
+		f := mkFix(7, time.Duration(i)*10*time.Second, 22.51+float64(i)*0.001, 114.02)
+		f.Segment = i
+		if err := s.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(mkFix(8, 0, 22.55, 114.05)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFixes() != s.NumFixes() {
+		t.Fatalf("round trip: %d fixes, want %d", got.NumFixes(), s.NumFixes())
+	}
+	if got.Kind(7) != KindTaxi || got.Kind(8) != KindTransit {
+		t.Error("kinds lost in round trip")
+	}
+	a, b := s.Fixes(), got.Fixes()
+	for i := range a {
+		if !a[i].Time.Equal(b[i].Time) || a[i].Vehicle != b[i].Vehicle || a[i].Segment != b[i].Segment {
+			t.Fatalf("fix %d mismatch: %+v vs %+v", i, a[i], b[i])
+		}
+		if geo.Equirectangular(a[i].Position, b[i].Position) > 0.02 {
+			t.Fatalf("fix %d position drifted", i)
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	header := "vehicle_id,kind,timestamp,lat,lon,speed_mps,segment\n"
+	tests := []struct {
+		name string
+		row  string
+	}{
+		{"bad id", "x,1,2022-03-14T00:00:00Z,22.5,114.0,5.0,0\n"},
+		{"bad kind", "1,x,2022-03-14T00:00:00Z,22.5,114.0,5.0,0\n"},
+		{"bad time", "1,1,notatime,22.5,114.0,5.0,0\n"},
+		{"bad lat", "1,1,2022-03-14T00:00:00Z,x,114.0,5.0,0\n"},
+		{"bad lon", "1,1,2022-03-14T00:00:00Z,22.5,x,5.0,0\n"},
+		{"bad speed", "1,1,2022-03-14T00:00:00Z,22.5,114.0,x,0\n"},
+		{"bad segment", "1,1,2022-03-14T00:00:00Z,22.5,114.0,5.0,x\n"},
+		{"invalid position", "1,1,2022-03-14T00:00:00Z,99.5,114.0,5.0,0\n"},
+		{"wrong field count", "1,1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(header + tt.row)); err == nil {
+				t.Errorf("ReadCSV should reject %q", tt.row)
+			}
+		})
+	}
+}
+
+func TestDemandFactorShape(t *testing.T) {
+	day := t0()
+	at := func(h int) float64 { return DemandFactor(day.Add(time.Duration(h) * time.Hour)) }
+	if at(8) <= at(3) {
+		t.Errorf("morning peak %f must exceed night trough %f", at(8), at(3))
+	}
+	if at(18) <= at(3) {
+		t.Errorf("evening peak %f must exceed night trough %f", at(18), at(3))
+	}
+	for h := 0; h < 24; h++ {
+		f := at(h)
+		if f <= 0 || f > 1 {
+			t.Fatalf("DemandFactor(%dh) = %f out of (0,1]", h, f)
+		}
+	}
+}
+
+func genTestNetwork(t *testing.T) *roadnet.Network {
+	t.Helper()
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 8, 9
+	net, err := roadnet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func smallTraceConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Taxis, cfg.Transit = 12, 8
+	cfg.Duration = 2 * time.Hour
+	return cfg
+}
+
+func TestGenerateTrace(t *testing.T) {
+	net := genTestNetwork(t)
+	s, err := Generate(net, smallTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVehicles() != 20 {
+		t.Fatalf("NumVehicles = %d, want 20", s.NumVehicles())
+	}
+	taxis, transit := s.KindCounts()
+	if taxis != 12 || transit != 8 {
+		t.Errorf("KindCounts = %d,%d want 12,8", taxis, transit)
+	}
+	wantFixes := 20 * int(2*time.Hour/(10*time.Second))
+	if s.NumFixes() != wantFixes {
+		t.Errorf("NumFixes = %d, want %d", s.NumFixes(), wantFixes)
+	}
+	for _, f := range s.Fixes() {
+		if f.Segment < 0 || f.Segment >= net.NumSegments() {
+			t.Fatalf("generated fix has out-of-range segment %d", f.Segment)
+		}
+		if f.SpeedMPS < 0 {
+			t.Fatalf("negative speed %f", f.SpeedMPS)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	net := genTestNetwork(t)
+	a, err := Generate(net, smallTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(net, smallTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Fixes(), b.Fixes()
+	if len(fa) != len(fb) {
+		t.Fatalf("fix counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("fix %d differs: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	net := genTestNetwork(t)
+	tests := []struct {
+		name   string
+		mutate func(*GenConfig)
+	}{
+		{"empty fleet", func(c *GenConfig) { c.Taxis, c.Transit = 0, 0 }},
+		{"negative fleet", func(c *GenConfig) { c.Taxis = -1 }},
+		{"zero duration", func(c *GenConfig) { c.Duration = 0 }},
+		{"zero interval", func(c *GenConfig) { c.SampleInterval = 0 }},
+		{"interval > duration", func(c *GenConfig) { c.SampleInterval = 3 * time.Hour }},
+		{"negative jitter", func(c *GenConfig) { c.SpeedJitter = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallTraceConfig()
+			tt.mutate(&cfg)
+			if _, err := Generate(net, cfg); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if _, err := Generate(&roadnet.Network{}, smallTraceConfig()); err == nil {
+		t.Error("empty network must be rejected")
+	}
+}
+
+func TestGenerateArterialsAttractTraffic(t *testing.T) {
+	net := genTestNetwork(t)
+	cfg := smallTraceConfig()
+	cfg.Taxis, cfg.Transit = 40, 0
+	cfg.Duration = 3 * time.Hour
+	cfg.Start = cfg.Start.Add(8 * time.Hour) // start in the morning peak
+	s, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := SegmentVisitTotals(s, net.NumSegments())
+	perClass := map[roadnet.RoadClass][2]float64{} // sum, count
+	for _, seg := range net.Segments() {
+		e := perClass[seg.Class]
+		e[0] += float64(visits[seg.ID])
+		e[1]++
+		perClass[seg.Class] = e
+	}
+	art := perClass[roadnet.ClassArterial]
+	loc := perClass[roadnet.ClassLocal]
+	if art[1] == 0 || loc[1] == 0 {
+		t.Fatal("need both arterials and locals")
+	}
+	if art[0]/art[1] <= loc[0]/loc[1] {
+		t.Errorf("mean arterial visits %.1f should exceed mean local visits %.1f",
+			art[0]/art[1], loc[0]/loc[1])
+	}
+}
+
+func TestMatchToNetwork(t *testing.T) {
+	net := genTestNetwork(t)
+	cfg := smallTraceConfig()
+	s, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, err := MatchToNetwork(s, net, geo.FutianBBox(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched.NumFixes() != s.NumFixes() {
+		t.Fatalf("matching changed fix count: %d vs %d", matched.NumFixes(), s.NumFixes())
+	}
+	// With small GPS jitter the matched segment should usually equal the
+	// generating segment.
+	agree, total := 0, 0
+	orig := s.Fixes()
+	m := matched.Fixes()
+	for i := range orig {
+		total++
+		if orig[i].Segment == m[i].Segment {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.6 {
+		t.Errorf("only %.0f%% of fixes matched back to their generating segment", frac*100)
+	}
+}
+
+func TestMatchToNetworkFarFixUnmatched(t *testing.T) {
+	net := genTestNetwork(t)
+	s := NewSet()
+	s.AddVehicle(1, KindTaxi)
+	// A fix far outside the box (but valid lat/lon).
+	far := mkFix(1, 0, 23.40, 114.05)
+	if err := s.Append(far); err != nil {
+		t.Fatal(err)
+	}
+	matched, err := MatchToNetwork(s, net, geo.FutianBBox(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := matched.Fixes()[0].Segment; got != -1 {
+		t.Errorf("far fix matched to segment %d, want -1", got)
+	}
+}
+
+func TestDensityWindow(t *testing.T) {
+	s := NewSet()
+	s.AddVehicle(1, KindTaxi)
+	s.AddVehicle(2, KindTaxi)
+	add := func(v int, minute int, seg int) {
+		f := mkFix(v, time.Duration(minute)*time.Minute, 22.5, 114.0)
+		f.Segment = seg
+		if err := s.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Vehicle 1 visits segment 0 three times within the window (counted
+	// once) and vehicle 2 once; segment 1 gets vehicle 2 only.
+	add(1, 0, 0)
+	add(1, 2, 0)
+	add(1, 4, 0)
+	add(2, 5, 0)
+	add(2, 6, 1)
+	add(1, 15, 0) // outside the window
+
+	d, err := DensityWindow(s, 3, t0(), t0().Add(10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 2.0/10 {
+		t.Errorf("TD[0] = %f, want 0.2 (2 vehicles / 10 min)", d[0])
+	}
+	if d[1] != 1.0/10 {
+		t.Errorf("TD[1] = %f, want 0.1", d[1])
+	}
+	if d[2] != 0 {
+		t.Errorf("TD[2] = %f, want 0", d[2])
+	}
+	if _, err := DensityWindow(s, 3, t0(), t0()); err == nil {
+		t.Error("empty window must error")
+	}
+}
+
+func TestAverageDensity(t *testing.T) {
+	net := genTestNetwork(t)
+	cfg := smallTraceConfig()
+	s, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := AverageDensity(s, net.NumSegments(), 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg) != net.NumSegments() {
+		t.Fatalf("got %d densities, want %d", len(avg), net.NumSegments())
+	}
+	total := 0.0
+	for _, v := range avg {
+		if v < 0 {
+			t.Fatal("negative density")
+		}
+		total += v
+	}
+	if total == 0 {
+		t.Error("all densities zero; generator produced no movement")
+	}
+	if _, err := AverageDensity(s, net.NumSegments(), 0); err == nil {
+		t.Error("zero window must error")
+	}
+	if _, err := AverageDensity(NewSet(), 3, time.Minute); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestTransitionCounts(t *testing.T) {
+	s := NewSet()
+	s.AddVehicle(1, KindTaxi)
+	add := func(minute, seg int) {
+		f := mkFix(1, time.Duration(minute)*time.Minute, 22.5, 114.0)
+		f.Segment = seg
+		if err := s.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 0)
+	add(1, 1)
+	add(2, 1)
+	add(3, 0)
+	tc := TransitionCounts(s)
+	if tc[[2]int{0, 1}] != 1 || tc[[2]int{1, 1}] != 1 || tc[[2]int{1, 0}] != 1 {
+		t.Errorf("TransitionCounts = %v", tc)
+	}
+}

@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional, message-oriented connection.
+type Conn interface {
+	// Send writes one message. Safe for one concurrent sender.
+	Send(Message) error
+	// Recv blocks for the next message; it returns io.EOF after the peer
+	// closes.
+	Recv() (Message, error)
+	// Close releases the connection; pending Recv calls unblock with
+	// io.EOF.
+	Close() error
+}
+
+// Listener accepts incoming connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the address peers dial.
+	Addr() string
+}
+
+// ErrClosed is returned by operations on a closed transport endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// MaxFrameBytes bounds a single wire frame (1 MiB), protecting both ends
+// from corrupt length prefixes.
+const MaxFrameBytes = 1 << 20
+
+// --- In-process transport ---
+
+// chanConn is one side of an in-memory duplex channel pair.
+type chanConn struct {
+	send chan<- Message
+	recv <-chan Message
+
+	closed chan struct{}
+	once   sync.Once
+	peer   *chanConn
+}
+
+// Pipe returns two connected in-process Conns. Each side's Send delivers to
+// the other's Recv with a small buffer; Close unblocks both sides.
+func Pipe() (Conn, Conn) {
+	ab := make(chan Message, 64)
+	ba := make(chan Message, 64)
+	a := &chanConn{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &chanConn{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *chanConn) Send(m Message) error {
+	// Check closure first: a ready buffered channel would otherwise race
+	// the closed cases in a combined select.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	case c.send <- m:
+		return nil
+	}
+}
+
+func (c *chanConn) Recv() (Message, error) {
+	select {
+	case m := <-c.recv:
+		return m, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case m := <-c.recv:
+			return m, nil
+		default:
+			return Message{}, io.EOF
+		}
+	case <-c.peer.closed:
+		select {
+		case m := <-c.recv:
+			return m, nil
+		default:
+			return Message{}, io.EOF
+		}
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// InprocNetwork is a registry of in-process listeners addressable by name,
+// so the same cloud/edge/vehicle code runs unchanged over channels or TCP.
+type InprocNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+// NewInprocNetwork returns an empty network.
+func NewInprocNetwork() *InprocNetwork {
+	return &InprocNetwork{listeners: make(map[string]*inprocListener)}
+}
+
+type inprocListener struct {
+	name string
+	net  *InprocNetwork
+	backlog
+}
+
+type backlog struct {
+	queue  chan Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Listen registers a named endpoint.
+func (n *InprocNetwork) Listen(name string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[name]; exists {
+		return nil, fmt.Errorf("transport: inproc address %q already in use", name)
+	}
+	l := &inprocListener{
+		name: name,
+		net:  n,
+		backlog: backlog{
+			queue:  make(chan Conn, 64),
+			closed: make(chan struct{}),
+		},
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to a named endpoint.
+func (n *InprocNetwork) Dial(name string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[name]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no inproc listener at %q", name)
+	}
+	client, server := Pipe()
+	select {
+	case <-l.closed:
+		return nil, ErrClosed
+	case l.queue <- server:
+		return client, nil
+	}
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.queue:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.name)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.name }
+
+// --- TCP transport ---
+
+// tcpConn frames messages as a 4-byte big-endian length followed by the
+// JSON-encoded envelope.
+type tcpConn struct {
+	c  net.Conn
+	wr sync.Mutex
+	rd sync.Mutex
+}
+
+// NewTCPConn wraps an established net.Conn in the framing codec.
+func NewTCPConn(c net.Conn) Conn { return &tcpConn{c: c} }
+
+// DialTCP connects to a TCP endpoint.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return NewTCPConn(c), nil
+}
+
+func (t *tcpConn) Send(m Message) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("transport: marshaling message: %w", err)
+	}
+	if len(raw) > MaxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(raw), MaxFrameBytes)
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(raw)))
+	t.wr.Lock()
+	defer t.wr.Unlock()
+	if _, err := t.c.Write(header[:]); err != nil {
+		return fmt.Errorf("transport: writing frame header: %w", err)
+	}
+	if _, err := t.c.Write(raw); err != nil {
+		return fmt.Errorf("transport: writing frame body: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpConn) Recv() (Message, error) {
+	t.rd.Lock()
+	defer t.rd.Unlock()
+	var header [4]byte
+	if _, err := io.ReadFull(t.c, header[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, err
+	}
+	size := binary.BigEndian.Uint32(header[:])
+	if size > MaxFrameBytes {
+		return Message{}, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit %d", size, MaxFrameBytes)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(t.c, body); err != nil {
+		return Message{}, fmt.Errorf("transport: reading frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Message{}, fmt.Errorf("transport: unmarshaling message: %w", err)
+	}
+	return m, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// tcpListener adapts net.Listener.
+type tcpListener struct{ l net.Listener }
+
+// ListenTCP opens a TCP listener on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }

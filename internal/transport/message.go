@@ -1,0 +1,123 @@
+// Package transport carries the cooperative-perception control and data
+// plane of Fig. 1 between vehicles, edge servers, and the cloud: typed
+// messages for steps ①-⑤, a length-prefixed JSON wire codec, an in-process
+// transport for simulation, and a TCP transport for the distributed demo.
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sensor"
+)
+
+// Kind discriminates message payloads on the wire.
+type Kind string
+
+// Message kinds, following the numbered steps of Fig. 1.
+const (
+	// KindHello registers a vehicle with its edge server.
+	KindHello Kind = "hello"
+	// KindCensus reports a region's decision distribution to the cloud
+	// (step ①).
+	KindCensus Kind = "census"
+	// KindRatio carries the optimized sharing ratio from the cloud to an
+	// edge server (step ②).
+	KindRatio Kind = "ratio"
+	// KindPolicy forwards the policy to vehicles (step ③).
+	KindPolicy Kind = "policy"
+	// KindUpload carries a vehicle's shared sensor data to its edge server
+	// (step ④).
+	KindUpload Kind = "upload"
+	// KindDelivery distributes collected sensor data back to a vehicle
+	// (step ⑤).
+	KindDelivery Kind = "delivery"
+	// KindAck is a generic acknowledgement carrying an optional error.
+	KindAck Kind = "ack"
+)
+
+// Message is the wire envelope.
+type Message struct {
+	Kind    Kind            `json:"kind"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Hello registers a vehicle with an edge server.
+type Hello struct {
+	Vehicle int `json:"vehicle"`
+}
+
+// Census is an edge server's per-round decision report to the cloud:
+// Counts[k] vehicles currently take decision k+1.
+type Census struct {
+	Edge   int   `json:"edge"`
+	Round  int   `json:"round"`
+	Counts []int `json:"counts"`
+}
+
+// Ratio is the cloud's policy answer for one edge server.
+type Ratio struct {
+	Round int     `json:"round"`
+	X     float64 `json:"x"`
+}
+
+// Policy is the policy forwarded from an edge server to its vehicles. In
+// addition to the sharing ratio it carries the cell's anonymized decision
+// distribution from the previous round, which vehicles use to evaluate the
+// expected fitness of each decision (the micro-level analogue of Eq. 4).
+type Policy struct {
+	Round int     `json:"round"`
+	X     float64 `json:"x"`
+	// Shares[k] is the observed proportion of vehicles on decision k+1.
+	Shares []float64 `json:"shares,omitempty"`
+}
+
+// Item is one shared sensor datum: the owning vehicle and the modality.
+// Payloads are abstract (the simulation exercises the policy mechanics, not
+// perception itself), identified by a sequence number.
+type Item struct {
+	Owner    int         `json:"owner"`
+	Modality sensor.Type `json:"modality"`
+	Seq      int         `json:"seq"`
+}
+
+// Upload is a vehicle's step-④ message: its decision index (1-based) and
+// the items it shares under that decision.
+type Upload struct {
+	Vehicle  int    `json:"vehicle"`
+	Round    int    `json:"round"`
+	Decision int    `json:"decision"`
+	Items    []Item `json:"items"`
+}
+
+// Delivery is the edge server's step-⑤ answer: the items the vehicle may
+// access this exchange.
+type Delivery struct {
+	Round int    `json:"round"`
+	Items []Item `json:"items"`
+}
+
+// Ack acknowledges a message; Err is empty on success.
+type Ack struct {
+	Err string `json:"err,omitempty"`
+}
+
+// Encode wraps a payload struct in a Message envelope.
+func Encode(kind Kind, payload interface{}) (Message, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: encoding %s payload: %w", kind, err)
+	}
+	return Message{Kind: kind, Payload: raw}, nil
+}
+
+// Decode unmarshals the payload into out, verifying the expected kind.
+func Decode(m Message, kind Kind, out interface{}) error {
+	if m.Kind != kind {
+		return fmt.Errorf("transport: expected %s message, got %s", kind, m.Kind)
+	}
+	if err := json.Unmarshal(m.Payload, out); err != nil {
+		return fmt.Errorf("transport: decoding %s payload: %w", kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package vehicle
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/sensor"
+	"repro/internal/transport"
+)
+
+// Client drives an Agent against an edge-server connection: it registers
+// with Hello, then for every Policy broadcast it revises the agent's
+// decision (step ③), uploads the shared data (step ④), and absorbs the
+// Delivery (step ⑤). It runs until the connection closes.
+type Client struct {
+	Agent *Agent
+	// Mu is the per-round revision probability passed to Agent.Revise.
+	Mu float64
+	// Cap is the capability table used to value received data.
+	Cap *sensor.CapabilityTable
+}
+
+// Run executes the client loop. It returns nil when the connection closes
+// normally (io.EOF) and an error on protocol violations.
+func (c *Client) Run(conn transport.Conn) error {
+	if c.Agent == nil {
+		return fmt.Errorf("vehicle: client has no agent")
+	}
+	if c.Cap == nil {
+		c.Cap = sensor.TableIII()
+	}
+	hello, err := transport.Encode(transport.KindHello, transport.Hello{Vehicle: c.Agent.Profile.ID})
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(hello); err != nil {
+		return fmt.Errorf("vehicle %d: sending hello: %w", c.Agent.Profile.ID, err)
+	}
+	ackMsg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("vehicle %d: waiting for registration ack: %w", c.Agent.Profile.ID, err)
+	}
+	var ack transport.Ack
+	if err := transport.Decode(ackMsg, transport.KindAck, &ack); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("vehicle %d: registration rejected: %s", c.Agent.Profile.ID, ack.Err)
+	}
+
+	for {
+		m, err := conn.Recv()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("vehicle %d: receive: %w", c.Agent.Profile.ID, err)
+		}
+		switch m.Kind {
+		case transport.KindPolicy:
+			var pol transport.Policy
+			if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
+				return err
+			}
+			if len(pol.Shares) > 0 {
+				if err := c.Agent.Revise(pol.X, pol.Shares, c.Mu); err != nil {
+					return err
+				}
+			}
+			up := c.Agent.BuildUpload(pol.Round)
+			msg, err := transport.Encode(transport.KindUpload, up)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(msg); err != nil {
+				return fmt.Errorf("vehicle %d: sending upload: %w", c.Agent.Profile.ID, err)
+			}
+		case transport.KindDelivery:
+			var del transport.Delivery
+			if err := transport.Decode(m, transport.KindDelivery, &del); err != nil {
+				return err
+			}
+			if err := c.Agent.AbsorbDelivery(del, c.Cap); err != nil {
+				return err
+			}
+		case transport.KindAck:
+			var a transport.Ack
+			if err := transport.Decode(m, transport.KindAck, &a); err != nil {
+				return err
+			}
+			if a.Err != "" {
+				return fmt.Errorf("vehicle %d: server rejected message: %s", c.Agent.Profile.ID, a.Err)
+			}
+		default:
+			return fmt.Errorf("vehicle %d: unexpected message kind %s", c.Agent.Profile.ID, m.Kind)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package vehicle
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+)
+
+// scriptServer runs a minimal edge-side script over one half of a Pipe.
+func scriptServer(t *testing.T, conn transport.Conn, script func(conn transport.Conn) error) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer conn.Close()
+		if err := script(conn); err != nil {
+			t.Errorf("script server: %v", err)
+		}
+	}()
+	return &wg
+}
+
+func recvKind(conn transport.Conn, kind transport.Kind) (transport.Message, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return m, err
+	}
+	if m.Kind != kind {
+		return m, errors.New("unexpected kind " + string(m.Kind))
+	}
+	return m, nil
+}
+
+func ackOK(conn transport.Conn) error {
+	m, err := transport.Encode(transport.KindAck, transport.Ack{})
+	if err != nil {
+		return err
+	}
+	return conn.Send(m)
+}
+
+func TestClientFullRound(t *testing.T) {
+	clientConn, serverConn := transport.Pipe()
+	agent, err := NewAgent(profile(7), lattice.PaperPayoffs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.SetDecision(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotUpload transport.Upload
+	wg := scriptServer(t, serverConn, func(conn transport.Conn) error {
+		// Registration.
+		if _, err := recvKind(conn, transport.KindHello); err != nil {
+			return err
+		}
+		if err := ackOK(conn); err != nil {
+			return err
+		}
+		// One policy round.
+		shares := []float64{1, 0, 0, 0, 0, 0, 0, 0}
+		pol, err := transport.Encode(transport.KindPolicy, transport.Policy{Round: 1, X: 0.9, Shares: shares})
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(pol); err != nil {
+			return err
+		}
+		m, err := recvKind(conn, transport.KindUpload)
+		if err != nil {
+			return err
+		}
+		if err := transport.Decode(m, transport.KindUpload, &gotUpload); err != nil {
+			return err
+		}
+		if err := ackOK(conn); err != nil {
+			return err
+		}
+		// Delivery.
+		del, err := transport.Encode(transport.KindDelivery, transport.Delivery{
+			Round: 1,
+			Items: []transport.Item{{Owner: 2, Modality: sensor.Radar, Seq: 1}},
+		})
+		if err != nil {
+			return err
+		}
+		return conn.Send(del)
+	})
+
+	client := &Client{Agent: agent, Mu: 0} // mu=0: decision stays at P1
+	if err := client.Run(clientConn); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	wg.Wait()
+
+	if gotUpload.Vehicle != 7 || gotUpload.Round != 1 {
+		t.Errorf("upload header %+v", gotUpload)
+	}
+	if gotUpload.Decision != 1 || len(gotUpload.Items) != 3 {
+		t.Errorf("upload should share all three modalities under P1: %+v", gotUpload)
+	}
+	if agent.ReceivedItems != 1 {
+		t.Errorf("agent absorbed %d items, want 1", agent.ReceivedItems)
+	}
+}
+
+func TestClientRejectedRegistration(t *testing.T) {
+	clientConn, serverConn := transport.Pipe()
+	agent, err := NewAgent(profile(9), lattice.PaperPayoffs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := scriptServer(t, serverConn, func(conn transport.Conn) error {
+		if _, err := recvKind(conn, transport.KindHello); err != nil {
+			return err
+		}
+		m, err := transport.Encode(transport.KindAck, transport.Ack{Err: "vehicle 9 already registered"})
+		if err != nil {
+			return err
+		}
+		return conn.Send(m)
+	})
+	client := &Client{Agent: agent, Mu: 0.5}
+	err = client.Run(clientConn)
+	if err == nil || !strings.Contains(err.Error(), "registration rejected") {
+		t.Errorf("want registration rejection, got %v", err)
+	}
+	wg.Wait()
+}
+
+func TestClientServerErrorAck(t *testing.T) {
+	clientConn, serverConn := transport.Pipe()
+	agent, err := NewAgent(profile(3), lattice.PaperPayoffs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := scriptServer(t, serverConn, func(conn transport.Conn) error {
+		if _, err := recvKind(conn, transport.KindHello); err != nil {
+			return err
+		}
+		if err := ackOK(conn); err != nil {
+			return err
+		}
+		// Immediately reject whatever the client does next with an error
+		// ack (no policy first — simulates a misbehaving server).
+		m, err := transport.Encode(transport.KindAck, transport.Ack{Err: "round closed"})
+		if err != nil {
+			return err
+		}
+		return conn.Send(m)
+	})
+	client := &Client{Agent: agent, Mu: 0.5}
+	err = client.Run(clientConn)
+	if err == nil || !strings.Contains(err.Error(), "round closed") {
+		t.Errorf("want server rejection surfaced, got %v", err)
+	}
+	wg.Wait()
+}
+
+func TestClientCleanShutdown(t *testing.T) {
+	clientConn, serverConn := transport.Pipe()
+	agent, err := NewAgent(profile(4), lattice.PaperPayoffs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := scriptServer(t, serverConn, func(conn transport.Conn) error {
+		if _, err := recvKind(conn, transport.KindHello); err != nil {
+			return err
+		}
+		return ackOK(conn) // then close (deferred)
+	})
+	client := &Client{Agent: agent, Mu: 0.5}
+	if err := client.Run(clientConn); err != nil {
+		t.Errorf("clean close should return nil, got %v", err)
+	}
+	wg.Wait()
+}
+
+func TestClientNilAgent(t *testing.T) {
+	c := &Client{}
+	a, _ := transport.Pipe()
+	if err := c.Run(a); err == nil {
+		t.Error("nil agent must error")
+	}
+}
