@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"os"
 	"sync"
@@ -53,17 +54,36 @@ func main() {
 		fieldPath = flag.String("field", "", "desired-field JSON spec (cloud; overrides -target-x)")
 		beta      = flag.Float64("beta", 4.0, "utility coefficient (cloud, vehicles)")
 		seed      = flag.Int64("seed", 1, "random seed")
+
+		faultDrop = flag.Float64("fault-drop", 0,
+			"fault injection: per-message drop probability on this node's links")
+		faultDelay = flag.Duration("fault-delay", 0,
+			"fault injection: max injected per-message delay on this node's links")
+		retryMax = flag.Int("retry-max", 8,
+			"max dial attempts per reconnect burst (edge, vehicles)")
+		roundDeadline = flag.Duration("round-deadline", 10*time.Second,
+			"cloud: complete a round barrier after this long with last-known shares for missing edges (0 = wait forever)")
 	)
 	flag.Parse()
+
+	var fault *transport.Fault
+	if *faultDrop > 0 || *faultDelay > 0 {
+		fault = transport.NewFault(transport.FaultConfig{
+			Seed:     *seed,
+			DropProb: *faultDrop,
+			MinDelay: *faultDelay / 20,
+			MaxDelay: *faultDelay,
+		})
+	}
 
 	var err error
 	switch *role {
 	case "cloud":
-		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath)
+		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *roundDeadline, fault)
 	case "edge":
-		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed)
+		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, fault)
 	case "vehicles":
-		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed)
+		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault)
 	default:
 		err = fmt.Errorf("unknown role %q (want cloud, edge, or vehicles)", *role)
 	}
@@ -103,7 +123,7 @@ func (g demoGraph) Neighbors(i int) []int {
 	return out
 }
 
-func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string) error {
+func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string, roundDeadline time.Duration, fault *transport.Fault) error {
 	betas := make([]float64, regions)
 	for i := range betas {
 		betas[i] = beta
@@ -130,7 +150,7 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 			return fmt.Errorf("field spec is %dx%d, want %dx%d", field.M(), field.K(), regions, model.K())
 		}
 		return serveCloud(listen, model, field, regions, x0, lambda,
-			fmt.Sprintf("field spec %s", fieldPath))
+			fmt.Sprintf("field spec %s", fieldPath), roundDeadline, fault)
 	}
 
 	// Desired field: the regime reachable from a uniform mix at the target
@@ -171,11 +191,11 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 		}
 	}
 	return serveCloud(listen, model, field, regions, x0, lambda,
-		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps))
+		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), roundDeadline, fault)
 }
 
 // serveCloud starts the FDS coordinator over TCP and blocks.
-func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string) error {
+func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string, roundDeadline time.Duration, fault *transport.Fault) error {
 	fds, err := policy.NewFDS(model, field, lambda)
 	if err != nil {
 		return err
@@ -184,20 +204,29 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 	if err != nil {
 		return err
 	}
+	srv.SetRoundDeadline(roundDeadline)
+	srv.SetLogf(log.Printf)
 	l, err := transport.ListenTCP(listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cloud: listening on %s, steering %d regions toward %s\n", l.Addr(), regions, what)
+	if fault != nil {
+		l = fault.WrapListener(l)
+	}
+	fmt.Printf("cloud: listening on %s, steering %d regions toward %s (round deadline %v)\n",
+		l.Addr(), regions, what, roundDeadline)
 	srv.Serve(l) // blocks
 	return nil
 }
 
-func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64) error {
+func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, fault *transport.Fault) error {
 	srv := edge.NewServer(id, lattice.NewPaper(), seed)
 	l, err := transport.ListenTCP(listen)
 	if err != nil {
 		return err
+	}
+	if fault != nil {
+		l = fault.WrapListener(l)
 	}
 	go srv.Serve(l)
 	defer srv.Close()
@@ -208,11 +237,25 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64) er
 	}
 	fmt.Printf("edge %d: %d vehicles registered, starting rounds\n", id, srv.NumVehicles())
 
-	cconn, err := transport.DialTCP(cloudAddr)
-	if err != nil {
-		return fmt.Errorf("dialing cloud: %w", err)
+	link := &edge.CloudLink{
+		Edge: id,
+		Dialer: &transport.Dialer{
+			Dial: func() (transport.Conn, error) {
+				c, err := transport.DialTCP(cloudAddr, transport.WithTimeout(time.Minute))
+				if err != nil {
+					return nil, err
+				}
+				if fault != nil {
+					c = fault.WrapConn(c)
+				}
+				return c, nil
+			},
+			MaxAttempts: retryMax,
+			Seed:        seed,
+		},
+		ReplyTimeout: 30 * time.Second,
 	}
-	defer cconn.Close()
+	defer link.Close()
 
 	x := 0.3
 	for t := 0; t < rounds; t++ {
@@ -220,9 +263,12 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64) er
 		if err != nil {
 			return fmt.Errorf("round %d: %w", t, err)
 		}
-		next, err := srv.ReportCensus(cconn, t, census)
+		next, err := link.Report(t, census)
 		if err != nil {
-			return fmt.Errorf("reporting round %d: %w", t, err)
+			// Degraded round: the cloud is unreachable; keep the current
+			// ratio and try again next round.
+			log.Printf("edge %d round %d: cloud unreachable (%v); keeping x=%.2f", id, t, err, x)
+			continue
 		}
 		fmt.Printf("edge %d round %2d: x=%.2f census=%v -> next x=%.2f\n", id, t, x, census, next)
 		x = next
@@ -230,7 +276,7 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64) er
 	return nil
 }
 
-func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64) error {
+func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retryMax int, fault *transport.Fault) error {
 	payoffs := lattice.PaperPayoffs()
 	rng := rand.New(rand.NewSource(seed))
 	var wg sync.WaitGroup
@@ -248,15 +294,30 @@ func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64) error
 		if err != nil {
 			return err
 		}
-		conn, err := transport.DialTCP(edgeAddr)
-		if err != nil {
-			return fmt.Errorf("vehicle %d dialing edge: %w", prof.ID, err)
+		client := &vehicle.Client{
+			Agent:           agent,
+			Mu:              0.5,
+			Cap:             sensor.TableIII(),
+			RegisterTimeout: 5 * time.Second,
 		}
-		client := &vehicle.Client{Agent: agent, Mu: 0.5, Cap: sensor.TableIII()}
+		dialer := &transport.Dialer{
+			Dial: func() (transport.Conn, error) {
+				c, err := transport.DialTCP(edgeAddr)
+				if err != nil {
+					return nil, err
+				}
+				if fault != nil {
+					c = fault.WrapConn(c)
+				}
+				return c, nil
+			},
+			MaxAttempts: retryMax,
+			Seed:        rng.Int63(),
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := client.Run(conn); err != nil {
+			if err := client.RunWithReconnect(dialer); err != nil {
 				errCh <- err
 			}
 		}()

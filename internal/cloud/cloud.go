@@ -8,8 +8,8 @@ package cloud
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sync"
+	"time"
 
 	"repro/internal/edge"
 	"repro/internal/game"
@@ -17,26 +17,59 @@ import (
 	"repro/internal/transport"
 )
 
+// ErrRoundAbandoned is returned by Submit when a round's barrier was
+// evicted because a newer round completed before the barrier filled — the
+// submitting edge fell behind a partition or restart and should move on to
+// the cloud's current round.
+var ErrRoundAbandoned = errors.New("cloud: round abandoned")
+
 // Server is the networked cloud coordinator. Edge servers connect, send one
 // Census per round, and receive the next round's Ratio once every region
 // has reported — a barrier per round, matching the paper's synchronized
-// policy updates.
+// policy updates. With a round deadline set, a barrier that does not fill
+// in time completes in degraded mode: the FDS update runs with the
+// last-known shares for the missing regions, so one dead edge cannot stall
+// the rest of the system.
 type Server struct {
 	fds   *policy.FDS
 	state *game.State
 
-	mu     sync.Mutex
-	rounds map[int]*roundBarrier
-	m      int
-	closed chan struct{}
-	once   sync.Once
-	wg     sync.WaitGroup
+	mu            sync.Mutex
+	rounds        map[int]*roundBarrier
+	latest        int // highest completed round (-1 before the first)
+	m             int
+	roundDeadline time.Duration
+	logf          func(format string, args ...interface{})
+	stats         Stats
+	closed        chan struct{}
+	once          sync.Once
+	wg            sync.WaitGroup
+}
+
+// Stats counts the server's failure-handling events.
+type Stats struct {
+	// CompletedRounds counts rounds whose FDS update ran (degraded or not).
+	CompletedRounds int
+	// DegradedRounds counts rounds completed by the deadline with at least
+	// one region missing.
+	DegradedRounds int
+	// AbandonedRounds counts stale barriers evicted when a newer round
+	// completed first.
+	AbandonedRounds int
+	// LateCensuses counts censuses for already-completed rounds, answered
+	// immediately with the region's current ratio.
+	LateCensuses int
+	// DecodeFailures counts malformed frames dropped by connection
+	// handlers.
+	DecodeFailures int
 }
 
 type roundBarrier struct {
 	censuses map[int][]int
 	done     chan struct{}
+	timer    *time.Timer
 	err      error
+	degraded bool
 }
 
 // NewServer builds a cloud server steering toward the FDS controller's
@@ -53,9 +86,42 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 		fds:    f,
 		state:  initial.Clone(),
 		rounds: make(map[int]*roundBarrier),
+		latest: -1,
 		m:      len(initial.P),
 		closed: make(chan struct{}),
 	}, nil
+}
+
+// SetRoundDeadline bounds every round barrier: a round whose censuses have
+// not all arrived within d of the first one completes in degraded mode
+// with last-known shares for the missing regions. Zero (the default)
+// restores the unbounded barrier.
+func (s *Server) SetRoundDeadline(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roundDeadline = d
+}
+
+// SetLogf installs a logger for dropped frames and degraded rounds
+// (default: silent, counters only).
+func (s *Server) SetLogf(logf func(format string, args ...interface{})) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logf = logf
+}
+
+// logfLocked logs through the installed logger. Called with s.mu held.
+func (s *Server) logfLocked(format string, args ...interface{}) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// Stats returns a snapshot of the failure-handling counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // State returns a snapshot of the cloud's current view of the game state.
@@ -72,11 +138,15 @@ func (s *Server) Converged() bool {
 }
 
 // Serve accepts edge-server connections until the listener fails or the
-// server closes. Run in a goroutine.
+// server closes. Injected (transient) accept failures are skipped. Run in
+// a goroutine.
 func (s *Server) Serve(l transport.Listener) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if errors.Is(err, transport.ErrInjected) {
+				continue
+			}
 			return
 		}
 		s.wg.Add(1)
@@ -92,13 +162,13 @@ func (s *Server) Close() {
 	s.once.Do(func() {
 		close(s.closed)
 		s.mu.Lock()
-		for _, rb := range s.rounds {
-			select {
-			case <-rb.done:
-			default:
-				rb.err = transport.ErrClosed
-				close(rb.done)
+		for round, rb := range s.rounds {
+			if rb.timer != nil {
+				rb.timer.Stop()
 			}
+			rb.err = transport.ErrClosed
+			close(rb.done)
+			delete(s.rounds, round)
 		}
 		s.mu.Unlock()
 	})
@@ -109,17 +179,32 @@ func (s *Server) handleConn(conn transport.Conn) {
 	defer conn.Close()
 	for {
 		m, err := conn.Recv()
-		if errors.Is(err, io.EOF) || err != nil {
+		if err != nil {
 			return
 		}
 		var census transport.Census
 		if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
+			s.mu.Lock()
+			s.stats.DecodeFailures++
+			s.logfLocked("cloud: dropping malformed frame: %v", err)
+			s.mu.Unlock()
 			continue
 		}
 		x, err := s.Submit(census)
-		if err != nil {
-			// Closing: nothing sensible to answer.
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrRoundAbandoned):
+			// The edge fell behind; answer with the region's current
+			// ratio so it can catch up instead of hanging.
+			s.mu.Lock()
+			x = s.state.X[census.Edge]
+			s.mu.Unlock()
+		case errors.Is(err, transport.ErrClosed):
 			return
+		default:
+			// Bad census (e.g. unknown edge): reject it, keep the conn.
+			s.sendAck(conn, err)
+			continue
 		}
 		reply, err := transport.Encode(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: x})
 		if err != nil {
@@ -131,15 +216,36 @@ func (s *Server) handleConn(conn transport.Conn) {
 	}
 }
 
+func (s *Server) sendAck(conn transport.Conn, err error) {
+	ack := transport.Ack{}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	if m, encErr := transport.Encode(transport.KindAck, ack); encErr == nil {
+		_ = conn.Send(m)
+	}
+}
+
 // Submit records one region's census for a round and blocks until every
-// region has reported, then returns the region's next sharing ratio. It is
-// the transport-independent core of the coordinator (the in-process
-// simulator calls it directly).
+// region has reported — or, with a round deadline set, until the deadline
+// completes the barrier in degraded mode — then returns the region's next
+// sharing ratio. A census for an already-completed round returns the
+// region's current ratio immediately, so a reconnecting edge catches up
+// without blocking. It is the transport-independent core of the
+// coordinator (the in-process simulator calls it directly).
 func (s *Server) Submit(census transport.Census) (float64, error) {
 	if census.Edge < 0 || census.Edge >= s.m {
 		return 0, fmt.Errorf("cloud: census from unknown edge %d", census.Edge)
 	}
 	s.mu.Lock()
+	if census.Round <= s.latest {
+		// The round already completed (possibly degraded, without this
+		// region): answer with the current ratio so the edge moves on.
+		s.stats.LateCensuses++
+		x := s.state.X[census.Edge]
+		s.mu.Unlock()
+		return x, nil
+	}
 	rb, ok := s.rounds[census.Round]
 	if !ok {
 		rb = &roundBarrier{
@@ -147,12 +253,14 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 			done:     make(chan struct{}),
 		}
 		s.rounds[census.Round] = rb
+		if s.roundDeadline > 0 {
+			round := census.Round
+			rb.timer = time.AfterFunc(s.roundDeadline, func() { s.expireRound(round) })
+		}
 	}
 	rb.censuses[census.Edge] = census.Counts
 	if len(rb.censuses) == s.m {
-		s.applyRoundLocked(rb)
-		close(rb.done)
-		delete(s.rounds, census.Round)
+		s.completeRoundLocked(census.Round, rb, false)
 	}
 	s.mu.Unlock()
 
@@ -170,10 +278,69 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 	}
 }
 
+// expireRound completes a still-pending round in degraded mode when its
+// deadline fires.
+func (s *Server) expireRound(round int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rb, ok := s.rounds[round]
+	if !ok {
+		return
+	}
+	select {
+	case <-rb.done:
+		return
+	default:
+	}
+	s.completeRoundLocked(round, rb, true)
+}
+
+// completeRoundLocked applies the round, releases its waiters, and evicts
+// any stale barriers the completion leaves behind (an edge that died
+// mid-round must not leak its half-filled barrier). Called with s.mu held.
+func (s *Server) completeRoundLocked(round int, rb *roundBarrier, degraded bool) {
+	if rb.timer != nil {
+		rb.timer.Stop()
+	}
+	s.applyRoundLocked(rb)
+	rb.degraded = degraded
+	close(rb.done)
+	delete(s.rounds, round)
+	if round > s.latest {
+		s.latest = round
+	}
+	s.stats.CompletedRounds++
+	if degraded {
+		s.stats.DegradedRounds++
+		s.logfLocked("cloud: round %d completed degraded with %d/%d regions", round, len(rb.censuses), s.m)
+	}
+	for r, old := range s.rounds {
+		if r > s.latest {
+			continue
+		}
+		if old.timer != nil {
+			old.timer.Stop()
+		}
+		old.err = fmt.Errorf("%w: round %d superseded by round %d", ErrRoundAbandoned, r, round)
+		close(old.done)
+		delete(s.rounds, r)
+		s.stats.AbandonedRounds++
+	}
+}
+
 // applyRoundLocked folds the censuses into the state and runs one FDS
-// update. Called with s.mu held.
+// update. Regions missing from a degraded round — and empty censuses from
+// edges with no registered vehicles — keep their last-known shares.
+// Called with s.mu held.
 func (s *Server) applyRoundLocked(rb *roundBarrier) {
 	for i, counts := range rb.censuses {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
 		shares := edge.Shares(counts)
 		if len(shares) == len(s.state.P[i]) {
 			copy(s.state.P[i], shares)

@@ -1,0 +1,186 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/transport"
+)
+
+// TestDegradedBarrier: with a round deadline set, a barrier missing one
+// region completes on time with last-known shares for the silent region,
+// and a late census for the completed round is answered immediately.
+func TestDegradedBarrier(t *testing.T) {
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetRoundDeadline(50 * time.Millisecond)
+
+	c0 := make([]int, 8)
+	c0[0] = 10
+	start := time.Now()
+	x, err := srv.Submit(transport.Census{Edge: 0, Round: 0, Counts: c0})
+	if err != nil {
+		t.Fatalf("degraded submit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("submit blocked %v despite the 50ms deadline", elapsed)
+	}
+	if x < 0 || x > 1 {
+		t.Errorf("ratio %f out of range", x)
+	}
+	st := srv.Stats()
+	if st.CompletedRounds != 1 || st.DegradedRounds != 1 {
+		t.Errorf("stats = %+v, want 1 completed, 1 degraded", st)
+	}
+
+	// Region 0's census was applied; the silent region kept its last-known
+	// (uniform) shares.
+	state := srv.State()
+	if state.P[0][0] != 1 {
+		t.Errorf("region 0 shares = %v, want census applied", state.P[0])
+	}
+	for k, p := range state.P[1] {
+		if math.Abs(p-0.125) > 1e-12 {
+			t.Errorf("region 1 decision %d share = %f, want last-known 0.125", k+1, p)
+		}
+	}
+
+	// The late edge catches up immediately with the current ratio.
+	c1 := make([]int, 8)
+	c1[7] = 10
+	x1, err := srv.Submit(transport.Census{Edge: 1, Round: 0, Counts: c1})
+	if err != nil {
+		t.Fatalf("late submit: %v", err)
+	}
+	if x1 < 0 || x1 > 1 {
+		t.Errorf("late ratio %f out of range", x1)
+	}
+	if st := srv.Stats(); st.LateCensuses != 1 {
+		t.Errorf("LateCensuses = %d, want 1", st.LateCensuses)
+	}
+}
+
+// TestRoundAbandonedEviction: a stale half-filled barrier is evicted — its
+// waiter fails with ErrRoundAbandoned — when a newer round completes first.
+func TestRoundAbandonedEviction(t *testing.T) {
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	counts := make([]int, 8)
+	counts[0] = 10
+
+	stale := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(transport.Census{Edge: 0, Round: 0, Counts: counts})
+		stale <- err
+	}()
+	// Wait until the round-0 barrier exists so the eviction has a target.
+	for {
+		srv.mu.Lock()
+		_, ok := srv.rounds[0]
+		srv.mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Both edges complete round 1; round 0 can never fill now.
+	var wg sync.WaitGroup
+	for edge := 0; edge < 2; edge++ {
+		edge := edge
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Submit(transport.Census{Edge: edge, Round: 1, Counts: counts}); err != nil {
+				t.Errorf("round 1 edge %d: %v", edge, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	select {
+	case err := <-stale:
+		if !errors.Is(err, ErrRoundAbandoned) {
+			t.Errorf("stale waiter got %v, want ErrRoundAbandoned", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stale round-0 waiter was never released")
+	}
+	if st := srv.Stats(); st.AbandonedRounds != 1 {
+		t.Errorf("AbandonedRounds = %d, want 1", st.AbandonedRounds)
+	}
+}
+
+// TestDecodeFailuresCounted: a malformed frame is dropped and counted; the
+// connection survives and still serves the next valid census.
+func TestDecodeFailuresCounted(t *testing.T) {
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetRoundDeadline(50 * time.Millisecond)
+	var logged int
+	srv.SetLogf(func(string, ...interface{}) { logged++ })
+
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	conn, err := net.Dial("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	bad, err := transport.Encode(transport.KindPolicy, transport.Policy{Round: 0, X: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(bad); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	counts[0] = 5
+	good, err := transport.Encode(transport.KindCensus, transport.Census{Edge: 0, Round: 0, Counts: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(good); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r transport.Ratio
+	if err := transport.Decode(reply, transport.KindRatio, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Round != 1 {
+		t.Errorf("reply round = %d, want 1", r.Round)
+	}
+	if st := srv.Stats(); st.DecodeFailures != 1 {
+		t.Errorf("DecodeFailures = %d, want 1", st.DecodeFailures)
+	}
+	if logged == 0 {
+		t.Error("dropped frame was not logged")
+	}
+}

@@ -1,0 +1,150 @@
+package edge
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// CloudLink maintains an edge server's connection to the cloud across link
+// failures. Report dials lazily through the Dialer's backoff schedule,
+// submits the round's census, and — when the link drops or the reply times
+// out — redials and re-submits the census for the same round. The cloud
+// answers re-submissions for already-completed rounds immediately with the
+// region's current ratio, so a partitioned edge catches up as soon as the
+// link heals.
+type CloudLink struct {
+	// Edge identifies this region to the cloud.
+	Edge int
+	// Dialer establishes cloud connections with backoff (required).
+	Dialer *transport.Dialer
+	// ReplyTimeout bounds the wait for the cloud's ratio reply before the
+	// link is declared dead and the census re-submitted (0 = wait
+	// forever).
+	ReplyTimeout time.Duration
+	// Attempts is the number of submit attempts per Report (default 3).
+	Attempts int
+
+	mu      sync.Mutex
+	conn    transport.Conn
+	dialed  bool
+	redials int
+}
+
+// Redials returns how many times the link re-established its connection
+// after the first dial.
+func (l *CloudLink) Redials() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.redials
+}
+
+// Close drops the link's connection, if any.
+func (l *CloudLink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return nil
+	}
+	err := l.conn.Close()
+	l.conn = nil
+	return err
+}
+
+// ensureConn returns the live connection, dialing one if needed.
+func (l *CloudLink) ensureConn() (transport.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		return l.conn, nil
+	}
+	if l.Dialer == nil {
+		return nil, fmt.Errorf("edge %d: cloud link has no dialer", l.Edge)
+	}
+	conn, err := l.Dialer.DialRetry()
+	if err != nil {
+		return nil, fmt.Errorf("edge %d: dialing cloud: %w", l.Edge, err)
+	}
+	if l.dialed {
+		l.redials++
+	}
+	l.dialed = true
+	l.conn = conn
+	return conn, nil
+}
+
+// dropConn discards conn if it is still the link's current connection.
+func (l *CloudLink) dropConn(conn transport.Conn) {
+	_ = conn.Close()
+	l.mu.Lock()
+	if l.conn == conn {
+		l.conn = nil
+	}
+	l.mu.Unlock()
+}
+
+// Report submits one round's census and returns the next sharing ratio,
+// reconnecting and re-submitting across connection failures.
+func (l *CloudLink) Report(round int, counts []int) (float64, error) {
+	attempts := l.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		conn, err := l.ensureConn()
+		if err != nil {
+			return 0, err // the dialer already retried with backoff
+		}
+		x, err := l.reportOnce(conn, round, counts)
+		if err == nil {
+			return x, nil
+		}
+		l.dropConn(conn)
+		if !transport.IsConnError(err) {
+			return 0, fmt.Errorf("edge %d: reporting round %d: %w", l.Edge, round, err)
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("edge %d: reporting round %d failed after %d attempts: %w",
+		l.Edge, round, attempts, lastErr)
+}
+
+// reportOnce sends the census on conn and waits for the matching ratio,
+// skipping stale replies left over from duplicated or re-submitted rounds.
+func (l *CloudLink) reportOnce(conn transport.Conn, round int, counts []int) (float64, error) {
+	m, err := transport.Encode(transport.KindCensus, transport.Census{
+		Edge:   l.Edge,
+		Round:  round,
+		Counts: counts,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := conn.Send(m); err != nil {
+		return 0, err
+	}
+	for {
+		reply, err := transport.RecvTimeout(conn, l.ReplyTimeout)
+		if err != nil {
+			return 0, err
+		}
+		if reply.Kind == transport.KindAck {
+			var ack transport.Ack
+			if err := transport.Decode(reply, transport.KindAck, &ack); err != nil {
+				return 0, err
+			}
+			return 0, fmt.Errorf("cloud rejected census: %s", ack.Err)
+		}
+		var ratio transport.Ratio
+		if err := transport.Decode(reply, transport.KindRatio, &ratio); err != nil {
+			return 0, err
+		}
+		if ratio.Round != round+1 {
+			continue // stale reply from an earlier round or duplicate
+		}
+		return ratio.X, nil
+	}
+}

@@ -1,0 +1,131 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestCloudLinkResubmitsAfterDrop: when the cloud connection dies before the
+// ratio reply arrives, the link redials and re-submits the same round's
+// census, and skips stale replies once reconnected.
+func TestCloudLinkResubmitsAfterDrop(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- func() error {
+			// Session 1: swallow the census and drop the link.
+			c1, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			if _, err := c1.Recv(); err != nil {
+				return err
+			}
+			_ = c1.Close()
+
+			// Session 2: answer the re-submission, preceded by a stale reply
+			// the link must skip.
+			c2, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			defer c2.Close()
+			m, err := c2.Recv()
+			if err != nil {
+				return err
+			}
+			var census transport.Census
+			if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
+				return err
+			}
+			stale, err := transport.Encode(transport.KindRatio, transport.Ratio{Round: census.Round, X: 0.1})
+			if err != nil {
+				return err
+			}
+			if err := c2.Send(stale); err != nil {
+				return err
+			}
+			good, err := transport.Encode(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: 0.75})
+			if err != nil {
+				return err
+			}
+			return c2.Send(good)
+		}()
+	}()
+
+	link := &CloudLink{
+		Edge: 0,
+		Dialer: &transport.Dialer{
+			Dial:  func() (transport.Conn, error) { return net.Dial("cloud") },
+			Seed:  1,
+			Sleep: func(time.Duration) {},
+		},
+		ReplyTimeout: 2 * time.Second,
+	}
+	defer link.Close()
+
+	x, err := link.Report(3, []int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if x != 0.75 {
+		t.Errorf("ratio = %f, want 0.75 (the non-stale reply)", x)
+	}
+	if got := link.Redials(); got != 1 {
+		t.Errorf("Redials = %d, want 1", got)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("fake cloud: %v", err)
+	}
+}
+
+// TestCloudLinkSurfacesProtocolErrors: an error ack from the cloud is a
+// protocol failure, not a link failure — no retry, no redial.
+func TestCloudLinkSurfacesProtocolErrors(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		if _, err := c.Recv(); err != nil {
+			return
+		}
+		m, err := transport.Encode(transport.KindAck, transport.Ack{Err: "census from unknown edge 9"})
+		if err != nil {
+			return
+		}
+		_ = c.Send(m)
+	}()
+
+	link := &CloudLink{
+		Edge: 9,
+		Dialer: &transport.Dialer{
+			Dial:  func() (transport.Conn, error) { return net.Dial("cloud") },
+			Seed:  1,
+			Sleep: func(time.Duration) {},
+		},
+		ReplyTimeout: 2 * time.Second,
+	}
+	defer link.Close()
+	if _, err := link.Report(0, []int{1}); err == nil {
+		t.Fatal("rejected census must surface an error")
+	}
+	if got := link.Redials(); got != 0 {
+		t.Errorf("Redials = %d, want 0 for a protocol error", got)
+	}
+}

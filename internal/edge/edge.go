@@ -7,6 +7,7 @@
 package edge
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -16,6 +17,11 @@ import (
 	"repro/internal/sensor"
 	"repro/internal/transport"
 )
+
+// ErrStaleUpload marks an upload for a round other than the current one —
+// the harmless by-product of a delayed policy broadcast or a vehicle
+// reconnecting mid-round, not a protocol violation.
+var ErrStaleUpload = errors.New("edge: upload for a stale round")
 
 // Distributor is the edge server's policy engine, independent of any
 // transport: it accumulates one round's uploads and computes each vehicle's
@@ -80,8 +86,8 @@ func (d *Distributor) X() float64 {
 // must be consistent with the decision (the edge enforces the policy: a
 // vehicle cannot smuggle modalities its decision does not share).
 func (d *Distributor) AddUpload(u transport.Upload) error {
-	if u.Round != d.Round() {
-		return fmt.Errorf("edge: upload for round %d, current round is %d", u.Round, d.Round())
+	if cur := d.Round(); u.Round != cur {
+		return fmt.Errorf("%w: upload for round %d, current round is %d", ErrStaleUpload, u.Round, cur)
 	}
 	k := lattice.Decision(u.Decision)
 	share, err := d.lat.Share(k)

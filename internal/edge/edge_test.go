@@ -1,6 +1,8 @@
 package edge
 
 import (
+	"errors"
+	"io"
 	"math"
 	"sync"
 	"testing"
@@ -351,7 +353,10 @@ func TestServerRoundTimeout(t *testing.T) {
 	}
 }
 
-func TestServerDuplicateRegistrationRejected(t *testing.T) {
+// TestServerDuplicateRegistrationReplacesStale: when a vehicle re-registers
+// (e.g. after a reconnect the server has not noticed yet), the new session
+// wins — the stale conn is closed and the registry still holds one entry.
+func TestServerDuplicateRegistrationReplacesStale(t *testing.T) {
 	net := transport.NewInprocNetwork()
 	l, err := net.Listen("edge-d")
 	if err != nil {
@@ -387,7 +392,24 @@ func TestServerDuplicateRegistrationRejected(t *testing.T) {
 	}
 	c2, a2 := register()
 	defer c2.Close()
-	if a2.Err == "" {
-		t.Error("duplicate registration should be rejected")
+	if a2.Err != "" {
+		t.Errorf("re-registration should replace the stale session, got %q", a2.Err)
+	}
+	// The stale conn is closed by the server.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c1.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Errorf("stale conn Recv = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stale conn was not closed")
+	}
+	if n := srv.NumVehicles(); n != 1 {
+		t.Errorf("NumVehicles = %d, want 1", n)
 	}
 }

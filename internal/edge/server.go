@@ -3,7 +3,6 @@ package edge
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
@@ -50,11 +49,15 @@ func NewServer(id int, lat *lattice.Lattice, seed int64) *Server {
 }
 
 // Serve accepts vehicle connections until the listener fails or the server
-// closes. It blocks; run it in a goroutine.
+// closes. Injected (transient) accept failures are skipped. It blocks; run
+// it in a goroutine.
 func (s *Server) Serve(l transport.Listener) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if errors.Is(err, transport.ErrInjected) {
+				continue
+			}
 			return
 		}
 		s.wg.Add(1)
@@ -105,10 +108,10 @@ func (s *Server) handleConn(conn transport.Conn) {
 		return
 	}
 	s.mu.Lock()
-	if _, dup := s.conns[hello.Vehicle]; dup {
-		s.mu.Unlock()
-		s.sendAck(conn, fmt.Errorf("vehicle %d already registered", hello.Vehicle))
-		return
+	if old, dup := s.conns[hello.Vehicle]; dup {
+		// The vehicle reconnected before we noticed the old session die:
+		// the new session wins, the stale conn is closed.
+		_ = old.Close()
 	}
 	s.conns[hello.Vehicle] = conn
 	s.mu.Unlock()
@@ -116,13 +119,16 @@ func (s *Server) handleConn(conn transport.Conn) {
 
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, hello.Vehicle)
+		// Only deregister if a newer session has not replaced this conn.
+		if s.conns[hello.Vehicle] == conn {
+			delete(s.conns, hello.Vehicle)
+		}
 		s.mu.Unlock()
 	}()
 
 	for {
 		m, err := conn.Recv()
-		if errors.Is(err, io.EOF) || err != nil {
+		if err != nil {
 			return
 		}
 		switch m.Kind {
@@ -133,6 +139,12 @@ func (s *Server) handleConn(conn transport.Conn) {
 				continue
 			}
 			err := s.dist.AddUpload(up)
+			if errors.Is(err, ErrStaleUpload) {
+				// A delayed policy made the vehicle upload for an old
+				// round; harmless, drop it without an error ack.
+				s.sendAck(conn, nil)
+				continue
+			}
 			s.sendAck(conn, err)
 			if err == nil {
 				select {
@@ -243,13 +255,25 @@ func (s *Server) ReportCensus(conn transport.Conn, round int, census []int) (flo
 	if err := conn.Send(m); err != nil {
 		return 0, fmt.Errorf("edge: sending census: %w", err)
 	}
-	reply, err := conn.Recv()
-	if err != nil {
-		return 0, fmt.Errorf("edge: waiting for ratio: %w", err)
+	for {
+		reply, err := conn.Recv()
+		if err != nil {
+			return 0, fmt.Errorf("edge: waiting for ratio: %w", err)
+		}
+		if reply.Kind == transport.KindAck {
+			var ack transport.Ack
+			if err := transport.Decode(reply, transport.KindAck, &ack); err != nil {
+				return 0, err
+			}
+			return 0, fmt.Errorf("edge: cloud rejected census: %s", ack.Err)
+		}
+		var ratio transport.Ratio
+		if err := transport.Decode(reply, transport.KindRatio, &ratio); err != nil {
+			return 0, err
+		}
+		if ratio.Round != round+1 {
+			continue // stale reply from a duplicated or re-submitted census
+		}
+		return ratio.X, nil
 	}
-	var ratio transport.Ratio
-	if err := transport.Decode(reply, transport.KindRatio, &ratio); err != nil {
-		return 0, err
-	}
-	return ratio.X, nil
 }

@@ -50,6 +50,11 @@ type AgentSimConfig struct {
 	Seed int64
 	// RoundTimeout bounds each edge round (default 5s).
 	RoundTimeout time.Duration
+	// Fault, when non-nil, wraps every vehicle connection in the seeded
+	// fault injector (drops, duplicates, delays, forced disconnects) and
+	// runs the vehicle clients with reconnect + re-registration, so the
+	// simulation exercises the runtime's degraded paths.
+	Fault *transport.FaultConfig
 }
 
 func (c *AgentSimConfig) fill() {
@@ -137,12 +142,24 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 	net := transport.NewInprocNetwork()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	var fault *transport.Fault
+	if cfg.Fault != nil {
+		fc := *cfg.Fault
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed
+		}
+		fault = transport.NewFault(fc)
+	}
+	stop := make(chan struct{})
+
 	edges := make([]*edge.Server, m)
+	listeners := make([]transport.Listener, m)
 	for i := 0; i < m; i++ {
 		l, err := net.Listen(fmt.Sprintf("edge-%d", i))
 		if err != nil {
 			return nil, err
 		}
+		listeners[i] = l
 		edges[i] = edge.NewServer(i, w.Payoffs.Lattice(), rng.Int63())
 		if cfg.EdgeShare != 0 {
 			if err := edges[i].EnablePerception(cfg.EdgeShare); err != nil {
@@ -151,11 +168,32 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 		}
 		go edges[i].Serve(l)
 	}
-	defer func() {
+	teardown := func() {
+		close(stop)
+		for _, l := range listeners {
+			_ = l.Close()
+		}
 		for _, e := range edges {
 			e.Close()
 		}
+	}
+	torndown := false
+	defer func() {
+		if !torndown {
+			teardown()
+		}
 	}()
+
+	dialEdge := func(i int) (transport.Conn, error) {
+		c, err := net.Dial(fmt.Sprintf("edge-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if fault != nil {
+			c = fault.WrapConn(c)
+		}
+		return c, nil
+	}
 
 	// Launch vehicle agents.
 	var clientWG sync.WaitGroup
@@ -192,11 +230,32 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 				}
 			}
 			agents[i][v] = a
-			conn, err := net.Dial(fmt.Sprintf("edge-%d", i))
+			client := &vehicle.Client{Agent: a, Mu: cfg.Mu, Cap: sensor.TableIII(), Stop: stop}
+			if fault != nil {
+				// Lossy links: bound the registration wait and heal
+				// dropped sessions by redialing.
+				client.RegisterTimeout = 250 * time.Millisecond
+				region := i
+				dialer := &transport.Dialer{
+					Dial:        func() (transport.Conn, error) { return dialEdge(region) },
+					MaxAttempts: 20,
+					BaseDelay:   2 * time.Millisecond,
+					MaxDelay:    50 * time.Millisecond,
+					Seed:        cfg.Seed + int64(prof.ID),
+				}
+				clientWG.Add(1)
+				go func() {
+					defer clientWG.Done()
+					if err := client.RunWithReconnect(dialer); err != nil {
+						clientErr <- err
+					}
+				}()
+				continue
+			}
+			conn, err := dialEdge(i)
 			if err != nil {
 				return nil, err
 			}
-			client := &vehicle.Client{Agent: a, Mu: cfg.Mu, Cap: sensor.TableIII()}
 			clientWG.Add(1)
 			go func() {
 				defer clientWG.Done()
@@ -286,9 +345,8 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 
 	// Tear down clients before reading agent state: the client goroutines
 	// own the agents until their connections close.
-	for _, e := range edges {
-		e.Close()
-	}
+	teardown()
+	torndown = true
 	clientWG.Wait()
 
 	for i := range agents {

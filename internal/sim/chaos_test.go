@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/edge"
+	"repro/internal/game"
+	"repro/internal/lattice"
+	"repro/internal/policy"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+	"repro/internal/vehicle"
+)
+
+// chaosGraph is a 2-region graph with dominant intra-region frequency.
+type chaosGraph struct{}
+
+func (chaosGraph) M() int { return 2 }
+func (chaosGraph) Gamma(i, j int) float64 {
+	if i == j {
+		return 0.9
+	}
+	return 0.1
+}
+func (chaosGraph) Neighbors(i int) []int {
+	if i == 0 {
+		return []int{1}
+	}
+	return []int{0}
+}
+
+// TestChaosPipelineConverges runs the full cloud/edge/vehicle pipeline over
+// faulty links — 10% message drops, 1–20ms injected delays on every vehicle
+// connection, and periodic forced disconnects on the cloud links — kills one
+// edge server mid-run and restarts it, and requires the system to still
+// converge to the FDS desired field. The cloud's round deadline keeps the
+// healthy region progressing (degraded rounds) while the other is down.
+func TestChaosPipelineConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes several seconds")
+	}
+	const (
+		regions       = 2
+		perRegion     = 16
+		maxRounds     = 60
+		beta          = 4.0
+		tau           = 0.25
+		mu            = 0.5
+		lambda        = 0.1
+		x0            = 0.3
+		targetX       = 0.85
+		fieldEps      = 0.2
+		roundDeadline = 400 * time.Millisecond
+		roundTimeout  = 150 * time.Millisecond
+		killAtRound   = 6
+		outage        = 600 * time.Millisecond // > roundDeadline: forces degraded rounds
+	)
+
+	payoffs := lattice.PaperPayoffs()
+	model, err := game.NewModel(payoffs, chaosGraph{}, []float64{beta, beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Desired field: the regime reachable from x0 by adiabatic continuation
+	// to the target ratio (same construction as cmd/cpnode's cloud role).
+	dyn, err := game.NewLogitDynamics(model, tau, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := game.NewUniformState(regions, model.K(), x0)
+	for ramping := true; ramping; {
+		ramping = false
+		for i := range probe.X {
+			if probe.X[i]+lambda < targetX {
+				probe.X[i] += lambda
+				ramping = true
+			} else {
+				probe.X[i] = targetX
+			}
+		}
+		if err := dyn.Step(probe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dyn.Equilibrium(probe, 1e-9, 20000); err != nil {
+		t.Fatal(err)
+	}
+	field, err := FieldFromState(probe, fieldEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds, err := policy.NewFDS(model, field, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudSrv, err := cloud.NewServer(fds, game.NewUniformState(regions, model.K(), x0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudSrv.SetRoundDeadline(roundDeadline)
+	defer cloudSrv.Close()
+
+	net := transport.NewInprocNetwork()
+	cloudL, err := net.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cloudSrv.Serve(cloudL)
+	defer cloudL.Close()
+
+	// Vehicle links: drops and delays on both directions (dial side and
+	// edge listener side). Cloud links: periodic forced disconnects.
+	vehFault := transport.NewFault(transport.FaultConfig{
+		Seed:     42,
+		DropProb: 0.1,
+		MinDelay: time.Millisecond,
+		MaxDelay: 20 * time.Millisecond,
+	})
+	// Each Report passes ~2 messages, so every cloud link is force-dropped
+	// every ~4 rounds and must redial + re-submit.
+	linkFault := transport.NewFault(transport.FaultConfig{Seed: 7, DisconnectAfter: 8})
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	closeStop := func() { stopOnce.Do(func() { close(stop) }) }
+
+	listeners := make([]transport.Listener, regions)
+	servers := make([]*edge.Server, regions)
+	startEdge := func(i int, seed int64) error {
+		l, err := net.Listen(fmt.Sprintf("edge-%d", i))
+		if err != nil {
+			return err
+		}
+		listeners[i] = vehFault.WrapListener(l)
+		servers[i] = edge.NewServer(i, payoffs.Lattice(), seed)
+		go servers[i].Serve(listeners[i])
+		return nil
+	}
+	for i := 0; i < regions; i++ {
+		if err := startEdge(i, int64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Teardown order matters: stop the clients' reconnect loops, then kill
+	// the listeners and servers so blocked clients unblock, then wait for
+	// the client goroutines. Runs on both the success and t.Fatal paths.
+	var clientWG sync.WaitGroup
+	teardown := func() {
+		closeStop()
+		for _, l := range listeners {
+			_ = l.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+		clientWG.Wait()
+	}
+	defer teardown()
+
+	newLink := func(i int) *edge.CloudLink {
+		return &edge.CloudLink{
+			Edge: i,
+			Dialer: &transport.Dialer{
+				Dial: func() (transport.Conn, error) {
+					c, err := net.Dial("cloud")
+					if err != nil {
+						return nil, err
+					}
+					return linkFault.WrapConn(c), nil
+				},
+				MaxAttempts: 10,
+				BaseDelay:   2 * time.Millisecond,
+				MaxDelay:    50 * time.Millisecond,
+				Seed:        int64(1000 + i),
+			},
+			ReplyTimeout: time.Second,
+		}
+	}
+
+	// Vehicle fleets: reconnecting clients over faulty links.
+	clientErr := make(chan error, regions*perRegion)
+	nextID := 1
+	for i := 0; i < regions; i++ {
+		region := i
+		for v := 0; v < perRegion; v++ {
+			prof := vehicle.Profile{
+				ID:            nextID,
+				Equipped:      sensor.MaskAll,
+				Desired:       sensor.MaskAll,
+				PrivacyWeight: 1,
+				Beta:          beta,
+				Tau:           tau,
+			}
+			nextID++
+			agent, err := vehicle.NewAgent(prof, payoffs, int64(5000+prof.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			client := &vehicle.Client{
+				Agent:           agent,
+				Mu:              mu,
+				Cap:             sensor.TableIII(),
+				RegisterTimeout: 250 * time.Millisecond,
+				Stop:            stop,
+			}
+			dialer := &transport.Dialer{
+				Dial: func() (transport.Conn, error) {
+					c, err := net.Dial(fmt.Sprintf("edge-%d", region))
+					if err != nil {
+						return nil, err
+					}
+					return vehFault.WrapConn(c), nil
+				},
+				MaxAttempts: 60, // patient: must outlast the edge-1 outage
+				BaseDelay:   2 * time.Millisecond,
+				MaxDelay:    50 * time.Millisecond,
+				Seed:        int64(7000 + prof.ID),
+			}
+			clientWG.Add(1)
+			go func() {
+				defer clientWG.Done()
+				if err := client.RunWithReconnect(dialer); err != nil {
+					clientErr <- err
+				}
+			}()
+		}
+	}
+
+	waitRegistered := func(i int) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for servers[i].NumVehicles() < perRegion {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("edge %d: only %d/%d vehicles registered",
+					i, servers[i].NumVehicles(), perRegion)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+
+	var converged atomic.Bool
+	var killed atomic.Bool
+	driver := func(i int) error {
+		if err := waitRegistered(i); err != nil {
+			return err
+		}
+		link := newLink(i)
+		defer func() { _ = link.Close() }()
+		x := float64(x0)
+		for round := 0; round < maxRounds; round++ {
+			if converged.Load() {
+				return nil
+			}
+			census, err := servers[i].RunRound(round, x, roundTimeout)
+			if err != nil {
+				return fmt.Errorf("edge %d round %d: %w", i, round, err)
+			}
+			next, err := link.Report(round, census)
+			if err != nil {
+				// Degraded round: cloud unreachable; keep the current ratio.
+				continue
+			}
+			x = next
+			if cloudSrv.Converged() {
+				converged.Store(true)
+				return nil
+			}
+
+			// Mid-run chaos: kill edge 1 entirely — listener, server, cloud
+			// link — leave it dark long enough for the cloud's deadline to
+			// fire, then restart it and let the vehicles re-register.
+			if i == 1 && round == killAtRound {
+				killed.Store(true)
+				_ = link.Close()
+				_ = listeners[1].Close()
+				servers[1].Close()
+				time.Sleep(outage)
+				if err := startEdge(1, 999); err != nil {
+					return fmt.Errorf("restarting edge 1: %w", err)
+				}
+				if err := waitRegistered(1); err != nil {
+					return fmt.Errorf("after restart: %w", err)
+				}
+				link = newLink(1)
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, regions)
+	var wg sync.WaitGroup
+	for i := 0; i < regions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = driver(i)
+		}()
+	}
+	wg.Wait()
+	teardown()
+
+	var clientFailures []error
+	for {
+		select {
+		case err := <-clientErr:
+			clientFailures = append(clientFailures, err)
+			continue
+		default:
+		}
+		break
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("driver %d: %v (client errors: %v)", i, err, clientFailures)
+		}
+	}
+	if len(clientFailures) > 0 {
+		t.Fatalf("vehicle clients failed: %v", clientFailures)
+	}
+
+	if !killed.Load() {
+		t.Fatal("edge 1 was never killed — chaos script did not run")
+	}
+	if !converged.Load() {
+		t.Fatalf("run did not converge to the desired field within %d rounds (cloud state: %+v)",
+			maxRounds, cloudSrv.State().P)
+	}
+	stats := cloudSrv.Stats()
+	if stats.DegradedRounds < 1 {
+		t.Errorf("cloud stats = %+v, want at least one degraded round while edge 1 was down", stats)
+	}
+	vf := vehFault.Stats()
+	if vf.Dropped == 0 || vf.Delayed == 0 {
+		t.Errorf("vehicle fault injection idle: %+v", vf)
+	}
+	if lf := linkFault.Stats(); lf.Disconnects == 0 {
+		t.Errorf("cloud-link fault injection never disconnected: %+v", lf)
+	}
+	t.Logf("chaos run: cloud %+v, vehicle faults %+v, link faults %+v, degraded=%d",
+		stats, vf, linkFault.Stats(), stats.DegradedRounds)
+}
+
+// TestRunAgentSimWithFaults: the packaged agent simulation survives a lossy
+// transport when configured with a FaultConfig (drops, delays, reconnecting
+// clients) and still completes its rounds.
+func TestRunAgentSimWithFaults(t *testing.T) {
+	w := buildTinyWorld(t, CoeffBC)
+	opts := MacroOptions{}
+	start, err := w.EquilibriumAt(0.5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := w.EquilibriumFrom(start, 0.85, 0.1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := FieldFromState(target, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunAgentSim(AgentSimConfig{
+		VehiclesPerRegion: 10,
+		Rounds:            5,
+		Field:             field,
+		Seed:              11,
+		X0:                0.5,
+		InitialShares:     start.P,
+		RoundTimeout:      300 * time.Millisecond,
+		Fault: &transport.FaultConfig{
+			DropProb: 0.05,
+			MinDelay: time.Millisecond,
+			MaxDelay: 5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Errorf("completed %d rounds, want 5", res.Rounds)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Conn is a bidirectional, message-oriented connection.
@@ -193,21 +194,57 @@ func (l *inprocListener) Addr() string { return l.name }
 // tcpConn frames messages as a 4-byte big-endian length followed by the
 // JSON-encoded envelope.
 type tcpConn struct {
-	c  net.Conn
-	wr sync.Mutex
-	rd sync.Mutex
+	c       net.Conn
+	timeout time.Duration
+	wr      sync.Mutex
+	rd      sync.Mutex
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// TCPOption configures a tcpConn.
+type TCPOption func(*tcpConn)
+
+// WithTimeout sets a per-operation read/write deadline, so a stalled peer
+// cannot wedge Send or Recv forever: each Send arms a write deadline and
+// each Recv a read deadline of d. Expiry surfaces as an error wrapping
+// ErrTimeout. Zero keeps blocking semantics.
+func WithTimeout(d time.Duration) TCPOption {
+	return func(t *tcpConn) { t.timeout = d }
 }
 
 // NewTCPConn wraps an established net.Conn in the framing codec.
-func NewTCPConn(c net.Conn) Conn { return &tcpConn{c: c} }
+func NewTCPConn(c net.Conn, opts ...TCPOption) Conn {
+	t := &tcpConn{c: c, closed: make(chan struct{})}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
 
 // DialTCP connects to a TCP endpoint.
-func DialTCP(addr string) (Conn, error) {
+func DialTCP(addr string, opts ...TCPOption) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
 	}
-	return NewTCPConn(c), nil
+	return NewTCPConn(c, opts...), nil
+}
+
+// opErr maps a raw net.Conn failure to the transport's error vocabulary:
+// operations on a conn we closed ourselves report ErrClosed (io.EOF for
+// reads), and deadline expiries wrap ErrTimeout.
+func (t *tcpConn) opErr(op string, err error) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("transport: %s deadline exceeded: %w", op, ErrTimeout)
+	}
+	return fmt.Errorf("transport: %s: %w", op, err)
 }
 
 func (t *tcpConn) Send(m Message) error {
@@ -222,11 +259,14 @@ func (t *tcpConn) Send(m Message) error {
 	binary.BigEndian.PutUint32(header[:], uint32(len(raw)))
 	t.wr.Lock()
 	defer t.wr.Unlock()
+	if t.timeout > 0 {
+		_ = t.c.SetWriteDeadline(time.Now().Add(t.timeout))
+	}
 	if _, err := t.c.Write(header[:]); err != nil {
-		return fmt.Errorf("transport: writing frame header: %w", err)
+		return t.opErr("writing frame header", err)
 	}
 	if _, err := t.c.Write(raw); err != nil {
-		return fmt.Errorf("transport: writing frame body: %w", err)
+		return t.opErr("writing frame body", err)
 	}
 	return nil
 }
@@ -234,12 +274,21 @@ func (t *tcpConn) Send(m Message) error {
 func (t *tcpConn) Recv() (Message, error) {
 	t.rd.Lock()
 	defer t.rd.Unlock()
+	if t.timeout > 0 {
+		_ = t.c.SetReadDeadline(time.Now().Add(t.timeout))
+	}
 	var header [4]byte
 	if _, err := io.ReadFull(t.c, header[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
+		select {
+		case <-t.closed:
+			// Our own Close unblocked the read: report a clean EOF.
+			return Message{}, io.EOF
+		default:
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return Message{}, io.EOF
 		}
-		return Message{}, err
+		return Message{}, t.opErr("reading frame header", err)
 	}
 	size := binary.BigEndian.Uint32(header[:])
 	if size > MaxFrameBytes {
@@ -247,7 +296,12 @@ func (t *tcpConn) Recv() (Message, error) {
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(t.c, body); err != nil {
-		return Message{}, fmt.Errorf("transport: reading frame body: %w", err)
+		select {
+		case <-t.closed:
+			return Message{}, io.EOF
+		default:
+		}
+		return Message{}, t.opErr("reading frame body", err)
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {
@@ -256,7 +310,11 @@ func (t *tcpConn) Recv() (Message, error) {
 	return m, nil
 }
 
-func (t *tcpConn) Close() error { return t.c.Close() }
+// Close releases the connection; an in-flight Recv unblocks with io.EOF.
+func (t *tcpConn) Close() error {
+	t.once.Do(func() { close(t.closed) })
+	return t.c.Close()
+}
 
 // tcpListener adapts net.Listener.
 type tcpListener struct{ l net.Listener }

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a failure produced by the fault-injection layer rather
+// than the real network. Accept loops should treat it as transient and keep
+// accepting.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultConfig parameterizes deterministic fault injection over a Conn or
+// Listener. All probabilities are per message in [0,1]; the zero value
+// injects nothing.
+type FaultConfig struct {
+	// Seed drives every fault decision. Each wrapped conn derives its own
+	// rng from Seed plus a wrap counter, so a single conn's fault sequence
+	// is reproducible regardless of scheduling across conns.
+	Seed int64
+	// DropProb is the probability a sent message is silently discarded.
+	DropProb float64
+	// DupProb is the probability a sent message is delivered twice.
+	DupProb float64
+	// MinDelay and MaxDelay bound the injected per-message delivery delay;
+	// both zero disables delays. Delayed messages are delivered
+	// asynchronously, so closely spaced messages may reorder.
+	MinDelay, MaxDelay time.Duration
+	// DisconnectAfter force-closes the connection after this many messages
+	// (sends plus receives) have passed through it; 0 disables.
+	DisconnectAfter int
+	// AcceptFailProb is the probability a FaultyListener's Accept closes
+	// the new connection and returns ErrInjected.
+	AcceptFailProb float64
+}
+
+// FaultStats counts injected faults across every conn and listener wrapped
+// by one Fault.
+type FaultStats struct {
+	Sent           int64 // messages offered to Send on wrapped conns
+	Dropped        int64
+	Duplicated     int64
+	Delayed        int64
+	Disconnects    int64
+	AcceptFailures int64
+}
+
+// Fault is a shared fault injector: one instance wraps any number of conns
+// and listeners, accumulating joint statistics while keeping per-conn
+// decision sequences deterministic under the configured seed.
+type Fault struct {
+	cfg FaultConfig
+	seq atomic.Int64
+
+	sent, dropped, duplicated, delayed, disconnects, acceptFailures atomic.Int64
+}
+
+// NewFault builds a fault injector from the config.
+func NewFault(cfg FaultConfig) *Fault {
+	return &Fault{cfg: cfg}
+}
+
+// Config returns the injector's configuration.
+func (f *Fault) Config() FaultConfig { return f.cfg }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *Fault) Stats() FaultStats {
+	return FaultStats{
+		Sent:           f.sent.Load(),
+		Dropped:        f.dropped.Load(),
+		Duplicated:     f.duplicated.Load(),
+		Delayed:        f.delayed.Load(),
+		Disconnects:    f.disconnects.Load(),
+		AcceptFailures: f.acceptFailures.Load(),
+	}
+}
+
+// WrapConn wraps c so that sends are subject to drops, duplicates, and
+// delays, and the whole connection to a forced disconnect after N messages.
+func (f *Fault) WrapConn(c Conn) Conn {
+	return &FaultyConn{
+		f:     f,
+		inner: c,
+		rng:   rand.New(rand.NewSource(f.cfg.Seed + f.seq.Add(1))),
+	}
+}
+
+// WrapListener wraps l so that Accept is subject to injected failures and
+// every accepted conn is wrapped with WrapConn.
+func (f *Fault) WrapListener(l Listener) Listener {
+	return &FaultyListener{
+		f:     f,
+		inner: l,
+		rng:   rand.New(rand.NewSource(f.cfg.Seed + f.seq.Add(1))),
+	}
+}
+
+// FaultyConn injects faults into the send path of an inner Conn (the
+// receive path of the peer's wrapper covers the other direction).
+type FaultyConn struct {
+	f     *Fault
+	inner Conn
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	msgs    atomic.Int64
+	tripped atomic.Bool
+	once    sync.Once
+}
+
+// roll draws fault decisions for one message under the conn's rng.
+func (c *FaultyConn) roll() (drop, dup bool, delay time.Duration) {
+	cfg := &c.f.cfg
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cfg.DropProb > 0 && c.rng.Float64() < cfg.DropProb {
+		drop = true
+	}
+	if cfg.DupProb > 0 && c.rng.Float64() < cfg.DupProb {
+		dup = true
+	}
+	if cfg.MaxDelay > 0 {
+		span := cfg.MaxDelay - cfg.MinDelay
+		delay = cfg.MinDelay
+		if span > 0 {
+			delay += time.Duration(c.rng.Int63n(int64(span)))
+		}
+	}
+	return drop, dup, delay
+}
+
+// tick counts one message through the conn and trips the forced disconnect
+// when the configured budget is exhausted.
+func (c *FaultyConn) tick() bool {
+	if c.tripped.Load() {
+		return true
+	}
+	limit := c.f.cfg.DisconnectAfter
+	if limit <= 0 {
+		c.msgs.Add(1)
+		return false
+	}
+	if c.msgs.Add(1) <= int64(limit) {
+		return false
+	}
+	c.once.Do(func() {
+		c.tripped.Store(true)
+		c.f.disconnects.Add(1)
+		_ = c.inner.Close()
+	})
+	return true
+}
+
+// Send applies the configured faults to one outgoing message.
+func (c *FaultyConn) Send(m Message) error {
+	if c.tick() {
+		return fmt.Errorf("%w: forced disconnect", ErrClosed)
+	}
+	c.f.sent.Add(1)
+	drop, dup, delay := c.roll()
+	if drop {
+		c.f.dropped.Add(1)
+		return nil // silently lost in transit
+	}
+	copies := 1
+	if dup {
+		copies = 2
+		c.f.duplicated.Add(1)
+	}
+	if delay > 0 {
+		c.f.delayed.Add(1)
+		for i := 0; i < copies; i++ {
+			time.AfterFunc(delay, func() { _ = c.inner.Send(m) })
+		}
+		return nil
+	}
+	var err error
+	for i := 0; i < copies; i++ {
+		if e := c.inner.Send(m); e != nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Recv passes through to the inner conn, charging the message against the
+// forced-disconnect budget.
+func (c *FaultyConn) Recv() (Message, error) {
+	if c.tick() {
+		return Message{}, io.EOF
+	}
+	return c.inner.Recv()
+}
+
+// Close closes the inner conn.
+func (c *FaultyConn) Close() error { return c.inner.Close() }
+
+// FaultyListener injects accept failures and wraps accepted conns.
+type FaultyListener struct {
+	f     *Fault
+	inner Listener
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Accept accepts from the inner listener; with AcceptFailProb it closes the
+// new conn and reports ErrInjected (a transient failure).
+func (l *FaultyListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	fail := l.f.cfg.AcceptFailProb > 0 && l.rng.Float64() < l.f.cfg.AcceptFailProb
+	l.mu.Unlock()
+	if fail {
+		_ = c.Close()
+		l.f.acceptFailures.Add(1)
+		return nil, fmt.Errorf("%w: accept failure", ErrInjected)
+	}
+	return l.f.WrapConn(c), nil
+}
+
+// Close closes the inner listener.
+func (l *FaultyListener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner listener's address.
+func (l *FaultyListener) Addr() string { return l.inner.Addr() }

@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func ratioMsg(t *testing.T, round int) Message {
+	t.Helper()
+	m, err := Encode(KindRatio, Ratio{Round: round, X: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// countUntilEOF drains conn, returning how many messages arrived.
+func countUntilEOF(conn Conn) int {
+	n := 0
+	for {
+		if _, err := conn.Recv(); err != nil {
+			return n
+		}
+		n++
+	}
+}
+
+func TestFaultDropStatsConsistent(t *testing.T) {
+	f := NewFault(FaultConfig{Seed: 1, DropProb: 0.3})
+	a, b := Pipe()
+	fa := f.WrapConn(a)
+
+	const n = 200
+	got := make(chan int, 1)
+	go func() { got <- countUntilEOF(b) }()
+	for i := 0; i < n; i++ {
+		if err := fa.Send(ratioMsg(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	received := <-got
+
+	st := f.Stats()
+	if st.Sent != n {
+		t.Errorf("Sent = %d, want %d", st.Sent, n)
+	}
+	if st.Dropped == 0 || st.Dropped == n {
+		t.Errorf("Dropped = %d of %d, want some but not all", st.Dropped, n)
+	}
+	if want := st.Sent - st.Dropped; int64(received) != want {
+		t.Errorf("receiver got %d messages, want Sent-Dropped = %d", received, want)
+	}
+}
+
+func TestFaultDeterministicUnderSeed(t *testing.T) {
+	run := func() FaultStats {
+		f := NewFault(FaultConfig{Seed: 99, DropProb: 0.25, DupProb: 0.2})
+		a, b := Pipe()
+		fa := f.WrapConn(a)
+		done := make(chan int, 1)
+		go func() { done <- countUntilEOF(b) }()
+		for i := 0; i < 150; i++ {
+			if err := fa.Send(ratioMsg(t, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = fa.Close()
+		<-done
+		return f.Stats()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Errorf("fault sequences diverged for the same seed:\n  %+v\n  %+v", first, second)
+	}
+}
+
+func TestFaultDuplicates(t *testing.T) {
+	f := NewFault(FaultConfig{Seed: 3, DupProb: 1})
+	a, b := Pipe()
+	fa := f.WrapConn(a)
+	if err := fa.Send(ratioMsg(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_ = fa.Close()
+	if got := countUntilEOF(b); got != 2 {
+		t.Errorf("received %d copies, want 2", got)
+	}
+	if st := f.Stats(); st.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestFaultDelayDelivers(t *testing.T) {
+	f := NewFault(FaultConfig{Seed: 4, MinDelay: 20 * time.Millisecond, MaxDelay: 40 * time.Millisecond})
+	a, b := Pipe()
+	fa := f.WrapConn(a)
+	start := time.Now()
+	if err := fa.Send(ratioMsg(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~20ms of injected delay", elapsed)
+	}
+	var r Ratio
+	if err := Decode(m, KindRatio, &r); err != nil || r.Round != 7 {
+		t.Errorf("delayed message corrupted: %+v, %v", r, err)
+	}
+	if st := f.Stats(); st.Delayed != 1 {
+		t.Errorf("Delayed = %d, want 1", st.Delayed)
+	}
+}
+
+func TestFaultDisconnectAfter(t *testing.T) {
+	f := NewFault(FaultConfig{Seed: 5, DisconnectAfter: 2})
+	a, b := Pipe()
+	fa := f.WrapConn(a)
+	for i := 0; i < 2; i++ {
+		if err := fa.Send(ratioMsg(t, i)); err != nil {
+			t.Fatalf("send %d within budget: %v", i, err)
+		}
+	}
+	if err := fa.Send(ratioMsg(t, 2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("send past budget = %v, want ErrClosed", err)
+	}
+	if _, err := fa.Recv(); !errors.Is(err, io.EOF) {
+		t.Errorf("recv after trip = %v, want EOF", err)
+	}
+	// The peer sees the forced close after draining what got through.
+	if got := countUntilEOF(b); got != 2 {
+		t.Errorf("peer received %d messages, want 2", got)
+	}
+	if st := f.Stats(); st.Disconnects != 1 {
+		t.Errorf("Disconnects = %d, want 1", st.Disconnects)
+	}
+}
+
+func TestFaultyListenerAcceptFailure(t *testing.T) {
+	f := NewFault(FaultConfig{Seed: 6, AcceptFailProb: 1})
+	n := NewInprocNetwork()
+	inner, err := n.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.WrapListener(inner)
+	if l.Addr() != "cloud" {
+		t.Errorf("Addr = %q, want passthrough", l.Addr())
+	}
+	dialed := make(chan Conn, 1)
+	go func() {
+		c, err := n.Dial("cloud")
+		if err != nil {
+			return
+		}
+		dialed <- c
+	}()
+	if _, err := l.Accept(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Accept = %v, want ErrInjected", err)
+	}
+	if st := f.Stats(); st.AcceptFailures != 1 {
+		t.Errorf("AcceptFailures = %d, want 1", st.AcceptFailures)
+	}
+	// The rejected dialer's conn was closed server-side: its Recv sees EOF.
+	select {
+	case c := <-dialed:
+		if _, err := c.Recv(); !errors.Is(err, io.EOF) {
+			t.Errorf("rejected conn Recv = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dial did not complete")
+	}
+	_ = l.Close()
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestTCPRecvTimeout: a TCP conn built with WithTimeout reports ErrTimeout
+// when the peer goes silent, instead of blocking forever.
+func TestTCPRecvTimeout(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		// Hold the conn open without ever sending.
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_, _ = c.Recv()
+	}()
+	client, err := DialTCP(l.Addr(), WithTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	_, err = client.Recv()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv on a silent peer = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestTCPCloseUnblocksRecv: closing our own side of a TCP conn unblocks an
+// in-flight Recv with io.EOF (session teardown, not an error).
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_, _ = c.Recv()
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let Recv block on the socket
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Errorf("Recv after own close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock after Close")
+	}
+}

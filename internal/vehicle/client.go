@@ -4,10 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/sensor"
 	"repro/internal/transport"
 )
+
+// ErrRejected is returned (wrapped) when the edge server refuses the
+// client's registration. A reconnecting client treats it as transient: the
+// server may still hold the ghost of a dropped session.
+var ErrRejected = errors.New("vehicle: registration rejected")
 
 // Client drives an Agent against an edge-server connection: it registers
 // with Hello, then for every Policy broadcast it revises the agent's
@@ -19,6 +25,43 @@ type Client struct {
 	Mu float64
 	// Cap is the capability table used to value received data.
 	Cap *sensor.CapabilityTable
+	// RegisterTimeout bounds the wait for the registration ack (0 = wait
+	// forever). On a lossy link the ack can vanish; the timeout lets
+	// RunWithReconnect retry instead of wedging.
+	RegisterTimeout time.Duration
+	// Stop, when non-nil and closed, makes RunWithReconnect return nil
+	// after the current session instead of redialing.
+	Stop <-chan struct{}
+}
+
+// register performs the Hello handshake on conn. On a lossy link the ack can
+// vanish while a round's policy broadcast still arrives (the edge registers
+// the vehicle before acking); such a message proves the session is live, so
+// it is returned for the main loop to process instead of failing the
+// handshake.
+func (c *Client) register(conn transport.Conn) (*transport.Message, error) {
+	hello, err := transport.Encode(transport.KindHello, transport.Hello{Vehicle: c.Agent.Profile.ID})
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(hello); err != nil {
+		return nil, fmt.Errorf("vehicle %d: sending hello: %w", c.Agent.Profile.ID, err)
+	}
+	m, err := transport.RecvTimeout(conn, c.RegisterTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("vehicle %d: waiting for registration ack: %w", c.Agent.Profile.ID, err)
+	}
+	if m.Kind != transport.KindAck {
+		return &m, nil // ack lost in transit; the session is live anyway
+	}
+	var ack transport.Ack
+	if err := transport.Decode(m, transport.KindAck, &ack); err != nil {
+		return nil, err
+	}
+	if ack.Err != "" {
+		return nil, fmt.Errorf("vehicle %d: %w: %s", c.Agent.Profile.ID, ErrRejected, ack.Err)
+	}
+	return nil, nil
 }
 
 // Run executes the client loop. It returns nil when the connection closes
@@ -30,23 +73,14 @@ func (c *Client) Run(conn transport.Conn) error {
 	if c.Cap == nil {
 		c.Cap = sensor.TableIII()
 	}
-	hello, err := transport.Encode(transport.KindHello, transport.Hello{Vehicle: c.Agent.Profile.ID})
+	pending, err := c.register(conn)
 	if err != nil {
 		return err
 	}
-	if err := conn.Send(hello); err != nil {
-		return fmt.Errorf("vehicle %d: sending hello: %w", c.Agent.Profile.ID, err)
-	}
-	ackMsg, err := conn.Recv()
-	if err != nil {
-		return fmt.Errorf("vehicle %d: waiting for registration ack: %w", c.Agent.Profile.ID, err)
-	}
-	var ack transport.Ack
-	if err := transport.Decode(ackMsg, transport.KindAck, &ack); err != nil {
-		return err
-	}
-	if ack.Err != "" {
-		return fmt.Errorf("vehicle %d: registration rejected: %s", c.Agent.Profile.ID, ack.Err)
+	if pending != nil {
+		if err := c.handleMessage(conn, *pending); err != nil {
+			return err
+		}
 	}
 
 	for {
@@ -57,43 +91,110 @@ func (c *Client) Run(conn transport.Conn) error {
 		if err != nil {
 			return fmt.Errorf("vehicle %d: receive: %w", c.Agent.Profile.ID, err)
 		}
-		switch m.Kind {
-		case transport.KindPolicy:
-			var pol transport.Policy
-			if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
+		if err := c.handleMessage(conn, m); err != nil {
+			return err
+		}
+	}
+}
+
+// handleMessage dispatches one server message in the client loop.
+func (c *Client) handleMessage(conn transport.Conn, m transport.Message) error {
+	switch m.Kind {
+	case transport.KindPolicy:
+		var pol transport.Policy
+		if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
+			return err
+		}
+		if len(pol.Shares) > 0 {
+			if err := c.Agent.Revise(pol.X, pol.Shares, c.Mu); err != nil {
 				return err
 			}
-			if len(pol.Shares) > 0 {
-				if err := c.Agent.Revise(pol.X, pol.Shares, c.Mu); err != nil {
-					return err
-				}
+		}
+		up := c.Agent.BuildUpload(pol.Round)
+		msg, err := transport.Encode(transport.KindUpload, up)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(msg); err != nil {
+			return fmt.Errorf("vehicle %d: sending upload: %w", c.Agent.Profile.ID, err)
+		}
+	case transport.KindDelivery:
+		var del transport.Delivery
+		if err := transport.Decode(m, transport.KindDelivery, &del); err != nil {
+			return err
+		}
+		if err := c.Agent.AbsorbDelivery(del, c.Cap); err != nil {
+			return err
+		}
+	case transport.KindAck:
+		var a transport.Ack
+		if err := transport.Decode(m, transport.KindAck, &a); err != nil {
+			return err
+		}
+		if a.Err != "" {
+			return fmt.Errorf("vehicle %d: server rejected message: %s", c.Agent.Profile.ID, a.Err)
+		}
+	default:
+		return fmt.Errorf("vehicle %d: unexpected message kind %s", c.Agent.Profile.ID, m.Kind)
+	}
+	return nil
+}
+
+// stopped reports whether the client's Stop channel is closed.
+func (c *Client) stopped() bool {
+	if c.Stop == nil {
+		return false
+	}
+	select {
+	case <-c.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunWithReconnect keeps the vehicle's session alive across connection
+// drops: it dials through d (with d's backoff schedule), runs the client
+// loop, and redials — re-registering with a fresh Hello — whenever the
+// session ends with a clean EOF, a connection-level failure, or a stale
+// registration rejection. The agent's decision state survives reconnects.
+// It returns nil when Stop is closed, and an error when the dialer
+// exhausts its attempts or the session hits a protocol violation.
+func (c *Client) RunWithReconnect(d *transport.Dialer) error {
+	if c.Agent == nil {
+		return fmt.Errorf("vehicle: client has no agent")
+	}
+	for session := 0; ; session++ {
+		if c.stopped() {
+			return nil
+		}
+		conn, err := d.DialRetry()
+		if err != nil {
+			if c.stopped() {
+				return nil
 			}
-			up := c.Agent.BuildUpload(pol.Round)
-			msg, err := transport.Encode(transport.KindUpload, up)
-			if err != nil {
-				return err
-			}
-			if err := conn.Send(msg); err != nil {
-				return fmt.Errorf("vehicle %d: sending upload: %w", c.Agent.Profile.ID, err)
-			}
-		case transport.KindDelivery:
-			var del transport.Delivery
-			if err := transport.Decode(m, transport.KindDelivery, &del); err != nil {
-				return err
-			}
-			if err := c.Agent.AbsorbDelivery(del, c.Cap); err != nil {
-				return err
-			}
-		case transport.KindAck:
-			var a transport.Ack
-			if err := transport.Decode(m, transport.KindAck, &a); err != nil {
-				return err
-			}
-			if a.Err != "" {
-				return fmt.Errorf("vehicle %d: server rejected message: %s", c.Agent.Profile.ID, a.Err)
-			}
+			return fmt.Errorf("vehicle %d: reconnect: %w", c.Agent.Profile.ID, err)
+		}
+		err = c.Run(conn)
+		_ = conn.Close()
+		switch {
+		case err == nil:
+			// The server closed the session; redial unless stopping.
+		case errors.Is(err, ErrRejected):
+			// The server still holds a ghost of the dropped session.
+		case transport.IsConnError(err):
+			// The link died mid-session.
 		default:
-			return fmt.Errorf("vehicle %d: unexpected message kind %s", c.Agent.Profile.ID, m.Kind)
+			return err
+		}
+		if c.stopped() {
+			return nil
+		}
+		// Pace the redial so a flapping server cannot spin the client.
+		if pause := d.Backoff(0); d.Sleep != nil {
+			d.Sleep(pause)
+		} else {
+			time.Sleep(pause)
 		}
 	}
 }
