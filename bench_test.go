@@ -10,6 +10,7 @@
 package main
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -23,9 +24,13 @@ import (
 	"repro/internal/trace"
 )
 
-// benchWorlds caches the pair of benchmark worlds across benchmarks.
+// benchWorlds lazily builds the pair of benchmark worlds exactly once across
+// all benchmarks in the binary; both are built through one WorldBuilder so
+// they share the network/trace/matching artifacts.
 var benchWorlds struct {
+	once   sync.Once
 	bc, td *sim.World
+	err    error
 }
 
 func benchWorldConfig(src sim.CoeffSource) sim.WorldConfig {
@@ -40,16 +45,16 @@ func benchWorldConfig(src sim.CoeffSource) sim.WorldConfig {
 
 func getBenchWorlds(b *testing.B) (*sim.World, *sim.World) {
 	b.Helper()
-	if benchWorlds.bc == nil {
-		var err error
-		benchWorlds.bc, err = sim.BuildWorld(benchWorldConfig(sim.CoeffBC))
-		if err != nil {
-			b.Fatal(err)
+	benchWorlds.once.Do(func() {
+		builder := sim.NewWorldBuilder()
+		benchWorlds.bc, benchWorlds.err = builder.Build(benchWorldConfig(sim.CoeffBC))
+		if benchWorlds.err != nil {
+			return
 		}
-		benchWorlds.td, err = sim.BuildWorld(benchWorldConfig(sim.CoeffTD))
-		if err != nil {
-			b.Fatal(err)
-		}
+		benchWorlds.td, benchWorlds.err = builder.Build(benchWorldConfig(sim.CoeffTD))
+	})
+	if benchWorlds.err != nil {
+		b.Fatal(benchWorlds.err)
 	}
 	return benchWorlds.bc, benchWorlds.td
 }
@@ -197,6 +202,48 @@ func BenchmarkBetaNoiseAblation(b *testing.B) {
 }
 
 // --- substrate micro-benchmarks ---
+
+// BenchmarkBuildWorld measures the full staged world-build pipeline with the
+// worker pools pinned to one goroutine (seq) versus all CPUs (par). Each
+// iteration uses a fresh builder so nothing is served from the artifact cache.
+func BenchmarkBuildWorld(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{"par", 0}, // 0 = runtime.NumCPU()
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := benchWorldConfig(sim.CoeffBC)
+			cfg.Workers = bench.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.BuildWorld(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBetweenness measures travel-time Brandes (the dominant build
+// stage) with one worker versus all CPUs on the benchmark network.
+func BenchmarkBetweenness(b *testing.B) {
+	bc, _ := getBenchWorlds(b)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{"par", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = bc.Net.TravelTimeBetweennessWorkers(bench.workers)
+			}
+		})
+	}
+}
 
 // BenchmarkBetweennessCentrality measures hop-based Brandes on the
 // benchmark network.

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -25,11 +27,45 @@ type runner func(scale experiments.Scale) error
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run (see -list)")
-		scale   = flag.String("scale", "small", "small | full")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expName      = flag.String("exp", "all", "experiment to run (see -list)")
+		scale        = flag.String("scale", "small", "small | full")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		buildWorkers = flag.Int("build-workers", 0, "world-build worker-pool size (0 = all CPUs); never changes results")
 	)
 	flag.Parse()
+	worldWorkers = *buildWorkers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: creating cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: starting cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: creating heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	table := map[string]runner{
 		"table2":          runTable2,
@@ -98,16 +134,23 @@ func runTable2(experiments.Scale) error {
 	return experiments.Table2().Render(os.Stdout)
 }
 
-// worlds caches the per-scale world pair across experiments in one process
-// invocation.
-var worldCache = map[experiments.Scale][2]*sim.World{}
+// worldBuilder shares one artifact cache across every world built in this
+// process, so repeated experiments (and the BC/TD pair of one scale) reuse
+// the road network, trace, and map-matching stages. worldWorkers carries the
+// -build-workers flag; it bounds the build's worker pools without affecting
+// results.
+var (
+	worldBuilder = sim.NewWorldBuilder()
+	worldWorkers int
+	worldCache   = map[experiments.Scale][2]*sim.World{}
+)
 
 func cachedWorlds(sc experiments.Scale) (*sim.World, *sim.World, error) {
 	if pair, ok := worldCache[sc]; ok {
 		return pair[0], pair[1], nil
 	}
 	fmt.Printf("(building %s-scale worlds: road network, trace, clustering...)\n", sc)
-	bc, td, err := experiments.Worlds(sc)
+	bc, td, err := experiments.WorldsWith(worldBuilder, sc, worldWorkers)
 	if err != nil {
 		return nil, nil, err
 	}

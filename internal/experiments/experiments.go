@@ -53,16 +53,29 @@ func WorldConfig(s Scale, src sim.CoeffSource) sim.WorldConfig {
 	return cfg
 }
 
-// Worlds builds (and caches per call) the BC- and TD-coefficient worlds for
-// a scale. Both share the same network and trace seeds, so the two
-// coefficient sources are computed over identical substrates, as in the
-// paper.
+// Worlds builds the BC- and TD-coefficient worlds for a scale. Both share
+// the same network and trace seeds, so the two coefficient sources are
+// computed over identical substrates, as in the paper; the pair is built
+// through one artifact cache so the network, trace, and map-matching stages
+// execute exactly once.
 func Worlds(s Scale) (bc, td *sim.World, err error) {
-	bc, err = sim.BuildWorld(WorldConfig(s, sim.CoeffBC))
+	return WorldsWith(sim.NewWorldBuilder(), s, 0)
+}
+
+// WorldsWith builds the BC/TD pair through a caller-owned builder, sharing
+// its artifact cache with any other worlds the caller builds (e.g. across
+// scales or repeated experiment invocations). workers bounds the build's
+// worker pools (0 means runtime.NumCPU()) without affecting the result.
+func WorldsWith(b *sim.WorldBuilder, s Scale, workers int) (bc, td *sim.World, err error) {
+	cfg := WorldConfig(s, sim.CoeffBC)
+	cfg.Workers = workers
+	bc, err = b.Build(cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: building BC world: %w", err)
 	}
-	td, err = sim.BuildWorld(WorldConfig(s, sim.CoeffTD))
+	cfg = WorldConfig(s, sim.CoeffTD)
+	cfg.Workers = workers
+	td, err = b.Build(cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: building TD world: %w", err)
 	}

@@ -245,11 +245,35 @@ func TestWorldsSharedSubstrate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping default-scale world build in -short mode")
 	}
-	bc, td, err := Worlds(ScaleSmall)
+	b := sim.NewWorldBuilder()
+	bc, td, err := WorldsWith(b, ScaleSmall, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bc.Net.NumSegments() != td.Net.NumSegments() {
-		t.Error("BC and TD worlds must share the same network")
+	if bc.Net != td.Net {
+		t.Error("BC and TD worlds must share the same network artifact")
+	}
+	if bc.Trace != td.Trace {
+		t.Error("BC and TD worlds must share the matched-trace artifact")
+	}
+	// The whole point of building the pair through one cache: the expensive
+	// shared stages run exactly once, and the TD build hits them.
+	stats := b.CacheStats()
+	for _, stage := range []string{"network", "trace", "match"} {
+		if got := stats[stage].Executions; got != 1 {
+			t.Errorf("stage %s executed %d times for the BC+TD pair, want 1", stage, got)
+		}
+	}
+	// The TD build must be served from cache for the shared substrate. (It
+	// hits network and match directly; trace records no hit because its only
+	// consumer, match, never misses.)
+	for _, stage := range []string{"network", "match"} {
+		if stats[stage].Hits == 0 {
+			t.Errorf("stage %s recorded no cache hits for the TD build", stage)
+		}
+	}
+	// density is demanded only by the TD branch, so it also runs once.
+	if got := stats["density"].Executions; got != 1 {
+		t.Errorf("density executed %d times, want 1", got)
 	}
 }

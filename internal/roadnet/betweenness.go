@@ -12,66 +12,74 @@ package roadnet
 // every segment, indexed by SegmentID. Endpoints are excluded (standard
 // vertex betweenness), matching Eq. (2)'s j != i != k restriction, and values
 // are normalized by (N-1)(N-2) — the number of ordered source/target pairs
-// excluding i — so results lie in [0, 1].
+// excluding i — so results lie in [0, 1]. Sources are processed on all CPUs;
+// use BetweennessCentralityWorkers to bound the pool.
 func (n *Network) BetweennessCentrality() []float64 {
+	return n.BetweennessCentralityWorkers(0)
+}
+
+// BetweennessCentralityWorkers is BetweennessCentrality with an explicit
+// worker-pool size (0 means runtime.NumCPU()). The result is bit-identical
+// for every worker count; see parallel.go for the block-merge scheme.
+func (n *Network) BetweennessCentralityWorkers(workers int) []float64 {
 	nv := len(n.segments)
-	bc := make([]float64, nv)
 	if nv < 3 {
-		return bc
+		return make([]float64, nv)
 	}
 
-	// Brandes' accumulation with per-source scratch buffers.
-	var (
-		stack = make([]SegmentID, 0, nv)
-		preds = make([][]SegmentID, nv)
-		sigma = make([]float64, nv)
-		dist  = make([]int, nv)
-		delta = make([]float64, nv)
-		queue = make([]SegmentID, 0, nv)
-	)
+	bc := accumulateBlocked(nv, workers, func() func(src int, acc []float64) {
+		// Brandes' accumulation with per-worker scratch buffers.
+		var (
+			stack = make([]SegmentID, 0, nv)
+			preds = make([][]SegmentID, nv)
+			sigma = make([]float64, nv)
+			dist  = make([]int, nv)
+			delta = make([]float64, nv)
+			queue = make([]SegmentID, 0, nv)
+		)
+		return func(s int, acc []float64) {
+			stack = stack[:0]
+			queue = queue[:0]
+			for i := 0; i < nv; i++ {
+				sigma[i] = 0
+				dist[i] = -1
+				delta[i] = 0
+				preds[i] = preds[i][:0]
+			}
 
-	for s := 0; s < nv; s++ {
-		stack = stack[:0]
-		queue = queue[:0]
-		for i := 0; i < nv; i++ {
-			sigma[i] = 0
-			dist[i] = -1
-			delta[i] = 0
-			preds[i] = preds[i][:0]
-		}
+			src := SegmentID(s)
+			sigma[src] = 1
+			dist[src] = 0
+			queue = append(queue, src)
 
-		src := SegmentID(s)
-		sigma[src] = 1
-		dist[src] = 0
-		queue = append(queue, src)
-
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			stack = append(stack, v)
-			for _, w := range n.adj[v] {
-				if dist[w] < 0 {
-					dist[w] = dist[v] + 1
-					queue = append(queue, w)
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				stack = append(stack, v)
+				for _, w := range n.adj[v] {
+					if dist[w] < 0 {
+						dist[w] = dist[v] + 1
+						queue = append(queue, w)
+					}
+					if dist[w] == dist[v]+1 {
+						sigma[w] += sigma[v]
+						preds[w] = append(preds[w], v)
+					}
 				}
-				if dist[w] == dist[v]+1 {
-					sigma[w] += sigma[v]
-					preds[w] = append(preds[w], v)
+			}
+
+			// Back-propagation of dependencies.
+			for i := len(stack) - 1; i >= 0; i-- {
+				w := stack[i]
+				for _, v := range preds[w] {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+				if w != src {
+					acc[w] += delta[w]
 				}
 			}
 		}
-
-		// Back-propagation of dependencies.
-		for i := len(stack) - 1; i >= 0; i-- {
-			w := stack[i]
-			for _, v := range preds[w] {
-				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
-			}
-			if w != src {
-				bc[w] += delta[w]
-			}
-		}
-	}
+	})
 
 	// The accumulation above counts each unordered pair twice (once per
 	// direction); Eq. (2) sums over ordered pairs, so no halving. Normalize

@@ -1,0 +1,86 @@
+package roadnet
+
+// Parallel Brandes drivers. Both betweenness variants are embarrassingly
+// parallel over sources, but naive per-worker accumulation would make the
+// floating-point summation order — and therefore the last bits of the result —
+// depend on the worker count. The world-build pipeline requires bit-identical
+// output for any Workers setting, so accumulation is organised around
+// fixed-size source blocks instead:
+//
+//   - sources are partitioned into contiguous blocks of betweennessBlockSize,
+//     independent of the worker count;
+//   - each block accumulates its sources' dependency contributions, in source
+//     order, into the block's own accumulator;
+//   - after all blocks finish, block accumulators are folded into the result
+//     in ascending block order.
+//
+// The grouping (and thus every floating-point rounding decision) is a function
+// of the source count alone, so Workers=1 and Workers=N produce identical
+// bits. Workers only decides how many goroutines pull blocks from the shared
+// queue; each goroutine reuses one set of per-source scratch buffers.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// betweennessBlockSize is the number of Brandes sources accumulated into one
+// block accumulator. It is a constant (not derived from the worker count) so
+// the merge order is deterministic; see the file comment.
+const betweennessBlockSize = 32
+
+// resolveWorkers maps the conventional "0 or negative means all CPUs" worker
+// setting onto a concrete goroutine count.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// accumulateBlocked runs perSource (obtained once per worker from newRunner,
+// so workers can carry scratch state) for every source in [0, nv) and returns
+// the block-ordered sum of the per-block accumulators, each of length nv.
+func accumulateBlocked(nv, workers int, newRunner func() func(src int, acc []float64)) []float64 {
+	nBlocks := (nv + betweennessBlockSize - 1) / betweennessBlockSize
+	workers = resolveWorkers(workers)
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	accs := make([][]float64, nBlocks)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := newRunner()
+			for {
+				blk := int(atomic.AddInt64(&next, 1) - 1)
+				if blk >= nBlocks {
+					return
+				}
+				lo := blk * betweennessBlockSize
+				hi := lo + betweennessBlockSize
+				if hi > nv {
+					hi = nv
+				}
+				acc := make([]float64, nv)
+				for s := lo; s < hi; s++ {
+					run(s, acc)
+				}
+				accs[blk] = acc
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]float64, nv)
+	for _, acc := range accs {
+		for i, v := range acc {
+			out[i] += v
+		}
+	}
+	return out
+}

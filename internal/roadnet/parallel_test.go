@@ -1,0 +1,56 @@
+package roadnet
+
+import (
+	"testing"
+)
+
+// genParallelTestNet builds a network large enough to span many accumulation
+// blocks (nv >> betweennessBlockSize) so the block-merge path is exercised.
+func genParallelTestNet(t *testing.T) *Network {
+	t.Helper()
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 14, 15
+	net, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestBetweennessWorkerCountInvariance: every worker count must yield the
+// exact same bits, for both the BFS and the Dijkstra variant. This is the
+// contract the world-build pipeline's determinism guarantee rests on.
+func TestBetweennessWorkerCountInvariance(t *testing.T) {
+	net := genParallelTestNet(t)
+	if net.NumSegments() <= 2*betweennessBlockSize {
+		t.Fatalf("test network too small (%d segments) to cross block boundaries", net.NumSegments())
+	}
+
+	refBFS := net.BetweennessCentralityWorkers(1)
+	refW := net.TravelTimeBetweennessWorkers(1)
+	for _, workers := range []int{2, 3, 7, 0} {
+		gotBFS := net.BetweennessCentralityWorkers(workers)
+		for i := range refBFS {
+			if gotBFS[i] != refBFS[i] {
+				t.Fatalf("workers=%d: unweighted bc[%d] = %v, want %v (bit-exact)",
+					workers, i, gotBFS[i], refBFS[i])
+			}
+		}
+		gotW := net.TravelTimeBetweennessWorkers(workers)
+		for i := range refW {
+			if gotW[i] != refW[i] {
+				t.Fatalf("workers=%d: weighted bc[%d] = %v, want %v (bit-exact)",
+					workers, i, gotW[i], refW[i])
+			}
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if resolveWorkers(0) < 1 || resolveWorkers(-3) < 1 {
+		t.Error("non-positive workers must resolve to at least one")
+	}
+	if resolveWorkers(5) != 5 {
+		t.Error("positive workers must pass through")
+	}
+}

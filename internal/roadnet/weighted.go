@@ -56,6 +56,14 @@ func (n *Network) TravelTimes() []float64 {
 // strictly positive entry per segment (zero costs would make shortest-path
 // counting ill-defined). Results are normalized by (N-1)(N-2) as in Eq. (2).
 func (n *Network) WeightedBetweennessCentrality(cost []float64) ([]float64, error) {
+	return n.WeightedBetweennessCentralityWorkers(cost, 0)
+}
+
+// WeightedBetweennessCentralityWorkers is WeightedBetweennessCentrality with
+// an explicit worker-pool size (0 means runtime.NumCPU()). The result is
+// bit-identical for every worker count; see parallel.go for the block-merge
+// scheme.
+func (n *Network) WeightedBetweennessCentralityWorkers(cost []float64, workers int) ([]float64, error) {
 	nv := len(n.segments)
 	if len(cost) != nv {
 		return nil, fmt.Errorf("roadnet: cost has %d entries, want %d", len(cost), nv)
@@ -65,72 +73,72 @@ func (n *Network) WeightedBetweennessCentrality(cost []float64) ([]float64, erro
 			return nil, fmt.Errorf("roadnet: cost[%d] = %v must be positive and finite", i, c)
 		}
 	}
-	bc := make([]float64, nv)
 	if nv < 3 {
-		return bc, nil
+		return make([]float64, nv), nil
 	}
 
 	const eps = 1e-9
 
-	var (
-		stack = make([]SegmentID, 0, nv)
-		preds = make([][]SegmentID, nv)
-		sigma = make([]float64, nv)
-		dist  = make([]float64, nv)
-		delta = make([]float64, nv)
-	)
-
-	for s := 0; s < nv; s++ {
-		stack = stack[:0]
-		for i := 0; i < nv; i++ {
-			sigma[i] = 0
-			dist[i] = math.Inf(1)
-			delta[i] = 0
-			preds[i] = preds[i][:0]
-		}
-		src := SegmentID(s)
-		sigma[src] = 1
-		dist[src] = 0
-
-		pq := &distHeap{}
-		heap.Init(pq)
-		heap.Push(pq, distEntry{id: src, d: 0})
-		settled := make([]bool, nv)
-
-		for pq.Len() > 0 {
-			e := heap.Pop(pq).(distEntry)
-			v := e.id
-			if settled[v] {
-				continue
+	bc := accumulateBlocked(nv, workers, func() func(src int, acc []float64) {
+		var (
+			stack = make([]SegmentID, 0, nv)
+			preds = make([][]SegmentID, nv)
+			sigma = make([]float64, nv)
+			dist  = make([]float64, nv)
+			delta = make([]float64, nv)
+		)
+		return func(s int, acc []float64) {
+			stack = stack[:0]
+			for i := 0; i < nv; i++ {
+				sigma[i] = 0
+				dist[i] = math.Inf(1)
+				delta[i] = 0
+				preds[i] = preds[i][:0]
 			}
-			settled[v] = true
-			stack = append(stack, v)
-			for _, w := range n.adj[v] {
-				// Entering segment w costs w's traversal time.
-				nd := dist[v] + cost[w]
-				switch {
-				case nd < dist[w]-eps:
-					dist[w] = nd
-					sigma[w] = sigma[v]
-					preds[w] = append(preds[w][:0], v)
-					heap.Push(pq, distEntry{id: w, d: nd})
-				case math.Abs(nd-dist[w]) <= eps && !settled[w]:
-					sigma[w] += sigma[v]
-					preds[w] = append(preds[w], v)
+			src := SegmentID(s)
+			sigma[src] = 1
+			dist[src] = 0
+
+			pq := &distHeap{}
+			heap.Init(pq)
+			heap.Push(pq, distEntry{id: src, d: 0})
+			settled := make([]bool, nv)
+
+			for pq.Len() > 0 {
+				e := heap.Pop(pq).(distEntry)
+				v := e.id
+				if settled[v] {
+					continue
+				}
+				settled[v] = true
+				stack = append(stack, v)
+				for _, w := range n.adj[v] {
+					// Entering segment w costs w's traversal time.
+					nd := dist[v] + cost[w]
+					switch {
+					case nd < dist[w]-eps:
+						dist[w] = nd
+						sigma[w] = sigma[v]
+						preds[w] = append(preds[w][:0], v)
+						heap.Push(pq, distEntry{id: w, d: nd})
+					case math.Abs(nd-dist[w]) <= eps && !settled[w]:
+						sigma[w] += sigma[v]
+						preds[w] = append(preds[w], v)
+					}
+				}
+			}
+
+			for i := len(stack) - 1; i >= 0; i-- {
+				w := stack[i]
+				for _, v := range preds[w] {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+				if w != src {
+					acc[w] += delta[w]
 				}
 			}
 		}
-
-		for i := len(stack) - 1; i >= 0; i-- {
-			w := stack[i]
-			for _, v := range preds[w] {
-				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
-			}
-			if w != src {
-				bc[w] += delta[w]
-			}
-		}
-	}
+	})
 
 	norm := 1.0 / (float64(nv-1) * float64(nv-2))
 	for i := range bc {
@@ -143,7 +151,13 @@ func (n *Network) WeightedBetweennessCentrality(cost []float64) ([]float64, erro
 // design travel times as costs. This is the BC variant used for the Fig. 7/8
 // reproduction.
 func (n *Network) TravelTimeBetweenness() []float64 {
-	bc, err := n.WeightedBetweennessCentrality(n.TravelTimes())
+	return n.TravelTimeBetweennessWorkers(0)
+}
+
+// TravelTimeBetweennessWorkers is TravelTimeBetweenness with an explicit
+// worker-pool size (0 means runtime.NumCPU()).
+func (n *Network) TravelTimeBetweennessWorkers(workers int) []float64 {
+	bc, err := n.WeightedBetweennessCentralityWorkers(n.TravelTimes(), workers)
 	if err != nil {
 		// TravelTimes always matches the segment count and is non-negative.
 		panic(fmt.Sprintf("roadnet: internal error: %v", err))

@@ -4,6 +4,12 @@
 // FDS shaping runs used by Figs. 9 and 10, and the agent-based distributed
 // simulation (cloud + edge servers + vehicle agents over the in-process
 // transport) used for the micro/macro consistency experiment.
+//
+// World construction itself is delegated to internal/worldbuild: a staged,
+// parallel pipeline with a content-addressed artifact cache. BuildWorld is
+// the one-shot entry point; NewWorldBuilder shares the cache across builds
+// so e.g. the BC- and TD-coefficient worlds of one experiment run reuse the
+// same road network, trace, and map-matching artifacts.
 package sim
 
 import (
@@ -16,57 +22,25 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
+	"repro/internal/worldbuild"
 )
 
 // CoeffSource selects how road-segment utility coefficients are computed
 // (Step 1 of the paper's analysis).
-type CoeffSource int
+type CoeffSource = worldbuild.CoeffSource
 
 // Coefficient sources.
 const (
 	// CoeffBC uses travel-time betweenness centrality (Eq. 2).
-	CoeffBC CoeffSource = iota + 1
+	CoeffBC = worldbuild.CoeffBC
 	// CoeffTD uses average traffic density (Eq. 3).
-	CoeffTD
+	CoeffTD = worldbuild.CoeffTD
 )
 
-// String implements fmt.Stringer.
-func (c CoeffSource) String() string {
-	switch c {
-	case CoeffBC:
-		return "BC"
-	case CoeffTD:
-		return "TD"
-	default:
-		return fmt.Sprintf("CoeffSource(%d)", int(c))
-	}
-}
-
-// WorldConfig parameterizes world construction.
-type WorldConfig struct {
-	// Net configures the synthetic road network.
-	Net roadnet.GenConfig
-	// Trace configures the synthetic vehicle fleet.
-	Trace trace.GenConfig
-	// Regions is M, the number of Algorithm-1 regions (paper: 20).
-	Regions int
-	// Source selects BC or TD coefficients.
-	Source CoeffSource
-	// BetaMean rescales the region coefficients so their mean equals this
-	// value; the game's utility coefficient scale. Zero keeps raw values.
-	BetaMean float64
-	// EdgeServers is the number of evenly deployed edge servers (paper:
-	// 100, a 10x10 grid).
-	EdgeServers int
-	// MatchRadiusMeters bounds map matching (fixes farther than this from
-	// any segment stay unmatched).
-	MatchRadiusMeters float64
-	// GreedyClustering selects the global-greedy Algorithm-1 variant
-	// (cluster.ClusterGreedy) instead of the paper's round-robin growth;
-	// it yields markedly lower within-region coefficient variance on
-	// spatially coherent fields.
-	GreedyClustering bool
-}
+// WorldConfig parameterizes world construction. It aliases worldbuild.Config;
+// see that type for field documentation, including the Workers option that
+// bounds the build's worker pools without affecting the result.
+type WorldConfig = worldbuild.Config
 
 // DefaultWorldConfig returns the laptop-scale configuration used by tests
 // and the experiment harness. The full paper-scale run (5,000+ segments,
@@ -119,113 +93,53 @@ type World struct {
 	AvgWithinStd float64
 }
 
-// BuildWorld runs the full substrate pipeline.
-func BuildWorld(cfg WorldConfig) (*World, error) {
-	if cfg.Regions < 1 {
-		return nil, fmt.Errorf("sim: need at least one region, got %d", cfg.Regions)
-	}
-	if cfg.Source != CoeffBC && cfg.Source != CoeffTD {
-		return nil, fmt.Errorf("sim: unknown coefficient source %d", int(cfg.Source))
-	}
-	if cfg.EdgeServers < 1 {
-		return nil, fmt.Errorf("sim: need at least one edge server, got %d", cfg.EdgeServers)
-	}
+// WorldBuilder builds worlds through one shared artifact cache: every stage
+// output (road network, Brandes centrality, trace, map matching, densities,
+// clustering, ...) is memoized under a content hash of the configuration
+// subtree it depends on, so successive builds recompute only what changed.
+// Safe for concurrent Build calls.
+type WorldBuilder struct {
+	pipe *worldbuild.Pipeline
+}
 
-	net, err := roadnet.Generate(cfg.Net)
-	if err != nil {
-		return nil, fmt.Errorf("sim: generating road network: %w", err)
-	}
+// NewWorldBuilder returns a builder with a fresh artifact cache.
+func NewWorldBuilder() *WorldBuilder {
+	return &WorldBuilder{pipe: worldbuild.NewPipeline(nil)}
+}
 
-	raw, err := trace.Generate(net, cfg.Trace)
+// Build runs the staged world-build pipeline. The result is bit-identical
+// for every cfg.Workers value (0 means runtime.NumCPU()).
+func (b *WorldBuilder) Build(cfg WorldConfig) (*World, error) {
+	res, err := b.pipe.Build(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("sim: generating trace: %w", err)
+		return nil, fmt.Errorf("sim: %w", err)
 	}
-	matched, err := trace.MatchToNetwork(raw, net, cfg.Net.Box, cfg.MatchRadiusMeters)
-	if err != nil {
-		return nil, fmt.Errorf("sim: map matching: %w", err)
-	}
-
-	var weights []float64
-	switch cfg.Source {
-	case CoeffBC:
-		weights = net.TravelTimeBetweenness()
-	case CoeffTD:
-		weights, err = trace.AverageDensity(matched, net.NumSegments(), 10*time.Minute)
-		if err != nil {
-			return nil, fmt.Errorf("sim: computing traffic density: %w", err)
-		}
-	}
-
-	clusterFn := cluster.Cluster
-	if cfg.GreedyClustering {
-		clusterFn = cluster.ClusterGreedy
-	}
-	assignment, err := clusterFn(net, weights, cfg.Regions)
-	if err != nil {
-		return nil, fmt.Errorf("sim: clustering: %w", err)
-	}
-	graph, err := cluster.BuildRegionGraphFromTrace(assignment, matched)
-	if err != nil {
-		// Sparse traces may have no transitions; fall back to road
-		// adjacency.
-		graph, err = cluster.BuildRegionGraphFromAdjacency(assignment, net)
-		if err != nil {
-			return nil, fmt.Errorf("sim: building region graph: %w", err)
-		}
-	}
-
-	beta, err := cluster.RegionCoefficients(assignment, weights)
-	if err != nil {
-		return nil, fmt.Errorf("sim: region coefficients: %w", err)
-	}
-	if cfg.BetaMean > 0 {
-		mean := 0.0
-		for _, b := range beta {
-			mean += b
-		}
-		mean /= float64(len(beta))
-		if mean > 0 {
-			for i := range beta {
-				beta[i] = beta[i] / mean * cfg.BetaMean
-			}
-		} else {
-			for i := range beta {
-				beta[i] = cfg.BetaMean
-			}
-		}
-	}
-
-	stats, avgStd, err := cluster.Stats(assignment, weights)
-	if err != nil {
-		return nil, fmt.Errorf("sim: region stats: %w", err)
-	}
-
-	payoffs := lattice.PaperPayoffs()
-	model, err := game.NewModel(payoffs, graph, beta)
-	if err != nil {
-		return nil, fmt.Errorf("sim: building game model: %w", err)
-	}
-
-	sites := cfg.Net.Box.GridPoints(gridDim(cfg.EdgeServers))
-	vor, err := geo.NewVoronoi(cfg.Net.Box, sites)
-	if err != nil {
-		return nil, fmt.Errorf("sim: building edge-server cells: %w", err)
-	}
-
 	return &World{
-		Config:       cfg,
-		Net:          net,
-		Trace:        matched,
-		Weights:      weights,
-		Assignment:   assignment,
-		Graph:        graph,
-		Beta:         beta,
-		Payoffs:      payoffs,
-		Model:        model,
-		Voronoi:      vor,
-		RegionStats:  stats,
-		AvgWithinStd: avgStd,
+		Config:       res.Config,
+		Net:          res.Net,
+		Trace:        res.Trace,
+		Weights:      res.Weights,
+		Assignment:   res.Assignment,
+		Graph:        res.Graph,
+		Beta:         res.Beta,
+		Payoffs:      res.Payoffs,
+		Model:        res.Model,
+		Voronoi:      res.Voronoi,
+		RegionStats:  res.RegionStats,
+		AvgWithinStd: res.AvgWithinStd,
 	}, nil
+}
+
+// CacheStats returns the builder's per-stage execution and cache-hit
+// counters (see worldbuild.Cache).
+func (b *WorldBuilder) CacheStats() map[string]worldbuild.StageStats {
+	return b.pipe.Cache().Stats()
+}
+
+// BuildWorld runs the full substrate pipeline with a fresh artifact cache.
+// Use a WorldBuilder to share artifacts across related builds.
+func BuildWorld(cfg WorldConfig) (*World, error) {
+	return NewWorldBuilder().Build(cfg)
 }
 
 // gridDim factors n into the most-square rows x cols grid with rows*cols >= n.

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -17,8 +20,16 @@ import (
 
 // MatchToNetwork assigns every fix to its nearest road segment and returns a
 // new set with the Segment field populated. Fixes farther than maxMeters
-// from any segment midpoint keep Segment = -1.
+// from any segment midpoint keep Segment = -1. Fixes are matched on all CPUs;
+// use MatchToNetworkWorkers to bound the pool.
 func MatchToNetwork(s *Set, net *roadnet.Network, box geo.BBox, maxMeters float64) (*Set, error) {
+	return MatchToNetworkWorkers(s, net, box, maxMeters, 0)
+}
+
+// MatchToNetworkWorkers is MatchToNetwork with an explicit worker-pool size
+// (0 means runtime.NumCPU()). Each fix is matched independently into its
+// original slot, so the output is identical for every worker count.
+func MatchToNetworkWorkers(s *Set, net *roadnet.Network, box geo.BBox, maxMeters float64, workers int) (*Set, error) {
 	if net.NumSegments() == 0 {
 		return nil, fmt.Errorf("trace: cannot match against an empty network")
 	}
@@ -26,21 +37,46 @@ func MatchToNetwork(s *Set, net *roadnet.Network, box geo.BBox, maxMeters float6
 	if err != nil {
 		return nil, fmt.Errorf("trace: building match index: %w", err)
 	}
+	src := s.Fixes() // settles sort order before the workers share the slice
+	matched := make([]Fix, len(src))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(src) {
+		workers = len(src)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * len(src) / workers
+		hi := (wk + 1) * len(src) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f := src[i]
+				seg, d := idx.Nearest(f.Position)
+				if maxMeters > 0 && d > maxMeters {
+					f.Segment = -1
+				} else {
+					f.Segment = seg
+				}
+				matched[i] = f
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
 	out := NewSet()
 	for id, kind := range s.kinds {
 		out.AddVehicle(id, kind)
 	}
-	for _, f := range s.Fixes() {
-		seg, d := idx.Nearest(f.Position)
-		if maxMeters > 0 && d > maxMeters {
-			f.Segment = -1
-		} else {
-			f.Segment = seg
-		}
-		if err := out.Append(f); err != nil {
-			return nil, err
-		}
-	}
+	// The input slice was (Time, Vehicle)-sorted and matching preserves
+	// order, so the result can be installed directly without re-sorting.
+	out.fixes = matched
+	out.dirty = false
 	return out, nil
 }
 
@@ -74,33 +110,31 @@ func DensityWindow(s *Set, numSegments int, start, end time.Time) ([]float64, er
 
 // AverageDensity computes the per-segment TD averaged over consecutive
 // windows of the given size spanning the whole trace — the paper's "average
-// value of TD over one day" used as the TD utility coefficient.
+// value of TD over one day" used as the TD utility coefficient. Windows are
+// counted on all CPUs; use AverageDensityWorkers to bound the pool.
 func AverageDensity(s *Set, numSegments int, window time.Duration) ([]float64, error) {
-	if window <= 0 {
-		return nil, fmt.Errorf("trace: window must be positive, got %v", window)
-	}
-	start, end, ok := s.TimeSpan()
-	if !ok {
-		return nil, fmt.Errorf("trace: cannot compute density of an empty trace")
+	return AverageDensityWorkers(s, numSegments, window, 0)
+}
+
+// AverageDensityWorkers is AverageDensity with an explicit worker-pool size
+// (0 means runtime.NumCPU()). Windows are counted independently and merged
+// in window order, so the output is identical for every worker count.
+func AverageDensityWorkers(s *Set, numSegments int, window time.Duration, workers int) ([]float64, error) {
+	wins, err := windowDensities(s, numSegments, window, workers)
+	if err != nil {
+		return nil, err
 	}
 	sum := make([]float64, numSegments)
-	n := 0
-	for ws := start; ws.Before(end); ws = ws.Add(window) {
-		we := ws.Add(window)
-		d, err := DensityWindow(s, numSegments, ws, we)
-		if err != nil {
-			return nil, err
-		}
+	for _, d := range wins {
 		for i, v := range d {
 			sum[i] += v
 		}
-		n++
 	}
-	if n == 0 {
+	if len(wins) == 0 {
 		return sum, nil
 	}
 	for i := range sum {
-		sum[i] /= float64(n)
+		sum[i] /= float64(len(wins))
 	}
 	return sum, nil
 }
@@ -109,6 +143,13 @@ func AverageDensity(s *Set, numSegments int, window time.Duration) ([]float64, e
 // spanning the trace — the time-resolved view behind AverageDensity, used
 // by the Fig. 8 analysis of within-region TD dispersion over time.
 func WindowDensities(s *Set, numSegments int, window time.Duration) ([][]float64, error) {
+	return windowDensities(s, numSegments, window, 0)
+}
+
+// windowDensities computes all consecutive per-window TD vectors on a worker
+// pool. Each window writes into its own slot, so the result (and any ordered
+// reduction over it) does not depend on the worker count.
+func windowDensities(s *Set, numSegments int, window time.Duration, workers int) ([][]float64, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("trace: window must be positive, got %v", window)
 	}
@@ -116,13 +157,39 @@ func WindowDensities(s *Set, numSegments int, window time.Duration) ([][]float64
 	if !ok {
 		return nil, fmt.Errorf("trace: cannot compute density of an empty trace")
 	}
-	var out [][]float64
+	s.Fixes() // settle sort order before workers share the set
+	var starts []time.Time
 	for ws := start; ws.Before(end); ws = ws.Add(window) {
-		d, err := DensityWindow(s, numSegments, ws, ws.Add(window))
+		starts = append(starts, ws)
+	}
+	out := make([][]float64, len(starts))
+	errs := make([]error, len(starts))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= len(starts) {
+					return
+				}
+				out[i], errs[i] = DensityWindow(s, numSegments, starts[i], starts[i].Add(window))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, d)
 	}
 	return out, nil
 }

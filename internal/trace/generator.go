@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -31,6 +34,12 @@ type GenConfig struct {
 	SpeedJitter float64
 	// GPSJitterMeters is the standard deviation of position noise.
 	GPSJitterMeters float64
+	// Workers bounds the goroutine pool generating vehicles in parallel
+	// (0 means runtime.NumCPU()). Workers never affects the output: every
+	// vehicle draws from its own RNG substream derived from Seed, so any
+	// worker count produces the identical trace. The field is therefore
+	// excluded from world-build cache keys.
+	Workers int
 }
 
 // DefaultGenConfig returns the laptop-scale defaults used in tests and the
@@ -85,12 +94,27 @@ func DemandFactor(t time.Time) float64 {
 	return f
 }
 
+// substreamSeed derives the RNG seed of one vehicle's substream from the
+// master seed with a SplitMix64 mix. Independent, well-distributed substreams
+// make per-vehicle generation order-free: vehicles can be generated on any
+// worker in any order and still reproduce the exact same fleet.
+func substreamSeed(seed int64, stream int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Generate produces a trace set over the given road network. Vehicles run
 // trips between origin/destination segments sampled with a bias toward
 // high-centrality roads (mimicking real demand concentration); between trips
 // they idle with probability governed by the diurnal demand curve. Routes
 // follow minimum-hop paths on the segment graph; positions advance along the
 // route at the segment design speed with noise.
+//
+// Vehicles are generated concurrently on cfg.Workers goroutines, each vehicle
+// from its own seeded RNG substream, so the output is identical for every
+// worker count.
 func Generate(net *roadnet.Network, cfg GenConfig) (*Set, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -98,11 +122,11 @@ func Generate(net *roadnet.Network, cfg GenConfig) (*Set, error) {
 	if net.NumSegments() == 0 {
 		return nil, fmt.Errorf("trace: cannot generate over an empty network")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Demand weights: arterials attract the most trip endpoints. Weight by
 	// class, approximating the BC-skewed endpoint distribution of real taxi
-	// demand without paying for a full BC computation here.
+	// demand without paying for a full BC computation here. Shared read-only
+	// across workers.
 	weights := make([]float64, net.NumSegments())
 	total := 0.0
 	for i, s := range net.Segments() {
@@ -116,6 +140,55 @@ func Generate(net *roadnet.Network, cfg GenConfig) (*Set, error) {
 		weights[i] = w
 		total += w
 	}
+
+	nVehicles := cfg.Taxis + cfg.Transit
+	steps := int(cfg.Duration / cfg.SampleInterval)
+	dt := cfg.SampleInterval.Seconds()
+
+	perVehicle := make([][]Fix, nVehicles)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nVehicles {
+		workers = nVehicles
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := int(atomic.AddInt64(&next, 1) - 1)
+				if v >= nVehicles {
+					return
+				}
+				perVehicle[v] = generateVehicle(net, cfg, v, steps, dt, weights, total)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := NewSet()
+	for v := 0; v < nVehicles; v++ {
+		kind := KindTaxi
+		if v >= cfg.Taxis {
+			kind = KindTransit
+		}
+		s.AddVehicle(VehicleID(v), kind)
+		for _, f := range perVehicle[v] {
+			if err := s.Append(f); err != nil {
+				return nil, fmt.Errorf("trace: generating vehicle %d: %w", v, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// generateVehicle produces one vehicle's fixes from its own RNG substream.
+func generateVehicle(net *roadnet.Network, cfg GenConfig, v, steps int, dt float64, weights []float64, total float64) []Fix {
+	rng := rand.New(rand.NewSource(substreamSeed(cfg.Seed, v)))
 	sampleSegment := func() roadnet.SegmentID {
 		x := rng.Float64() * total
 		for i, w := range weights {
@@ -127,59 +200,49 @@ func Generate(net *roadnet.Network, cfg GenConfig) (*Set, error) {
 		return roadnet.SegmentID(net.NumSegments() - 1)
 	}
 
-	s := NewSet()
-	nVehicles := cfg.Taxis + cfg.Transit
-	steps := int(cfg.Duration / cfg.SampleInterval)
-	dt := cfg.SampleInterval.Seconds()
-
-	for v := 0; v < nVehicles; v++ {
-		id := VehicleID(v)
-		kind := KindTaxi
-		if v >= cfg.Taxis {
-			kind = KindTransit
-		}
-		s.AddVehicle(id, kind)
-
-		w := &walker{
-			net:  net,
-			rng:  rng,
-			kind: kind,
-			at:   sampleSegment(),
-		}
-		// Transit vehicles follow a fixed loop between two anchors; taxis
-		// roam between random OD pairs.
-		if kind == KindTransit {
-			w.anchorA = w.at
-			w.anchorB = sampleSegment()
-		}
-
-		for step := 0; step < steps; step++ {
-			now := cfg.Start.Add(time.Duration(step) * cfg.SampleInterval)
-			moving := w.advance(dt, now, sampleSegment)
-			seg := net.Segment(w.at)
-			pos := seg.Midpoint
-			if cfg.GPSJitterMeters > 0 {
-				pos = jitterPosition(rng, pos, cfg.GPSJitterMeters)
-			}
-			speed := 0.0
-			if moving {
-				speed = roadnet.SpeedMPS(seg.Class) * (1 + rng.NormFloat64()*cfg.SpeedJitter)
-				if speed < 0 {
-					speed = 0
-				}
-			}
-			if err := s.Append(Fix{
-				Vehicle:  id,
-				Time:     now,
-				Position: pos,
-				SpeedMPS: speed,
-				Segment:  int(w.at),
-			}); err != nil {
-				return nil, fmt.Errorf("trace: generating vehicle %d: %w", v, err)
-			}
-		}
+	id := VehicleID(v)
+	kind := KindTaxi
+	if v >= cfg.Taxis {
+		kind = KindTransit
 	}
-	return s, nil
+	w := &walker{
+		net:  net,
+		rng:  rng,
+		kind: kind,
+		at:   sampleSegment(),
+	}
+	// Transit vehicles follow a fixed loop between two anchors; taxis
+	// roam between random OD pairs.
+	if kind == KindTransit {
+		w.anchorA = w.at
+		w.anchorB = sampleSegment()
+	}
+
+	fixes := make([]Fix, 0, steps)
+	for step := 0; step < steps; step++ {
+		now := cfg.Start.Add(time.Duration(step) * cfg.SampleInterval)
+		moving := w.advance(dt, now, sampleSegment)
+		seg := net.Segment(w.at)
+		pos := seg.Midpoint
+		if cfg.GPSJitterMeters > 0 {
+			pos = jitterPosition(rng, pos, cfg.GPSJitterMeters)
+		}
+		speed := 0.0
+		if moving {
+			speed = roadnet.SpeedMPS(seg.Class) * (1 + rng.NormFloat64()*cfg.SpeedJitter)
+			if speed < 0 {
+				speed = 0
+			}
+		}
+		fixes = append(fixes, Fix{
+			Vehicle:  id,
+			Time:     now,
+			Position: pos,
+			SpeedMPS: speed,
+			Segment:  int(w.at),
+		})
+	}
+	return fixes
 }
 
 // walker is a single vehicle's route-following state.

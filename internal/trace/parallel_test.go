@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestGenerateWorkerCountInvariance: the generator must emit the identical
+// fleet for every worker count — each vehicle draws from its own seeded RNG
+// substream, so scheduling cannot leak into the output.
+func TestGenerateWorkerCountInvariance(t *testing.T) {
+	net := genTestNetwork(t)
+	ref := func() *Set {
+		cfg := smallTraceConfig()
+		cfg.Workers = 1
+		s, err := Generate(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}()
+	for _, workers := range []int{2, 5, 0} {
+		cfg := smallTraceConfig()
+		cfg.Workers = workers
+		got, err := Generate(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := ref.Fixes(), got.Fixes()
+		if len(fa) != len(fb) {
+			t.Fatalf("workers=%d: fix counts differ: %d vs %d", workers, len(fa), len(fb))
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("workers=%d: fix %d differs: %+v vs %+v", workers, i, fa[i], fb[i])
+			}
+		}
+	}
+}
+
+// TestMatchToNetworkWorkerCountInvariance: per-fix matching is pure, so any
+// pool size must produce the same matched set.
+func TestMatchToNetworkWorkerCountInvariance(t *testing.T) {
+	net := genTestNetwork(t)
+	s, err := Generate(net, smallTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MatchToNetworkWorkers(s, net, geo.FutianBBox(), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 0} {
+		got, err := MatchToNetworkWorkers(s, net, geo.FutianBBox(), 500, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := ref.Fixes(), got.Fixes()
+		if len(fa) != len(fb) {
+			t.Fatalf("workers=%d: fix counts differ", workers)
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("workers=%d: fix %d differs: %+v vs %+v", workers, i, fa[i], fb[i])
+			}
+		}
+	}
+}
+
+// TestAverageDensityWorkerCountInvariance: windows merge in window order, so
+// the TD coefficients are bit-identical for every pool size.
+func TestAverageDensityWorkerCountInvariance(t *testing.T) {
+	net := genTestNetwork(t)
+	s, err := Generate(net, smallTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, err := MatchToNetwork(s, net, geo.FutianBBox(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := AverageDensityWorkers(matched, net.NumSegments(), 10*60e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		got, err := AverageDensityWorkers(matched, net.NumSegments(), 10*60e9, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: density[%d] = %v, want %v (bit-exact)", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package worldbuild
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Key is a content address: the SHA-256 of a stage name plus the
+// configuration subtree that stage consumes. Two builds whose subtrees match
+// share the stage's artifact regardless of any other configuration field.
+type Key [sha256.Size]byte
+
+// stageKey hashes a stage name and its key parts into a content address.
+// Parts are JSON-encoded; every configuration type reaching here is plain
+// exported data, so encoding cannot fail for well-formed configs.
+func stageKey(stage string, parts ...interface{}) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", stage)
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			panic(fmt.Sprintf("worldbuild: encoding %s key part %T: %v", stage, p, err))
+		}
+	}
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// StageStats counts cache activity for one stage.
+type StageStats struct {
+	// Executions is the number of times the stage function actually ran.
+	Executions int
+	// Hits is the number of lookups served from the cache (including waits
+	// on an in-flight computation of the same key).
+	Hits int
+}
+
+// Cache is a content-addressed artifact store shared by every build that
+// goes through one Pipeline. Lookups of an in-flight key wait for the single
+// running computation instead of duplicating it, so even concurrent builds
+// of the BC and TD worlds generate the road network and trace exactly once.
+// Failed computations are not cached. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry
+	stats   map[string]*StageStats
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  interface{}
+	err  error
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[Key]*cacheEntry),
+		stats:   make(map[string]*StageStats),
+	}
+}
+
+// getOrCompute returns the artifact stored under key, computing it with fn
+// exactly once per key across all concurrent callers.
+func (c *Cache) getOrCompute(stage string, key Key, fn func() (interface{}, error)) (interface{}, error) {
+	c.mu.Lock()
+	st := c.stats[stage]
+	if st == nil {
+		st = &StageStats{}
+		c.stats[stage] = st
+	}
+	if e, ok := c.entries[key]; ok {
+		st.Hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	st.Executions++
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+	if e.err != nil {
+		// Failures are not cached: a later build with the same key retries.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Stats returns a snapshot of the per-stage execution and hit counters.
+func (c *Cache) Stats() map[string]StageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]StageStats, len(c.stats))
+	for name, st := range c.stats {
+		out[name] = *st
+	}
+	return out
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

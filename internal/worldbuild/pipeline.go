@@ -1,0 +1,370 @@
+package worldbuild
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/game"
+	"repro/internal/geo"
+	"repro/internal/lattice"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// densityWindow is the TD averaging window (paper: 10-minute windows over
+// one day). It is part of the density stage's cache key.
+const densityWindow = 10 * time.Minute
+
+// Pipeline executes the staged world build against a shared artifact cache.
+// A Pipeline is safe for concurrent Build calls; worlds built through the
+// same Pipeline share every artifact whose config subtree matches.
+type Pipeline struct {
+	cache *Cache
+}
+
+// NewPipeline returns a pipeline over the given cache (nil for a fresh one).
+func NewPipeline(cache *Cache) *Pipeline {
+	if cache == nil {
+		cache = NewCache()
+	}
+	return &Pipeline{cache: cache}
+}
+
+// Cache returns the pipeline's artifact cache.
+func (p *Pipeline) Cache() *Cache { return p.cache }
+
+// stageDef is one node of the build DAG.
+type stageDef struct {
+	// deps names the stages whose artifacts run consumes; they are resolved
+	// concurrently. May depend on the config (coefficients pulls betweenness
+	// for BC but density for TD, so the unused expensive branch never runs).
+	deps func(c *Config) []string
+	// key hashes exactly the configuration subtree the stage's output
+	// depends on. Workers never appears: it cannot change the output.
+	key func(c *Config) Key
+	// run computes the artifact from the resolved dependency artifacts.
+	run func(b *build, dep map[string]interface{}) (interface{}, error)
+}
+
+// statsArtifact bundles the clustering statistics stage output.
+type statsArtifact struct {
+	Stats        []cluster.RegionStats
+	AvgWithinStd float64
+}
+
+// modelArtifact bundles the game-model stage output.
+type modelArtifact struct {
+	Payoffs *lattice.Payoffs
+	Model   *game.Model
+}
+
+// coeffKeyParts returns the config subtree that determines the utility
+// coefficients: BC depends only on the network, TD additionally on the trace
+// and the matching radius.
+func coeffKeyParts(c *Config) []interface{} {
+	if c.Source == CoeffBC {
+		return []interface{}{c.Net, int(c.Source)}
+	}
+	return []interface{}{c.Net, c.traceNorm(), c.MatchRadiusMeters, int(c.Source)}
+}
+
+// stages is the world-build DAG. Stage names are stable identifiers: they
+// appear in cache keys, cache statistics, and DESIGN.md.
+var stages = map[string]stageDef{
+	"network": {
+		deps: func(*Config) []string { return nil },
+		key:  func(c *Config) Key { return stageKey("network", c.Net) },
+		run: func(b *build, _ map[string]interface{}) (interface{}, error) {
+			return roadnet.Generate(b.cfg.Net)
+		},
+	},
+	"betweenness": {
+		deps: func(*Config) []string { return []string{"network"} },
+		key:  func(c *Config) Key { return stageKey("betweenness", c.Net) },
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			net := dep["network"].(*roadnet.Network)
+			return net.TravelTimeBetweennessWorkers(b.cfg.Workers), nil
+		},
+	},
+	"trace": {
+		deps: func(*Config) []string { return []string{"network"} },
+		key:  func(c *Config) Key { return stageKey("trace", c.Net, c.traceNorm()) },
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			net := dep["network"].(*roadnet.Network)
+			tcfg := b.cfg.Trace
+			tcfg.Workers = b.cfg.Workers
+			ts, err := trace.Generate(net, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			ts.Fixes() // settle sort order before the artifact is shared
+			return ts, nil
+		},
+	},
+	"match": {
+		deps: func(*Config) []string { return []string{"network", "trace"} },
+		key: func(c *Config) Key {
+			return stageKey("match", c.Net, c.traceNorm(), c.MatchRadiusMeters)
+		},
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			net := dep["network"].(*roadnet.Network)
+			raw := dep["trace"].(*trace.Set)
+			matched, err := trace.MatchToNetworkWorkers(raw, net, b.cfg.Net.Box, b.cfg.MatchRadiusMeters, b.cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			matched.Fixes() // settle sort order before the artifact is shared
+			return matched, nil
+		},
+	},
+	"density": {
+		deps: func(*Config) []string { return []string{"network", "match"} },
+		key: func(c *Config) Key {
+			return stageKey("density", c.Net, c.traceNorm(), c.MatchRadiusMeters, densityWindow.String())
+		},
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			net := dep["network"].(*roadnet.Network)
+			matched := dep["match"].(*trace.Set)
+			return trace.AverageDensityWorkers(matched, net.NumSegments(), densityWindow, b.cfg.Workers)
+		},
+	},
+	"coefficients": {
+		deps: func(c *Config) []string {
+			if c.Source == CoeffBC {
+				return []string{"betweenness"}
+			}
+			return []string{"density"}
+		},
+		key: func(c *Config) Key { return stageKey("coefficients", coeffKeyParts(c)...) },
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			if b.cfg.Source == CoeffBC {
+				return dep["betweenness"].([]float64), nil
+			}
+			return dep["density"].([]float64), nil
+		},
+	},
+	"clustering": {
+		deps: func(*Config) []string { return []string{"network", "coefficients"} },
+		key: func(c *Config) Key {
+			parts := append(coeffKeyParts(c), c.Regions, c.GreedyClustering)
+			return stageKey("clustering", parts...)
+		},
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			net := dep["network"].(*roadnet.Network)
+			weights := dep["coefficients"].([]float64)
+			clusterFn := cluster.Cluster
+			if b.cfg.GreedyClustering {
+				clusterFn = cluster.ClusterGreedy
+			}
+			return clusterFn(net, weights, b.cfg.Regions)
+		},
+	},
+	"regiongraph": {
+		deps: func(*Config) []string { return []string{"network", "clustering", "match"} },
+		key: func(c *Config) Key {
+			return stageKey("regiongraph", c.Net, c.traceNorm(), c.MatchRadiusMeters,
+				int(c.Source), c.Regions, c.GreedyClustering)
+		},
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			net := dep["network"].(*roadnet.Network)
+			assignment := dep["clustering"].(*cluster.Assignment)
+			matched := dep["match"].(*trace.Set)
+			graph, err := cluster.BuildRegionGraphFromTrace(assignment, matched)
+			if err != nil {
+				// Sparse traces may have no transitions; fall back to road
+				// adjacency.
+				graph, err = cluster.BuildRegionGraphFromAdjacency(assignment, net)
+			}
+			return graph, err
+		},
+	},
+	"beta": {
+		deps: func(*Config) []string { return []string{"clustering", "coefficients"} },
+		key: func(c *Config) Key {
+			parts := append(coeffKeyParts(c), c.Regions, c.GreedyClustering, c.BetaMean)
+			return stageKey("beta", parts...)
+		},
+		run: func(b *build, dep map[string]interface{}) (interface{}, error) {
+			assignment := dep["clustering"].(*cluster.Assignment)
+			weights := dep["coefficients"].([]float64)
+			beta, err := cluster.RegionCoefficients(assignment, weights)
+			if err != nil {
+				return nil, err
+			}
+			if b.cfg.BetaMean > 0 {
+				mean := 0.0
+				for _, v := range beta {
+					mean += v
+				}
+				mean /= float64(len(beta))
+				if mean > 0 {
+					for i := range beta {
+						beta[i] = beta[i] / mean * b.cfg.BetaMean
+					}
+				} else {
+					for i := range beta {
+						beta[i] = b.cfg.BetaMean
+					}
+				}
+			}
+			return beta, nil
+		},
+	},
+	"stats": {
+		deps: func(*Config) []string { return []string{"clustering", "coefficients"} },
+		key: func(c *Config) Key {
+			parts := append(coeffKeyParts(c), c.Regions, c.GreedyClustering)
+			return stageKey("stats", parts...)
+		},
+		run: func(_ *build, dep map[string]interface{}) (interface{}, error) {
+			assignment := dep["clustering"].(*cluster.Assignment)
+			weights := dep["coefficients"].([]float64)
+			stats, avgStd, err := cluster.Stats(assignment, weights)
+			if err != nil {
+				return nil, err
+			}
+			return statsArtifact{Stats: stats, AvgWithinStd: avgStd}, nil
+		},
+	},
+	"model": {
+		deps: func(*Config) []string { return []string{"regiongraph", "beta"} },
+		key: func(c *Config) Key {
+			return stageKey("model", c.Net, c.traceNorm(), c.MatchRadiusMeters,
+				int(c.Source), c.Regions, c.GreedyClustering, c.BetaMean)
+		},
+		run: func(_ *build, dep map[string]interface{}) (interface{}, error) {
+			graph := dep["regiongraph"].(*cluster.RegionGraph)
+			beta := dep["beta"].([]float64)
+			payoffs := lattice.PaperPayoffs()
+			model, err := game.NewModel(payoffs, graph, beta)
+			if err != nil {
+				return nil, err
+			}
+			return modelArtifact{Payoffs: payoffs, Model: model}, nil
+		},
+	},
+	"voronoi": {
+		deps: func(*Config) []string { return nil },
+		key:  func(c *Config) Key { return stageKey("voronoi", c.Net.Box, c.EdgeServers) },
+		run: func(b *build, _ map[string]interface{}) (interface{}, error) {
+			sites := b.cfg.Net.Box.GridPoints(gridDim(b.cfg.EdgeServers))
+			return geo.NewVoronoi(b.cfg.Net.Box, sites)
+		},
+	},
+}
+
+// build is the per-Build resolution state: one future per stage, so every
+// stage is resolved (and its cache counters touched) at most once per build.
+type build struct {
+	p   *Pipeline
+	cfg Config
+
+	mu   sync.Mutex
+	futs map[string]*future
+}
+
+type future struct {
+	done chan struct{}
+	val  interface{}
+	err  error
+}
+
+// start launches the stage's resolution (once) and returns its future.
+func (b *build) start(name string) *future {
+	b.mu.Lock()
+	f := b.futs[name]
+	if f == nil {
+		f = &future{done: make(chan struct{})}
+		b.futs[name] = f
+		go b.runStage(name, f)
+	}
+	b.mu.Unlock()
+	return f
+}
+
+// get resolves one stage, blocking until its artifact is available.
+func (b *build) get(name string) (interface{}, error) {
+	f := b.start(name)
+	<-f.done
+	return f.val, f.err
+}
+
+func (b *build) runStage(name string, f *future) {
+	defer close(f.done)
+	def, ok := stages[name]
+	if !ok {
+		f.err = fmt.Errorf("worldbuild: unknown stage %q (bug)", name)
+		return
+	}
+	f.val, f.err = b.p.cache.getOrCompute(name, def.key(&b.cfg), func() (interface{}, error) {
+		// Dependencies are only resolved on a cache miss, and concurrently,
+		// so independent branches (betweenness vs. trace→match) overlap.
+		depNames := def.deps(&b.cfg)
+		futs := make([]*future, len(depNames))
+		for i, dn := range depNames {
+			futs[i] = b.start(dn)
+		}
+		dep := make(map[string]interface{}, len(depNames))
+		for i, dn := range depNames {
+			<-futs[i].done
+			if futs[i].err != nil {
+				return nil, futs[i].err
+			}
+			dep[dn] = futs[i].val
+		}
+		out, err := def.run(b, dep)
+		if err != nil {
+			return nil, fmt.Errorf("worldbuild: stage %s: %w", name, err)
+		}
+		return out, nil
+	})
+}
+
+// Build runs the pipeline for one configuration and assembles the substrate.
+// Workers defaults to runtime.NumCPU(); the result is bit-identical for
+// every worker count.
+func (p *Pipeline) Build(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	b := &build{p: p, cfg: cfg, futs: make(map[string]*future)}
+
+	// Demand the three terminal stages concurrently; they pull the rest of
+	// the DAG in dependency order.
+	for _, terminal := range []string{"model", "stats", "voronoi"} {
+		b.start(terminal)
+	}
+
+	artifact := make(map[string]interface{})
+	for _, name := range []string{"network", "match", "coefficients", "clustering",
+		"regiongraph", "beta", "stats", "model", "voronoi"} {
+		v, err := b.get(name)
+		if err != nil {
+			return nil, err
+		}
+		artifact[name] = v
+	}
+
+	ma := artifact["model"].(modelArtifact)
+	sa := artifact["stats"].(statsArtifact)
+	return &Result{
+		Config:       cfg,
+		Net:          artifact["network"].(*roadnet.Network),
+		Trace:        artifact["match"].(*trace.Set),
+		Weights:      artifact["coefficients"].([]float64),
+		Assignment:   artifact["clustering"].(*cluster.Assignment),
+		Graph:        artifact["regiongraph"].(*cluster.RegionGraph),
+		Beta:         artifact["beta"].([]float64),
+		Payoffs:      ma.Payoffs,
+		Model:        ma.Model,
+		Voronoi:      artifact["voronoi"].(*geo.Voronoi),
+		RegionStats:  sa.Stats,
+		AvgWithinStd: sa.AvgWithinStd,
+	}, nil
+}

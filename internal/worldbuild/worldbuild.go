@@ -1,0 +1,148 @@
+// Package worldbuild constructs the simulation substrate as a staged,
+// parallel, cacheable pipeline. World construction is modeled as a DAG of
+// named stages
+//
+//	network ─┬─▶ betweenness ────────────┐ (BC)
+//	         └─▶ trace ─▶ match ─▶ density┘ (TD)
+//	                        │                │
+//	                        │         coefficients ─▶ clustering ─┬─▶ beta ─┐
+//	                        │                                     ├─▶ stats │
+//	                        └────────────▶ regiongraph ◀──────────┘         │
+//	                                            └────────▶ model ◀──────────┘
+//	voronoi (independent)
+//
+// Stages whose dependencies are satisfied run concurrently (betweenness and
+// the trace→match chain overlap), the hot inner loops (Brandes accumulation,
+// per-vehicle trace generation, per-fix map matching, per-window densities)
+// run on worker pools sized by Config.Workers, and every stage output is
+// memoized in a content-addressed artifact cache keyed by a hash of exactly
+// the configuration subtree the stage consumes. Building the BC and TD
+// variants of the same world through one Pipeline therefore computes the
+// network, trace, matching, and density artifacts once and shares them.
+//
+// Determinism is a hard requirement: for a fixed configuration and seed the
+// assembled world is bit-identical for every Workers value. Each parallel
+// substrate guarantees worker-count invariance on its own (fixed-block merges
+// in roadnet, per-vehicle RNG substreams in trace, slot-addressed matching
+// and window merges), and the pipeline only composes pure stage functions, so
+// scheduling cannot leak into the result.
+package worldbuild
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/game"
+	"repro/internal/geo"
+	"repro/internal/lattice"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// CoeffSource selects how road-segment utility coefficients are computed
+// (Step 1 of the paper's analysis).
+type CoeffSource int
+
+// Coefficient sources.
+const (
+	// CoeffBC uses travel-time betweenness centrality (Eq. 2).
+	CoeffBC CoeffSource = iota + 1
+	// CoeffTD uses average traffic density (Eq. 3).
+	CoeffTD
+)
+
+// String implements fmt.Stringer.
+func (c CoeffSource) String() string {
+	switch c {
+	case CoeffBC:
+		return "BC"
+	case CoeffTD:
+		return "TD"
+	default:
+		return fmt.Sprintf("CoeffSource(%d)", int(c))
+	}
+}
+
+// Config parameterizes world construction. sim.WorldConfig aliases this type.
+type Config struct {
+	// Net configures the synthetic road network.
+	Net roadnet.GenConfig
+	// Trace configures the synthetic vehicle fleet.
+	Trace trace.GenConfig
+	// Regions is M, the number of Algorithm-1 regions (paper: 20).
+	Regions int
+	// Source selects BC or TD coefficients.
+	Source CoeffSource
+	// BetaMean rescales the region coefficients so their mean equals this
+	// value; the game's utility coefficient scale. Zero keeps raw values.
+	BetaMean float64
+	// EdgeServers is the number of evenly deployed edge servers (paper:
+	// 100, a 10x10 grid).
+	EdgeServers int
+	// MatchRadiusMeters bounds map matching (fixes farther than this from
+	// any segment stay unmatched).
+	MatchRadiusMeters float64
+	// GreedyClustering selects the global-greedy Algorithm-1 variant
+	// (cluster.ClusterGreedy) instead of the paper's round-robin growth;
+	// it yields markedly lower within-region coefficient variance on
+	// spatially coherent fields.
+	GreedyClustering bool
+	// Workers bounds the worker pools of every parallel stage (0 means
+	// runtime.NumCPU()). Workers never affects the built world — parallel
+	// output is bit-identical to sequential — so it is excluded from every
+	// artifact-cache key.
+	Workers int
+}
+
+// Validate checks the structural configuration fields. Substrate
+// configurations (Net, Trace) are validated by their own generators.
+func (c Config) Validate() error {
+	if c.Regions < 1 {
+		return fmt.Errorf("worldbuild: need at least one region, got %d", c.Regions)
+	}
+	if c.Source != CoeffBC && c.Source != CoeffTD {
+		return fmt.Errorf("worldbuild: unknown coefficient source %d", int(c.Source))
+	}
+	if c.EdgeServers < 1 {
+		return fmt.Errorf("worldbuild: need at least one edge server, got %d", c.EdgeServers)
+	}
+	return nil
+}
+
+// traceNorm returns the trace configuration with every output-neutral field
+// zeroed, for use in cache keys: two configs that differ only in Workers
+// produce the identical trace and must share artifacts.
+func (c Config) traceNorm() trace.GenConfig {
+	t := c.Trace
+	t.Workers = 0
+	return t
+}
+
+// Result is the assembled simulation substrate. sim.World wraps it.
+type Result struct {
+	Config     Config
+	Net        *roadnet.Network
+	Trace      *trace.Set // map-matched
+	Weights    []float64  // per-segment utility coefficients (BC or TD)
+	Assignment *cluster.Assignment
+	Graph      *cluster.RegionGraph
+	Beta       []float64 // per-region utility coefficients (scaled)
+	Payoffs    *lattice.Payoffs
+	Model      *game.Model
+	Voronoi    *geo.Voronoi // edge-server cells
+	// RegionStats holds the per-region coefficient statistics (Fig. 8(c)).
+	RegionStats []cluster.RegionStats
+	// AvgWithinStd is the average within-region coefficient standard
+	// deviation the paper reports (17.08 for BC, 30.31 for TD).
+	AvgWithinStd float64
+}
+
+// gridDim factors n into the most-square rows x cols grid with rows*cols >= n.
+func gridDim(n int) (rows, cols int) {
+	rows = 1
+	for rows*rows < n {
+		rows++
+	}
+	cols = (n + rows - 1) / rows
+	return rows, cols
+}

@@ -1,0 +1,255 @@
+package worldbuild
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// tinyConfig is a fast laptop-scale configuration for pipeline tests.
+func tinyConfig(src CoeffSource) Config {
+	net := roadnet.DefaultGenConfig()
+	net.Rows, net.Cols = 8, 9
+	tr := trace.DefaultGenConfig()
+	tr.Taxis, tr.Transit = 20, 10
+	tr.Duration = 90 * time.Minute
+	tr.Start = tr.Start.Add(6 * time.Hour)
+	return Config{
+		Net:               net,
+		Trace:             tr,
+		Regions:           4,
+		Source:            src,
+		BetaMean:          4.0,
+		EdgeServers:       9,
+		MatchRadiusMeters: 400,
+	}
+}
+
+func mustBuild(t *testing.T, p *Pipeline, cfg Config) *Result {
+	t.Helper()
+	res, err := p.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBuildAssemblesCompleteWorld(t *testing.T) {
+	res := mustBuild(t, NewPipeline(nil), tinyConfig(CoeffBC))
+	if res.Net.NumSegments() == 0 {
+		t.Fatal("no segments")
+	}
+	if len(res.Weights) != res.Net.NumSegments() {
+		t.Fatal("weights length mismatch")
+	}
+	if res.Assignment.M != 4 || res.Model.M() != 4 {
+		t.Fatalf("M = %d / %d, want 4", res.Assignment.M, res.Model.M())
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumFixes() == 0 {
+		t.Fatal("no trace fixes")
+	}
+	if len(res.RegionStats) != 4 {
+		t.Fatalf("region stats = %d entries", len(res.RegionStats))
+	}
+	if res.Voronoi == nil || res.Payoffs == nil {
+		t.Fatal("missing voronoi/payoffs artifacts")
+	}
+}
+
+// TestPairSharesSubstrate is the headline cache property: building the BC and
+// TD variants of the same world through one pipeline must execute the
+// network, trace, match, and density stages exactly once.
+func TestPairSharesSubstrate(t *testing.T) {
+	p := NewPipeline(nil)
+	bc := mustBuild(t, p, tinyConfig(CoeffBC))
+	td := mustBuild(t, p, tinyConfig(CoeffTD))
+
+	if bc.Net != td.Net {
+		t.Error("BC and TD worlds must share the network artifact")
+	}
+	if bc.Trace != td.Trace {
+		t.Error("BC and TD worlds must share the matched-trace artifact")
+	}
+
+	stats := p.Cache().Stats()
+	for _, stage := range []string{"network", "trace", "match", "density", "betweenness", "voronoi"} {
+		if got := stats[stage].Executions; got != 1 {
+			t.Errorf("stage %s executed %d times, want exactly 1", stage, got)
+		}
+	}
+	// Source-dependent stages run once per world.
+	for _, stage := range []string{"coefficients", "clustering", "regiongraph", "beta", "stats", "model"} {
+		if got := stats[stage].Executions; got != 2 {
+			t.Errorf("stage %s executed %d times, want 2 (one per source)", stage, got)
+		}
+	}
+	if stats["network"].Hits == 0 {
+		t.Error("TD build should have hit the cached network")
+	}
+}
+
+// TestBCWorldSkipsDensity: demand-driven resolution must not run the TD-only
+// branch for a BC world, nor the BC-only branch for a TD world.
+func TestDemandDrivenBranches(t *testing.T) {
+	p := NewPipeline(nil)
+	mustBuild(t, p, tinyConfig(CoeffBC))
+	stats := p.Cache().Stats()
+	if got := stats["density"].Executions + stats["density"].Hits; got != 0 {
+		t.Errorf("BC build touched the density stage %d times", got)
+	}
+
+	p2 := NewPipeline(nil)
+	mustBuild(t, p2, tinyConfig(CoeffTD))
+	stats2 := p2.Cache().Stats()
+	if got := stats2["betweenness"].Executions + stats2["betweenness"].Hits; got != 0 {
+		t.Errorf("TD build touched the betweenness stage %d times", got)
+	}
+}
+
+// TestKeySubtreeInvalidation: changing a downstream knob (Regions) must reuse
+// every upstream artifact; changing an upstream knob (network seed) must
+// rebuild from the network down.
+func TestKeySubtreeInvalidation(t *testing.T) {
+	p := NewPipeline(nil)
+	mustBuild(t, p, tinyConfig(CoeffBC))
+
+	cfg := tinyConfig(CoeffBC)
+	cfg.Regions = 5
+	mustBuild(t, p, cfg)
+	stats := p.Cache().Stats()
+	for _, stage := range []string{"network", "trace", "match", "betweenness", "coefficients"} {
+		if got := stats[stage].Executions; got != 1 {
+			t.Errorf("after Regions change, stage %s executed %d times, want 1", stage, got)
+		}
+	}
+	if got := stats["clustering"].Executions; got != 2 {
+		t.Errorf("after Regions change, clustering executed %d times, want 2", got)
+	}
+
+	cfg = tinyConfig(CoeffBC)
+	cfg.Net.Seed = 99
+	mustBuild(t, p, cfg)
+	stats = p.Cache().Stats()
+	if got := stats["network"].Executions; got != 2 {
+		t.Errorf("after network seed change, network executed %d times, want 2", got)
+	}
+}
+
+// TestWorkersExcludedFromKeys: a build that differs only in Workers must be a
+// full cache hit — Workers cannot change any artifact.
+func TestWorkersExcludedFromKeys(t *testing.T) {
+	p := NewPipeline(nil)
+	cfg := tinyConfig(CoeffBC)
+	cfg.Workers = 1
+	mustBuild(t, p, cfg)
+	execBefore := totalExecutions(p.Cache().Stats())
+
+	cfg.Workers = 4
+	mustBuild(t, p, cfg)
+	if got := totalExecutions(p.Cache().Stats()); got != execBefore {
+		t.Errorf("Workers change triggered %d new stage executions", got-execBefore)
+	}
+}
+
+func totalExecutions(stats map[string]StageStats) int {
+	n := 0
+	for _, st := range stats {
+		n += st.Executions
+	}
+	return n
+}
+
+// TestConcurrentPairBuild: concurrent builds of both sources through one
+// pipeline must singleflight the shared artifacts, not duplicate them.
+func TestConcurrentPairBuild(t *testing.T) {
+	p := NewPipeline(nil)
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 2)
+	for _, src := range []CoeffSource{CoeffBC, CoeffTD} {
+		go func(src CoeffSource) {
+			res, err := p.Build(tinyConfig(src))
+			ch <- out{res, err}
+		}(src)
+	}
+	var results []*Result
+	for i := 0; i < 2; i++ {
+		o := <-ch
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		results = append(results, o.res)
+	}
+	if results[0].Net != results[1].Net {
+		t.Error("concurrent builds must share the network artifact")
+	}
+	stats := p.Cache().Stats()
+	for _, stage := range []string{"network", "trace", "match"} {
+		if got := stats[stage].Executions; got != 1 {
+			t.Errorf("stage %s executed %d times under concurrency, want 1", stage, got)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := NewPipeline(nil)
+	cfg := tinyConfig(CoeffBC)
+	cfg.Regions = 0
+	if _, err := p.Build(cfg); err == nil {
+		t.Error("zero regions must error")
+	}
+	cfg = tinyConfig(CoeffBC)
+	cfg.Source = 0
+	if _, err := p.Build(cfg); err == nil {
+		t.Error("unknown source must error")
+	}
+	cfg = tinyConfig(CoeffBC)
+	cfg.EdgeServers = 0
+	if _, err := p.Build(cfg); err == nil {
+		t.Error("zero edge servers must error")
+	}
+}
+
+// TestFailedStageNotCached: a failing build must not poison the cache; fixing
+// the config reruns the failed stage.
+func TestFailedStageNotCached(t *testing.T) {
+	p := NewPipeline(nil)
+	cfg := tinyConfig(CoeffBC)
+	cfg.Trace.Duration = 0 // trace stage fails validation
+	if _, err := p.Build(cfg); err == nil {
+		t.Fatal("invalid trace config must fail the build")
+	}
+	cfg.Trace.Duration = 90 * time.Minute
+	if _, err := p.Build(cfg); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+}
+
+func TestCoeffSourceString(t *testing.T) {
+	if CoeffBC.String() != "BC" || CoeffTD.String() != "TD" {
+		t.Error("source strings wrong")
+	}
+	if CoeffSource(9).String() == "" {
+		t.Error("unknown source string empty")
+	}
+}
+
+func TestStageKeyStability(t *testing.T) {
+	cfg := tinyConfig(CoeffBC)
+	a := stages["network"].key(&cfg)
+	b := stages["network"].key(&cfg)
+	if a != b {
+		t.Error("same config must hash to the same key")
+	}
+	cfg.Net.Seed++
+	if c := stages["network"].key(&cfg); c == a {
+		t.Error("different config must hash to a different key")
+	}
+}
