@@ -15,6 +15,14 @@
 //
 // The cloud steers both regions toward a high-sharing desired field with
 // FDS; watch the per-round ratio and decision census printed by the edges.
+//
+// Any role can additionally expose its observability endpoint:
+//
+//	cpnode -role cloud ... -metrics 127.0.0.1:9100
+//	curl -s http://127.0.0.1:9100/metrics | grep consensus_rounds_total
+//
+// which serves the obs registry (/metrics, Prometheus text format), the
+// recent per-round spans (/debug/spans), and net/http/pprof.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/game"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sensor"
 	"repro/internal/transport"
@@ -63,8 +72,22 @@ func main() {
 			"max dial attempts per reconnect burst (edge, vehicles)")
 		roundDeadline = flag.Duration("round-deadline", 10*time.Second,
 			"cloud: complete a round barrier after this long with last-known shares for missing edges (0 = wait forever)")
+		metricsAddr = flag.String("metrics", "",
+			"serve /metrics, /debug/spans and /debug/pprof on this address (e.g. 127.0.0.1:9100; empty = off)")
 	)
 	flag.Parse()
+
+	var o *obs.Observer
+	if *metricsAddr != "" {
+		o = obs.New()
+		msrv, err := obs.Serve(*metricsAddr, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpnode: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics: serving /metrics, /debug/spans, /debug/pprof on http://%s\n", msrv.Addr())
+	}
 
 	var fault *transport.Fault
 	if *faultDrop > 0 || *faultDelay > 0 {
@@ -74,16 +97,19 @@ func main() {
 			MinDelay: *faultDelay / 20,
 			MaxDelay: *faultDelay,
 		})
+		if o != nil {
+			fault.Instrument(o)
+		}
 	}
 
 	var err error
 	switch *role {
 	case "cloud":
-		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *roundDeadline, fault)
+		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *roundDeadline, fault, o)
 	case "edge":
-		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, fault)
+		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, fault, o)
 	case "vehicles":
-		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault)
+		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault, o)
 	default:
 		err = fmt.Errorf("unknown role %q (want cloud, edge, or vehicles)", *role)
 	}
@@ -123,7 +149,7 @@ func (g demoGraph) Neighbors(i int) []int {
 	return out
 }
 
-func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string, roundDeadline time.Duration, fault *transport.Fault) error {
+func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer) error {
 	betas := make([]float64, regions)
 	for i := range betas {
 		betas[i] = beta
@@ -150,7 +176,7 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 			return fmt.Errorf("field spec is %dx%d, want %dx%d", field.M(), field.K(), regions, model.K())
 		}
 		return serveCloud(listen, model, field, regions, x0, lambda,
-			fmt.Sprintf("field spec %s", fieldPath), roundDeadline, fault)
+			fmt.Sprintf("field spec %s", fieldPath), roundDeadline, fault, o)
 	}
 
 	// Desired field: the regime reachable from a uniform mix at the target
@@ -191,18 +217,24 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 		}
 	}
 	return serveCloud(listen, model, field, regions, x0, lambda,
-		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), roundDeadline, fault)
+		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), roundDeadline, fault, o)
 }
 
 // serveCloud starts the FDS coordinator over TCP and blocks.
-func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string, roundDeadline time.Duration, fault *transport.Fault) error {
+func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer) error {
 	fds, err := policy.NewFDS(model, field, lambda)
 	if err != nil {
 		return err
 	}
+	if o != nil {
+		fds.Instrument(o)
+	}
 	srv, err := cloud.NewServer(fds, game.NewUniformState(regions, model.K(), x0))
 	if err != nil {
 		return err
+	}
+	if o != nil {
+		srv.Instrument(o)
 	}
 	srv.SetRoundDeadline(roundDeadline)
 	srv.SetLogf(log.Printf)
@@ -219,8 +251,11 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 	return nil
 }
 
-func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, fault *transport.Fault) error {
+func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer) error {
 	srv := edge.NewServer(id, lattice.NewPaper(), seed)
+	if o != nil {
+		srv.Instrument(o)
+	}
 	l, err := transport.ListenTCP(listen)
 	if err != nil {
 		return err
@@ -254,6 +289,7 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 			Seed:        seed,
 		},
 		ReplyTimeout: 30 * time.Second,
+		Obs:          o,
 	}
 	defer link.Close()
 
@@ -276,7 +312,7 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 	return nil
 }
 
-func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retryMax int, fault *transport.Fault) error {
+func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer) error {
 	payoffs := lattice.PaperPayoffs()
 	rng := rand.New(rand.NewSource(seed))
 	var wg sync.WaitGroup
@@ -299,6 +335,7 @@ func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retry
 			Mu:              0.5,
 			Cap:             sensor.TableIII(),
 			RegisterTimeout: 5 * time.Second,
+			Obs:             o,
 		}
 		dialer := &transport.Dialer{
 			Dial: func() (transport.Conn, error) {

@@ -5,25 +5,59 @@
 // across machines via cmd/cpnode.
 //
 //	go run ./examples/distributed
+//
+// With -metrics the whole system — world build, cloud consensus rounds,
+// fault injection, vehicle reconnects — reports through one obs registry
+// served over HTTP:
+//
+//	go run ./examples/distributed -metrics 127.0.0.1:9100 &
+//	curl -s http://127.0.0.1:9100/metrics | grep -E 'consensus|fault|worldbuild'
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 func main() {
+	metricsAddr := flag.String("metrics", "",
+		"serve /metrics, /debug/spans and /debug/pprof on this address (empty = off)")
+	faultDrop := flag.Float64("fault-drop", 0.02,
+		"per-message drop probability on vehicle links (0 = clean run)")
+	flag.Parse()
+
+	o := obs.New()
+	boundAddr := ""
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		boundAddr = msrv.Addr()
+		fmt.Printf("metrics: http://%s/metrics\n", boundAddr)
+	}
+
 	cfg := sim.DefaultWorldConfig()
 	cfg.Net.Rows, cfg.Net.Cols = 10, 12
 	cfg.Trace.Taxis, cfg.Trace.Transit = 30, 20
 	cfg.Trace.Duration = 2 * time.Hour
 	cfg.Regions = 4
 
-	system, err := core.NewSystem(cfg, sim.MacroOptions{Tau: 0.25})
+	builder := sim.NewWorldBuilder()
+	builder.Instrument(o)
+	world, err := builder.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	system, err := core.NewSystemFromWorld(world, sim.MacroOptions{Tau: 0.25})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,18 +73,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	perRegion := 50
-	fmt.Printf("launching cloud + %d edge servers + %d vehicle agents...\n",
-		system.Model().M(), system.Model().M()*perRegion)
-	res, err := system.RunDistributed(field, sim.AgentSimConfig{
-		VehiclesPerRegion: perRegion,
+	simCfg := sim.AgentSimConfig{
+		VehiclesPerRegion: 50,
 		Rounds:            150,
 		Seed:              42,
 		X0:                0.5,
 		Tau:               0.25,
 		PrivacyWeightStd:  0.15, // heterogeneous privacy preferences
 		InitialShares:     start.P,
-	})
+		Obs:               o,
+	}
+	if *faultDrop > 0 {
+		simCfg.Fault = &transport.FaultConfig{DropProb: *faultDrop}
+	}
+	fmt.Printf("launching cloud + %d edge servers + %d vehicle agents...\n",
+		system.Model().M(), system.Model().M()*simCfg.VehiclesPerRegion)
+	res, err := system.RunDistributed(field, simCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,6 +100,10 @@ func main() {
 	for i := range final {
 		fmt.Printf("region %d: x=%.2f observed=%s target=%s\n",
 			i, finalX[i], top2(final[i]), top2(target.P[i]))
+	}
+	if boundAddr != "" {
+		fmt.Printf("metrics still served on http://%s/metrics — ctrl-C to exit\n", boundAddr)
+		select {}
 	}
 }
 

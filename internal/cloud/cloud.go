@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/edge"
 	"repro/internal/game"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/transport"
 )
@@ -40,13 +41,43 @@ type Server struct {
 	m             int
 	roundDeadline time.Duration
 	logf          func(format string, args ...interface{})
-	stats         Stats
+	obsv          *obs.Observer
+	metrics       serverMetrics
 	closed        chan struct{}
 	once          sync.Once
 	wg            sync.WaitGroup
 }
 
-// Stats counts the server's failure-handling events.
+// serverMetrics are the coordinator's registry-backed instruments (see the
+// naming convention in package obs).
+type serverMetrics struct {
+	rounds         *obs.Counter   // consensus_rounds_total
+	degraded       *obs.Counter   // consensus_degraded_rounds_total
+	abandoned      *obs.Counter   // consensus_abandoned_rounds_total
+	late           *obs.Counter   // consensus_late_censuses_total
+	decodeFailures *obs.Counter   // consensus_decode_failures_total
+	latestRound    *obs.Gauge     // consensus_round_latest
+	roundDuration  *obs.Histogram // consensus_round_duration_seconds
+}
+
+func newServerMetrics(o *obs.Observer) serverMetrics {
+	return serverMetrics{
+		rounds:         o.Counter("consensus_rounds_total", "consensus rounds whose FDS update ran (degraded or not)"),
+		degraded:       o.Counter("consensus_degraded_rounds_total", "rounds completed by the deadline with at least one region missing"),
+		abandoned:      o.Counter("consensus_abandoned_rounds_total", "stale round barriers evicted when a newer round completed first"),
+		late:           o.Counter("consensus_late_censuses_total", "censuses for already-completed rounds, answered with the current ratio"),
+		decodeFailures: o.Counter("consensus_decode_failures_total", "malformed frames dropped by connection handlers"),
+		latestRound:    o.Gauge("consensus_round_latest", "highest completed consensus round (-1 before the first)"),
+		roundDuration:  o.Histogram("consensus_round_duration_seconds", "first census to barrier completion", nil),
+	}
+}
+
+// Stats is a point-in-time view of the coordinator's failure-handling
+// counters.
+//
+// Deprecated: Stats is a thin read-through over the obs registry, kept for
+// existing callers; new code should read the consensus_* series from the
+// registry installed with Instrument (or Registry for the default one).
 type Stats struct {
 	// CompletedRounds counts rounds whose FDS update ran (degraded or not).
 	CompletedRounds int
@@ -70,6 +101,8 @@ type roundBarrier struct {
 	timer    *time.Timer
 	err      error
 	degraded bool
+	opened   time.Time
+	span     *obs.Span
 }
 
 // NewServer builds a cloud server steering toward the FDS controller's
@@ -82,14 +115,39 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 	if err := initial.Validate(); err != nil {
 		return nil, fmt.Errorf("cloud: initial state: %w", err)
 	}
-	return &Server{
-		fds:    f,
-		state:  initial.Clone(),
-		rounds: make(map[int]*roundBarrier),
-		latest: -1,
-		m:      len(initial.P),
-		closed: make(chan struct{}),
-	}, nil
+	o := obs.New()
+	s := &Server{
+		fds:     f,
+		state:   initial.Clone(),
+		rounds:  make(map[int]*roundBarrier),
+		latest:  -1,
+		m:       len(initial.P),
+		obsv:    o,
+		metrics: newServerMetrics(o),
+		closed:  make(chan struct{}),
+	}
+	s.metrics.latestRound.Set(-1)
+	return s, nil
+}
+
+// Instrument re-points the server's metrics and round spans at the given
+// observer, so several components can report through one registry (cpnode's
+// /metrics endpoint). Call before Serve; counters already accumulated on the
+// default private registry are not carried over.
+func (s *Server) Instrument(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsv = o
+	s.metrics = newServerMetrics(o)
+	s.metrics.latestRound.Set(float64(s.latest))
+}
+
+// Registry returns the registry behind the server's metrics (the private
+// default unless Instrument installed a shared one).
+func (s *Server) Registry() *obs.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obsv.Registry()
 }
 
 // SetRoundDeadline bounds every round barrier: a round whose censuses have
@@ -117,11 +175,19 @@ func (s *Server) logfLocked(format string, args ...interface{}) {
 	}
 }
 
-// Stats returns a snapshot of the failure-handling counters.
+// Stats returns a snapshot of the failure-handling counters. It is a typed
+// view over the obs registry; see the Stats type for the replacement.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	m := s.metrics
+	s.mu.Unlock()
+	return Stats{
+		CompletedRounds: int(m.rounds.Value()),
+		DegradedRounds:  int(m.degraded.Value()),
+		AbandonedRounds: int(m.abandoned.Value()),
+		LateCensuses:    int(m.late.Value()),
+		DecodeFailures:  int(m.decodeFailures.Value()),
+	}
 }
 
 // State returns a snapshot of the cloud's current view of the game state.
@@ -169,6 +235,7 @@ func (s *Server) Close() {
 			rb.err = transport.ErrClosed
 			close(rb.done)
 			delete(s.rounds, round)
+			rb.span.End(obs.A("closed", true))
 		}
 		s.mu.Unlock()
 	})
@@ -185,7 +252,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 		var census transport.Census
 		if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
 			s.mu.Lock()
-			s.stats.DecodeFailures++
+			s.metrics.decodeFailures.Inc()
 			s.logfLocked("cloud: dropping malformed frame: %v", err)
 			s.mu.Unlock()
 			continue
@@ -241,7 +308,7 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 	if census.Round <= s.latest {
 		// The round already completed (possibly degraded, without this
 		// region): answer with the current ratio so the edge moves on.
-		s.stats.LateCensuses++
+		s.metrics.late.Inc()
 		x := s.state.X[census.Edge]
 		s.mu.Unlock()
 		return x, nil
@@ -251,6 +318,8 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 		rb = &roundBarrier{
 			censuses: make(map[int][]int, s.m),
 			done:     make(chan struct{}),
+			opened:   time.Now(),
+			span:     s.obsv.Span("consensus_round", obs.A("round", census.Round)),
 		}
 		s.rounds[census.Round] = rb
 		if s.roundDeadline > 0 {
@@ -258,6 +327,7 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 			rb.timer = time.AfterFunc(s.roundDeadline, func() { s.expireRound(round) })
 		}
 	}
+	rb.span.Event("census", obs.A("edge", census.Edge))
 	rb.censuses[census.Edge] = census.Counts
 	if len(rb.censuses) == s.m {
 		s.completeRoundLocked(census.Round, rb, false)
@@ -309,11 +379,14 @@ func (s *Server) completeRoundLocked(round int, rb *roundBarrier, degraded bool)
 	if round > s.latest {
 		s.latest = round
 	}
-	s.stats.CompletedRounds++
+	s.metrics.rounds.Inc()
+	s.metrics.latestRound.Set(float64(s.latest))
+	s.metrics.roundDuration.Observe(time.Since(rb.opened).Seconds())
 	if degraded {
-		s.stats.DegradedRounds++
+		s.metrics.degraded.Inc()
 		s.logfLocked("cloud: round %d completed degraded with %d/%d regions", round, len(rb.censuses), s.m)
 	}
+	rb.span.End(obs.A("degraded", degraded), obs.A("regions", len(rb.censuses)), obs.A("of", s.m))
 	for r, old := range s.rounds {
 		if r > s.latest {
 			continue
@@ -324,7 +397,8 @@ func (s *Server) completeRoundLocked(round int, rb *roundBarrier, degraded bool)
 		old.err = fmt.Errorf("%w: round %d superseded by round %d", ErrRoundAbandoned, r, round)
 		close(old.done)
 		delete(s.rounds, r)
-		s.stats.AbandonedRounds++
+		s.metrics.abandoned.Inc()
+		old.span.End(obs.A("abandoned", true), obs.A("superseded_by", round))
 	}
 }
 

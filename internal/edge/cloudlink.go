@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -26,19 +27,42 @@ type CloudLink struct {
 	ReplyTimeout time.Duration
 	// Attempts is the number of submit attempts per Report (default 3).
 	Attempts int
+	// Obs, when non-nil, is the observer the link reports through
+	// (edge_cloud_redials_total, edge_cloud_reports_total). Set it before
+	// the first Report; nil falls back to a private registry so Redials
+	// still counts.
+	Obs *obs.Observer
 
 	mu      sync.Mutex
 	conn    transport.Conn
 	dialed  bool
-	redials int
+	redials *obs.Counter // edge_cloud_redials_total
+	reports *obs.Counter // edge_cloud_reports_total
+}
+
+// metricsLocked lazily binds the link's counters to Obs (or a private
+// observer). Called with l.mu held.
+func (l *CloudLink) metricsLocked() {
+	if l.redials != nil {
+		return
+	}
+	o := l.Obs
+	if o == nil {
+		o = obs.New()
+		l.Obs = o
+	}
+	l.redials = o.Counter("edge_cloud_redials_total", "cloud-link reconnects after the first dial")
+	l.reports = o.Counter("edge_cloud_reports_total", "censuses submitted to the cloud (including re-submissions)")
 }
 
 // Redials returns how many times the link re-established its connection
-// after the first dial.
+// after the first dial. It is a typed view over the obs registry
+// (edge_cloud_redials_total).
 func (l *CloudLink) Redials() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.redials
+	l.metricsLocked()
+	return int(l.redials.Value())
 }
 
 // Close drops the link's connection, if any.
@@ -57,6 +81,7 @@ func (l *CloudLink) Close() error {
 func (l *CloudLink) ensureConn() (transport.Conn, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.metricsLocked()
 	if l.conn != nil {
 		return l.conn, nil
 	}
@@ -68,7 +93,7 @@ func (l *CloudLink) ensureConn() (transport.Conn, error) {
 		return nil, fmt.Errorf("edge %d: dialing cloud: %w", l.Edge, err)
 	}
 	if l.dialed {
-		l.redials++
+		l.redials.Inc()
 	}
 	l.dialed = true
 	l.conn = conn
@@ -98,6 +123,9 @@ func (l *CloudLink) Report(round int, counts []int) (float64, error) {
 		if err != nil {
 			return 0, err // the dialer already retried with backoff
 		}
+		l.mu.Lock()
+		l.reports.Inc()
+		l.mu.Unlock()
 		x, err := l.reportOnce(conn, round, counts)
 		if err == nil {
 			return x, nil

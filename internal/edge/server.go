@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/sensor"
 	"repro/internal/transport"
 )
@@ -28,6 +29,26 @@ type Server struct {
 	closed   chan struct{}
 	once     sync.Once
 	wg       sync.WaitGroup
+
+	obsv    *obs.Observer
+	metrics edgeMetrics
+}
+
+// edgeMetrics are the edge server's registry-backed instruments.
+type edgeMetrics struct {
+	rounds        *obs.Counter   // edge_rounds_total
+	uploads       *obs.Counter   // edge_round_uploads_total
+	vehicles      *obs.Gauge     // edge_vehicles
+	roundDuration *obs.Histogram // edge_round_duration_seconds
+}
+
+func newEdgeMetrics(o *obs.Observer) edgeMetrics {
+	return edgeMetrics{
+		rounds:        o.Counter("edge_rounds_total", "data-sharing rounds driven by this edge server"),
+		uploads:       o.Counter("edge_round_uploads_total", "vehicle uploads collected across rounds"),
+		vehicles:      o.Gauge("edge_vehicles", "currently registered vehicle connections"),
+		roundDuration: o.Histogram("edge_round_duration_seconds", "RunRound walltime (steps 3-5)", nil),
+	}
 }
 
 // NewServer builds an edge server with the given id over the decision
@@ -38,6 +59,7 @@ func NewServer(id int, lat *lattice.Lattice, seed int64) *Server {
 	for i := range shares {
 		shares[i] = 1 / float64(k)
 	}
+	o := obs.New()
 	return &Server{
 		ID:       id,
 		dist:     NewDistributor(lat, seed),
@@ -45,7 +67,20 @@ func NewServer(id int, lat *lattice.Lattice, seed int64) *Server {
 		shares:   shares,
 		uploaded: make(chan struct{}, 1024),
 		closed:   make(chan struct{}),
+		obsv:     o,
+		metrics:  newEdgeMetrics(o),
 	}
+}
+
+// Instrument re-points the server's metrics and per-census round spans at
+// the given observer, so several components report through one registry.
+// Call before Serve; counts already accumulated are not carried over.
+func (s *Server) Instrument(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsv = o
+	s.metrics = newEdgeMetrics(o)
+	s.metrics.vehicles.Set(float64(len(s.conns)))
 }
 
 // Serve accepts vehicle connections until the listener fails or the server
@@ -114,6 +149,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 		_ = old.Close()
 	}
 	s.conns[hello.Vehicle] = conn
+	s.metrics.vehicles.Set(float64(len(s.conns)))
 	s.mu.Unlock()
 	s.sendAck(conn, nil)
 
@@ -122,6 +158,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 		// Only deregister if a newer session has not replaced this conn.
 		if s.conns[hello.Vehicle] == conn {
 			delete(s.conns, hello.Vehicle)
+			s.metrics.vehicles.Set(float64(len(s.conns)))
 		}
 		s.mu.Unlock()
 	}()
@@ -174,7 +211,13 @@ func (s *Server) sendAck(conn transport.Conn, err error) {
 // expires (step ④), distribute the collected items (step ⑤), and return the
 // decision census (for step ①).
 func (s *Server) RunRound(round int, x float64, timeout time.Duration) ([]int, error) {
+	start := time.Now()
+	s.mu.Lock()
+	m := s.metrics
+	span := s.obsv.Span("edge_round", obs.A("edge", s.ID), obs.A("round", round), obs.A("x", x))
+	s.mu.Unlock()
 	if err := s.dist.BeginRound(round, x); err != nil {
+		span.End(obs.A("error", err.Error()))
 		return nil, err
 	}
 	// Drain stale upload signals from previous rounds.
@@ -215,12 +258,16 @@ func (s *Server) RunRound(round int, x float64, timeout time.Duration) ([]int, e
 		case <-s.uploaded:
 		case <-deadline.C:
 			// Proceed with whatever arrived.
+			span.Event("upload_deadline", obs.A("uploads", s.dist.NumUploads()), obs.A("vehicles", len(conns)))
 			goto distribute
 		case <-s.closed:
+			span.End(obs.A("error", "closed"))
 			return nil, transport.ErrClosed
 		}
 	}
 distribute:
+	m.uploads.Add(int64(s.dist.NumUploads()))
+	span.Event("distribute", obs.A("uploads", s.dist.NumUploads()))
 	deliveries := s.dist.Distribute()
 	for v, items := range deliveries {
 		conn, ok := conns[v]
@@ -238,6 +285,13 @@ distribute:
 	s.mu.Lock()
 	s.shares = Shares(census)
 	s.mu.Unlock()
+	m.rounds.Inc()
+	m.roundDuration.Observe(time.Since(start).Seconds())
+	total := 0
+	for _, c := range census {
+		total += c
+	}
+	span.End(obs.A("census_total", total))
 	return census, nil
 }
 

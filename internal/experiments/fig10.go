@@ -226,7 +226,7 @@ func (r *Fig10Result) Render(w io.Writer) error {
 				}
 			}
 		}
-		if err := metrics.LineChart(w, visible, 64, 10); err != nil {
+		if err := metrics.Render(w, metrics.Lines(visible...), metrics.WithSize(64, 10)); err != nil {
 			return err
 		}
 		rows := [][]string{{"decision", "final share"}}
@@ -235,14 +235,15 @@ func (r *Fig10Result) Render(w io.Writer) error {
 				rows = append(rows, []string{fmt.Sprintf("P%d", d+1), metrics.FormatFloat(v)})
 			}
 		}
-		if err := metrics.Table(w, rows); err != nil {
+		if err := metrics.Render(w, metrics.Rows(rows)); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
 	}
 
 	fmt.Fprintln(w, "per-round max share delta of the FDS run:")
-	if err := metrics.LineChart(w, []metrics.Series{{Name: "delta", Values: r.Deltas}}, 64, 8); err != nil {
+	delta := metrics.NewSeries("delta", metrics.WithValues(r.Deltas...))
+	if err := metrics.Render(w, metrics.Lines(*delta), metrics.WithSize(64, 8)); err != nil {
 		return err
 	}
 

@@ -3,6 +3,8 @@ package game
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Replicator dynamics (Eq. 5): each decision's share grows at a per-capita
@@ -30,6 +32,8 @@ type Dynamics struct {
 	// scratch buffers
 	q    []float64
 	next [][]float64
+
+	steps *obs.Counter // replicator_steps_total; nil until Instrument
 }
 
 // NewDynamics builds a Dynamics over the model with the given step size.
@@ -51,6 +55,13 @@ func NewDynamics(m *Model, eta float64) (*Dynamics, error) {
 
 // Model returns the underlying game model.
 func (d *Dynamics) Model() *Model { return d.model }
+
+// Instrument makes the dynamics count iterations on the given observer
+// (replicator_steps_total, one increment per Step across all regions).
+// Uninstrumented dynamics pay only a nil-check per Step.
+func (d *Dynamics) Instrument(o *obs.Observer) {
+	d.steps = o.Counter("replicator_steps_total", "replicator-dynamics rounds advanced")
+}
 
 // Step advances the state by one round in place: all regions update
 // synchronously from the round-t distributions, matching the paper's
@@ -79,6 +90,7 @@ func (d *Dynamics) Step(s *State) error {
 	for i := range s.P {
 		copy(s.P[i], d.next[i])
 	}
+	d.steps.Inc()
 	return nil
 }
 

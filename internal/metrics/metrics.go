@@ -17,6 +17,36 @@ type Series struct {
 	Values []float64
 }
 
+// SeriesOption configures a Series built by NewSeries.
+type SeriesOption func(*Series)
+
+// WithValues seeds the series with initial samples (copied).
+func WithValues(vs ...float64) SeriesOption {
+	return func(s *Series) { s.Values = append(s.Values[:0], vs...) }
+}
+
+// WithCapacity pre-allocates room for n samples.
+func WithCapacity(n int) SeriesOption {
+	return func(s *Series) {
+		if n > cap(s.Values) {
+			vals := make([]float64, len(s.Values), n)
+			copy(vals, s.Values)
+			s.Values = vals
+		}
+	}
+}
+
+// NewSeries returns a named series configured by the options. This is the
+// package's canonical constructor style; see Render for the matching
+// option-style renderer.
+func NewSeries(name string, opts ...SeriesOption) *Series {
+	s := &Series{Name: name}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
 // Append adds a sample.
 func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
 

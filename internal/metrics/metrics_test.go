@@ -123,15 +123,78 @@ func TestQuantileProperties(t *testing.T) {
 }
 
 func TestQuantileEdges(t *testing.T) {
-	if Quantile(nil, 0.5) != 0 {
-		t.Error("empty quantile")
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty zero-length slice", []float64{}, 0.9, 0},
+		{"singleton any q", []float64{7}, 0.3, 7},
+		{"singleton q=0", []float64{7}, 0, 7},
+		{"singleton q=1", []float64{7}, 1, 7},
+		{"clamp below", []float64{1, 2, 3}, -1, 1},
+		{"clamp above", []float64{1, 2, 3}, 2, 3},
+		{"q=0 is min", []float64{1, 2, 3}, 0, 1},
+		{"q=1 is max", []float64{1, 2, 3}, 1, 3},
+		{"pair midpoint", []float64{2, 4}, 0.5, 3},
+		{"pair quarter", []float64{0, 4}, 0.25, 1},
+		{"interior interpolation", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"ties", []float64{5, 5, 5}, 0.5, 5},
+		{"negative values", []float64{-4, -2}, 0.5, -3},
 	}
-	if Quantile([]float64{7}, 0.3) != 7 {
-		t.Error("singleton quantile")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Quantile(tc.sorted, tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+			}
+		})
 	}
-	xs := []float64{1, 2, 3}
-	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 3 {
-		t.Error("clamped quantiles wrong")
+}
+
+func TestNewSeriesOptions(t *testing.T) {
+	s := NewSeries("shares", WithValues(0.1, 0.2), WithCapacity(16))
+	if s.Name != "shares" || s.Len() != 2 {
+		t.Fatalf("series = %+v", s)
+	}
+	if cap(s.Values) < 16 {
+		t.Errorf("capacity = %d, want >= 16", cap(s.Values))
+	}
+	s.Append(0.3)
+	if v, ok := s.Last(); !ok || v != 0.3 {
+		t.Errorf("Last = %v, %v", v, ok)
+	}
+	vals := []float64{1, 2}
+	s2 := NewSeries("copy", WithValues(vals...))
+	vals[0] = 99
+	if s2.Values[0] != 1 {
+		t.Error("WithValues must copy its input")
+	}
+}
+
+func TestRenderOptions(t *testing.T) {
+	var buf bytes.Buffer
+	lines := NewSeries("a", WithValues(0, 1, 2))
+	if err := Render(&buf, Lines(*lines), WithSize(20, 5)); err != nil {
+		t.Fatalf("Render(Lines): %v", err)
+	}
+	if !strings.Contains(buf.String(), "*=a") {
+		t.Errorf("line chart legend missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Render(&buf, Bars([]string{"x"}, []float64{2})); err != nil {
+		t.Fatalf("Render(Bars): %v", err)
+	}
+	buf.Reset()
+	if err := Render(&buf, Rows([][]string{{"h"}, {"v"}})); err != nil {
+		t.Fatalf("Render(Rows): %v", err)
+	}
+	if err := Render(&buf); err == nil {
+		t.Error("Render with no content option should fail")
+	}
+	if err := Render(&buf, Rows(nil), Bars(nil, nil)); err == nil {
+		t.Error("Render with two content options should fail")
 	}
 }
 

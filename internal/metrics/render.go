@@ -12,6 +12,88 @@ import (
 // that `cmd/repro` prints every table and figure of the paper in a form
 // directly comparable with the printed version.
 
+// RenderOption configures one Render call: exactly one content option
+// (Lines, Bars, or Rows) selects what is drawn, and WithSize adjusts the
+// plot dimensions where they apply.
+type RenderOption func(*renderConfig)
+
+type renderConfig struct {
+	kinds  []string // content options applied, for arity checking
+	series []Series
+	labels []string
+	values []float64
+	rows   [][]string
+	width  int
+	height int
+}
+
+// Lines renders the series as a character line chart (Fig. 10 style).
+func Lines(series ...Series) RenderOption {
+	return func(c *renderConfig) {
+		c.kinds = append(c.kinds, "lines")
+		c.series = series
+	}
+}
+
+// Bars renders labeled values as a horizontal bar chart (Fig. 9 style).
+func Bars(labels []string, values []float64) RenderOption {
+	return func(c *renderConfig) {
+		c.kinds = append(c.kinds, "bars")
+		c.labels, c.values = labels, values
+	}
+}
+
+// Rows renders an aligned text table; the first row is the header.
+func Rows(rows [][]string) RenderOption {
+	return func(c *renderConfig) {
+		c.kinds = append(c.kinds, "rows")
+		c.rows = rows
+	}
+}
+
+// WithSize sets the plot width and height (line charts) or bar width (bar
+// charts; height is ignored). Zero keeps the defaults.
+func WithSize(width, height int) RenderOption {
+	return func(c *renderConfig) { c.width, c.height = width, height }
+}
+
+// Render draws one chart or table selected by the options:
+//
+//	Render(w, Lines(s1, s2), WithSize(64, 10))
+//	Render(w, Bars(labels, values))
+//	Render(w, Rows(rows))
+//
+// It is the option-style companion of NewSeries; the positional Table,
+// BarChart, and LineChart functions remain for direct use.
+func Render(w io.Writer, opts ...RenderOption) error {
+	c := renderConfig{width: 0, height: 0}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if len(c.kinds) != 1 {
+		return fmt.Errorf("metrics: Render needs exactly one of Lines, Bars, or Rows (got %d)", len(c.kinds))
+	}
+	switch c.kinds[0] {
+	case "lines":
+		width, height := c.width, c.height
+		if width == 0 {
+			width = 60
+		}
+		if height == 0 {
+			height = 12
+		}
+		return LineChart(w, c.series, width, height)
+	case "bars":
+		width := c.width
+		if width == 0 {
+			width = 40
+		}
+		return BarChart(w, c.labels, c.values, width)
+	default:
+		return Table(w, c.rows)
+	}
+}
+
 // Table renders rows with aligned columns. The first row is treated as the
 // header and underlined.
 func Table(w io.Writer, rows [][]string) error {
@@ -134,7 +216,7 @@ func LineChart(w io.Writer, series []Series, width, height int) error {
 	for si, s := range series {
 		g := glyphs[si%len(glyphs)]
 		for c := 0; c < width; c++ {
-			idx := c * (s.Len() - 1) / maxInt(1, width-1)
+			idx := c * (s.Len() - 1) / max(1, width-1)
 			if idx >= s.Len() {
 				idx = s.Len() - 1
 			}
@@ -170,13 +252,6 @@ func LineChart(w io.Writer, series []Series, width, height int) error {
 	}
 	_, err := fmt.Fprintf(w, "%8s  %s\n", "", legend.String())
 	return err
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // WriteCSV emits series as columns with a header row; series of different

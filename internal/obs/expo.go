@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry's current state in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers followed by
+// one sample line per series, histograms expanded into cumulative _bucket
+// series plus _sum and _count. Labeled families with no children yet still
+// emit their headers, so every registered series name is advertised. Output
+// order is deterministic: families sorted by name, labeled children in
+// creation order. Nil-safe (writes nothing).
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, p := range f.points {
+			if p.Type == TypeHistogram {
+				if err := writeHistogram(w, p); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, formatLabels(p.Labels), formatValue(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, p Point) error {
+	for _, b := range p.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatValue(b.UpperBound)
+		}
+		labels := append(append([]Label(nil), p.Labels...), Label{Name: "le", Value: le})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, formatLabels(labels), b.CumulativeCount); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, formatLabels(p.Labels), formatValue(p.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, formatLabels(p.Labels), p.Count)
+	return err
+}
+
+// formatLabels renders {k="v",...}, empty for no labels.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip float, integers without exponent.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewMux returns an http.ServeMux exposing the observer:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/spans    recent finished spans as JSON (?n=K limits the count)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// A nil observer (or nil halves) serves empty documents, so the endpoint
+// can be mounted unconditionally.
+func NewMux(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry().WriteProm(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Tracer().WriteJSON(w, n)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability HTTP endpoint.
+type Server struct {
+	l    net.Listener
+	http *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.http.Close() }
+
+// Serve starts the observability endpoint on addr in a background
+// goroutine and returns the running server. Callers that pass ":0" can
+// recover the bound address from Server.Addr.
+func Serve(addr string, o *Observer) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &Server{l: l, http: &http.Server{Handler: NewMux(o)}}
+	go func() { _ = srv.http.Serve(l) }()
+	return srv, nil
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	o := New()
+	o.Counter("consensus_rounds_total", "rounds").Add(3)
+	o.Span("round", A("round", 0)).End()
+
+	ts := httptest.NewServer(NewMux(o))
+	defer ts.Close()
+
+	body, ctype := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "consensus_rounds_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+
+	body, ctype = get(t, ts.URL+"/debug/spans?n=10")
+	var spans []SpanData
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/debug/spans invalid JSON: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "round" {
+		t.Errorf("/debug/spans = %+v", spans)
+	}
+	if ctype != "application/json" {
+		t.Errorf("/debug/spans content-type = %q", ctype)
+	}
+
+	if body, _ = get(t, ts.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	o := New()
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := get(t, "http://"+srv.Addr()+"/metrics")
+	_ = body // any response proves the server is up; registry is empty
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func get(t *testing.T, url string) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}

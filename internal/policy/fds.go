@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/game"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 )
 
@@ -44,6 +45,11 @@ type FDS struct {
 	// Controller state for stall detection, reset by ResetStallState.
 	lastShortfall []float64
 	stallRounds   []int
+
+	// Instruments; nil (no-op) until Instrument is called.
+	obsv    *obs.Observer
+	updates *obs.Counter // fds_updates_total
+	nudges  *obs.Counter // fds_stall_nudges_total
 }
 
 // NewFDS validates inputs and builds the controller.
@@ -79,6 +85,15 @@ func (f *FDS) ResetStallState() {
 
 // Field returns the controller's desired field.
 func (f *FDS) Field() *Field { return f.field }
+
+// Instrument makes the controller report per-iteration counters
+// (fds_updates_total, fds_stall_nudges_total) and Shape spans through the
+// given observer. Uninstrumented controllers pay only nil-checks.
+func (f *FDS) Instrument(o *obs.Observer) {
+	f.obsv = o
+	f.updates = o.Counter("fds_updates_total", "FDS ratio-update rounds executed")
+	f.nudges = o.Counter("fds_stall_nudges_total", "stall-escape ratio nudges applied")
+}
 
 // conditionSet returns the set of x values that place decision k of region
 // i (current share p, linearized coefficients c) in a case flowing to its
@@ -123,6 +138,7 @@ func conditionSet(c game.LinearCoeffs, p float64, want optimize.Interval) optimi
 // current ratio already satisfied its condition set.
 func (f *FDS) UpdateRatios(s *game.State) ([]bool, error) {
 	m := f.model
+	f.updates.Inc()
 	satisfied := make([]bool, m.M())
 	for i := 0; i < m.M(); i++ {
 		coeffs, err := m.Linearize(s, i)
@@ -216,6 +232,7 @@ func (f *FDS) UpdateRatios(s *game.State) ([]bool, error) {
 				if target, ok := nudge.Nearest(x); ok {
 					step := clampStep(target-x, f.Lambda)
 					s.X[i] = clamp01(x + step)
+					f.nudges.Inc()
 				}
 			}
 			continue
@@ -318,6 +335,7 @@ func (f *FDS) Shape(d game.Stepper, s *game.State, maxRounds int) (*ShapeResult,
 	if d.Model() != f.model {
 		return nil, fmt.Errorf("policy: dynamics and FDS use different models")
 	}
+	span := f.obsv.Span("fds_shape", obs.A("max_rounds", maxRounds))
 	res := &ShapeResult{}
 	snapshot := func() {
 		res.RatioTrace = append(res.RatioTrace, append([]float64(nil), s.X...))
@@ -333,12 +351,15 @@ func (f *FDS) Shape(d game.Stepper, s *game.State, maxRounds int) (*ShapeResult,
 			res.Converged = true
 			res.Rounds = t
 			res.Shortfall = short
+			span.End(obs.A("converged", true), obs.A("rounds", t))
 			return res, nil
 		}
 		if _, err := f.UpdateRatios(s); err != nil {
+			span.End(obs.A("error", err.Error()))
 			return nil, err
 		}
 		if err := d.Step(s); err != nil {
+			span.End(obs.A("error", err.Error()))
 			return nil, err
 		}
 		snapshot()
@@ -347,5 +368,6 @@ func (f *FDS) Shape(d game.Stepper, s *game.State, maxRounds int) (*ShapeResult,
 	res.Converged = ok
 	res.Rounds = maxRounds
 	res.Shortfall = short
+	span.End(obs.A("converged", ok), obs.A("rounds", maxRounds), obs.A("shortfall", short))
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/game"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sensor"
 	"repro/internal/transport"
@@ -55,6 +56,11 @@ type AgentSimConfig struct {
 	// runs the vehicle clients with reconnect + re-registration, so the
 	// simulation exercises the runtime's degraded paths.
 	Fault *transport.FaultConfig
+	// Obs, when non-nil, is the shared observer every component of the run
+	// (cloud, edges, fault injector, vehicle clients, FDS) reports through,
+	// so one registry carries the whole system's series. Nil keeps each
+	// component on its private registry.
+	Obs *obs.Observer
 }
 
 func (c *AgentSimConfig) fill() {
@@ -133,9 +139,15 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Obs != nil {
+		fds.Instrument(cfg.Obs)
+	}
 	cloudSrv, err := cloud.NewServer(fds, game.NewUniformState(m, k, cfg.X0))
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		cloudSrv.Instrument(cfg.Obs)
 	}
 	defer cloudSrv.Close()
 
@@ -149,6 +161,9 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 			fc.Seed = cfg.Seed
 		}
 		fault = transport.NewFault(fc)
+		if cfg.Obs != nil {
+			fault.Instrument(cfg.Obs)
+		}
 	}
 	stop := make(chan struct{})
 
@@ -161,6 +176,9 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 		}
 		listeners[i] = l
 		edges[i] = edge.NewServer(i, w.Payoffs.Lattice(), rng.Int63())
+		if cfg.Obs != nil {
+			edges[i].Instrument(cfg.Obs)
+		}
 		if cfg.EdgeShare != 0 {
 			if err := edges[i].EnablePerception(cfg.EdgeShare); err != nil {
 				return nil, err
@@ -230,7 +248,7 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 				}
 			}
 			agents[i][v] = a
-			client := &vehicle.Client{Agent: a, Mu: cfg.Mu, Cap: sensor.TableIII(), Stop: stop}
+			client := &vehicle.Client{Agent: a, Mu: cfg.Mu, Cap: sensor.TableIII(), Stop: stop, Obs: cfg.Obs}
 			if fault != nil {
 				// Lossy links: bound the registration wait and heal
 				// dropped sessions by redialing.

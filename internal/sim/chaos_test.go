@@ -11,11 +11,22 @@ import (
 	"repro/internal/edge"
 	"repro/internal/game"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sensor"
 	"repro/internal/transport"
 	"repro/internal/vehicle"
 )
+
+// counterValue reads one counter's value out of a registry snapshot.
+func counterValue(points []obs.Point, name string) (float64, bool) {
+	for _, p := range points {
+		if p.Name == name && len(p.Labels) == 0 {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
 
 // chaosGraph is a 2-region graph with dominant intra-region frequency.
 type chaosGraph struct{}
@@ -99,10 +110,17 @@ func TestChaosPipelineConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// One shared observer across the cloud, edges, vehicle fault injector,
+	// cloud links, and vehicle clients: the assertions at the end read the
+	// whole system's health from a single registry snapshot. The cloud-link
+	// injector keeps its private registry so its Stats stay distinct from
+	// the vehicle-link injector's.
+	o := obs.New()
 	cloudSrv, err := cloud.NewServer(fds, game.NewUniformState(regions, model.K(), x0))
 	if err != nil {
 		t.Fatal(err)
 	}
+	cloudSrv.Instrument(o)
 	cloudSrv.SetRoundDeadline(roundDeadline)
 	defer cloudSrv.Close()
 
@@ -122,6 +140,7 @@ func TestChaosPipelineConverges(t *testing.T) {
 		MinDelay: time.Millisecond,
 		MaxDelay: 20 * time.Millisecond,
 	})
+	vehFault.Instrument(o)
 	// Each Report passes ~2 messages, so every cloud link is force-dropped
 	// every ~4 rounds and must redial + re-submit.
 	linkFault := transport.NewFault(transport.FaultConfig{Seed: 7, DisconnectAfter: 8})
@@ -139,6 +158,7 @@ func TestChaosPipelineConverges(t *testing.T) {
 		}
 		listeners[i] = vehFault.WrapListener(l)
 		servers[i] = edge.NewServer(i, payoffs.Lattice(), seed)
+		servers[i].Instrument(o)
 		go servers[i].Serve(listeners[i])
 		return nil
 	}
@@ -180,6 +200,7 @@ func TestChaosPipelineConverges(t *testing.T) {
 				Seed:        int64(1000 + i),
 			},
 			ReplyTimeout: time.Second,
+			Obs:          o,
 		}
 	}
 
@@ -208,6 +229,7 @@ func TestChaosPipelineConverges(t *testing.T) {
 				Cap:             sensor.TableIII(),
 				RegisterTimeout: 250 * time.Millisecond,
 				Stop:            stop,
+				Obs:             o,
 			}
 			dialer := &transport.Dialer{
 				Dial: func() (transport.Conn, error) {
@@ -342,6 +364,37 @@ func TestChaosPipelineConverges(t *testing.T) {
 	}
 	if lf := linkFault.Stats(); lf.Disconnects == 0 {
 		t.Errorf("cloud-link fault injection never disconnected: %+v", lf)
+	}
+
+	// The same health signals must be visible through the shared registry:
+	// one snapshot carries the whole system's series.
+	snap := o.Registry().Snapshot()
+	for _, want := range []struct {
+		name string
+		min  float64
+	}{
+		{"consensus_rounds_total", 1},
+		{"consensus_degraded_rounds_total", 1},
+		{"transport_fault_dropped_total", 1},
+		{"transport_fault_delayed_total", 1},
+		{"edge_cloud_redials_total", 1},
+		{"vehicle_reconnects_total", 1},
+	} {
+		v, ok := counterValue(snap, want.name)
+		if !ok {
+			t.Errorf("registry snapshot is missing %s", want.name)
+			continue
+		}
+		if v < want.min {
+			t.Errorf("%s = %v, want >= %v", want.name, v, want.min)
+		}
+	}
+	// The deprecated typed views must agree with the registry they read from.
+	if degraded, _ := counterValue(snap, "consensus_degraded_rounds_total"); int(degraded) != stats.DegradedRounds {
+		t.Errorf("Stats().DegradedRounds = %d, registry says %v", stats.DegradedRounds, degraded)
+	}
+	if dropped, _ := counterValue(snap, "transport_fault_dropped_total"); int64(dropped) != vf.Dropped {
+		t.Errorf("Stats().Dropped = %d, registry says %v", vf.Dropped, dropped)
 	}
 	t.Logf("chaos run: cloud %+v, vehicle faults %+v, link faults %+v, degraded=%d",
 		stats, vf, linkFault.Stats(), stats.DegradedRounds)

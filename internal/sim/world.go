@@ -20,6 +20,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/geo"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
 	"repro/internal/worldbuild"
@@ -105,6 +106,13 @@ type WorldBuilder struct {
 // NewWorldBuilder returns a builder with a fresh artifact cache.
 func NewWorldBuilder() *WorldBuilder {
 	return &WorldBuilder{pipe: worldbuild.NewPipeline(nil)}
+}
+
+// Instrument re-points the builder's cache counters
+// (worldbuild_stage_executions_total, worldbuild_stage_hits_total) and
+// per-stage build spans at the given observer. Call before Build.
+func (b *WorldBuilder) Instrument(o *obs.Observer) {
+	b.pipe.Cache().Instrument(o)
 }
 
 // Build runs the staged world-build pipeline. The result is bit-identical

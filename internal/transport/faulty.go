@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrInjected marks a failure produced by the fault-injection layer rather
@@ -39,8 +41,12 @@ type FaultConfig struct {
 	AcceptFailProb float64
 }
 
-// FaultStats counts injected faults across every conn and listener wrapped
-// by one Fault.
+// FaultStats is a point-in-time view of the injected-fault counters of one
+// Fault, joint across every conn and listener it wraps.
+//
+// Deprecated: FaultStats is a thin read-through over the obs registry, kept
+// for existing callers; new code should read the transport_fault_* series
+// from the registry installed with Instrument.
 type FaultStats struct {
 	Sent           int64 // messages offered to Send on wrapped conns
 	Dropped        int64
@@ -50,6 +56,27 @@ type FaultStats struct {
 	AcceptFailures int64
 }
 
+// faultMetrics are the injector's registry-backed instruments.
+type faultMetrics struct {
+	sent           *obs.Counter // transport_fault_sent_total
+	dropped        *obs.Counter // transport_fault_dropped_total
+	duplicated     *obs.Counter // transport_fault_duplicated_total
+	delayed        *obs.Counter // transport_fault_delayed_total
+	disconnects    *obs.Counter // transport_fault_disconnects_total
+	acceptFailures *obs.Counter // transport_fault_accept_failures_total
+}
+
+func newFaultMetrics(o *obs.Observer) faultMetrics {
+	return faultMetrics{
+		sent:           o.Counter("transport_fault_sent_total", "messages offered to Send on fault-wrapped conns"),
+		dropped:        o.Counter("transport_fault_dropped_total", "messages silently discarded by fault injection"),
+		duplicated:     o.Counter("transport_fault_duplicated_total", "messages delivered twice by fault injection"),
+		delayed:        o.Counter("transport_fault_delayed_total", "messages delivered late by fault injection"),
+		disconnects:    o.Counter("transport_fault_disconnects_total", "forced disconnects tripped by fault injection"),
+		acceptFailures: o.Counter("transport_fault_accept_failures_total", "injected Accept failures on fault-wrapped listeners"),
+	}
+}
+
 // Fault is a shared fault injector: one instance wraps any number of conns
 // and listeners, accumulating joint statistics while keeping per-conn
 // decision sequences deterministic under the configured seed.
@@ -57,26 +84,46 @@ type Fault struct {
 	cfg FaultConfig
 	seq atomic.Int64
 
-	sent, dropped, duplicated, delayed, disconnects, acceptFailures atomic.Int64
+	mu      sync.Mutex // guards metrics swap; counters update lock-free
+	metrics faultMetrics
 }
 
-// NewFault builds a fault injector from the config.
+// NewFault builds a fault injector from the config, reporting through a
+// private registry until Instrument installs a shared one.
 func NewFault(cfg FaultConfig) *Fault {
-	return &Fault{cfg: cfg}
+	return &Fault{cfg: cfg, metrics: newFaultMetrics(obs.New())}
+}
+
+// Instrument re-points the injector's counters at the given observer so the
+// transport_fault_* series appear on a shared registry. Call before wrapping
+// conns; counts already accumulated are not carried over.
+func (f *Fault) Instrument(o *obs.Observer) {
+	f.mu.Lock()
+	f.metrics = newFaultMetrics(o)
+	f.mu.Unlock()
+}
+
+// m snapshots the current instrument set.
+func (f *Fault) m() faultMetrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.metrics
 }
 
 // Config returns the injector's configuration.
 func (f *Fault) Config() FaultConfig { return f.cfg }
 
-// Stats returns a snapshot of the injected-fault counters.
+// Stats returns a snapshot of the injected-fault counters. It is a typed
+// view over the obs registry; see FaultStats for the replacement.
 func (f *Fault) Stats() FaultStats {
+	m := f.m()
 	return FaultStats{
-		Sent:           f.sent.Load(),
-		Dropped:        f.dropped.Load(),
-		Duplicated:     f.duplicated.Load(),
-		Delayed:        f.delayed.Load(),
-		Disconnects:    f.disconnects.Load(),
-		AcceptFailures: f.acceptFailures.Load(),
+		Sent:           m.sent.Value(),
+		Dropped:        m.dropped.Value(),
+		Duplicated:     m.duplicated.Value(),
+		Delayed:        m.delayed.Value(),
+		Disconnects:    m.disconnects.Value(),
+		AcceptFailures: m.acceptFailures.Value(),
 	}
 }
 
@@ -151,7 +198,7 @@ func (c *FaultyConn) tick() bool {
 	}
 	c.once.Do(func() {
 		c.tripped.Store(true)
-		c.f.disconnects.Add(1)
+		c.f.m().disconnects.Inc()
 		_ = c.inner.Close()
 	})
 	return true
@@ -162,19 +209,19 @@ func (c *FaultyConn) Send(m Message) error {
 	if c.tick() {
 		return fmt.Errorf("%w: forced disconnect", ErrClosed)
 	}
-	c.f.sent.Add(1)
+	c.f.m().sent.Inc()
 	drop, dup, delay := c.roll()
 	if drop {
-		c.f.dropped.Add(1)
+		c.f.m().dropped.Inc()
 		return nil // silently lost in transit
 	}
 	copies := 1
 	if dup {
 		copies = 2
-		c.f.duplicated.Add(1)
+		c.f.m().duplicated.Inc()
 	}
 	if delay > 0 {
-		c.f.delayed.Add(1)
+		c.f.m().delayed.Inc()
 		for i := 0; i < copies; i++ {
 			time.AfterFunc(delay, func() { _ = c.inner.Send(m) })
 		}
@@ -222,7 +269,7 @@ func (l *FaultyListener) Accept() (Conn, error) {
 	l.mu.Unlock()
 	if fail {
 		_ = c.Close()
-		l.f.acceptFailures.Add(1)
+		l.f.m().acceptFailures.Inc()
 		return nil, fmt.Errorf("%w: accept failure", ErrInjected)
 	}
 	return l.f.WrapConn(c), nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sensor"
 	"repro/internal/transport"
 )
@@ -32,6 +33,10 @@ type Client struct {
 	// Stop, when non-nil and closed, makes RunWithReconnect return nil
 	// after the current session instead of redialing.
 	Stop <-chan struct{}
+	// Obs, when non-nil, is the observer the client reports through
+	// (vehicle_sessions_total, vehicle_reconnects_total). Typically one
+	// observer is shared by a whole fleet, so the counters are joint.
+	Obs *obs.Observer
 }
 
 // register performs the Hello handshake on conn. On a lossy link the ack can
@@ -164,11 +169,19 @@ func (c *Client) RunWithReconnect(d *transport.Dialer) error {
 	if c.Agent == nil {
 		return fmt.Errorf("vehicle: client has no agent")
 	}
+	sessions := c.Obs.Counter("vehicle_sessions_total", "vehicle client sessions dialed (first connects plus reconnects)")
+	reconnects := c.Obs.Counter("vehicle_reconnects_total", "vehicle client redials after a dropped session")
 	for session := 0; ; session++ {
 		if c.stopped() {
 			return nil
 		}
 		conn, err := d.DialRetry()
+		if err == nil {
+			sessions.Inc()
+			if session > 0 {
+				reconnects.Inc()
+			}
+		}
 		if err != nil {
 			if c.stopped() {
 				return nil

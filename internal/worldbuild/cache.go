@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Key is a content address: the SHA-256 of a stage name plus the
@@ -29,7 +31,12 @@ func stageKey(stage string, parts ...interface{}) Key {
 	return k
 }
 
-// StageStats counts cache activity for one stage.
+// StageStats is a point-in-time view of one stage's cache activity.
+//
+// Deprecated: StageStats is a thin read-through over the obs registry, kept
+// for existing callers; new code should read the
+// worldbuild_stage_executions_total / worldbuild_stage_hits_total series
+// (labeled by stage) from the registry installed with Instrument.
 type StageStats struct {
 	// Executions is the number of times the stage function actually ran.
 	Executions int
@@ -47,7 +54,10 @@ type StageStats struct {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*cacheEntry
-	stats   map[string]*StageStats
+	stages  map[string]struct{} // stage names seen, for the Stats view
+	obsv    *obs.Observer
+	exec    *obs.CounterVec // worldbuild_stage_executions_total{stage}
+	hits    *obs.CounterVec // worldbuild_stage_hits_total{stage}
 }
 
 type cacheEntry struct {
@@ -56,32 +66,58 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewCache returns an empty artifact cache.
+// NewCache returns an empty artifact cache reporting through a private
+// registry (see Instrument for sharing one).
 func NewCache() *Cache {
-	return &Cache{
+	c := &Cache{
 		entries: make(map[Key]*cacheEntry),
-		stats:   make(map[string]*StageStats),
+		stages:  make(map[string]struct{}),
 	}
+	c.bindLocked(obs.New())
+	return c
+}
+
+// bindLocked points the cache's instruments at o. Called with c.mu held (or
+// before the cache is shared).
+func (c *Cache) bindLocked(o *obs.Observer) {
+	c.obsv = o
+	c.exec = o.CounterVec("worldbuild_stage_executions_total", "stage functions actually run (cache misses)", "stage")
+	c.hits = o.CounterVec("worldbuild_stage_hits_total", "stage lookups served from the artifact cache", "stage")
+}
+
+// Instrument re-points the cache's per-stage counters (and the pipeline
+// spans of every Pipeline over this cache) at the given observer. Call
+// before building; counts already accumulated are not carried over.
+func (c *Cache) Instrument(o *obs.Observer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bindLocked(o)
+}
+
+// observer returns the cache's current observer.
+func (c *Cache) observer() *obs.Observer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.obsv
 }
 
 // getOrCompute returns the artifact stored under key, computing it with fn
-// exactly once per key across all concurrent callers.
-func (c *Cache) getOrCompute(stage string, key Key, fn func() (interface{}, error)) (interface{}, error) {
+// exactly once per key across all concurrent callers. hit reports whether
+// the lookup was served from the cache (including waits on an in-flight
+// computation of the same key).
+func (c *Cache) getOrCompute(stage string, key Key, fn func() (interface{}, error)) (val interface{}, err error, hit bool) {
 	c.mu.Lock()
-	st := c.stats[stage]
-	if st == nil {
-		st = &StageStats{}
-		c.stats[stage] = st
-	}
+	c.stages[stage] = struct{}{}
+	exec, hits := c.exec, c.hits
 	if e, ok := c.entries[key]; ok {
-		st.Hits++
+		hits.With(stage).Inc()
 		c.mu.Unlock()
 		<-e.done
-		return e.val, e.err
+		return e.val, e.err, true
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
-	st.Executions++
+	exec.With(stage).Inc()
 	c.mu.Unlock()
 
 	e.val, e.err = fn()
@@ -92,16 +128,21 @@ func (c *Cache) getOrCompute(stage string, key Key, fn func() (interface{}, erro
 		c.mu.Unlock()
 	}
 	close(e.done)
-	return e.val, e.err
+	return e.val, e.err, false
 }
 
-// Stats returns a snapshot of the per-stage execution and hit counters.
+// Stats returns a snapshot of the per-stage execution and hit counters. It
+// is a typed view over the obs registry; see StageStats for the
+// replacement.
 func (c *Cache) Stats() map[string]StageStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]StageStats, len(c.stats))
-	for name, st := range c.stats {
-		out[name] = *st
+	out := make(map[string]StageStats, len(c.stages))
+	for name := range c.stages {
+		out[name] = StageStats{
+			Executions: int(c.exec.With(name).Value()),
+			Hits:       int(c.hits.With(name).Value()),
+		}
 	}
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/geo"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
 )
@@ -299,7 +300,11 @@ func (b *build) runStage(name string, f *future) {
 		f.err = fmt.Errorf("worldbuild: unknown stage %q (bug)", name)
 		return
 	}
-	f.val, f.err = b.p.cache.getOrCompute(name, def.key(&b.cfg), func() (interface{}, error) {
+	o := b.p.cache.observer()
+	span := o.Span("worldbuild_stage", obs.A("stage", name))
+	start := time.Now()
+	var hit bool
+	f.val, f.err, hit = b.p.cache.getOrCompute(name, def.key(&b.cfg), func() (interface{}, error) {
 		// Dependencies are only resolved on a cache miss, and concurrently,
 		// so independent branches (betweenness vs. trace→match) overlap.
 		depNames := def.deps(&b.cfg)
@@ -321,6 +326,14 @@ func (b *build) runStage(name string, f *future) {
 		}
 		return out, nil
 	})
+	o.Histogram("worldbuild_stage_duration_seconds",
+		"stage resolve walltime, cache hits included", nil).
+		Observe(time.Since(start).Seconds())
+	attrs := []obs.Attr{obs.A("cached", hit)}
+	if f.err != nil {
+		attrs = append(attrs, obs.A("error", f.err.Error()))
+	}
+	span.End(attrs...)
 }
 
 // Build runs the pipeline for one configuration and assembles the substrate.
