@@ -20,8 +20,10 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
+	"repro/internal/sensor"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // benchWorlds lazily builds the pair of benchmark worlds exactly once across
@@ -354,5 +356,93 @@ func BenchmarkPaperLattice(b *testing.B) {
 		if p.K() != 8 {
 			b.Fatal("bad lattice")
 		}
+	}
+}
+
+// --- wire protocol benchmarks ---
+
+// benchMessage builds one message of the given kind for codec benchmarks.
+func benchMessage(b *testing.B, kind transport.Kind, body interface{}) transport.Message {
+	b.Helper()
+	m, err := transport.Encode(kind, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+var benchCodecs = []struct {
+	name  string
+	codec transport.Codec
+}{
+	{"json", transport.JSON},
+	{"binary", transport.Binary},
+}
+
+// BenchmarkEncodeCensus measures encoding a step-① census frame under each
+// codec, reusing the destination buffer the way tcpConn.Send does. The
+// bytes/frame metric is the wire size the acceptance criterion compares.
+func BenchmarkEncodeCensus(b *testing.B) {
+	m := benchMessage(b, transport.KindCensus,
+		transport.Census{Edge: 3, Round: 117, Counts: []int{12, 40, 7, 3, 0, 9, 1, 28}})
+	for _, bc := range benchCodecs {
+		b.Run(bc.name, func(b *testing.B) {
+			buf := make([]byte, 0, 512)
+			frame, err := bc.codec.AppendEncode(buf, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.codec.AppendEncode(buf[:0], m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(frame)), "bytes/frame")
+		})
+	}
+}
+
+// BenchmarkRoundTrip measures a full encode+decode cycle per codec for the
+// three message shapes that dominate wire traffic: the census (step ①), the
+// ratio broadcast (step ②), and a vehicle upload (step ④).
+func BenchmarkRoundTrip(b *testing.B) {
+	items := make([]transport.Item, 4)
+	for i := range items {
+		items[i] = transport.Item{Owner: 7, Modality: sensor.LiDAR, Seq: i + 1}
+	}
+	messages := []transport.Message{
+		benchMessage(b, transport.KindCensus,
+			transport.Census{Edge: 3, Round: 117, Counts: []int{12, 40, 7, 3, 0, 9, 1, 28}}),
+		benchMessage(b, transport.KindRatio, transport.Ratio{Round: 118, X: 0.7125}),
+		benchMessage(b, transport.KindUpload,
+			transport.Upload{Vehicle: 42, Round: 117, Decision: 6, Items: items}),
+	}
+	for _, bc := range benchCodecs {
+		b.Run(bc.name, func(b *testing.B) {
+			var total int
+			buf := make([]byte, 0, 1024)
+			for _, m := range messages {
+				frame, err := bc.codec.AppendEncode(buf[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(frame)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := messages[i%len(messages)]
+				frame, err := bc.codec.AppendEncode(buf[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := bc.codec.Decode(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(total)/float64(len(messages)), "bytes/frame")
+		})
 	}
 }

@@ -74,12 +74,30 @@ func main() {
 			"cloud: complete a round barrier after this long with last-known shares for missing edges (0 = wait forever)")
 		metricsAddr = flag.String("metrics", "",
 			"serve /metrics, /debug/spans and /debug/pprof on this address (e.g. 127.0.0.1:9100; empty = off)")
+		codecName = flag.String("codec", "json",
+			"wire codec this node declares on dialed TCP links: json | binary (accepted conns adopt the dialer's codec)")
+		ioTimeout = flag.Duration("io-timeout", 0,
+			"per-operation read/write deadline on every TCP conn, dialed or accepted (0 = off; must exceed the idle gap between rounds)")
 	)
 	flag.Parse()
+
+	codec, err := transport.CodecByName(*codecName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpnode: %v\n", err)
+		os.Exit(1)
+	}
+	// Options applied to every TCP endpoint this node opens: listeners pass
+	// them to accepted conns (satellite fix: accepted conns previously never
+	// inherited WithTimeout), dialed conns declare the codec.
+	tcpOpts := []transport.TCPOption{transport.WithCodec(codec)}
+	if *ioTimeout > 0 {
+		tcpOpts = append(tcpOpts, transport.WithTimeout(*ioTimeout))
+	}
 
 	var o *obs.Observer
 	if *metricsAddr != "" {
 		o = obs.New()
+		transport.Instrument(o) // wire bytes + codec encode/decode latency
 		msrv, err := obs.Serve(*metricsAddr, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cpnode: %v\n", err)
@@ -102,14 +120,13 @@ func main() {
 		}
 	}
 
-	var err error
 	switch *role {
 	case "cloud":
-		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *roundDeadline, fault, o)
+		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *roundDeadline, fault, o, tcpOpts)
 	case "edge":
-		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, fault, o)
+		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, fault, o, tcpOpts)
 	case "vehicles":
-		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault, o)
+		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault, o, tcpOpts)
 	default:
 		err = fmt.Errorf("unknown role %q (want cloud, edge, or vehicles)", *role)
 	}
@@ -149,7 +166,7 @@ func (g demoGraph) Neighbors(i int) []int {
 	return out
 }
 
-func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer) error {
+func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	betas := make([]float64, regions)
 	for i := range betas {
 		betas[i] = beta
@@ -176,7 +193,7 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 			return fmt.Errorf("field spec is %dx%d, want %dx%d", field.M(), field.K(), regions, model.K())
 		}
 		return serveCloud(listen, model, field, regions, x0, lambda,
-			fmt.Sprintf("field spec %s", fieldPath), roundDeadline, fault, o)
+			fmt.Sprintf("field spec %s", fieldPath), roundDeadline, fault, o, tcpOpts)
 	}
 
 	// Desired field: the regime reachable from a uniform mix at the target
@@ -217,11 +234,11 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 		}
 	}
 	return serveCloud(listen, model, field, regions, x0, lambda,
-		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), roundDeadline, fault, o)
+		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), roundDeadline, fault, o, tcpOpts)
 }
 
 // serveCloud starts the FDS coordinator over TCP and blocks.
-func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer) error {
+func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	fds, err := policy.NewFDS(model, field, lambda)
 	if err != nil {
 		return err
@@ -238,7 +255,7 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 	}
 	srv.SetRoundDeadline(roundDeadline)
 	srv.SetLogf(log.Printf)
-	l, err := transport.ListenTCP(listen)
+	l, err := transport.ListenTCP(listen, tcpOpts...)
 	if err != nil {
 		return err
 	}
@@ -251,12 +268,12 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 	return nil
 }
 
-func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer) error {
+func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	srv := edge.NewServer(id, lattice.NewPaper(), seed)
 	if o != nil {
 		srv.Instrument(o)
 	}
-	l, err := transport.ListenTCP(listen)
+	l, err := transport.ListenTCP(listen, tcpOpts...)
 	if err != nil {
 		return err
 	}
@@ -276,7 +293,8 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 		Edge: id,
 		Dialer: &transport.Dialer{
 			Dial: func() (transport.Conn, error) {
-				c, err := transport.DialTCP(cloudAddr, transport.WithTimeout(time.Minute))
+				c, err := transport.DialTCP(cloudAddr, append([]transport.TCPOption{
+					transport.WithTimeout(time.Minute)}, tcpOpts...)...)
 				if err != nil {
 					return nil, err
 				}
@@ -312,7 +330,7 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 	return nil
 }
 
-func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer) error {
+func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	payoffs := lattice.PaperPayoffs()
 	rng := rand.New(rand.NewSource(seed))
 	var wg sync.WaitGroup
@@ -339,7 +357,7 @@ func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retry
 		}
 		dialer := &transport.Dialer{
 			Dial: func() (transport.Conn, error) {
-				c, err := transport.DialTCP(edgeAddr)
+				c, err := transport.DialTCP(edgeAddr, tcpOpts...)
 				if err != nil {
 					return nil, err
 				}

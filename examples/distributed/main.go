@@ -31,9 +31,18 @@ func main() {
 		"serve /metrics, /debug/spans and /debug/pprof on this address (empty = off)")
 	faultDrop := flag.Float64("fault-drop", 0.02,
 		"per-message drop probability on vehicle links (0 = clean run)")
+	codecName := flag.String("codec", "",
+		"wire codec for the in-process transport: json | binary (empty = typed in-memory messages, no serialization)")
 	flag.Parse()
 
+	if *codecName != "" {
+		if _, err := transport.CodecByName(*codecName); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	o := obs.New()
+	transport.Instrument(o) // wire bytes + codec encode/decode latency
 	boundAddr := ""
 	if *metricsAddr != "" {
 		msrv, err := obs.Serve(*metricsAddr, o)
@@ -82,6 +91,7 @@ func main() {
 		PrivacyWeightStd:  0.15, // heterogeneous privacy preferences
 		InitialShares:     start.P,
 		Obs:               o,
+		Codec:             *codecName,
 	}
 	if *faultDrop > 0 {
 		simCfg.Fault = &transport.FaultConfig{DropProb: *faultDrop}

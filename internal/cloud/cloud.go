@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/transport"
+	"repro/internal/transport/session"
 )
 
 // ErrRoundAbandoned is returned by Submit when a round's barrier was
@@ -243,54 +244,44 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handleConn(conn transport.Conn) {
-	defer conn.Close()
-	for {
-		m, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		var census transport.Census
-		if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
-			s.mu.Lock()
-			s.metrics.decodeFailures.Inc()
-			s.logfLocked("cloud: dropping malformed frame: %v", err)
-			s.mu.Unlock()
-			continue
-		}
-		x, err := s.Submit(census)
-		switch {
-		case err == nil:
-		case errors.Is(err, ErrRoundAbandoned):
-			// The edge fell behind; answer with the region's current
-			// ratio so it can catch up instead of hanging.
-			s.mu.Lock()
-			x = s.state.X[census.Edge]
-			s.mu.Unlock()
-		case errors.Is(err, transport.ErrClosed):
-			return
-		default:
-			// Bad census (e.g. unknown edge): reject it, keep the conn.
-			s.sendAck(conn, err)
-			continue
-		}
-		reply, err := transport.Encode(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: x})
-		if err != nil {
-			return
-		}
-		if err := conn.Send(reply); err != nil {
-			return
-		}
+	sess := session.Wrap(conn)
+	defer sess.Close()
+	// dropFrame counts and logs a malformed frame without killing the
+	// connection: the edge's next census must still be servable.
+	dropFrame := func(err error) error {
+		s.mu.Lock()
+		s.metrics.decodeFailures.Inc()
+		s.logfLocked("cloud: dropping malformed frame: %v", err)
+		s.mu.Unlock()
+		return nil
 	}
-}
-
-func (s *Server) sendAck(conn transport.Conn, err error) {
-	ack := transport.Ack{}
-	if err != nil {
-		ack.Err = err.Error()
-	}
-	if m, encErr := transport.Encode(transport.KindAck, ack); encErr == nil {
-		_ = conn.Send(m)
-	}
+	_ = sess.Serve(map[transport.Kind]session.Handler{
+		transport.KindCensus: func(m transport.Message) error {
+			var census transport.Census
+			if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
+				return dropFrame(err)
+			}
+			x, err := s.Submit(census)
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrRoundAbandoned):
+				// The edge fell behind; answer with the region's current
+				// ratio so it can catch up instead of hanging.
+				s.mu.Lock()
+				x = s.state.X[census.Edge]
+				s.mu.Unlock()
+			case errors.Is(err, transport.ErrClosed):
+				return err
+			default:
+				// Bad census (e.g. unknown edge): reject it, keep the conn.
+				_ = sess.Ack(err)
+				return nil
+			}
+			return sess.Send(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: x})
+		},
+	}, func(m transport.Message) error {
+		return dropFrame(fmt.Errorf("expected %s message, got %s", transport.KindCensus, m.Kind))
+	})
 }
 
 // Submit records one region's census for a round and blocks until every

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/transport/session"
 )
 
 // CloudLink maintains an edge server's connection to the cloud across link
@@ -126,7 +127,7 @@ func (l *CloudLink) Report(round int, counts []int) (float64, error) {
 		l.mu.Lock()
 		l.reports.Inc()
 		l.mu.Unlock()
-		x, err := l.reportOnce(conn, round, counts)
+		x, err := session.ReportCensus(conn, l.Edge, round, counts, l.ReplyTimeout)
 		if err == nil {
 			return x, nil
 		}
@@ -138,41 +139,4 @@ func (l *CloudLink) Report(round int, counts []int) (float64, error) {
 	}
 	return 0, fmt.Errorf("edge %d: reporting round %d failed after %d attempts: %w",
 		l.Edge, round, attempts, lastErr)
-}
-
-// reportOnce sends the census on conn and waits for the matching ratio,
-// skipping stale replies left over from duplicated or re-submitted rounds.
-func (l *CloudLink) reportOnce(conn transport.Conn, round int, counts []int) (float64, error) {
-	m, err := transport.Encode(transport.KindCensus, transport.Census{
-		Edge:   l.Edge,
-		Round:  round,
-		Counts: counts,
-	})
-	if err != nil {
-		return 0, err
-	}
-	if err := conn.Send(m); err != nil {
-		return 0, err
-	}
-	for {
-		reply, err := transport.RecvTimeout(conn, l.ReplyTimeout)
-		if err != nil {
-			return 0, err
-		}
-		if reply.Kind == transport.KindAck {
-			var ack transport.Ack
-			if err := transport.Decode(reply, transport.KindAck, &ack); err != nil {
-				return 0, err
-			}
-			return 0, fmt.Errorf("cloud rejected census: %s", ack.Err)
-		}
-		var ratio transport.Ratio
-		if err := transport.Decode(reply, transport.KindRatio, &ratio); err != nil {
-			return 0, err
-		}
-		if ratio.Round != round+1 {
-			continue // stale reply from an earlier round or duplicate
-		}
-		return ratio.X, nil
-	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sensor"
 	"repro/internal/transport"
+	"repro/internal/transport/session"
 )
 
 // Server is the networked edge server: it accepts vehicle connections on a
@@ -130,16 +131,12 @@ func (s *Server) NumVehicles() int {
 }
 
 func (s *Server) handleConn(conn transport.Conn) {
-	defer conn.Close()
+	sess := session.Wrap(conn)
+	defer sess.Close()
 
-	// Registration handshake.
-	first, err := conn.Recv()
+	// Registration handshake (AcceptRegistration acks a malformed hello).
+	hello, err := sess.AcceptRegistration()
 	if err != nil {
-		return
-	}
-	var hello transport.Hello
-	if err := transport.Decode(first, transport.KindHello, &hello); err != nil {
-		s.sendAck(conn, err)
 		return
 	}
 	s.mu.Lock()
@@ -151,7 +148,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 	s.conns[hello.Vehicle] = conn
 	s.metrics.vehicles.Set(float64(len(s.conns)))
 	s.mu.Unlock()
-	s.sendAck(conn, nil)
+	_ = sess.Ack(nil)
 
 	defer func() {
 		s.mu.Lock()
@@ -163,47 +160,30 @@ func (s *Server) handleConn(conn transport.Conn) {
 		s.mu.Unlock()
 	}()
 
-	for {
-		m, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		switch m.Kind {
-		case transport.KindUpload:
+	_ = sess.Serve(map[transport.Kind]session.Handler{
+		transport.KindUpload: func(m transport.Message) error {
 			var up transport.Upload
 			if err := transport.Decode(m, transport.KindUpload, &up); err != nil {
-				s.sendAck(conn, err)
-				continue
+				_ = sess.Ack(err)
+				return nil
 			}
 			err := s.dist.AddUpload(up)
 			if errors.Is(err, ErrStaleUpload) {
 				// A delayed policy made the vehicle upload for an old
 				// round; harmless, drop it without an error ack.
-				s.sendAck(conn, nil)
-				continue
+				return sess.Ack(nil)
 			}
-			s.sendAck(conn, err)
+			_ = sess.Ack(err)
 			if err == nil {
 				select {
 				case s.uploaded <- struct{}{}:
 				case <-s.closed:
-					return
+					return transport.ErrClosed
 				}
 			}
-		default:
-			s.sendAck(conn, fmt.Errorf("unexpected message kind %s", m.Kind))
-		}
-	}
-}
-
-func (s *Server) sendAck(conn transport.Conn, err error) {
-	ack := transport.Ack{}
-	if err != nil {
-		ack.Err = err.Error()
-	}
-	if m, encErr := transport.Encode(transport.KindAck, ack); encErr == nil {
-		_ = conn.Send(m)
-	}
+			return nil
+		},
+	}, nil) // nil unknown handler: ack "unexpected message kind", keep serving
 }
 
 // RunRound drives one synchronized data-sharing round: broadcast the policy
@@ -298,36 +278,14 @@ distribute:
 // ReportCensus sends the census to the cloud on conn and waits for the
 // ratio answer for the next round.
 func (s *Server) ReportCensus(conn transport.Conn, round int, census []int) (float64, error) {
-	m, err := transport.Encode(transport.KindCensus, transport.Census{
-		Edge:   s.ID,
-		Round:  round,
-		Counts: census,
-	})
-	if err != nil {
-		return 0, err
-	}
-	if err := conn.Send(m); err != nil {
-		return 0, fmt.Errorf("edge: sending census: %w", err)
-	}
-	for {
-		reply, err := conn.Recv()
-		if err != nil {
-			return 0, fmt.Errorf("edge: waiting for ratio: %w", err)
-		}
-		if reply.Kind == transport.KindAck {
-			var ack transport.Ack
-			if err := transport.Decode(reply, transport.KindAck, &ack); err != nil {
-				return 0, err
-			}
-			return 0, fmt.Errorf("edge: cloud rejected census: %s", ack.Err)
-		}
-		var ratio transport.Ratio
-		if err := transport.Decode(reply, transport.KindRatio, &ratio); err != nil {
-			return 0, err
-		}
-		if ratio.Round != round+1 {
-			continue // stale reply from a duplicated or re-submitted census
-		}
-		return ratio.X, nil
+	x, err := session.ReportCensus(conn, s.ID, round, census, 0)
+	var rej *session.RejectedError
+	switch {
+	case err == nil:
+		return x, nil
+	case errors.As(err, &rej):
+		return 0, fmt.Errorf("edge: cloud rejected census: %s", rej.Reason)
+	default:
+		return 0, fmt.Errorf("edge: reporting census: %w", err)
 	}
 }

@@ -56,6 +56,10 @@ type AgentSimConfig struct {
 	// runs the vehicle clients with reconnect + re-registration, so the
 	// simulation exercises the runtime's degraded paths.
 	Fault *transport.FaultConfig
+	// Codec, when non-empty ("json" or "binary"), serializes every
+	// in-process message through that wire codec instead of passing typed
+	// values, so the simulation exercises the real encode/decode path.
+	Codec string
 	// Obs, when non-nil, is the shared observer every component of the run
 	// (cloud, edges, fault injector, vehicle clients, FDS) reports through,
 	// so one registry carries the whole system's series. Nil keeps each
@@ -152,6 +156,13 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 	defer cloudSrv.Close()
 
 	net := transport.NewInprocNetwork()
+	if cfg.Codec != "" {
+		codec, err := transport.CodecByName(cfg.Codec)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		net.SetCodec(codec)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var fault *transport.Fault

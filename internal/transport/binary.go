@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/sensor"
+)
+
+// binaryCodec is wire version 2: a compact tag+varint encoding of the seven
+// protocol payloads, with no intermediate JSON pass.
+//
+// Frame layout (after the 4-byte big-endian length prefix):
+//
+//	frame   := kindTag payload
+//	kindTag := 1 hello | 2 census | 3 ratio | 4 policy
+//	         | 5 upload | 6 delivery | 7 ack
+//	int     := zigzag varint            (encoding/binary PutVarint)
+//	len     := uvarint                  (encoding/binary PutUvarint)
+//	f64     := 8-byte little-endian IEEE-754 bits
+//	str     := len bytes
+//
+//	hello    := int(vehicle)
+//	census   := int(edge) int(round) len [int(count)]...
+//	ratio    := int(round) f64(x)
+//	policy   := int(round) f64(x) len [f64(share)]...
+//	item     := int(owner) int(modality) int(seq)
+//	upload   := int(vehicle) int(round) int(decision) len [item]...
+//	delivery := int(round) len [item]...
+//	ack      := str(err)
+//
+// Decoding is strict: truncated fields, lengths that cannot fit in the
+// remaining bytes (which also caps decode allocations), unknown kind tags,
+// and trailing garbage all fail.
+type binaryCodec struct{}
+
+// Binary kind tags (wire stable — append only).
+const (
+	tagHello byte = iota + 1
+	tagCensus
+	tagRatio
+	tagPolicy
+	tagUpload
+	tagDelivery
+	tagAck
+)
+
+func (binaryCodec) Name() string  { return "binary" }
+func (binaryCodec) Version() byte { return VersionBinary }
+
+func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
+	switch m.Kind {
+	case KindHello:
+		var h Hello
+		if err := payloadFor(m, &h); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagHello)
+		return appendInt(dst, int64(h.Vehicle)), nil
+	case KindCensus:
+		var c Census
+		if err := payloadFor(m, &c); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagCensus)
+		dst = appendInt(dst, int64(c.Edge))
+		dst = appendInt(dst, int64(c.Round))
+		dst = appendLen(dst, len(c.Counts))
+		for _, n := range c.Counts {
+			dst = appendInt(dst, int64(n))
+		}
+		return dst, nil
+	case KindRatio:
+		var r Ratio
+		if err := payloadFor(m, &r); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagRatio)
+		dst = appendInt(dst, int64(r.Round))
+		return appendFloat(dst, r.X), nil
+	case KindPolicy:
+		var p Policy
+		if err := payloadFor(m, &p); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagPolicy)
+		dst = appendInt(dst, int64(p.Round))
+		dst = appendFloat(dst, p.X)
+		dst = appendLen(dst, len(p.Shares))
+		for _, s := range p.Shares {
+			dst = appendFloat(dst, s)
+		}
+		return dst, nil
+	case KindUpload:
+		var u Upload
+		if err := payloadFor(m, &u); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagUpload)
+		dst = appendInt(dst, int64(u.Vehicle))
+		dst = appendInt(dst, int64(u.Round))
+		dst = appendInt(dst, int64(u.Decision))
+		return appendItems(dst, u.Items), nil
+	case KindDelivery:
+		var d Delivery
+		if err := payloadFor(m, &d); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagDelivery)
+		dst = appendInt(dst, int64(d.Round))
+		return appendItems(dst, d.Items), nil
+	case KindAck:
+		var a Ack
+		if err := payloadFor(m, &a); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagAck)
+		dst = appendLen(dst, len(a.Err))
+		return append(dst, a.Err...), nil
+	default:
+		return nil, fmt.Errorf("transport: binary codec cannot encode kind %q", m.Kind)
+	}
+}
+
+func (binaryCodec) Decode(frame []byte) (Message, error) {
+	if len(frame) == 0 {
+		return Message{}, fmt.Errorf("transport: empty binary frame")
+	}
+	r := byteReader{buf: frame[1:]}
+	var (
+		kind Kind
+		body interface{}
+	)
+	switch frame[0] {
+	case tagHello:
+		kind = KindHello
+		body = Hello{Vehicle: int(r.int())}
+	case tagCensus:
+		c := Census{Edge: int(r.int()), Round: int(r.int())}
+		n := r.len(1)
+		if n > 0 {
+			c.Counts = make([]int, n)
+			for i := range c.Counts {
+				c.Counts[i] = int(r.int())
+			}
+		}
+		kind, body = KindCensus, c
+	case tagRatio:
+		kind = KindRatio
+		body = Ratio{Round: int(r.int()), X: r.float()}
+	case tagPolicy:
+		p := Policy{Round: int(r.int()), X: r.float()}
+		n := r.len(8)
+		if n > 0 {
+			p.Shares = make([]float64, n)
+			for i := range p.Shares {
+				p.Shares[i] = r.float()
+			}
+		}
+		kind, body = KindPolicy, p
+	case tagUpload:
+		u := Upload{Vehicle: int(r.int()), Round: int(r.int()), Decision: int(r.int())}
+		u.Items = r.items()
+		kind, body = KindUpload, u
+	case tagDelivery:
+		d := Delivery{Round: int(r.int())}
+		d.Items = r.items()
+		kind, body = KindDelivery, d
+	case tagAck:
+		kind = KindAck
+		body = Ack{Err: r.str()}
+	default:
+		return Message{}, fmt.Errorf("transport: unknown binary kind tag 0x%02x", frame[0])
+	}
+	if r.err != nil {
+		return Message{}, fmt.Errorf("transport: decoding binary %s frame: %w", kind, r.err)
+	}
+	if len(r.buf) != 0 {
+		return Message{}, fmt.Errorf("transport: binary %s frame has %d trailing bytes", kind, len(r.buf))
+	}
+	return Message{Kind: kind, Body: body}, nil
+}
+
+// payloadFor extracts m's payload into out regardless of which form
+// (typed Body or JSON Payload) the message carries.
+func payloadFor(m Message, out interface{}) error {
+	if err := decodePayload(m, out); err != nil {
+		return fmt.Errorf("transport: encoding %s payload: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// --- encode helpers ---
+
+func appendInt(dst []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendLen(dst []byte, n int) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	w := binary.PutUvarint(tmp[:], uint64(n))
+	return append(dst, tmp[:w]...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+	return append(dst, tmp[:]...)
+}
+
+func appendItems(dst []byte, items []Item) []byte {
+	dst = appendLen(dst, len(items))
+	for _, it := range items {
+		dst = appendInt(dst, int64(it.Owner))
+		dst = appendInt(dst, int64(it.Modality))
+		dst = appendInt(dst, int64(it.Seq))
+	}
+	return dst
+}
+
+// --- decode helpers ---
+
+// byteReader consumes a binary frame with sticky errors, so decode paths
+// read fields unconditionally and check once at the end.
+type byteReader struct {
+	buf []byte
+	err error
+}
+
+func (r *byteReader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *byteReader) int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail(fmt.Errorf("truncated varint"))
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// len reads a collection length and bounds it by the bytes remaining given
+// a minimum encoded size per element, so a corrupt length can never drive a
+// huge allocation.
+func (r *byteReader) len(minElemBytes int) int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail(fmt.Errorf("truncated length"))
+		return 0
+	}
+	r.buf = r.buf[n:]
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if v > uint64(len(r.buf)/minElemBytes) {
+		r.fail(fmt.Errorf("length %d exceeds remaining %d bytes", v, len(r.buf)))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *byteReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail(fmt.Errorf("truncated float64"))
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(r.buf[:8])
+	r.buf = r.buf[8:]
+	return math.Float64frombits(bits)
+}
+
+func (r *byteReader) str() string {
+	n := r.len(1)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.buf[:n]) // copies: the frame buffer is pooled
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *byteReader) items() []Item {
+	n := r.len(3)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Owner:    int(r.int()),
+			Modality: sensor.Type(r.int()),
+			Seq:      int(r.int()),
+		}
+	}
+	return items
+}

@@ -1,0 +1,546 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sensor"
+)
+
+// allKindsMessages is one representative message per protocol kind, used to
+// exercise both codecs over every encode/decode path.
+func allKindsMessages(t *testing.T) []Message {
+	t.Helper()
+	payloads := []struct {
+		kind Kind
+		body interface{}
+	}{
+		{KindHello, Hello{Vehicle: 42}},
+		{KindCensus, Census{Edge: 1, Round: 3, Counts: []int{4, 2, 0}}},
+		{KindRatio, Ratio{Round: 2, X: 0.5}},
+		{KindPolicy, Policy{Round: 5, X: 0.75, Shares: []float64{0.25, 0.5, 0.25}}},
+		{KindUpload, Upload{Vehicle: 7, Round: 5, Decision: 3, Items: []Item{
+			{Owner: 7, Modality: sensor.LiDAR, Seq: 1},
+			{Owner: 7, Modality: sensor.Radar, Seq: 2},
+		}}},
+		{KindDelivery, Delivery{Round: 5, Items: []Item{{Owner: 9, Modality: sensor.Camera, Seq: 3}}}},
+		{KindAck, Ack{Err: "nope"}},
+	}
+	out := make([]Message, len(payloads))
+	for i, p := range payloads {
+		m, err := Encode(p.kind, p.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestCodecRoundTripAllKinds(t *testing.T) {
+	for _, codec := range []Codec{JSON, Binary} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			for _, m := range allKindsMessages(t) {
+				frame, err := codec.AppendEncode(nil, m)
+				if err != nil {
+					t.Fatalf("%s: encode: %v", m.Kind, err)
+				}
+				got, err := codec.Decode(frame)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", m.Kind, err)
+				}
+				if got.Kind != m.Kind {
+					t.Fatalf("kind = %s, want %s", got.Kind, m.Kind)
+				}
+				// Round-trip the payload through the typed Decode helper and
+				// compare via a second encode: byte equality is type
+				// equality for the binary format.
+				if codec == Binary {
+					again, err := codec.AppendEncode(nil, got)
+					if err != nil {
+						t.Fatalf("%s: re-encode: %v", m.Kind, err)
+					}
+					if !bytes.Equal(frame, again) {
+						t.Errorf("%s: re-encode differs:\n  %x\n  %x", m.Kind, frame, again)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCodecRoundTripPayloads checks field-level fidelity through the
+// decode-into-struct path (the one role handlers use).
+func TestCodecRoundTripPayloads(t *testing.T) {
+	for _, codec := range []Codec{JSON, Binary} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			in, err := Encode(KindUpload, Upload{Vehicle: -3, Round: 9, Decision: 4, Items: []Item{
+				{Owner: -3, Modality: sensor.Camera, Seq: 17},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame, err := codec.AppendEncode(nil, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := codec.Decode(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var up Upload
+			if err := Decode(m, KindUpload, &up); err != nil {
+				t.Fatal(err)
+			}
+			if up.Vehicle != -3 || up.Round != 9 || up.Decision != 4 || len(up.Items) != 1 ||
+				up.Items[0] != (Item{Owner: -3, Modality: sensor.Camera, Seq: 17}) {
+				t.Errorf("round trip = %+v", up)
+			}
+		})
+	}
+}
+
+// TestBinaryGoldenBytes pins the wire format byte-for-byte (the same
+// examples appear in DESIGN.md §9); a change here is a wire protocol break.
+func TestBinaryGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		body interface{}
+		want []byte
+	}{
+		{
+			name: "census",
+			kind: KindCensus,
+			body: Census{Edge: 1, Round: 3, Counts: []int{4, 2, 0}},
+			want: []byte{0x02, 0x02, 0x06, 0x03, 0x08, 0x04, 0x00},
+		},
+		{
+			name: "ratio",
+			kind: KindRatio,
+			body: Ratio{Round: 2, X: 0.5},
+			want: []byte{0x03, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := Encode(c.kind, c.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame, err := Binary.AppendEncode(nil, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(frame, c.want) {
+				t.Errorf("frame = %x, want %x", frame, c.want)
+			}
+		})
+	}
+}
+
+// TestBinaryFramesSmaller asserts the headline perf claim: binary Census
+// and Ratio frames are at least 5x smaller than the JSON envelope.
+func TestBinaryFramesSmaller(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		kind Kind
+		body interface{}
+	}{
+		{"census", KindCensus, Census{Edge: 1, Round: 12, Counts: []int{10, 4, 3, 2, 1, 0, 0, 0}}},
+		{"ratio", KindRatio, Ratio{Round: 12, X: 0.8125}},
+	} {
+		m, err := Encode(c.kind, c.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jf, err := JSON.AppendEncode(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := Binary.AppendEncode(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jf) < 5*len(bf) {
+			t.Errorf("%s: json %d bytes vs binary %d bytes — want >= 5x reduction",
+				c.name, len(jf), len(bf))
+		}
+		t.Logf("%s: json=%dB binary=%dB (%.1fx)", c.name, len(jf), len(bf), float64(len(jf))/float64(len(bf)))
+	}
+}
+
+func TestBinaryDecodeHardening(t *testing.T) {
+	ratio := func() []byte {
+		m, _ := Encode(KindRatio, Ratio{Round: 2, X: 0.5})
+		f, _ := Binary.AppendEncode(nil, m)
+		return f
+	}()
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty frame", nil},
+		{"unknown kind tag", []byte{0x7F, 0x01}},
+		{"truncated varint", []byte{0x02, 0x80}},                                 // census, endless continuation bit
+		{"truncated float", ratio[:len(ratio)-3]},                                // ratio missing float tail
+		{"length exceeds remaining", []byte{0x02, 0x02, 0x06, 0xFF, 0xFF, 0x03}}, // census claiming ~65k counts
+		{"trailing garbage", append(append([]byte{}, ratio...), 0xAA)},
+		{"items length overflow", []byte{0x05, 0x0E, 0x0A, 0x06, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Binary.Decode(c.frame); err == nil {
+				t.Errorf("Decode(%x) succeeded, want error", c.frame)
+			}
+		})
+	}
+	// The JSON codec must also reject garbage.
+	if _, err := JSON.Decode([]byte("{broken")); err == nil {
+		t.Error("JSON.Decode accepted garbage")
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for name, want := range map[string]Codec{"json": JSON, "binary": Binary} {
+		c, err := CodecByName(name)
+		if err != nil || c != want {
+			t.Errorf("CodecByName(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := CodecByName("protobuf"); err == nil {
+		t.Error("unknown codec name must error")
+	}
+}
+
+func TestCodecPipe(t *testing.T) {
+	for _, codec := range []Codec{JSON, Binary} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			a, b := CodecPipe(codec)
+			if CodecOf(a) != codec.Name() || CodecOf(b) != codec.Name() {
+				t.Errorf("CodecOf = %q/%q, want %q", CodecOf(a), CodecOf(b), codec.Name())
+			}
+			exerciseConnPair(t, a, b)
+		})
+	}
+}
+
+func TestCodecPipeOversizeFrameRejected(t *testing.T) {
+	a, b := CodecPipe(Binary)
+	defer a.Close()
+	defer b.Close()
+	m, err := Encode(KindAck, Ack{Err: strings.Repeat("x", MaxFrameBytes+1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(m); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize frame = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// acceptOne returns a listener's next accepted conn via channel.
+func acceptOne(t *testing.T, l Listener) <-chan Conn {
+	t.Helper()
+	ch := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	return ch
+}
+
+func TestTCPCodecNegotiation(t *testing.T) {
+	cases := []struct {
+		name   string
+		dial   []TCPOption
+		listen []TCPOption
+		want   string
+	}{
+		{"binary both", []TCPOption{WithCodec(Binary)}, []TCPOption{WithCodec(Binary)}, "binary"},
+		{"json dialer to binary server", nil, []TCPOption{WithCodec(Binary)}, "json"},
+		{"binary dialer to json server", []TCPOption{WithCodec(Binary)}, nil, "binary"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l, err := ListenTCP("127.0.0.1:0", c.listen...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			accepted := acceptOne(t, l)
+			client, err := DialTCP(l.Addr(), c.dial...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			server := <-accepted
+			if server == nil {
+				t.Fatal("accept failed")
+			}
+			exerciseConnPair(t, client, server)
+			// exerciseConnPair closed client; the negotiated codec is still
+			// recorded.
+			if got := CodecOf(client); got != c.want {
+				t.Errorf("client codec = %q, want %q", got, c.want)
+			}
+			if got := CodecOf(server); got != c.want {
+				t.Errorf("server codec = %q, want %q", got, c.want)
+			}
+		})
+	}
+}
+
+// TestTCPLegacyPeerInterop: a peer that predates version negotiation sends
+// length-prefixed JSON frames with no preamble; the acceptor must sniff
+// this, fall back to JSON, and not lose the sniffed byte.
+func TestTCPLegacyPeerInterop(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0", WithCodec(Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	body := []byte(`{"kind":"hello","payload":{"vehicle":42}}`)
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(body)))
+	if _, err := raw.Write(append(header[:], body...)); err != nil {
+		t.Fatal(err)
+	}
+
+	server := <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	defer server.Close()
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello Hello
+	if err := Decode(m, KindHello, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Vehicle != 42 {
+		t.Errorf("vehicle = %d, want 42", hello.Vehicle)
+	}
+	if got := CodecOf(server); got != "json" {
+		t.Errorf("legacy conn codec = %q, want json", got)
+	}
+
+	// The acceptor's replies are plain length-prefixed JSON the legacy peer
+	// can parse.
+	reply, err := Encode(KindAck, Ack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Send(reply); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(raw, header[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(header[:]))
+	if _, err := io.ReadFull(raw, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JSON.Decode(buf); err != nil {
+		t.Errorf("legacy peer cannot parse reply %q: %v", buf, err)
+	}
+}
+
+// TestTCPRecvHardening drives the acceptor's frame reader with crafted raw
+// byte streams.
+func TestTCPRecvHardening(t *testing.T) {
+	oversize := func() []byte {
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], MaxFrameBytes+1)
+		return h[:]
+	}()
+	garbage := func() []byte {
+		body := []byte("ab{c!")
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], uint32(len(body)))
+		return append(h[:], body...)
+	}()
+	truncatedBody := func() []byte {
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], 100)
+		return append(h[:], []byte("only ten b")...)
+	}()
+	badBinaryFrame := func() []byte {
+		body := []byte{0x7F, 0x01} // unknown kind tag under the binary codec
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], uint32(len(body)))
+		return append([]byte{codecMagic, VersionBinary}, append(h[:], body...)...)
+	}()
+	cases := []struct {
+		name    string
+		raw     []byte
+		wantEOF bool // truncated-at-boundary closes read as EOF
+		wantErr error
+	}{
+		{"truncated header", []byte{0x00, 0x00}, true, nil},
+		{"oversized frame", oversize, false, ErrFrameTooLarge},
+		{"garbage json payload", garbage, false, nil},
+		{"truncated body", truncatedBody, false, nil},
+		{"unknown codec version", []byte{codecMagic, 0x7F}, false, ErrCodecVersion},
+		{"unknown binary kind tag", badBinaryFrame, false, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l, err := ListenTCP("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			accepted := acceptOne(t, l)
+			raw, err := net.Dial("tcp", l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := raw.Write(c.raw); err != nil {
+				t.Fatal(err)
+			}
+			_ = raw.Close() // writer done: reader must fail, not block
+			server := <-accepted
+			if server == nil {
+				t.Fatal("accept failed")
+			}
+			defer server.Close()
+			_, err = server.Recv()
+			switch {
+			case c.wantEOF:
+				if !errors.Is(err, io.EOF) {
+					t.Errorf("Recv = %v, want io.EOF", err)
+				}
+			case c.wantErr != nil:
+				if !errors.Is(err, c.wantErr) {
+					t.Errorf("Recv = %v, want %v", err, c.wantErr)
+				}
+			default:
+				if err == nil || errors.Is(err, io.EOF) {
+					t.Errorf("Recv = %v, want a decode error", err)
+				}
+			}
+		})
+	}
+}
+
+// TestTCPConcurrentSendersNegotiateOnce: the lazy handshake must be safe
+// when many goroutines race the first Send.
+func TestTCPConcurrentSendersNegotiateOnce(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+	client, err := DialTCP(l.Addr(), WithCodec(Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	defer server.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, _ := Encode(KindRatio, Ratio{Round: i, X: 0.5})
+			if err := client.Send(m); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}(i)
+	}
+	seen := 0
+	for seen < n {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatalf("recv after %d: %v", seen, err)
+		}
+		if m.Kind != KindRatio {
+			t.Fatalf("kind = %s", m.Kind)
+		}
+		seen++
+	}
+	wg.Wait()
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with every valid frame of both codecs plus the hardening cases.
+	var seeds [][]byte
+	payloads := []struct {
+		kind Kind
+		body interface{}
+	}{
+		{KindHello, Hello{Vehicle: 42}},
+		{KindCensus, Census{Edge: 1, Round: 3, Counts: []int{4, 2, 0}}},
+		{KindRatio, Ratio{Round: 2, X: 0.5}},
+		{KindPolicy, Policy{Round: 5, X: 0.75, Shares: []float64{0.25, 0.5, 0.25}}},
+		{KindUpload, Upload{Vehicle: 7, Round: 5, Decision: 3, Items: []Item{{Owner: 7, Modality: sensor.LiDAR, Seq: 1}}}},
+		{KindDelivery, Delivery{Round: 5, Items: []Item{{Owner: 9, Modality: sensor.Camera, Seq: 3}}}},
+		{KindAck, Ack{Err: "nope"}},
+	}
+	for _, p := range payloads {
+		m, err := Encode(p.kind, p.body)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, codec := range []Codec{JSON, Binary} {
+			frame, err := codec.AppendEncode(nil, m)
+			if err != nil {
+				f.Fatal(err)
+			}
+			seeds = append(seeds, frame)
+		}
+	}
+	seeds = append(seeds,
+		nil,
+		[]byte{0x7F},
+		[]byte{0x02, 0x80},
+		[]byte{0x02, 0x02, 0x06, 0xFF, 0xFF, 0x03},
+	)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		// Decoding arbitrary bytes must never panic or over-allocate; a
+		// frame that decodes must re-encode deterministically.
+		m, err := Binary.Decode(frame)
+		if err == nil {
+			again, err := Binary.AppendEncode(nil, m)
+			if err != nil {
+				t.Fatalf("decoded frame %x failed to re-encode: %v", frame, err)
+			}
+			back, err := Binary.Decode(again)
+			if err != nil {
+				t.Fatalf("re-encoded frame %x failed to decode: %v", again, err)
+			}
+			if back.Kind != m.Kind {
+				t.Fatalf("kind drift: %s -> %s", m.Kind, back.Kind)
+			}
+		}
+		_, _ = JSON.Decode(frame)
+	})
+}

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -38,6 +37,22 @@ var ErrClosed = errors.New("transport: endpoint closed")
 // from corrupt length prefixes.
 const MaxFrameBytes = 1 << 20
 
+// codecNamer is implemented by conns that know their wire codec; see
+// CodecOf.
+type codecNamer interface{ codecName() string }
+
+// CodecOf reports the wire codec a Conn speaks: the negotiated codec name
+// for TCP conns (running the handshake if it has not happened yet), the
+// pipe's codec for codec pipes, "inproc" for typed in-process conns, and ""
+// when the codec is unknown (foreign Conn implementations, failed
+// negotiation).
+func CodecOf(c Conn) string {
+	if cn, ok := c.(codecNamer); ok {
+		return cn.codecName()
+	}
+	return ""
+}
+
 // --- In-process transport ---
 
 // chanConn is one side of an in-memory duplex channel pair.
@@ -51,7 +66,9 @@ type chanConn struct {
 }
 
 // Pipe returns two connected in-process Conns. Each side's Send delivers to
-// the other's Recv with a small buffer; Close unblocks both sides.
+// the other's Recv with a small buffer; Close unblocks both sides. Messages
+// cross typed (no serialization); use CodecPipe to exercise a wire codec
+// in-process.
 func Pipe() (Conn, Conn) {
 	ab := make(chan Message, 64)
 	ba := make(chan Message, 64)
@@ -60,6 +77,8 @@ func Pipe() (Conn, Conn) {
 	a.peer, b.peer = b, a
 	return a, b
 }
+
+func (c *chanConn) codecName() string { return "inproc" }
 
 func (c *chanConn) Send(m Message) error {
 	// Check closure first: a ready buffered channel would otherwise race
@@ -108,16 +127,143 @@ func (c *chanConn) Close() error {
 	return nil
 }
 
+// codecConn is one side of an in-memory duplex pair whose messages cross as
+// encoded wire frames, so the in-process transport exercises the same codec
+// path (and the same decode hardening) as TCP.
+type codecConn struct {
+	codec Codec
+	send  chan<- []byte
+	recv  <-chan []byte
+
+	closed chan struct{}
+	once   sync.Once
+	peer   *codecConn
+}
+
+// CodecPipe returns two connected in-process Conns that serialize every
+// message through codec — byte-for-byte the TCP wire format minus the
+// length prefix. Oversized frames are rejected with ErrFrameTooLarge just
+// like the TCP transport.
+func CodecPipe(codec Codec) (Conn, Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	a := &codecConn{codec: codec, send: ab, recv: ba, closed: make(chan struct{})}
+	b := &codecConn{codec: codec, send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *codecConn) codecName() string { return c.codec.Name() }
+
+func (c *codecConn) Send(m Message) error {
+	frame, err := encodeFrame(c.codec, m)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	case c.send <- frame:
+		return nil
+	}
+}
+
+func (c *codecConn) Recv() (Message, error) {
+	var frame []byte
+	select {
+	case frame = <-c.recv:
+	case <-c.closed:
+		select {
+		case frame = <-c.recv:
+		default:
+			return Message{}, io.EOF
+		}
+	case <-c.peer.closed:
+		select {
+		case frame = <-c.recv:
+		default:
+			return Message{}, io.EOF
+		}
+	}
+	m, err := decodeFrame(c.codec, frame)
+	if wm := wireMetrics(); wm != nil && err == nil {
+		wm.bytesRecv.With(c.codec.Name()).Add(int64(len(frame)))
+	}
+	return m, err
+}
+
+func (c *codecConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// encodeFrame runs one codec encode with instrumentation and the shared
+// frame-size check.
+func encodeFrame(codec Codec, m Message) ([]byte, error) {
+	var (
+		frame []byte
+		err   error
+	)
+	if wm := wireMetrics(); wm != nil {
+		start := time.Now()
+		frame, err = codec.AppendEncode(nil, m)
+		wm.encodeSeconds.With(codec.Name()).Observe(time.Since(start).Seconds())
+		if err == nil {
+			wm.bytesSent.With(codec.Name()).Add(int64(len(frame)))
+		}
+	} else {
+		frame, err = codec.AppendEncode(nil, m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) > MaxFrameBytes {
+		return nil, fmt.Errorf("transport: outgoing frame of %d bytes exceeds limit %d: %w",
+			len(frame), MaxFrameBytes, ErrFrameTooLarge)
+	}
+	return frame, nil
+}
+
+// decodeFrame runs one codec decode with instrumentation.
+func decodeFrame(codec Codec, frame []byte) (Message, error) {
+	if wm := wireMetrics(); wm != nil {
+		start := time.Now()
+		m, err := codec.Decode(frame)
+		wm.decodeSeconds.With(codec.Name()).Observe(time.Since(start).Seconds())
+		return m, err
+	}
+	return codec.Decode(frame)
+}
+
 // InprocNetwork is a registry of in-process listeners addressable by name,
 // so the same cloud/edge/vehicle code runs unchanged over channels or TCP.
 type InprocNetwork struct {
 	mu        sync.Mutex
 	listeners map[string]*inprocListener
+	codec     Codec // nil: typed pipes (no serialization)
 }
 
 // NewInprocNetwork returns an empty network.
 func NewInprocNetwork() *InprocNetwork {
 	return &InprocNetwork{listeners: make(map[string]*inprocListener)}
+}
+
+// SetCodec makes every subsequently dialed connection serialize its
+// messages through codec (see CodecPipe), so an in-process run exercises
+// the real wire format. Nil restores typed pipes.
+func (n *InprocNetwork) SetCodec(codec Codec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.codec = codec
 }
 
 type inprocListener struct {
@@ -155,11 +301,17 @@ func (n *InprocNetwork) Listen(name string) (Listener, error) {
 func (n *InprocNetwork) Dial(name string) (Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[name]
+	codec := n.codec
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: no inproc listener at %q", name)
 	}
-	client, server := Pipe()
+	var client, server Conn
+	if codec != nil {
+		client, server = CodecPipe(codec)
+	} else {
+		client, server = Pipe()
+	}
 	select {
 	case <-l.closed:
 		return nil, ErrClosed
@@ -191,15 +343,33 @@ func (l *inprocListener) Addr() string { return l.name }
 
 // --- TCP transport ---
 
+// framePool recycles frame buffers across Send and Recv calls on every TCP
+// conn, so the steady-state hot path allocates nothing for framing.
+var framePool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // tcpConn frames messages as a 4-byte big-endian length followed by the
-// JSON-encoded envelope.
+// negotiated codec's encoding. The first bytes on the wire are a version
+// negotiation (see negotiate); frame buffers come from a shared pool.
 type tcpConn struct {
 	c       net.Conn
 	timeout time.Duration
-	wr      sync.Mutex
-	rd      sync.Mutex
-	closed  chan struct{}
-	once    sync.Once
+	pref    Codec // preferred (maximum) codec; nil = JSON
+	dialer  bool  // dialing side proposes, accepting side answers
+
+	hs    sync.Once
+	hsErr error
+	codec Codec
+	pre   []byte // bytes sniffed during negotiation, replayed to Recv
+
+	wr     sync.Mutex
+	rd     sync.Mutex
+	closed chan struct{}
+	once   sync.Once
 }
 
 // TCPOption configures a tcpConn.
@@ -213,9 +383,19 @@ func WithTimeout(d time.Duration) TCPOption {
 	return func(t *tcpConn) { t.timeout = d }
 }
 
-// NewTCPConn wraps an established net.Conn in the framing codec.
+// WithCodec sets the wire codec a dialed connection declares (default
+// JSON). Accepted conns ignore it: the accepting side adopts whatever
+// version the dialer declared, so mixed-codec deployments interoperate
+// regardless of either side's default.
+func WithCodec(c Codec) TCPOption {
+	return func(t *tcpConn) { t.pref = c }
+}
+
+// NewTCPConn wraps an established net.Conn in the framing codec, in the
+// accepting (server) role of version negotiation. Dialed conns come from
+// DialTCP, which takes the proposing role.
 func NewTCPConn(c net.Conn, opts ...TCPOption) Conn {
-	t := &tcpConn{c: c, closed: make(chan struct{})}
+	t := &tcpConn{c: c, pref: JSON, closed: make(chan struct{})}
 	for _, opt := range opts {
 		opt(t)
 	}
@@ -228,7 +408,74 @@ func DialTCP(addr string, opts ...TCPOption) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
 	}
-	return NewTCPConn(c, opts...), nil
+	t := NewTCPConn(c, opts...).(*tcpConn)
+	t.dialer = true
+	return t, nil
+}
+
+// codecName reports the negotiated codec, forcing the handshake.
+func (t *tcpConn) codecName() string {
+	if err := t.handshake(); err != nil {
+		return ""
+	}
+	return t.codec.Name()
+}
+
+// handshake runs version negotiation exactly once; every Send and Recv
+// funnels through it.
+func (t *tcpConn) handshake() error {
+	t.hs.Do(func() { t.hsErr = t.negotiate() })
+	return t.hsErr
+}
+
+// negotiate settles the connection's codec. The dialing side declares its
+// codec by writing [magic, version] ahead of its first frame and proceeds
+// immediately (no reply round-trip, so negotiation never deadlocks a
+// half-duplex exchange); the accepting side reads the declaration and
+// adopts the version, failing with ErrCodecVersion on one it does not
+// implement. A first byte that is not the magic marks a legacy peer that
+// sends JSON frames with no preamble: the acceptor falls back to JSON and
+// replays the sniffed byte into the first frame's header (a legacy length
+// prefix for a frame ≤ MaxFrameBytes always starts 0x00, so the magic can
+// never be mistaken for one).
+func (t *tcpConn) negotiate() error {
+	if t.timeout > 0 {
+		deadline := time.Now().Add(t.timeout)
+		_ = t.c.SetWriteDeadline(deadline)
+		_ = t.c.SetReadDeadline(deadline)
+	}
+	if t.dialer {
+		pref := t.pref
+		if pref == nil {
+			pref = JSON
+		}
+		if _, err := t.c.Write([]byte{codecMagic, pref.Version()}); err != nil {
+			return t.opErr("codec negotiation", err)
+		}
+		t.codec = pref
+		return nil
+	}
+	var first [1]byte
+	if _, err := io.ReadFull(t.c, first[:]); err != nil {
+		return t.headerErr("codec negotiation", err)
+	}
+	if first[0] != codecMagic {
+		// Legacy peer: no declaration, frames are JSON v1 and the sniffed
+		// byte is the first header byte.
+		t.codec = JSON
+		t.pre = []byte{first[0]}
+		return nil
+	}
+	var declared [1]byte
+	if _, err := io.ReadFull(t.c, declared[:]); err != nil {
+		return t.headerErr("codec negotiation", err)
+	}
+	codec, ok := codecByVersion(declared[0])
+	if !ok {
+		return fmt.Errorf("%w: peer declared version %d", ErrCodecVersion, declared[0])
+	}
+	t.codec = codec
+	return nil
 }
 
 // opErr maps a raw net.Conn failure to the transport's error vocabulary:
@@ -247,26 +494,81 @@ func (t *tcpConn) opErr(op string, err error) error {
 	return fmt.Errorf("transport: %s: %w", op, err)
 }
 
+// headerErr maps read failures at a frame boundary: our own Close and a
+// peer that hung up cleanly both surface as io.EOF (session teardown, not
+// an error).
+func (t *tcpConn) headerErr(op string, err error) error {
+	select {
+	case <-t.closed:
+		return io.EOF
+	default:
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.EOF
+	}
+	return t.opErr(op, err)
+}
+
+// readFull fills p, draining bytes sniffed during negotiation first.
+// Callers hold t.rd.
+func (t *tcpConn) readFull(p []byte) error {
+	for len(t.pre) > 0 && len(p) > 0 {
+		p[0] = t.pre[0]
+		t.pre = t.pre[1:]
+		p = p[1:]
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	_, err := io.ReadFull(t.c, p)
+	return err
+}
+
 func (t *tcpConn) Send(m Message) error {
-	raw, err := json.Marshal(m)
+	if err := t.handshake(); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("transport: %w", ErrClosed)
+		}
+		return err
+	}
+	wm := wireMetrics()
+	bufp := framePool.Get().(*[]byte)
+	buf := append((*bufp)[:0], 0, 0, 0, 0) // length prefix placeholder
+	var err error
+	if wm != nil {
+		start := time.Now()
+		buf, err = t.codec.AppendEncode(buf, m)
+		wm.encodeSeconds.With(t.codec.Name()).Observe(time.Since(start).Seconds())
+	} else {
+		buf, err = t.codec.AppendEncode(buf, m)
+	}
 	if err != nil {
-		return fmt.Errorf("transport: marshaling message: %w", err)
+		framePool.Put(bufp)
+		return err
 	}
-	if len(raw) > MaxFrameBytes {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(raw), MaxFrameBytes)
+	// Frame-size check and header fixup happen before the write lock, so a
+	// rejected frame never serializes behind a slow peer.
+	body := len(buf) - 4
+	if body > MaxFrameBytes {
+		*bufp = buf
+		framePool.Put(bufp)
+		return fmt.Errorf("transport: outgoing frame of %d bytes exceeds limit %d: %w",
+			body, MaxFrameBytes, ErrFrameTooLarge)
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(raw)))
+	binary.BigEndian.PutUint32(buf[:4], uint32(body))
 	t.wr.Lock()
-	defer t.wr.Unlock()
 	if t.timeout > 0 {
 		_ = t.c.SetWriteDeadline(time.Now().Add(t.timeout))
 	}
-	if _, err := t.c.Write(header[:]); err != nil {
-		return t.opErr("writing frame header", err)
+	_, werr := t.c.Write(buf) // header + body in one write
+	t.wr.Unlock()
+	*bufp = buf
+	framePool.Put(bufp)
+	if werr != nil {
+		return t.opErr("writing frame", werr)
 	}
-	if _, err := t.c.Write(raw); err != nil {
-		return t.opErr("writing frame body", err)
+	if wm != nil {
+		wm.bytesSent.With(t.codec.Name()).Add(int64(body) + 4)
 	}
 	return nil
 }
@@ -274,28 +576,30 @@ func (t *tcpConn) Send(m Message) error {
 func (t *tcpConn) Recv() (Message, error) {
 	t.rd.Lock()
 	defer t.rd.Unlock()
+	if err := t.handshake(); err != nil {
+		return Message{}, err
+	}
 	if t.timeout > 0 {
 		_ = t.c.SetReadDeadline(time.Now().Add(t.timeout))
 	}
 	var header [4]byte
-	if _, err := io.ReadFull(t.c, header[:]); err != nil {
-		select {
-		case <-t.closed:
-			// Our own Close unblocked the read: report a clean EOF.
-			return Message{}, io.EOF
-		default:
-		}
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return Message{}, io.EOF
-		}
-		return Message{}, t.opErr("reading frame header", err)
+	if err := t.readFull(header[:]); err != nil {
+		return Message{}, t.headerErr("reading frame header", err)
 	}
-	size := binary.BigEndian.Uint32(header[:])
+	size := int(binary.BigEndian.Uint32(header[:]))
 	if size > MaxFrameBytes {
-		return Message{}, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit %d", size, MaxFrameBytes)
+		return Message{}, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit %d: %w",
+			size, MaxFrameBytes, ErrFrameTooLarge)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(t.c, body); err != nil {
+	bufp := framePool.Get().(*[]byte)
+	buf := *bufp
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if err := t.readFull(buf); err != nil {
+		*bufp = buf
+		framePool.Put(bufp)
 		select {
 		case <-t.closed:
 			return Message{}, io.EOF
@@ -303,9 +607,14 @@ func (t *tcpConn) Recv() (Message, error) {
 		}
 		return Message{}, t.opErr("reading frame body", err)
 	}
-	var m Message
-	if err := json.Unmarshal(body, &m); err != nil {
-		return Message{}, fmt.Errorf("transport: unmarshaling message: %w", err)
+	m, err := decodeFrame(t.codec, buf)
+	*bufp = buf
+	framePool.Put(bufp)
+	if err != nil {
+		return Message{}, err
+	}
+	if wm := wireMetrics(); wm != nil {
+		wm.bytesRecv.With(t.codec.Name()).Add(int64(size) + 4)
 	}
 	return m, nil
 }
@@ -316,16 +625,22 @@ func (t *tcpConn) Close() error {
 	return t.c.Close()
 }
 
-// tcpListener adapts net.Listener.
-type tcpListener struct{ l net.Listener }
+// tcpListener adapts net.Listener, handing every accepted conn the
+// listener's options.
+type tcpListener struct {
+	l    net.Listener
+	opts []TCPOption
+}
 
-// ListenTCP opens a TCP listener on addr (e.g. "127.0.0.1:0").
-func ListenTCP(addr string) (Listener, error) {
+// ListenTCP opens a TCP listener on addr (e.g. "127.0.0.1:0"). The options
+// — timeouts, preferred codec — are applied to every accepted connection,
+// so server-side conns honor the same deadlines as dialed ones.
+func ListenTCP(addr string, opts ...TCPOption) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, opts: opts}, nil
 }
 
 func (t *tcpListener) Accept() (Conn, error) {
@@ -333,7 +648,7 @@ func (t *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewTCPConn(c), nil
+	return NewTCPConn(c, t.opts...), nil
 }
 
 func (t *tcpListener) Close() error { return t.l.Close() }

@@ -1,6 +1,7 @@
 // Package transport carries the cooperative-perception control and data
 // plane of Fig. 1 between vehicles, edge servers, and the cloud: typed
-// messages for steps ①-⑤, a length-prefixed JSON wire codec, an in-process
+// messages for steps ①-⑤, a versioned pluggable wire codec (JSON and a
+// compact binary format, negotiated per connection), an in-process
 // transport for simulation, and a TCP transport for the distributed demo.
 package transport
 
@@ -36,10 +37,18 @@ const (
 	KindAck Kind = "ack"
 )
 
-// Message is the wire envelope.
+// Message is the wire envelope. A message carries its payload in one of two
+// forms: Body holds the typed struct (the fast path Encode produces — no
+// serialization until a codec needs bytes), Payload holds the JSON form
+// (produced by the JSON codec's decoder and by hand-crafted test frames).
+// Decode accepts either.
 type Message struct {
 	Kind    Kind            `json:"kind"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Body is the typed payload (one of Hello, Census, Ratio, Policy,
+	// Upload, Delivery, Ack — value or pointer). It is never serialized by
+	// the envelope itself; codecs consume it directly.
+	Body interface{} `json:"-"`
 }
 
 // Hello registers a vehicle with an edge server.
@@ -102,22 +111,114 @@ type Ack struct {
 	Err string `json:"err,omitempty"`
 }
 
-// Encode wraps a payload struct in a Message envelope.
+// Encode wraps a payload struct in a Message envelope. Encoding is lazy:
+// the payload is carried typed and only serialized when a wire codec needs
+// bytes, so the in-process transport and the binary codec never pay a JSON
+// marshal. The payload — and everything it references — must not be mutated
+// after Send: receivers on the in-process transport may alias it.
 func Encode(kind Kind, payload interface{}) (Message, error) {
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		return Message{}, fmt.Errorf("transport: encoding %s payload: %w", kind, err)
-	}
-	return Message{Kind: kind, Payload: raw}, nil
+	return Message{Kind: kind, Body: payload}, nil
 }
 
-// Decode unmarshals the payload into out, verifying the expected kind.
+// Decode unmarshals the payload into out, verifying the expected kind. A
+// typed Body is copied directly (no serialization); a JSON Payload is
+// unmarshaled.
 func Decode(m Message, kind Kind, out interface{}) error {
 	if m.Kind != kind {
 		return fmt.Errorf("transport: expected %s message, got %s", kind, m.Kind)
 	}
-	if err := json.Unmarshal(m.Payload, out); err != nil {
+	if err := decodePayload(m, out); err != nil {
 		return fmt.Errorf("transport: decoding %s payload: %w", kind, err)
 	}
 	return nil
+}
+
+// decodePayload extracts m's payload into out without a kind check: typed
+// copy when Body matches out's type, JSON otherwise.
+func decodePayload(m Message, out interface{}) error {
+	if m.Body != nil {
+		if copyTyped(m.Body, out) {
+			return nil
+		}
+		// Mismatched typed body (e.g. hand-crafted message): round-trip
+		// through JSON, preserving the old error surface.
+		raw, err := json.Marshal(m.Body)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(raw, out)
+	}
+	return json.Unmarshal(m.Payload, out)
+}
+
+// copyTyped copies a typed payload body into out when their types line up
+// (body may be the value or a pointer). It returns false on any mismatch so
+// the caller can fall back to JSON.
+func copyTyped(body, out interface{}) bool {
+	switch dst := out.(type) {
+	case *Hello:
+		switch src := body.(type) {
+		case Hello:
+			*dst = src
+			return true
+		case *Hello:
+			*dst = *src
+			return true
+		}
+	case *Census:
+		switch src := body.(type) {
+		case Census:
+			*dst = src
+			return true
+		case *Census:
+			*dst = *src
+			return true
+		}
+	case *Ratio:
+		switch src := body.(type) {
+		case Ratio:
+			*dst = src
+			return true
+		case *Ratio:
+			*dst = *src
+			return true
+		}
+	case *Policy:
+		switch src := body.(type) {
+		case Policy:
+			*dst = src
+			return true
+		case *Policy:
+			*dst = *src
+			return true
+		}
+	case *Upload:
+		switch src := body.(type) {
+		case Upload:
+			*dst = src
+			return true
+		case *Upload:
+			*dst = *src
+			return true
+		}
+	case *Delivery:
+		switch src := body.(type) {
+		case Delivery:
+			*dst = src
+			return true
+		case *Delivery:
+			*dst = *src
+			return true
+		}
+	case *Ack:
+		switch src := body.(type) {
+		case Ack:
+			*dst = src
+			return true
+		case *Ack:
+			*dst = *src
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// wireInstruments groups the transport's wire-level metrics. It is swapped
+// in atomically by Instrument so the Send/Recv hot paths pay a single
+// pointer load when observability is off.
+type wireInstruments struct {
+	bytesSent     *obs.CounterVec   // transport_bytes_sent_total{codec}
+	bytesRecv     *obs.CounterVec   // transport_bytes_received_total{codec}
+	encodeSeconds *obs.HistogramVec // transport_codec_encode_seconds{codec}
+	decodeSeconds *obs.HistogramVec // transport_codec_decode_seconds{codec}
+}
+
+// codecBuckets resolve encode/decode latencies, which sit in the hundreds
+// of nanoseconds to tens of microseconds — far below obs.DefBuckets.
+var codecBuckets = []float64{1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3, 1e-2}
+
+var wireObs atomic.Pointer[wireInstruments]
+
+// Instrument points the package's wire metrics at o: bytes sent/received
+// and encode/decode duration, each labeled by codec. Passing nil disables
+// them again. Counting is package-global rather than per-conn so short-
+// lived connections aggregate into one set of series.
+func Instrument(o *obs.Observer) {
+	if o == nil {
+		wireObs.Store(nil)
+		return
+	}
+	wireObs.Store(&wireInstruments{
+		bytesSent: o.CounterVec("transport_bytes_sent_total",
+			"Wire bytes sent, including frame headers.", "codec"),
+		bytesRecv: o.CounterVec("transport_bytes_received_total",
+			"Wire bytes received, including frame headers.", "codec"),
+		encodeSeconds: o.HistogramVec("transport_codec_encode_seconds",
+			"Time to encode one message frame.", codecBuckets, "codec"),
+		decodeSeconds: o.HistogramVec("transport_codec_decode_seconds",
+			"Time to decode one message frame.", codecBuckets, "codec"),
+	})
+}
+
+// wireMetrics returns the active instruments, or nil when uninstrumented.
+func wireMetrics() *wireInstruments {
+	return wireObs.Load()
+}

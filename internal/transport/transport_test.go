@@ -41,8 +41,25 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestEncodeRejectsUnmarshalable(t *testing.T) {
-	if _, err := Encode(KindAck, make(chan int)); err == nil {
-		t.Error("unmarshalable payload must error")
+	// Encode is lazy, so the error surfaces when a codec serializes the
+	// payload, not at Encode time.
+	m, err := Encode(KindAck, make(chan int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JSON.AppendEncode(nil, m); err == nil {
+		t.Error("unmarshalable payload must error at encode time")
+	}
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(m); err != nil {
+		t.Fatalf("typed pipe send: %v", err)
+	}
+	got, _ := b.Recv()
+	var ack Ack
+	if err := Decode(got, KindAck, &ack); err == nil {
+		t.Error("decoding a channel-typed body into Ack must error")
 	}
 }
 
@@ -269,7 +286,7 @@ func TestTCPOversizeFrameRejected(t *testing.T) {
 	for i := range huge.Payload {
 		huge.Payload[i] = '1'
 	}
-	if err := client.Send(huge); err == nil {
-		t.Error("oversize frame must be rejected by the sender")
+	if err := client.Send(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize frame = %v, want ErrFrameTooLarge", err)
 	}
 }

@@ -3,12 +3,12 @@ package vehicle
 import (
 	"errors"
 	"fmt"
-	"io"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sensor"
 	"repro/internal/transport"
+	"repro/internal/transport/session"
 )
 
 // ErrRejected is returned (wrapped) when the edge server refuses the
@@ -39,34 +39,21 @@ type Client struct {
 	Obs *obs.Observer
 }
 
-// register performs the Hello handshake on conn. On a lossy link the ack can
+// register performs the Hello handshake on sess. On a lossy link the ack can
 // vanish while a round's policy broadcast still arrives (the edge registers
-// the vehicle before acking); such a message proves the session is live, so
-// it is returned for the main loop to process instead of failing the
-// handshake.
-func (c *Client) register(conn transport.Conn) (*transport.Message, error) {
-	hello, err := transport.Encode(transport.KindHello, transport.Hello{Vehicle: c.Agent.Profile.ID})
-	if err != nil {
-		return nil, err
+// the vehicle before acking); the session layer returns such a message for
+// the main loop to process instead of failing the handshake.
+func (c *Client) register(sess *session.Session) (*transport.Message, error) {
+	pending, err := sess.Register(c.Agent.Profile.ID, c.RegisterTimeout)
+	var rej *session.RejectedError
+	switch {
+	case err == nil:
+		return pending, nil
+	case errors.As(err, &rej):
+		return nil, fmt.Errorf("vehicle %d: %w: %s", c.Agent.Profile.ID, ErrRejected, rej.Reason)
+	default:
+		return nil, fmt.Errorf("vehicle %d: %w", c.Agent.Profile.ID, err)
 	}
-	if err := conn.Send(hello); err != nil {
-		return nil, fmt.Errorf("vehicle %d: sending hello: %w", c.Agent.Profile.ID, err)
-	}
-	m, err := transport.RecvTimeout(conn, c.RegisterTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("vehicle %d: waiting for registration ack: %w", c.Agent.Profile.ID, err)
-	}
-	if m.Kind != transport.KindAck {
-		return &m, nil // ack lost in transit; the session is live anyway
-	}
-	var ack transport.Ack
-	if err := transport.Decode(m, transport.KindAck, &ack); err != nil {
-		return nil, err
-	}
-	if ack.Err != "" {
-		return nil, fmt.Errorf("vehicle %d: %w: %s", c.Agent.Profile.ID, ErrRejected, ack.Err)
-	}
-	return nil, nil
 }
 
 // Run executes the client loop. It returns nil when the connection closes
@@ -78,71 +65,62 @@ func (c *Client) Run(conn transport.Conn) error {
 	if c.Cap == nil {
 		c.Cap = sensor.TableIII()
 	}
-	pending, err := c.register(conn)
+	sess := session.Wrap(conn)
+	pending, err := c.register(sess)
 	if err != nil {
 		return err
 	}
+	handlers := c.handlers(sess)
 	if pending != nil {
-		if err := c.handleMessage(conn, *pending); err != nil {
-			return err
-		}
-	}
-
-	for {
-		m, err := conn.Recv()
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("vehicle %d: receive: %w", c.Agent.Profile.ID, err)
-		}
-		if err := c.handleMessage(conn, m); err != nil {
-			return err
-		}
-	}
-}
-
-// handleMessage dispatches one server message in the client loop.
-func (c *Client) handleMessage(conn transport.Conn, m transport.Message) error {
-	switch m.Kind {
-	case transport.KindPolicy:
-		var pol transport.Policy
-		if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
-			return err
-		}
-		if len(pol.Shares) > 0 {
-			if err := c.Agent.Revise(pol.X, pol.Shares, c.Mu); err != nil {
+		if h, ok := handlers[pending.Kind]; ok {
+			if err := h(*pending); err != nil {
 				return err
 			}
+		} else {
+			return fmt.Errorf("vehicle %d: unexpected message kind %s", c.Agent.Profile.ID, pending.Kind)
 		}
-		up := c.Agent.BuildUpload(pol.Round)
-		msg, err := transport.Encode(transport.KindUpload, up)
-		if err != nil {
-			return err
-		}
-		if err := conn.Send(msg); err != nil {
-			return fmt.Errorf("vehicle %d: sending upload: %w", c.Agent.Profile.ID, err)
-		}
-	case transport.KindDelivery:
-		var del transport.Delivery
-		if err := transport.Decode(m, transport.KindDelivery, &del); err != nil {
-			return err
-		}
-		if err := c.Agent.AbsorbDelivery(del, c.Cap); err != nil {
-			return err
-		}
-	case transport.KindAck:
-		var a transport.Ack
-		if err := transport.Decode(m, transport.KindAck, &a); err != nil {
-			return err
-		}
-		if a.Err != "" {
-			return fmt.Errorf("vehicle %d: server rejected message: %s", c.Agent.Profile.ID, a.Err)
-		}
-	default:
-		return fmt.Errorf("vehicle %d: unexpected message kind %s", c.Agent.Profile.ID, m.Kind)
 	}
-	return nil
+	return sess.Serve(handlers, func(m transport.Message) error {
+		return fmt.Errorf("vehicle %d: unexpected message kind %s", c.Agent.Profile.ID, m.Kind)
+	})
+}
+
+// handlers builds the client's dispatch table for the session read loop.
+func (c *Client) handlers(sess *session.Session) map[transport.Kind]session.Handler {
+	return map[transport.Kind]session.Handler{
+		transport.KindPolicy: func(m transport.Message) error {
+			var pol transport.Policy
+			if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
+				return err
+			}
+			if len(pol.Shares) > 0 {
+				if err := c.Agent.Revise(pol.X, pol.Shares, c.Mu); err != nil {
+					return err
+				}
+			}
+			if err := sess.Send(transport.KindUpload, c.Agent.BuildUpload(pol.Round)); err != nil {
+				return fmt.Errorf("vehicle %d: sending upload: %w", c.Agent.Profile.ID, err)
+			}
+			return nil
+		},
+		transport.KindDelivery: func(m transport.Message) error {
+			var del transport.Delivery
+			if err := transport.Decode(m, transport.KindDelivery, &del); err != nil {
+				return err
+			}
+			return c.Agent.AbsorbDelivery(del, c.Cap)
+		},
+		transport.KindAck: func(m transport.Message) error {
+			var a transport.Ack
+			if err := transport.Decode(m, transport.KindAck, &a); err != nil {
+				return err
+			}
+			if a.Err != "" {
+				return fmt.Errorf("vehicle %d: server rejected message: %s", c.Agent.Profile.ID, a.Err)
+			}
+			return nil
+		},
+	}
 }
 
 // stopped reports whether the client's Stop channel is closed.
