@@ -31,7 +31,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/cloud"
@@ -78,6 +80,10 @@ func main() {
 			"wire codec this node declares on dialed TCP links: json | binary (accepted conns adopt the dialer's codec)")
 		ioTimeout = flag.Duration("io-timeout", 0,
 			"per-operation read/write deadline on every TCP conn, dialed or accepted (0 = off; must exceed the idle gap between rounds)")
+		stateDir = flag.String("state-dir", "",
+			"cloud: durable state directory (checkpoint + journal); a restarted cloud resumes the consensus from it (empty = in-memory only)")
+		leaseTTL = flag.Duration("lease-ttl", 0,
+			"edge: membership lease TTL heartbeated to the cloud; a dead edge is evicted from the barrier quorum after this long (0 = no heartbeat)")
 	)
 	flag.Parse()
 
@@ -122,9 +128,9 @@ func main() {
 
 	switch *role {
 	case "cloud":
-		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *roundDeadline, fault, o, tcpOpts)
+		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *stateDir, *roundDeadline, fault, o, tcpOpts)
 	case "edge":
-		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, fault, o, tcpOpts)
+		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, *leaseTTL, fault, o, tcpOpts)
 	case "vehicles":
 		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault, o, tcpOpts)
 	default:
@@ -166,7 +172,7 @@ func (g demoGraph) Neighbors(i int) []int {
 	return out
 }
 
-func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
+func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath, stateDir string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	betas := make([]float64, regions)
 	for i := range betas {
 		betas[i] = beta
@@ -193,7 +199,7 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 			return fmt.Errorf("field spec is %dx%d, want %dx%d", field.M(), field.K(), regions, model.K())
 		}
 		return serveCloud(listen, model, field, regions, x0, lambda,
-			fmt.Sprintf("field spec %s", fieldPath), roundDeadline, fault, o, tcpOpts)
+			fmt.Sprintf("field spec %s", fieldPath), stateDir, roundDeadline, fault, o, tcpOpts)
 	}
 
 	// Desired field: the regime reachable from a uniform mix at the target
@@ -234,11 +240,14 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 		}
 	}
 	return serveCloud(listen, model, field, regions, x0, lambda,
-		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), roundDeadline, fault, o, tcpOpts)
+		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), stateDir, roundDeadline, fault, o, tcpOpts)
 }
 
-// serveCloud starts the FDS coordinator over TCP and blocks.
-func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
+// serveCloud starts the FDS coordinator over TCP and blocks until the
+// listener dies or a termination signal arrives. With a state directory the
+// consensus survives both kill -9 (journal replay on the next start) and
+// SIGTERM (graceful drain: pending round completed, checkpoint written).
+func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what, stateDir string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	fds, err := policy.NewFDS(model, field, lambda)
 	if err != nil {
 		return err
@@ -255,6 +264,12 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 	}
 	srv.SetRoundDeadline(roundDeadline)
 	srv.SetLogf(log.Printf)
+	if stateDir != "" {
+		if err := srv.Open(stateDir); err != nil {
+			return err
+		}
+		fmt.Printf("cloud: durable state in %s, resuming at round %d\n", stateDir, srv.Latest()+1)
+	}
 	l, err := transport.ListenTCP(listen, tcpOpts...)
 	if err != nil {
 		return err
@@ -262,13 +277,23 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 	if fault != nil {
 		l = fault.WrapListener(l)
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sig
+		log.Printf("cloud: %v received, draining", s)
+		if err := srv.Drain(); err != nil {
+			log.Printf("cloud: drain: %v", err)
+		}
+		_ = l.Close() // unblocks Serve
+	}()
 	fmt.Printf("cloud: listening on %s, steering %d regions toward %s (round deadline %v)\n",
 		l.Addr(), regions, what, roundDeadline)
 	srv.Serve(l) // blocks
 	return nil
 }
 
-func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
+func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, leaseTTL time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	srv := edge.NewServer(id, lattice.NewPaper(), seed)
 	if o != nil {
 		srv.Instrument(o)
@@ -310,6 +335,35 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 		Obs:          o,
 	}
 	defer link.Close()
+
+	if leaseTTL > 0 {
+		// Membership heartbeat on its own connection (the census link's
+		// request/reply exchange would race with the lease acks): the cloud
+		// evicts this edge from the barrier quorum if it dies.
+		hb := &edge.Heartbeat{
+			Edge: id,
+			Dialer: &transport.Dialer{
+				Dial: func() (transport.Conn, error) {
+					c, err := transport.DialTCP(cloudAddr, tcpOpts...)
+					if err != nil {
+						return nil, err
+					}
+					if fault != nil {
+						c = fault.WrapConn(c)
+					}
+					return c, nil
+				},
+				MaxAttempts: retryMax,
+				Seed:        seed + 1,
+			},
+			TTL: leaseTTL,
+			Obs: o,
+		}
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go hb.Run(hbStop)
+		fmt.Printf("edge %d: heartbeating membership lease (ttl %v)\n", id, leaseTTL)
+	}
 
 	x := 0.3
 	for t := 0; t < rounds; t++ {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/edge"
 	"repro/internal/game"
 	"repro/internal/obs"
@@ -24,6 +25,11 @@ import (
 // submitting edge fell behind a partition or restart and should move on to
 // the cloud's current round.
 var ErrRoundAbandoned = errors.New("cloud: round abandoned")
+
+// ErrBadCensus is returned by Submit for a census whose shape does not
+// match the configured lattice: its Counts length differs from the number
+// of decisions K, so folding it into the state would silently drop it.
+var ErrBadCensus = errors.New("cloud: malformed census")
 
 // Server is the networked cloud coordinator. Edge servers connect, send one
 // Census per round, and receive the next round's Ratio once every region
@@ -40,13 +46,26 @@ type Server struct {
 	rounds        map[int]*roundBarrier
 	latest        int // highest completed round (-1 before the first)
 	m             int
+	k             int // decisions per census
 	roundDeadline time.Duration
 	logf          func(format string, args ...interface{})
 	obsv          *obs.Observer
 	metrics       serverMetrics
+	conns         map[transport.Conn]struct{}
 	closed        chan struct{}
 	once          sync.Once
 	wg            sync.WaitGroup
+
+	// Durability (nil store = in-memory only; see Open).
+	store        *durable.Store
+	compactEvery int
+	sinceCompact int
+
+	// Membership leases (see RenewLease). leasing stays false until the
+	// first lease is granted, preserving the all-regions barrier for
+	// deployments that never send heartbeats.
+	leases  map[int]*leaseEntry
+	leasing bool
 }
 
 // serverMetrics are the coordinator's registry-backed instruments (see the
@@ -59,6 +78,13 @@ type serverMetrics struct {
 	decodeFailures *obs.Counter   // consensus_decode_failures_total
 	latestRound    *obs.Gauge     // consensus_round_latest
 	roundDuration  *obs.Histogram // consensus_round_duration_seconds
+	recoveries     *obs.Counter   // durable_recoveries_total
+	replayRecords  *obs.Counter   // journal_replay_records_total
+	journalErrors  *obs.Counter   // durable_journal_errors_total
+	checkpointSize *obs.Gauge     // checkpoint_bytes
+	leaseRenewals  *obs.Counter   // lease_renewals_total
+	leaseEvictions *obs.Counter   // lease_evictions_total
+	leasesLive     *obs.Gauge     // cloud_leases_live
 }
 
 func newServerMetrics(o *obs.Observer) serverMetrics {
@@ -70,6 +96,13 @@ func newServerMetrics(o *obs.Observer) serverMetrics {
 		decodeFailures: o.Counter("consensus_decode_failures_total", "malformed frames dropped by connection handlers"),
 		latestRound:    o.Gauge("consensus_round_latest", "highest completed consensus round (-1 before the first)"),
 		roundDuration:  o.Histogram("consensus_round_duration_seconds", "first census to barrier completion", nil),
+		recoveries:     o.Counter("durable_recoveries_total", "coordinator state recoveries from a state directory"),
+		replayRecords:  o.Counter("journal_replay_records_total", "journal round records replayed during recovery"),
+		journalErrors:  o.Counter("durable_journal_errors_total", "journal appends or checkpoints that failed (state kept in memory)"),
+		checkpointSize: o.Gauge("checkpoint_bytes", "size of the last checkpoint written or recovered"),
+		leaseRenewals:  o.Counter("lease_renewals_total", "edge membership lease registrations and renewals"),
+		leaseEvictions: o.Counter("lease_evictions_total", "edges evicted from the barrier quorum by lease expiry"),
+		leasesLive:     o.Gauge("cloud_leases_live", "edges currently holding a live membership lease"),
 	}
 }
 
@@ -116,19 +149,35 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 	if err := initial.Validate(); err != nil {
 		return nil, fmt.Errorf("cloud: initial state: %w", err)
 	}
+	if len(initial.P) == 0 {
+		return nil, fmt.Errorf("cloud: initial state has no regions")
+	}
 	o := obs.New()
 	s := &Server{
-		fds:     f,
-		state:   initial.Clone(),
-		rounds:  make(map[int]*roundBarrier),
-		latest:  -1,
-		m:       len(initial.P),
-		obsv:    o,
-		metrics: newServerMetrics(o),
-		closed:  make(chan struct{}),
+		fds:          f,
+		state:        initial.Clone(),
+		rounds:       make(map[int]*roundBarrier),
+		latest:       -1,
+		m:            len(initial.P),
+		k:            len(initial.P[0]),
+		obsv:         o,
+		metrics:      newServerMetrics(o),
+		conns:        make(map[transport.Conn]struct{}),
+		closed:       make(chan struct{}),
+		compactEvery: defaultCompactEvery,
+		leases:       make(map[int]*leaseEntry),
 	}
 	s.metrics.latestRound.Set(-1)
 	return s, nil
+}
+
+// Latest returns the highest completed round (-1 before the first). After
+// Open recovered a state directory, this is the round recovery resumed
+// from: the next barrier to complete is Latest()+1.
+func (s *Server) Latest() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest
 }
 
 // Instrument re-points the server's metrics and round spans at the given
@@ -204,27 +253,38 @@ func (s *Server) Converged() bool {
 	return ok
 }
 
-// Serve accepts edge-server connections until the listener fails or the
-// server closes. Injected (transient) accept failures are skipped. Run in
-// a goroutine.
+// Serve accepts edge-server connections until the listener is torn down or
+// the server closes. Transient accept failures — injected faults and real
+// ones alike — are retried with bounded backoff (see transport.AcceptLoop),
+// so a flaky listener cannot permanently kill the coordinator. Run in a
+// goroutine.
 func (s *Server) Serve(l transport.Listener) {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, transport.ErrInjected) {
-				continue
-			}
+	transport.AcceptLoop(l, s.closed, func(conn transport.Conn) {
+		s.mu.Lock()
+		select {
+		case <-s.closed:
+			s.mu.Unlock()
+			conn.Close()
 			return
+		default:
 		}
+		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
 		}()
-	}
+	})
 }
 
-// Close shuts the server down; pending barriers fail.
+// Close shuts the server down without flushing a final checkpoint — the
+// crash path; see Drain for the graceful one. Pending barriers fail, open
+// connections close, lease timers stop, and the durable store (already
+// fsynced through the last completed round) is released.
 func (s *Server) Close() {
 	s.once.Do(func() {
 		close(s.closed)
@@ -237,6 +297,18 @@ func (s *Server) Close() {
 			close(rb.done)
 			delete(s.rounds, round)
 			rb.span.End(obs.A("closed", true))
+		}
+		for _, e := range s.leases {
+			if e.timer != nil {
+				e.timer.Stop()
+			}
+		}
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.conns = make(map[transport.Conn]struct{})
+		if s.store != nil {
+			_ = s.store.Close()
 		}
 		s.mu.Unlock()
 	})
@@ -279,6 +351,17 @@ func (s *Server) handleConn(conn transport.Conn) {
 			}
 			return sess.Send(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: x})
 		},
+		transport.KindLease: func(m transport.Message) error {
+			var lease transport.Lease
+			if err := transport.Decode(m, transport.KindLease, &lease); err != nil {
+				return dropFrame(err)
+			}
+			err := s.RenewLease(lease.Edge, time.Duration(lease.TTLMillis)*time.Millisecond)
+			if errors.Is(err, transport.ErrClosed) {
+				return err
+			}
+			return sess.Ack(err)
+		},
 	}, func(m transport.Message) error {
 		return dropFrame(fmt.Errorf("expected %s message, got %s", transport.KindCensus, m.Kind))
 	})
@@ -294,6 +377,15 @@ func (s *Server) handleConn(conn transport.Conn) {
 func (s *Server) Submit(census transport.Census) (float64, error) {
 	if census.Edge < 0 || census.Edge >= s.m {
 		return 0, fmt.Errorf("cloud: census from unknown edge %d", census.Edge)
+	}
+	if len(census.Counts) != s.k {
+		s.mu.Lock()
+		s.metrics.decodeFailures.Inc()
+		s.logfLocked("cloud: rejecting census from edge %d with %d counts (lattice has %d decisions)",
+			census.Edge, len(census.Counts), s.k)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: edge %d sent %d counts, lattice has %d decisions",
+			ErrBadCensus, census.Edge, len(census.Counts), s.k)
 	}
 	s.mu.Lock()
 	if census.Round <= s.latest {
@@ -320,8 +412,8 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 	}
 	rb.span.Event("census", obs.A("edge", census.Edge))
 	rb.censuses[census.Edge] = census.Counts
-	if len(rb.censuses) == s.m {
-		s.completeRoundLocked(census.Round, rb, false)
+	if s.quorumMetLocked(rb) {
+		s.completeRoundLocked(census.Round, rb, len(rb.censuses) < s.m)
 	}
 	s.mu.Unlock()
 
@@ -365,11 +457,14 @@ func (s *Server) completeRoundLocked(round int, rb *roundBarrier, degraded bool)
 	}
 	s.applyRoundLocked(rb)
 	rb.degraded = degraded
-	close(rb.done)
-	delete(s.rounds, round)
 	if round > s.latest {
 		s.latest = round
 	}
+	// Journal before releasing the waiters: a ratio answered to an edge must
+	// never be lost to a crash the edge did not see.
+	s.persistRoundLocked(round, rb, degraded)
+	close(rb.done)
+	delete(s.rounds, round)
 	s.metrics.rounds.Inc()
 	s.metrics.latestRound.Set(float64(s.latest))
 	s.metrics.roundDuration.Observe(time.Since(rb.opened).Seconds())

@@ -1,0 +1,185 @@
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/durable"
+)
+
+// defaultCompactEvery is how many journaled rounds accumulate before the
+// journal is folded into a fresh checkpoint.
+const defaultCompactEvery = 32
+
+// SetCompactEvery tunes how many journaled rounds trigger a snapshot
+// compaction (default 32; 0 or negative disables compaction, the journal
+// then grows until Drain).
+func (s *Server) SetCompactEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactEvery = n
+}
+
+// Open attaches a durable state directory to the server and recovers any
+// state a previous process left there: the checkpoint is loaded, the
+// journal's round records are replayed onto it through the same fold the
+// live rounds use (bit-identical, since the JSON payloads round-trip
+// float64 exactly), and the coordinator resumes at Latest()+1. Late
+// censuses for recovered rounds are re-answered from the recovered state.
+// Call after Instrument and before Serve; recovery is visible as
+// durable_recoveries_total and journal_replay_records_total.
+func (s *Server) Open(stateDir string) error {
+	store, err := durable.Open(stateDir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		store.Close()
+		return fmt.Errorf("cloud: state directory already open (%s)", s.store.Dir())
+	}
+	recovered := false
+	snap, ok, err := store.LoadSnapshot()
+	if err != nil {
+		store.Close()
+		return err
+	}
+	if ok {
+		cp, err := durable.DecodeCheckpoint(snap)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		cpK := 0
+		if len(cp.State.P) > 0 {
+			cpK = len(cp.State.P[0])
+		}
+		if len(cp.State.P) != s.m || cpK != s.k {
+			store.Close()
+			return fmt.Errorf("cloud: checkpoint in %s has %dx%d state, server configured for %dx%d",
+				stateDir, len(cp.State.P), cpK, s.m, s.k)
+		}
+		if len(cp.FDS.LastShortfall) > 0 {
+			if err := s.fds.SetMemory(cp.FDS); err != nil {
+				store.Close()
+				return fmt.Errorf("cloud: checkpoint in %s: %w", stateDir, err)
+			}
+		}
+		s.state = cp.State
+		s.latest = cp.Round
+		s.metrics.checkpointSize.Set(float64(len(snap)))
+		recovered = true
+	}
+	replayed := 0
+	_, err = store.Replay(func(payload []byte) error {
+		rec, err := durable.DecodeRound(payload)
+		if err != nil {
+			return err
+		}
+		if rec.Round <= s.latest {
+			// Already covered by the checkpoint: a crash between snapshot
+			// rename and journal truncate leaves such records behind.
+			return nil
+		}
+		rb := &roundBarrier{censuses: rec.Censuses}
+		s.applyRoundLocked(rb)
+		if rb.err != nil {
+			return fmt.Errorf("replaying round %d: %w", rec.Round, rb.err)
+		}
+		s.latest = rec.Round
+		replayed++
+		return nil
+	})
+	if err != nil {
+		store.Close()
+		return fmt.Errorf("cloud: journal in %s: %w", stateDir, err)
+	}
+	if replayed > 0 {
+		s.metrics.replayRecords.Add(int64(replayed))
+		recovered = true
+	}
+	if recovered {
+		s.metrics.recoveries.Inc()
+		s.metrics.latestRound.Set(float64(s.latest))
+		s.logfLocked("cloud: recovered state through round %d from %s (%d journal records replayed)",
+			s.latest, stateDir, replayed)
+	}
+	s.store = store
+	s.sinceCompact = replayed
+	return nil
+}
+
+// persistRoundLocked journals one applied round — the append fsyncs before
+// the round's waiters observe the new state, so a ratio acked to an edge is
+// always recoverable — and folds the journal into a checkpoint every
+// compactEvery rounds. Persistence failures are counted and logged but do
+// not fail the round: the coordinator keeps serving from memory. Called
+// with s.mu held; no-op without an open store.
+func (s *Server) persistRoundLocked(round int, rb *roundBarrier, degraded bool) {
+	if s.store == nil {
+		return
+	}
+	payload, err := durable.EncodeRound(durable.RoundRecord{Round: round, Degraded: degraded, Censuses: rb.censuses})
+	if err == nil {
+		err = s.store.Append(payload)
+	}
+	if err != nil {
+		s.metrics.journalErrors.Inc()
+		s.logfLocked("cloud: journaling round %d: %v", round, err)
+		return
+	}
+	s.sinceCompact++
+	if s.compactEvery > 0 && s.sinceCompact >= s.compactEvery {
+		if err := s.checkpointLocked(); err != nil {
+			s.metrics.journalErrors.Inc()
+			s.logfLocked("cloud: compacting after round %d: %v", round, err)
+		}
+	}
+}
+
+// checkpointLocked folds the current state into an atomic checkpoint and
+// truncates the journal. Called with s.mu held.
+func (s *Server) checkpointLocked() error {
+	payload, err := durable.EncodeCheckpoint(durable.Checkpoint{
+		Round: s.latest,
+		State: s.state,
+		FDS:   s.fds.Memory(),
+	})
+	if err != nil {
+		return err
+	}
+	n, err := s.store.Compact(payload)
+	if err != nil {
+		return err
+	}
+	s.metrics.checkpointSize.Set(float64(n))
+	s.sinceCompact = 0
+	return nil
+}
+
+// Drain shuts the coordinator down gracefully: the most advanced pending
+// barrier completes in degraded mode with whatever censuses it holds (its
+// completion abandons the stale ones), a final checkpoint is written, and
+// the server closes. The returned error reports checkpoint failure only —
+// the shutdown itself always proceeds.
+func (s *Server) Drain() error {
+	var err error
+	s.mu.Lock()
+	best := -1
+	for round := range s.rounds {
+		if round > best {
+			best = round
+		}
+	}
+	if best >= 0 {
+		rb := s.rounds[best]
+		s.logfLocked("cloud: draining: completing round %d with %d/%d regions", best, len(rb.censuses), s.m)
+		s.completeRoundLocked(best, rb, len(rb.censuses) < s.m)
+	}
+	if s.store != nil {
+		err = s.checkpointLocked()
+	}
+	s.mu.Unlock()
+	s.Close()
+	return err
+}

@@ -1,0 +1,144 @@
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// leaseEntry tracks one edge's membership lease. The timer fires at expiry
+// and evicts the edge from the barrier quorum; a renewal pushes expiry out
+// and re-arms it.
+type leaseEntry struct {
+	expiry time.Time
+	timer  *time.Timer
+	live   bool
+}
+
+// RenewLease registers or renews an edge server's membership lease: for ttl
+// the edge counts toward every round barrier's quorum. When the lease
+// lapses the edge is evicted — pending barriers then complete as soon as
+// all remaining live edges have reported, instead of waiting out the round
+// deadline — and the next renewal re-admits it. The first renewal switches
+// the server from the all-regions barrier to the lease-defined quorum;
+// deployments that never send heartbeats keep the original behavior.
+func (s *Server) RenewLease(edgeID int, ttl time.Duration) error {
+	if edgeID < 0 || edgeID >= s.m {
+		return fmt.Errorf("cloud: lease from unknown edge %d", edgeID)
+	}
+	if ttl <= 0 {
+		return fmt.Errorf("cloud: lease TTL %v must be positive", ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return transport.ErrClosed
+	default:
+	}
+	s.leasing = true
+	e := s.leases[edgeID]
+	if e == nil {
+		e = &leaseEntry{live: true}
+		s.leases[edgeID] = e
+		id := edgeID
+		e.timer = time.AfterFunc(ttl, func() { s.expireLease(id) })
+	} else {
+		if !e.live {
+			s.logfLocked("cloud: edge %d re-admitted to quorum", edgeID)
+		}
+		e.live = true
+		e.timer.Reset(ttl)
+	}
+	e.expiry = time.Now().Add(ttl)
+	s.metrics.leaseRenewals.Inc()
+	s.metrics.leasesLive.Set(float64(s.liveLeasesLocked()))
+	return nil
+}
+
+// LiveLeases returns the ids of edges currently holding a live lease.
+func (s *Server) LiveLeases() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []int
+	for id, e := range s.leases {
+		if e.live {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// expireLease runs when an edge's lease timer fires: unless the lease was
+// renewed while the callback waited on the lock, the edge is evicted from
+// the quorum and every pending barrier is re-checked — the healthy regions
+// may now complete without waiting for the round deadline.
+func (s *Server) expireLease(edgeID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	e := s.leases[edgeID]
+	if e == nil || !e.live {
+		return
+	}
+	if remaining := time.Until(e.expiry); remaining > 0 {
+		// Renewed between the timer firing and this callback taking the
+		// lock: re-arm for the true expiry.
+		e.timer.Reset(remaining)
+		return
+	}
+	e.live = false
+	s.metrics.leaseEvictions.Inc()
+	s.metrics.leasesLive.Set(float64(s.liveLeasesLocked()))
+	s.logfLocked("cloud: lease of edge %d expired, evicting from quorum", edgeID)
+	// Complete the most advanced barrier the shrunken quorum now satisfies;
+	// its completion sweeps the stale ones.
+	best := -1
+	for round, rb := range s.rounds {
+		if round > best && s.quorumMetLocked(rb) {
+			best = round
+		}
+	}
+	if best >= 0 {
+		rb := s.rounds[best]
+		s.completeRoundLocked(best, rb, len(rb.censuses) < s.m)
+	}
+}
+
+// liveLeasesLocked counts live leases. Called with s.mu held.
+func (s *Server) liveLeasesLocked() int {
+	n := 0
+	for _, e := range s.leases {
+		if e.live {
+			n++
+		}
+	}
+	return n
+}
+
+// quorumMetLocked reports whether rb can complete: every region reported,
+// or — once leases are in use — every edge holding a live lease reported.
+// An edge reporting without a lease still counts toward its own barrier; it
+// just cannot be waited on after its lease lapses. Called with s.mu held.
+func (s *Server) quorumMetLocked(rb *roundBarrier) bool {
+	if len(rb.censuses) >= s.m {
+		return true
+	}
+	if !s.leasing || len(rb.censuses) == 0 {
+		return false
+	}
+	for id, e := range s.leases {
+		if !e.live {
+			continue
+		}
+		if _, ok := rb.censuses[id]; !ok {
+			return false
+		}
+	}
+	return true
+}

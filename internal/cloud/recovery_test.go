@@ -1,0 +1,347 @@
+package cloud
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/game"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/transport"
+)
+
+// metricValue reads one counter or gauge out of a registry snapshot.
+func metricValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, p := range reg.Snapshot() {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	t.Fatalf("metric %s not in registry snapshot", name)
+	return 0
+}
+
+// runFullRound drives both regions through one barrier round.
+func runFullRound(t *testing.T, srv *Server, round int, counts0, counts1 []int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var err0 error
+	go func() {
+		defer wg.Done()
+		_, err0 = srv.Submit(transport.Census{Edge: 0, Round: round, Counts: counts0})
+	}()
+	_, err1 := srv.Submit(transport.Census{Edge: 1, Round: round, Counts: counts1})
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("round %d submit errors: %v / %v", round, err0, err1)
+	}
+}
+
+func testCounts(k0, k1, n int) ([]int, []int) {
+	c0 := make([]int, 8)
+	c0[k0] = n
+	c1 := make([]int, 8)
+	c1[k1] = n
+	return c0, c1
+}
+
+// A kill -9'd coordinator restarted from its state directory must resume at
+// latest+1 with a bit-identical game state — including a checkpoint whose
+// last round completed degraded — and answer late censuses for recovered
+// rounds from the recovered state instead of erroring.
+func TestRecoveryResumesBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	fds1, _ := testFDS(t)
+	srv1, err := NewServer(fds1, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Open(dir); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if n := metricValue(t, srv1.Registry(), "durable_recoveries_total"); n != 0 {
+		t.Fatalf("fresh state dir counted %v recoveries", n)
+	}
+
+	c0, c1 := testCounts(0, 7, 10)
+	for round := 0; round < 3; round++ {
+		runFullRound(t, srv1, round, c0, c1)
+	}
+	// Round 3 completes degraded: only region 0 reports, the deadline fires.
+	srv1.SetRoundDeadline(30 * time.Millisecond)
+	if _, err := srv1.Submit(transport.Census{Edge: 0, Round: 3, Counts: c0}); err != nil {
+		t.Fatalf("degraded round: %v", err)
+	}
+
+	preState := srv1.State()
+	preLatest := srv1.Latest()
+	if preLatest != 3 {
+		t.Fatalf("latest before crash = %d, want 3", preLatest)
+	}
+	srv1.Close() // kill -9: no drain, no final checkpoint
+
+	fds2, _ := testFDS(t)
+	srv2, err := NewServer(fds2, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if err := srv2.Open(dir); err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	if got := srv2.Latest(); got != preLatest {
+		t.Fatalf("recovered latest = %d, want %d", got, preLatest)
+	}
+	if !reflect.DeepEqual(srv2.State(), preState) {
+		t.Fatalf("recovered state differs:\n got %+v\nwant %+v", srv2.State(), preState)
+	}
+	reg := srv2.Registry()
+	if n := metricValue(t, reg, "durable_recoveries_total"); n < 1 {
+		t.Fatalf("durable_recoveries_total = %v, want >= 1", n)
+	}
+	if n := metricValue(t, reg, "journal_replay_records_total"); n != 4 {
+		t.Fatalf("journal_replay_records_total = %v, want 4", n)
+	}
+
+	// A late census for a recovered round gets the recovered ratio.
+	lateX, err := srv2.Submit(transport.Census{Edge: 1, Round: 2, Counts: c1})
+	if err != nil {
+		t.Fatalf("late census during recovery: %v", err)
+	}
+	if lateX != preState.X[1] {
+		t.Fatalf("late census ratio = %v, want recovered %v", lateX, preState.X[1])
+	}
+
+	// The next barrier is latest+1 and the trajectory continues: one more
+	// full round on the recovered server matches the same round run on an
+	// uninterrupted twin.
+	runFullRound(t, srv2, preLatest+1, c0, c1)
+	if got := srv2.Latest(); got != preLatest+1 {
+		t.Fatalf("latest after resumed round = %d, want %d", got, preLatest+1)
+	}
+
+	fds3, _ := testFDS(t)
+	twin, err := NewServer(fds3, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	for round := 0; round < 3; round++ {
+		runFullRound(t, twin, round, c0, c1)
+	}
+	twin.SetRoundDeadline(30 * time.Millisecond)
+	if _, err := twin.Submit(transport.Census{Edge: 0, Round: 3, Counts: c0}); err != nil {
+		t.Fatal(err)
+	}
+	twin.SetRoundDeadline(0)
+	runFullRound(t, twin, 4, c0, c1)
+	if !reflect.DeepEqual(srv2.State(), twin.State()) {
+		t.Fatalf("post-recovery trajectory diverged from uninterrupted run:\n got %+v\nwant %+v",
+			srv2.State(), twin.State())
+	}
+}
+
+// A crash between checkpoint rename and journal truncate leaves records the
+// checkpoint already covers; recovery must skip them instead of applying
+// them twice.
+func TestRecoverySkipsCheckpointedJournalRecords(t *testing.T) {
+	dir := t.TempDir()
+
+	// Build the crash artifact directly: a checkpoint at round 2 plus a
+	// journal still holding rounds 1-3.
+	store, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptState := game.NewUniformState(2, 8, 0.5)
+	ckptState.X[0], ckptState.X[1] = 0.25, 0.75
+	snap, err := durable.EncodeCheckpoint(durable.Checkpoint{
+		Round: 2,
+		State: ckptState,
+		FDS:   policy.FDSMemory{LastShortfall: []float64{0.1, 0.2}, StallRounds: []int{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := testCounts(0, 7, 10)
+	for round := 1; round <= 3; round++ {
+		rec, err := durable.EncodeRound(durable.RoundRecord{
+			Round:    round,
+			Censuses: map[int][]int{0: c0, 1: c1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Close()
+
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Open(dir); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := srv.Latest(); got != 3 {
+		t.Fatalf("latest = %d, want 3 (checkpoint round 2 + replayed round 3)", got)
+	}
+	if n := metricValue(t, srv.Registry(), "journal_replay_records_total"); n != 1 {
+		t.Fatalf("journal_replay_records_total = %v, want 1 (rounds 1-2 skipped)", n)
+	}
+}
+
+// Compaction must not change what recovery reconstructs — only how much
+// journal it reads.
+func TestCompactionPreservesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fds1, _ := testFDS(t)
+	srv1, err := NewServer(fds1, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.SetCompactEvery(2)
+	if err := srv1.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := testCounts(1, 6, 7)
+	for round := 0; round < 5; round++ {
+		runFullRound(t, srv1, round, c0, c1)
+	}
+	preState := srv1.State()
+	if n := metricValue(t, srv1.Registry(), "checkpoint_bytes"); n <= 0 {
+		t.Fatalf("checkpoint_bytes = %v after compaction, want > 0", n)
+	}
+	srv1.Close()
+
+	fds2, _ := testFDS(t)
+	srv2, err := NewServer(fds2, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if err := srv2.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.Latest(); got != 4 {
+		t.Fatalf("latest = %d, want 4", got)
+	}
+	if !reflect.DeepEqual(srv2.State(), preState) {
+		t.Fatalf("state after compacted recovery differs")
+	}
+	// Rounds 0-3 were folded into the checkpoint; only round 4 replays.
+	if n := metricValue(t, srv2.Registry(), "journal_replay_records_total"); n != 1 {
+		t.Fatalf("journal_replay_records_total = %v, want 1", n)
+	}
+}
+
+// Drain completes the pending barrier degraded, checkpoints, and leaves a
+// state directory that reopens with an empty journal.
+func TestDrainCompletesPendingAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	fds1, _ := testFDS(t)
+	srv1, err := NewServer(fds1, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := testCounts(0, 7, 10)
+	runFullRound(t, srv1, 0, c0, c1)
+
+	// Leave round 1 half-filled, then drain.
+	pending := make(chan error, 1)
+	go func() {
+		_, err := srv1.Submit(transport.Census{Edge: 0, Round: 1, Counts: c0})
+		pending <- err
+	}()
+	waitFor(t, func() bool {
+		srv1.mu.Lock()
+		defer srv1.mu.Unlock()
+		return len(srv1.rounds) == 1
+	})
+	if err := srv1.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := <-pending; err != nil {
+		t.Fatalf("pending submit during drain: %v", err)
+	}
+	if got := srv1.Latest(); got != 1 {
+		t.Fatalf("latest after drain = %d, want 1", got)
+	}
+	drained := srv1.State()
+
+	store, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.JournalSize() != 0 {
+		t.Fatalf("journal not truncated by drain checkpoint: %d bytes", store.JournalSize())
+	}
+	store.Close()
+
+	fds2, _ := testFDS(t)
+	srv2, err := NewServer(fds2, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if err := srv2.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.Latest(); got != 1 {
+		t.Fatalf("reopened latest = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(srv2.State(), drained) {
+		t.Fatalf("reopened state differs from drained state")
+	}
+}
+
+func TestSubmitRejectsMalformedCounts(t *testing.T) {
+	fds, _ := testFDS(t)
+	srv, err := NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, counts := range [][]int{nil, make([]int, 3), make([]int, 9)} {
+		_, err := srv.Submit(transport.Census{Edge: 0, Round: 0, Counts: counts})
+		if !errors.Is(err, ErrBadCensus) {
+			t.Fatalf("Submit with %d counts = %v, want ErrBadCensus", len(counts), err)
+		}
+	}
+	if got := srv.Stats().DecodeFailures; got != 3 {
+		t.Fatalf("DecodeFailures = %d, want 3", got)
+	}
+	// Unknown edges still fail with the unknown-edge error, not ErrBadCensus.
+	if _, err := srv.Submit(transport.Census{Edge: 5, Round: 0}); errors.Is(err, ErrBadCensus) || err == nil {
+		t.Fatalf("unknown edge error = %v", err)
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

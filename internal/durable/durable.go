@@ -1,0 +1,284 @@
+// Package durable persists the cloud coordinator's consensus state across
+// process death. A state directory holds two files:
+//
+//	checkpoint.snap — the latest full checkpoint, written atomically
+//	                  (tmp file + fsync + rename + directory fsync)
+//	journal.wal     — an append-only, fsync-per-append journal of the
+//	                  rounds applied since that checkpoint
+//
+// Both files carry CRC-framed records: a 4-byte big-endian payload length,
+// a 4-byte big-endian CRC-32C (Castagnoli) of the payload, then the
+// payload. A crash mid-append leaves a torn tail that fails the length or
+// CRC check; Replay truncates it away, so recovery always resumes from the
+// last record whose fsync completed. Compact replaces the checkpoint and
+// truncates the journal; a crash between those two steps only leaves
+// already-checkpointed records in the journal, which the replayer must
+// skip by round number.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	snapshotName = "checkpoint.snap"
+	journalName  = "journal.wal"
+
+	frameHeader = 8 // 4-byte payload length + 4-byte CRC-32C
+
+	// MaxRecordBytes bounds a single record (16 MiB). A length prefix
+	// beyond it is treated as corruption, not an allocation request.
+	MaxRecordBytes = 16 << 20
+)
+
+// ErrStoreClosed is returned by operations on a closed Store.
+var ErrStoreClosed = errors.New("durable: store closed")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store owns one state directory. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	journal *os.File
+	size    int64 // current journal length (all complete records)
+}
+
+// Open creates the state directory if needed and opens (or creates) its
+// journal. Call Replay before the first Append, so a torn tail from a
+// previous crash is truncated rather than appended after.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: state directory must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create state dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: stat journal: %w", err)
+	}
+	return &Store{dir: dir, journal: f, size: st.Size()}, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// JournalSize returns the journal's current length in bytes.
+func (s *Store) JournalSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// LoadSnapshot returns the checkpoint payload, or ok=false when no
+// checkpoint has been written yet. A checkpoint that fails its CRC is an
+// error: unlike a torn journal tail, a torn checkpoint means the atomic
+// rename protocol was violated (or the disk corrupted it) and silently
+// restarting from scratch would discard real state.
+func (s *Store) LoadSnapshot() (payload []byte, ok bool, err error) {
+	path := filepath.Join(s.dir, snapshotName)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	payload, n, frameOK := parseFrame(b)
+	if !frameOK || n != len(b) {
+		return nil, false, fmt.Errorf("durable: snapshot %s is corrupt", path)
+	}
+	return payload, true, nil
+}
+
+// Replay walks the journal's complete records in append order, passing each
+// payload to fn, and truncates any torn tail left by a crash mid-append. It
+// returns the number of records replayed. An error from fn aborts the walk.
+func (s *Store) Replay(fn func(payload []byte) error) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return 0, ErrStoreClosed
+	}
+	buf := make([]byte, s.size)
+	if s.size > 0 {
+		if _, err := s.journal.ReadAt(buf, 0); err != nil {
+			return 0, fmt.Errorf("durable: read journal: %w", err)
+		}
+	}
+	off, replayed := 0, 0
+	for off < len(buf) {
+		payload, n, ok := parseFrame(buf[off:])
+		if !ok {
+			break // torn or corrupt tail: everything before it is good
+		}
+		if err := fn(payload); err != nil {
+			return replayed, err
+		}
+		replayed++
+		off += n
+	}
+	if int64(off) < s.size {
+		if err := s.journal.Truncate(int64(off)); err != nil {
+			return replayed, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+		if err := s.journal.Sync(); err != nil {
+			return replayed, fmt.Errorf("durable: sync journal: %w", err)
+		}
+		s.size = int64(off)
+	}
+	return replayed, nil
+}
+
+// Append frames the payload, writes it at the journal's end, and fsyncs
+// before returning: once Append returns nil the record survives kill -9.
+func (s *Store) Append(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("durable: record of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return ErrStoreClosed
+	}
+	if _, err := s.journal.WriteAt(frame, s.size); err != nil {
+		return fmt.Errorf("durable: append journal: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("durable: sync journal: %w", err)
+	}
+	s.size += int64(len(frame))
+	return nil
+}
+
+// Compact atomically replaces the checkpoint with the given payload and
+// then truncates the journal. The snapshot is made durable before the
+// truncate, so a crash between the two steps loses nothing: the journal
+// still holds records the new checkpoint already covers, and the replayer
+// skips them by round number. Returns the checkpoint size in bytes.
+func (s *Store) Compact(payload []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return 0, ErrStoreClosed
+	}
+	n, err := s.writeSnapshotLocked(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.journal.Truncate(0); err != nil {
+		return n, fmt.Errorf("durable: truncate journal: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return n, fmt.Errorf("durable: sync journal: %w", err)
+	}
+	s.size = 0
+	return n, nil
+}
+
+// WriteSnapshot atomically replaces the checkpoint without touching the
+// journal. Returns the checkpoint size in bytes.
+func (s *Store) WriteSnapshot(payload []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeSnapshotLocked(payload)
+}
+
+func (s *Store) writeSnapshotLocked(payload []byte) (int, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("durable: snapshot of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("durable: create snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("durable: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("durable: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return 0, fmt.Errorf("durable: rename snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
+	return len(frame), nil
+}
+
+// Close releases the journal handle. Further operations fail with
+// ErrStoreClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// appendFrame appends [len][crc][payload] to dst and returns it.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// parseFrame reads one record from the front of b. ok is false when b holds
+// no complete, CRC-valid record (a torn or corrupt tail).
+func parseFrame(b []byte) (payload []byte, consumed int, ok bool) {
+	if len(b) < frameHeader {
+		return nil, 0, false
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > MaxRecordBytes || frameHeader+int(n) > len(b) {
+		return nil, 0, false
+	}
+	payload = b[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(b[4:8]) {
+		return nil, 0, false
+	}
+	return payload, frameHeader + int(n), true
+}
+
+// syncDir fsyncs a directory so a completed rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: sync dir: %w", err)
+	}
+	return nil
+}

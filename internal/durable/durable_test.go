@@ -1,0 +1,266 @@
+package durable
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/policy"
+)
+
+func replayAll(t *testing.T, s *Store) [][]byte {
+	t.Helper()
+	var out [][]byte
+	n, err := s.Replay(func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("Replay reported %d records, callback saw %d", n, len(out))
+	}
+	return out
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
+	for _, rec := range want {
+		if err := s.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got := replayAll(t, s2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// A crash mid-append leaves a torn tail; replay must drop it, keep every
+// earlier record, and let appends continue from the truncation point.
+func TestTornTailTruncatedOnReplay(t *testing.T) {
+	for name, tear := range map[string]func([]byte) []byte{
+		"short-header":    func(b []byte) []byte { return append(b, 0x00, 0x00) },
+		"short-payload":   func(b []byte) []byte { return append(b, 0, 0, 0, 100, 1, 2, 3, 4, 'x') },
+		"crc-mismatch":    func(b []byte) []byte { return append(b, 0, 0, 0, 1, 0xde, 0xad, 0xbe, 0xef, 'x') },
+		"absurd-length":   func(b []byte) []byte { return append(b, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0) },
+		"zeroed-trailing": func(b []byte) []byte { return append(b, make([]byte, 5)...) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if err := s.Append([]byte("good")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			s.Close()
+
+			path := filepath.Join(dir, journalName)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read journal: %v", err)
+			}
+			goodLen := len(b)
+			if err := os.WriteFile(path, tear(b), 0o644); err != nil {
+				t.Fatalf("write torn journal: %v", err)
+			}
+
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer s2.Close()
+			got := replayAll(t, s2)
+			if len(got) != 1 || string(got[0]) != "good" {
+				t.Fatalf("replayed %q, want just the good record", got)
+			}
+			if s2.JournalSize() != int64(goodLen) {
+				t.Fatalf("journal size after truncation = %d, want %d", s2.JournalSize(), goodLen)
+			}
+			// Appends continue cleanly after the torn tail is gone.
+			if err := s2.Append([]byte("after")); err != nil {
+				t.Fatalf("Append after truncation: %v", err)
+			}
+			if got := replayAll(t, s2); len(got) != 2 || string(got[1]) != "after" {
+				t.Fatalf("after re-append, replayed %q", got)
+			}
+		})
+	}
+}
+
+func TestSnapshotAtomicWriteAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	if _, ok, err := s.LoadSnapshot(); err != nil || ok {
+		t.Fatalf("LoadSnapshot on empty dir = ok=%v err=%v, want absent", ok, err)
+	}
+	if _, err := s.WriteSnapshot([]byte("v1")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if _, err := s.WriteSnapshot([]byte("v2")); err != nil {
+		t.Fatalf("WriteSnapshot v2: %v", err)
+	}
+	got, ok, err := s.LoadSnapshot()
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("LoadSnapshot = %q ok=%v err=%v, want v2", got, ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot tmp file left behind (err=%v)", err)
+	}
+
+	// A corrupt checkpoint is an error, never silently ignored.
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("garbage"), 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+	if _, _, err := s.LoadSnapshot(); err == nil {
+		t.Fatalf("LoadSnapshot accepted a corrupt checkpoint")
+	}
+}
+
+func TestCompactTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.Append([]byte{byte(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	n, err := s.Compact([]byte("state"))
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n != frameHeader+len("state") {
+		t.Fatalf("Compact size = %d, want %d", n, frameHeader+len("state"))
+	}
+	if s.JournalSize() != 0 {
+		t.Fatalf("journal size after compact = %d, want 0", s.JournalSize())
+	}
+	if got := replayAll(t, s); len(got) != 0 {
+		t.Fatalf("journal replayed %d records after compact, want 0", len(got))
+	}
+	snap, ok, err := s.LoadSnapshot()
+	if err != nil || !ok || string(snap) != "state" {
+		t.Fatalf("LoadSnapshot after compact = %q ok=%v err=%v", snap, ok, err)
+	}
+	// New appends after compaction are independent of the old journal.
+	if err := s.Append([]byte("next")); err != nil {
+		t.Fatalf("Append after compact: %v", err)
+	}
+	if got := replayAll(t, s); len(got) != 1 || string(got[0]) != "next" {
+		t.Fatalf("after compact+append, replayed %q", got)
+	}
+}
+
+func TestClosedStoreFails(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.Close()
+	if err := s.Append([]byte("x")); err != ErrStoreClosed {
+		t.Fatalf("Append on closed store = %v, want ErrStoreClosed", err)
+	}
+	if _, err := s.Replay(func([]byte) error { return nil }); err != ErrStoreClosed {
+		t.Fatalf("Replay on closed store = %v, want ErrStoreClosed", err)
+	}
+	if _, err := s.Compact([]byte("x")); err != ErrStoreClosed {
+		t.Fatalf("Compact on closed store = %v, want ErrStoreClosed", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello frame")
+	frame := appendFrame(nil, payload)
+	got, n, ok := parseFrame(frame)
+	if !ok || n != len(frame) || string(got) != string(payload) {
+		t.Fatalf("parseFrame = %q n=%d ok=%v", got, n, ok)
+	}
+	// Flipping any byte must fail the CRC (or the length bound).
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x01
+		if p, _, ok := parseFrame(mut); ok && string(p) == string(payload) && i >= frameHeader {
+			t.Fatalf("flip at %d went undetected", i)
+		}
+	}
+	// Length prefix beyond MaxRecordBytes is rejected without allocating.
+	var huge [frameHeader]byte
+	binary.BigEndian.PutUint32(huge[0:4], MaxRecordBytes+1)
+	if _, _, ok := parseFrame(huge[:]); ok {
+		t.Fatalf("oversized length accepted")
+	}
+}
+
+// Checkpoint and round records must round-trip exactly — bit-identical
+// floats included — since recovery correctness depends on it.
+func TestTypedRecordRoundTrip(t *testing.T) {
+	st := game.NewUniformState(2, 3, 0.4)
+	st.P[0] = []float64{0.123456789012345, 0.5, 0.376543210987655}
+	st.X[1] = 0.7071067811865476
+	cp := Checkpoint{
+		Round: 41,
+		State: st,
+		FDS:   policy.FDSMemory{LastShortfall: []float64{0.25, 1e-17}, StallRounds: []int{3, 0}},
+	}
+	b, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	got, err := DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(got, cp) {
+		t.Fatalf("checkpoint round-trip mismatch:\n got %+v\nwant %+v", got, cp)
+	}
+	if _, err := DecodeCheckpoint([]byte(`{"round":1}`)); err == nil {
+		t.Fatalf("DecodeCheckpoint accepted a checkpoint without state")
+	}
+
+	rec := RoundRecord{Round: 7, Degraded: true, Censuses: map[int][]int{0: {1, 2, 3}, 1: {0, 0, 4}}}
+	rb, err := EncodeRound(rec)
+	if err != nil {
+		t.Fatalf("EncodeRound: %v", err)
+	}
+	gotRec, err := DecodeRound(rb)
+	if err != nil {
+		t.Fatalf("DecodeRound: %v", err)
+	}
+	if !reflect.DeepEqual(gotRec, rec) {
+		t.Fatalf("round record round-trip mismatch: got %+v want %+v", gotRec, rec)
+	}
+}

@@ -1,0 +1,66 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/game"
+	"repro/internal/policy"
+)
+
+// Checkpoint is the coordinator's full durable state: the game state after
+// round Round, the round number itself, and the FDS controller's cross-round
+// memory. Payloads are JSON: encoding/json round-trips float64 exactly, so
+// a recovered state is bit-identical to the checkpointed one.
+type Checkpoint struct {
+	Round int              `json:"round"`
+	State *game.State      `json:"state"`
+	FDS   policy.FDSMemory `json:"fds"`
+}
+
+// EncodeCheckpoint serializes a checkpoint payload.
+func EncodeCheckpoint(cp Checkpoint) ([]byte, error) {
+	if cp.State == nil {
+		return nil, fmt.Errorf("durable: checkpoint state must be non-nil")
+	}
+	return json.Marshal(cp)
+}
+
+// DecodeCheckpoint parses and validates a checkpoint payload.
+func DecodeCheckpoint(b []byte) (Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return Checkpoint{}, fmt.Errorf("durable: decode checkpoint: %w", err)
+	}
+	if cp.State == nil {
+		return Checkpoint{}, fmt.Errorf("durable: checkpoint has no state")
+	}
+	if err := cp.State.Validate(); err != nil {
+		return Checkpoint{}, fmt.Errorf("durable: checkpoint state: %w", err)
+	}
+	return cp, nil
+}
+
+// RoundRecord journals one applied consensus round: the censuses the FDS
+// update ran over (keyed by region) and whether the round completed
+// degraded. Replaying the record through the same fold reproduces the
+// post-round state exactly.
+type RoundRecord struct {
+	Round    int           `json:"round"`
+	Degraded bool          `json:"degraded,omitempty"`
+	Censuses map[int][]int `json:"censuses"`
+}
+
+// EncodeRound serializes a round record payload.
+func EncodeRound(rec RoundRecord) ([]byte, error) {
+	return json.Marshal(rec)
+}
+
+// DecodeRound parses a round record payload.
+func DecodeRound(b []byte) (RoundRecord, error) {
+	var rec RoundRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return RoundRecord{}, fmt.Errorf("durable: decode round record: %w", err)
+	}
+	return rec, nil
+}

@@ -86,9 +86,8 @@ func (d *Distributor) X() float64 {
 // must be consistent with the decision (the edge enforces the policy: a
 // vehicle cannot smuggle modalities its decision does not share).
 func (d *Distributor) AddUpload(u transport.Upload) error {
-	if cur := d.Round(); u.Round != cur {
-		return fmt.Errorf("%w: upload for round %d, current round is %d", ErrStaleUpload, u.Round, cur)
-	}
+	// Policy validation first: it reads only the immutable lattice, so it
+	// needs no lock.
 	k := lattice.Decision(u.Decision)
 	share, err := d.lat.Share(k)
 	if err != nil {
@@ -105,6 +104,12 @@ func (d *Distributor) AddUpload(u transport.Upload) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// The round check and the insert must share one lock acquisition: with
+	// them split, a BeginRound between the two lands a stale upload in the
+	// new round's buffer.
+	if u.Round != d.round {
+		return fmt.Errorf("%w: upload for round %d, current round is %d", ErrStaleUpload, u.Round, d.round)
+	}
 	d.uploads[u.Vehicle] = u
 	return nil
 }

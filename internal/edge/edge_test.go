@@ -413,3 +413,60 @@ func TestServerDuplicateRegistrationReplacesStale(t *testing.T) {
 		t.Errorf("NumVehicles = %d, want 1", n)
 	}
 }
+
+// Regression test for a check-then-act race: AddUpload used to validate the
+// round under one lock acquisition and insert under another, so a
+// BeginRound between the two could land a stale upload in the fresh
+// buffer. Hammer uploads against concurrent round flips and assert the
+// invariant that the buffer only ever holds uploads for the current round.
+func TestAddUploadRoundFlipRace(t *testing.T) {
+	d := NewDistributor(lattice.NewPaper(), 1)
+	if err := d.BeginRound(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u0 := upload(w, 0, 8)
+			u1 := upload(w, 1, 8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Both rounds race the flips; exactly one is current at any
+				// instant, and stale ones must bounce with ErrStaleUpload.
+				for _, u := range []transport.Upload{u0, u1} {
+					if err := d.AddUpload(u); err != nil && !errors.Is(err, ErrStaleUpload) {
+						t.Errorf("AddUpload: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	check := func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		for v, u := range d.uploads {
+			if u.Round != d.round {
+				t.Fatalf("vehicle %d upload for round %d buffered in round %d", v, u.Round, d.round)
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if err := d.BeginRound(i%2, 1); err != nil {
+			t.Fatal(err)
+		}
+		check()
+	}
+	close(stop)
+	wg.Wait()
+	check()
+}

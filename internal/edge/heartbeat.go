@@ -1,0 +1,118 @@
+package edge
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/session"
+)
+
+// Heartbeat maintains an edge server's membership lease with the cloud. It
+// runs on a dedicated connection — never the census link, whose
+// request/reply exchange would race with the lease acks — renewing every
+// Interval and redialing whenever the connection drops, so a restarted
+// cloud re-admits the edge as soon as it is reachable again. While the
+// edge is down (its heartbeat stopped), the cloud evicts it from the round
+// barrier quorum after at most TTL.
+type Heartbeat struct {
+	// Edge identifies this region to the cloud.
+	Edge int
+	// Dialer establishes cloud connections with backoff (required).
+	Dialer *transport.Dialer
+	// TTL is the lease duration declared to the cloud (default 2s). The
+	// cloud evicts the edge TTL after the last renewal it saw.
+	TTL time.Duration
+	// Interval is the renewal period (default TTL/3, so two renewals may be
+	// lost before the lease lapses).
+	Interval time.Duration
+	// AckTimeout bounds each renewal's ack wait (default TTL).
+	AckTimeout time.Duration
+	// Obs, when non-nil, is the observer the heartbeat reports through
+	// (edge_lease_renewals_total, edge_lease_redials_total).
+	Obs *obs.Observer
+}
+
+// Run renews the lease until stop closes. It blocks; run it in a goroutine.
+// Failures never terminate the loop — a dead cloud is exactly when the
+// heartbeat must keep dialing, so the lease is re-granted the moment a
+// restarted cloud comes back.
+func (h *Heartbeat) Run(stop <-chan struct{}) {
+	ttl := h.TTL
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	interval := h.Interval
+	if interval <= 0 {
+		interval = ttl / 3
+	}
+	ackTimeout := h.AckTimeout
+	if ackTimeout <= 0 {
+		ackTimeout = ttl
+	}
+	o := h.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	renewals := o.Counter("edge_lease_renewals_total", "membership lease renewals acked by the cloud")
+	redials := o.Counter("edge_lease_redials_total", "heartbeat reconnects after the first dial")
+
+	var conn transport.Conn
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	dialed := false
+	pause := func(d time.Duration) bool {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-stop:
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if conn == nil {
+			c, err := h.Dialer.DialRetry()
+			if err != nil {
+				// The dialer's patience ran out; rest one backoff step and
+				// start over.
+				if !pause(h.Dialer.Backoff(0)) {
+					return
+				}
+				continue
+			}
+			if dialed {
+				redials.Inc()
+			}
+			dialed = true
+			conn = c
+		}
+		if err := session.RenewLease(conn, h.Edge, ttl, ackTimeout); err != nil {
+			_ = conn.Close()
+			conn = nil
+			if !transport.IsConnError(err) {
+				// An application-level refusal (e.g. a misconfigured edge id)
+				// will not heal by redialing fast; rest a full interval.
+				var rej *session.RejectedError
+				if errors.As(err, &rej) && !pause(interval) {
+					return
+				}
+			}
+			continue
+		}
+		renewals.Inc()
+		if !pause(interval) {
+			return
+		}
+	}
+}

@@ -84,24 +84,18 @@ func (s *Server) Instrument(o *obs.Observer) {
 	s.metrics.vehicles.Set(float64(len(s.conns)))
 }
 
-// Serve accepts vehicle connections until the listener fails or the server
-// closes. Injected (transient) accept failures are skipped. It blocks; run
-// it in a goroutine.
+// Serve accepts vehicle connections until the listener is torn down or the
+// server closes. Transient accept failures — injected faults and real ones
+// alike — are retried with bounded backoff (see transport.AcceptLoop). It
+// blocks; run it in a goroutine.
 func (s *Server) Serve(l transport.Listener) {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, transport.ErrInjected) {
-				continue
-			}
-			return
-		}
+	transport.AcceptLoop(l, s.closed, func(conn transport.Conn) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handleConn(conn)
 		}()
-	}
+	})
 }
 
 // Close terminates the server: vehicle connections are closed and Serve

@@ -83,6 +83,34 @@ func (f *FDS) ResetStallState() {
 	}
 }
 
+// FDSMemory is the controller's cross-round mutable state (the stall
+// detector's per-region shortfall and counters), exposed so a coordinator
+// checkpoint can restore the controller exactly where it left off.
+type FDSMemory struct {
+	LastShortfall []float64 `json:"last_shortfall"`
+	StallRounds   []int     `json:"stall_rounds"`
+}
+
+// Memory snapshots the controller's cross-round state.
+func (f *FDS) Memory() FDSMemory {
+	return FDSMemory{
+		LastShortfall: append([]float64(nil), f.lastShortfall...),
+		StallRounds:   append([]int(nil), f.stallRounds...),
+	}
+}
+
+// SetMemory restores cross-round state captured by Memory on a controller
+// with the same region count.
+func (f *FDS) SetMemory(mem FDSMemory) error {
+	if len(mem.LastShortfall) != len(f.lastShortfall) || len(mem.StallRounds) != len(f.stallRounds) {
+		return fmt.Errorf("policy: FDS memory for %d/%d regions, controller has %d",
+			len(mem.LastShortfall), len(mem.StallRounds), len(f.lastShortfall))
+	}
+	copy(f.lastShortfall, mem.LastShortfall)
+	copy(f.stallRounds, mem.StallRounds)
+	return nil
+}
+
 // Field returns the controller's desired field.
 func (f *FDS) Field() *Field { return f.field }
 

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"time"
+)
+
+// Accept-loop backoff bounds: the first non-injected transient failure
+// retries after acceptBackoffMin, doubling up to acceptBackoffMax.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// AcceptLoop runs l.Accept until the listener is torn down, handing every
+// connection to handle (which must not block; spawn per-connection work in
+// a goroutine). Injected fault failures retry immediately; any other
+// transient error retries with bounded exponential backoff, so one bad
+// accept — a transient EMFILE, a half-open TCP reset — cannot permanently
+// kill a server's accept loop. The loop returns only on listener teardown
+// (ErrClosed, net.ErrClosed, io.EOF) or when stop closes; stop may be nil.
+func AcceptLoop(l Listener, stop <-chan struct{}, handle func(Conn)) {
+	var backoff time.Duration
+	for {
+		conn, err := l.Accept()
+		if err == nil {
+			backoff = 0
+			handle(conn)
+			continue
+		}
+		if errors.Is(err, ErrClosed) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+			return
+		}
+		if errors.Is(err, ErrInjected) {
+			continue
+		}
+		if backoff == 0 {
+			backoff = acceptBackoffMin
+		} else if backoff < acceptBackoffMax {
+			backoff *= 2
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}

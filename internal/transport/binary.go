@@ -15,7 +15,7 @@ import (
 //
 //	frame   := kindTag payload
 //	kindTag := 1 hello | 2 census | 3 ratio | 4 policy
-//	         | 5 upload | 6 delivery | 7 ack
+//	         | 5 upload | 6 delivery | 7 ack | 8 lease
 //	int     := zigzag varint            (encoding/binary PutVarint)
 //	len     := uvarint                  (encoding/binary PutUvarint)
 //	f64     := 8-byte little-endian IEEE-754 bits
@@ -29,6 +29,7 @@ import (
 //	upload   := int(vehicle) int(round) int(decision) len [item]...
 //	delivery := int(round) len [item]...
 //	ack      := str(err)
+//	lease    := int(edge) int(ttl_ms)
 //
 // Decoding is strict: truncated fields, lengths that cannot fit in the
 // remaining bytes (which also caps decode allocations), unknown kind tags,
@@ -44,6 +45,7 @@ const (
 	tagUpload
 	tagDelivery
 	tagAck
+	tagLease
 )
 
 func (binaryCodec) Name() string  { return "binary" }
@@ -118,6 +120,14 @@ func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
 		dst = append(dst, tagAck)
 		dst = appendLen(dst, len(a.Err))
 		return append(dst, a.Err...), nil
+	case KindLease:
+		var l Lease
+		if err := payloadFor(m, &l); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagLease)
+		dst = appendInt(dst, int64(l.Edge))
+		return appendInt(dst, l.TTLMillis), nil
 	default:
 		return nil, fmt.Errorf("transport: binary codec cannot encode kind %q", m.Kind)
 	}
@@ -170,6 +180,9 @@ func (binaryCodec) Decode(frame []byte) (Message, error) {
 	case tagAck:
 		kind = KindAck
 		body = Ack{Err: r.str()}
+	case tagLease:
+		kind = KindLease
+		body = Lease{Edge: int(r.int()), TTLMillis: r.int()}
 	default:
 		return Message{}, fmt.Errorf("transport: unknown binary kind tag 0x%02x", frame[0])
 	}

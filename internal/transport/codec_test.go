@@ -31,6 +31,7 @@ func allKindsMessages(t *testing.T) []Message {
 		}}},
 		{KindDelivery, Delivery{Round: 5, Items: []Item{{Owner: 9, Modality: sensor.Camera, Seq: 3}}}},
 		{KindAck, Ack{Err: "nope"}},
+		{KindLease, Lease{Edge: 2, TTLMillis: 1500}},
 	}
 	out := make([]Message, len(payloads))
 	for i, p := range payloads {
@@ -126,6 +127,12 @@ func TestBinaryGoldenBytes(t *testing.T) {
 			kind: KindRatio,
 			body: Ratio{Round: 2, X: 0.5},
 			want: []byte{0x03, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F},
+		},
+		{
+			name: "lease",
+			kind: KindLease,
+			body: Lease{Edge: 2, TTLMillis: 1500},
+			want: []byte{0x08, 0x04, 0xB8, 0x17},
 		},
 	}
 	for _, c := range cases {

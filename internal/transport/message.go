@@ -35,6 +35,10 @@ const (
 	KindDelivery Kind = "delivery"
 	// KindAck is a generic acknowledgement carrying an optional error.
 	KindAck Kind = "ack"
+	// KindLease renews an edge server's membership lease with the cloud
+	// (answered with an Ack). Edges whose lease lapses are evicted from the
+	// round-barrier quorum until they renew.
+	KindLease Kind = "lease"
 )
 
 // Message is the wire envelope. A message carries its payload in one of two
@@ -109,6 +113,15 @@ type Delivery struct {
 // Ack acknowledges a message; Err is empty on success.
 type Ack struct {
 	Err string `json:"err,omitempty"`
+}
+
+// Lease is an edge server's membership heartbeat: while renewed within
+// TTLMillis, the edge counts toward the cloud's round-barrier quorum; when
+// the lease lapses the cloud evicts the edge instead of waiting out the
+// round deadline, and re-admits it on the next renewal.
+type Lease struct {
+	Edge      int   `json:"edge"`
+	TTLMillis int64 `json:"ttl_ms"`
 }
 
 // Encode wraps a payload struct in a Message envelope. Encoding is lazy:
@@ -216,6 +229,15 @@ func copyTyped(body, out interface{}) bool {
 			*dst = src
 			return true
 		case *Ack:
+			*dst = *src
+			return true
+		}
+	case *Lease:
+		switch src := body.(type) {
+		case Lease:
+			*dst = src
+			return true
+		case *Lease:
 			*dst = *src
 			return true
 		}

@@ -181,6 +181,31 @@ func (s *Session) Request(kind transport.Kind, payload interface{},
 	}
 }
 
+// RenewLease sends one membership-lease renewal on conn and waits for the
+// cloud's ack. The heartbeat must run on a connection of its own: on a
+// shared conn the ack would race with census/ratio replies (Request treats
+// any Ack as a refusal). A cloud refusal — e.g. an unknown edge id —
+// surfaces as *RejectedError. timeout bounds the ack wait (0 = forever);
+// on expiry the conn is closed and must be redialed.
+func RenewLease(conn transport.Conn, edgeID int, ttl, timeout time.Duration) error {
+	s := Wrap(conn)
+	if err := s.Send(transport.KindLease, transport.Lease{Edge: edgeID, TTLMillis: ttl.Milliseconds()}); err != nil {
+		return fmt.Errorf("sending lease renewal: %w", err)
+	}
+	m, err := transport.RecvTimeout(conn, timeout)
+	if err != nil {
+		return fmt.Errorf("waiting for lease ack: %w", err)
+	}
+	var ack transport.Ack
+	if err := transport.Decode(m, transport.KindAck, &ack); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return &RejectedError{Reason: ack.Err}
+	}
+	return nil
+}
+
 // ReportCensus submits one round's census on conn (step ①) and waits for
 // the cloud's matching next-round ratio (step ②), skipping stale replies.
 // A cloud refusal surfaces as *RejectedError. It is the one census/ratio

@@ -248,3 +248,47 @@ func TestRequestTimeoutClosesConn(t *testing.T) {
 		t.Error("timeout must classify as a connection error so callers redial")
 	}
 }
+
+func TestRenewLeaseAckedAndRejected(t *testing.T) {
+	a, b := pair(t)
+	// Server side: grant the first renewal, refuse the second.
+	go func() {
+		for _, reject := range []bool{false, true} {
+			m, err := b.Conn().Recv()
+			if err != nil {
+				return
+			}
+			var lease transport.Lease
+			if err := transport.Decode(m, transport.KindLease, &lease); err != nil {
+				_ = b.Ack(err)
+				continue
+			}
+			if reject {
+				_ = b.Ack(fmt.Errorf("unknown edge %d", lease.Edge))
+			} else if lease.Edge != 3 || lease.TTLMillis != 250 {
+				_ = b.Ack(fmt.Errorf("bad lease %+v", lease))
+			} else {
+				_ = b.Ack(nil)
+			}
+		}
+	}()
+	if err := RenewLease(a.Conn(), 3, 250*time.Millisecond, time.Second); err != nil {
+		t.Fatalf("first renewal: %v", err)
+	}
+	err := RenewLease(a.Conn(), 3, 250*time.Millisecond, time.Second)
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("second renewal = %v, want *RejectedError", err)
+	}
+}
+
+func TestRenewLeaseTimeoutClosesConn(t *testing.T) {
+	a, _ := pair(t)
+	err := RenewLease(a.Conn(), 1, time.Second, 20*time.Millisecond)
+	if err == nil {
+		t.Fatal("RenewLease with silent peer succeeded")
+	}
+	if !transport.IsConnError(err) {
+		t.Fatalf("timeout error %v is not a conn error", err)
+	}
+}

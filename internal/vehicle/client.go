@@ -149,6 +149,7 @@ func (c *Client) RunWithReconnect(d *transport.Dialer) error {
 	}
 	sessions := c.Obs.Counter("vehicle_sessions_total", "vehicle client sessions dialed (first connects plus reconnects)")
 	reconnects := c.Obs.Counter("vehicle_reconnects_total", "vehicle client redials after a dropped session")
+	rejected := 0 // consecutive sessions ending in a registration rejection
 	for session := 0; ; session++ {
 		if c.stopped() {
 			return nil
@@ -171,10 +172,16 @@ func (c *Client) RunWithReconnect(d *transport.Dialer) error {
 		switch {
 		case err == nil:
 			// The server closed the session; redial unless stopping.
+			rejected = 0
 		case errors.Is(err, ErrRejected):
-			// The server still holds a ghost of the dropped session.
+			// The server still holds a ghost of the dropped session. One
+			// rejection clears quickly; repeated ones mean the server is
+			// slow to notice the dead session (e.g. mid-recovery), so each
+			// escalates the redial pause along the dialer's schedule.
+			rejected++
 		case transport.IsConnError(err):
 			// The link died mid-session.
+			rejected = 0
 		default:
 			return err
 		}
@@ -182,7 +189,7 @@ func (c *Client) RunWithReconnect(d *transport.Dialer) error {
 			return nil
 		}
 		// Pace the redial so a flapping server cannot spin the client.
-		if pause := d.Backoff(0); d.Sleep != nil {
+		if pause := d.Backoff(rejected); d.Sleep != nil {
 			d.Sleep(pause)
 		} else {
 			time.Sleep(pause)
