@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cloud"
 	"repro/internal/experiments"
 	"repro/internal/game"
 	"repro/internal/lattice"
@@ -445,4 +446,109 @@ func BenchmarkRoundTrip(b *testing.B) {
 			b.ReportMetric(float64(total)/float64(len(messages)), "bytes/frame")
 		})
 	}
+}
+
+// benchGraph is the 2-region graph the consensus benchmarks fold over.
+type benchGraph struct{}
+
+func (benchGraph) M() int { return 2 }
+func (benchGraph) Gamma(i, j int) float64 {
+	if i == j {
+		return 0.8
+	}
+	return 0.2
+}
+func (benchGraph) Neighbors(i int) []int {
+	if i == 0 {
+		return []int{1}
+	}
+	return []int{0}
+}
+
+func benchCloudServer(b *testing.B, lag int) *cloud.Server {
+	b.Helper()
+	m, err := game.NewModel(lattice.PaperPayoffs(), benchGraph{}, []float64{3, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := []float64{0.7, 0, 0, 0, 0, 0, 0, 0}
+	field, err := policy.NewUniformField(2, target, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for k := 1; k < 8; k++ {
+			field.P[i][k].Lo, field.P[i][k].Hi = 0, 1
+		}
+	}
+	fds, err := policy.NewFDS(m, field, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := cloud.NewServer(fds, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if lag > 0 {
+		srv.SetFixedLag(lag)
+	}
+	return srv
+}
+
+// BenchmarkConsensusRoundsPerSec measures round-barrier fold throughput at
+// the cloud: each iteration is one complete two-region round. The direct
+// variant is the plain fold, lag16 adds the fixed-lag window's per-round
+// snapshots, and rewind pays a full rewind + re-fold every round (a late
+// non-identical census for the round just completed).
+func BenchmarkConsensusRoundsPerSec(b *testing.B) {
+	c0 := []int{12, 40, 7, 3, 0, 9, 1, 28}
+	c1 := []int{5, 22, 31, 0, 8, 14, 2, 18}
+	fullRound := func(b *testing.B, srv *cloud.Server, round int) {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Submit(transport.Census{Edge: 1, Round: round, Counts: c1}); err != nil {
+				b.Error(err)
+			}
+		}()
+		if _, err := srv.Submit(transport.Census{Edge: 0, Round: round, Counts: c0}); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+	}
+	for _, bench := range []struct {
+		name string
+		lag  int
+	}{
+		{"direct", 0},
+		{"lag16", 16},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			srv := benchCloudServer(b, bench.lag)
+			defer srv.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fullRound(b, srv, i)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+	b.Run("rewind", func(b *testing.B) {
+		srv := benchCloudServer(b, 16)
+		defer srv.Close()
+		late := []int{9, 9, 9, 9, 9, 9, 9, 9}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fullRound(b, srv, i)
+			// A differing late census for the round just folded: rewinds and
+			// re-folds it (window depth 1 behind the head).
+			if _, err := srv.Submit(transport.Census{Edge: 1, Round: i, Counts: late}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+	})
 }

@@ -69,7 +69,11 @@ func main() {
 		faultDrop = flag.Float64("fault-drop", 0,
 			"fault injection: per-message drop probability on this node's links")
 		faultDelay = flag.Duration("fault-delay", 0,
-			"fault injection: max injected per-message delay on this node's links")
+			"fault injection: max injected per-message delay on this node's links (delays reorder frames)")
+		faultDup = flag.Float64("fault-dup", 0,
+			"fault injection: per-message duplication probability on this node's links")
+		fixedLag = flag.Int("fixed-lag", 0,
+			"cloud: rewind window in rounds; a census arriving this late is folded back in and the corrected ratio re-published (0 = answer late censuses from current state)")
 		retryMax = flag.Int("retry-max", 8,
 			"max dial attempts per reconnect burst (edge, vehicles)")
 		roundDeadline = flag.Duration("round-deadline", 10*time.Second,
@@ -114,10 +118,11 @@ func main() {
 	}
 
 	var fault *transport.Fault
-	if *faultDrop > 0 || *faultDelay > 0 {
+	if *faultDrop > 0 || *faultDelay > 0 || *faultDup > 0 {
 		fault = transport.NewFault(transport.FaultConfig{
 			Seed:     *seed,
 			DropProb: *faultDrop,
+			DupProb:  *faultDup,
 			MinDelay: *faultDelay / 20,
 			MaxDelay: *faultDelay,
 		})
@@ -128,7 +133,7 @@ func main() {
 
 	switch *role {
 	case "cloud":
-		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *stateDir, *roundDeadline, fault, o, tcpOpts)
+		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *stateDir, *roundDeadline, *fixedLag, fault, o, tcpOpts)
 	case "edge":
 		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, *leaseTTL, fault, o, tcpOpts)
 	case "vehicles":
@@ -172,7 +177,7 @@ func (g demoGraph) Neighbors(i int) []int {
 	return out
 }
 
-func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath, stateDir string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
+func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath, stateDir string, roundDeadline time.Duration, fixedLag int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	betas := make([]float64, regions)
 	for i := range betas {
 		betas[i] = beta
@@ -199,7 +204,7 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 			return fmt.Errorf("field spec is %dx%d, want %dx%d", field.M(), field.K(), regions, model.K())
 		}
 		return serveCloud(listen, model, field, regions, x0, lambda,
-			fmt.Sprintf("field spec %s", fieldPath), stateDir, roundDeadline, fault, o, tcpOpts)
+			fmt.Sprintf("field spec %s", fieldPath), stateDir, roundDeadline, fixedLag, fault, o, tcpOpts)
 	}
 
 	// Desired field: the regime reachable from a uniform mix at the target
@@ -240,14 +245,14 @@ func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldP
 		}
 	}
 	return serveCloud(listen, model, field, regions, x0, lambda,
-		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), stateDir, roundDeadline, fault, o, tcpOpts)
+		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), stateDir, roundDeadline, fixedLag, fault, o, tcpOpts)
 }
 
 // serveCloud starts the FDS coordinator over TCP and blocks until the
 // listener dies or a termination signal arrives. With a state directory the
 // consensus survives both kill -9 (journal replay on the next start) and
 // SIGTERM (graceful drain: pending round completed, checkpoint written).
-func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what, stateDir string, roundDeadline time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
+func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what, stateDir string, roundDeadline time.Duration, fixedLag int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
 	fds, err := policy.NewFDS(model, field, lambda)
 	if err != nil {
 		return err
@@ -263,6 +268,7 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 		srv.Instrument(o)
 	}
 	srv.SetRoundDeadline(roundDeadline)
+	srv.SetFixedLag(fixedLag) // before Open: recovery rebuilds the rewind window
 	srv.SetLogf(log.Printf)
 	if stateDir != "" {
 		if err := srv.Open(stateDir); err != nil {
@@ -287,8 +293,8 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 		}
 		_ = l.Close() // unblocks Serve
 	}()
-	fmt.Printf("cloud: listening on %s, steering %d regions toward %s (round deadline %v)\n",
-		l.Addr(), regions, what, roundDeadline)
+	fmt.Printf("cloud: listening on %s, steering %d regions toward %s (round deadline %v, fixed lag %d)\n",
+		l.Addr(), regions, what, roundDeadline, fixedLag)
 	srv.Serve(l) // blocks
 	return nil
 }
@@ -335,6 +341,18 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 		Obs:          o,
 	}
 	defer link.Close()
+	// Ratio corrections pushed after a cloud fixed-lag rewind (another
+	// region's straggler changed the fold): adopt the corrected ratio at the
+	// start of the next round. The callback runs on the session's read
+	// goroutine, hence the mutex.
+	var corrMu sync.Mutex
+	correctedX, haveCorrection := 0.0, false
+	link.OnCorrection = func(round int, cx float64) {
+		corrMu.Lock()
+		correctedX, haveCorrection = cx, true
+		corrMu.Unlock()
+		log.Printf("edge %d: cloud rewound through round %d; corrected x=%.4f", id, round, cx)
+	}
 
 	if leaseTTL > 0 {
 		// Membership heartbeat on its own connection (the census link's
@@ -367,6 +385,11 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 
 	x := 0.3
 	for t := 0; t < rounds; t++ {
+		corrMu.Lock()
+		if haveCorrection {
+			x, haveCorrection = correctedX, false
+		}
+		corrMu.Unlock()
 		census, err := srv.RunRound(t, x, 5*time.Second)
 		if err != nil {
 			return fmt.Errorf("round %d: %w", t, err)

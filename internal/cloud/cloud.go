@@ -66,6 +66,16 @@ type Server struct {
 	// deployments that never send heartbeats.
 	leases  map[int]*leaseEntry
 	leasing bool
+
+	// Fixed-lag fusion (see SetFixedLag). window holds the last lag
+	// completed rounds in round order; correctionSeq totally orders the
+	// ratio corrections rewinds publish; edgeSess maps each edge to the
+	// session its censuses arrive on, the channel corrections go back out.
+	lag           int
+	window        []*lagEntry
+	correctionSeq int64
+	maxSkew       int
+	edgeSess      map[int]*session.Session
 }
 
 // serverMetrics are the coordinator's registry-backed instruments (see the
@@ -85,6 +95,14 @@ type serverMetrics struct {
 	leaseRenewals  *obs.Counter   // lease_renewals_total
 	leaseEvictions *obs.Counter   // lease_evictions_total
 	leasesLive     *obs.Gauge     // cloud_leases_live
+	rewinds        *obs.Counter   // consensus_rewinds_total
+	replayed       *obs.Counter   // consensus_replayed_rounds_total
+	beyondLag      *obs.Counter   // consensus_censuses_beyond_lag_total
+	duplicates     *obs.Counter   // consensus_duplicate_censuses_total
+	future         *obs.Counter   // consensus_future_censuses_total
+	corrections    *obs.Counter   // consensus_ratio_corrections_total
+	lagDepth       *obs.Gauge     // consensus_lag_window_depth
+	stateHash      *obs.Gauge     // consensus_state_hash
 }
 
 func newServerMetrics(o *obs.Observer) serverMetrics {
@@ -103,6 +121,14 @@ func newServerMetrics(o *obs.Observer) serverMetrics {
 		leaseRenewals:  o.Counter("lease_renewals_total", "edge membership lease registrations and renewals"),
 		leaseEvictions: o.Counter("lease_evictions_total", "edges evicted from the barrier quorum by lease expiry"),
 		leasesLive:     o.Gauge("cloud_leases_live", "edges currently holding a live membership lease"),
+		rewinds:        o.Counter("consensus_rewinds_total", "fixed-lag rewinds triggered by late censuses inside the window"),
+		replayed:       o.Counter("consensus_replayed_rounds_total", "rounds re-folded during fixed-lag rewinds"),
+		beyondLag:      o.Counter("consensus_censuses_beyond_lag_total", "late censuses outside the lag window, answered from current state"),
+		duplicates:     o.Counter("consensus_duplicate_censuses_total", "duplicate censuses absorbed without changing a round's fold"),
+		future:         o.Counter("consensus_future_censuses_total", "censuses rejected for exceeding the round skew bound"),
+		corrections:    o.Counter("consensus_ratio_corrections_total", "ratio-correction frames published after rewinds"),
+		lagDepth:       o.Gauge("consensus_lag_window_depth", "completed rounds currently buffered in the fixed-lag window"),
+		stateHash:      o.Gauge("consensus_state_hash", "CRC-32C of the canonical JSON game state (bit-identity check)"),
 	}
 }
 
@@ -166,8 +192,11 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 		closed:       make(chan struct{}),
 		compactEvery: defaultCompactEvery,
 		leases:       make(map[int]*leaseEntry),
+		maxSkew:      defaultMaxRoundSkew,
+		edgeSess:     make(map[int]*session.Session),
 	}
 	s.metrics.latestRound.Set(-1)
+	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 	return s, nil
 }
 
@@ -190,6 +219,8 @@ func (s *Server) Instrument(o *obs.Observer) {
 	s.obsv = o
 	s.metrics = newServerMetrics(o)
 	s.metrics.latestRound.Set(float64(s.latest))
+	s.metrics.lagDepth.Set(float64(len(s.window)))
+	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 }
 
 // Registry returns the registry behind the server's metrics (the private
@@ -318,6 +349,7 @@ func (s *Server) Close() {
 func (s *Server) handleConn(conn transport.Conn) {
 	sess := session.Wrap(conn)
 	defer sess.Close()
+	defer s.dropEdgeSess(sess)
 	// dropFrame counts and logs a malformed frame without killing the
 	// connection: the edge's next census must still be servable.
 	dropFrame := func(err error) error {
@@ -333,6 +365,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 			if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
 				return dropFrame(err)
 			}
+			s.registerEdgeSess(census.Edge, sess)
 			x, err := s.Submit(census)
 			switch {
 			case err == nil:
@@ -390,11 +423,32 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 	s.mu.Lock()
 	if census.Round <= s.latest {
 		// The round already completed (possibly degraded, without this
-		// region): answer with the current ratio so the edge moves on.
+		// region). Inside the lag window the fold rewinds and re-propagates
+		// so the answer — and every subsequent published ratio — matches
+		// what a lossless network would have produced; beyond it the census
+		// is folded away and answered from the current state, the degraded
+		// legacy path.
 		s.metrics.late.Inc()
+		handled, corrections, err := s.handleLateLocked(census)
+		if err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+		if !handled && s.lag > 0 {
+			s.metrics.beyondLag.Inc()
+		}
 		x := s.state.X[census.Edge]
 		s.mu.Unlock()
+		s.sendCorrections(corrections)
 		return x, nil
+	}
+	if s.maxSkew > 0 && census.Round > s.latest+s.maxSkew {
+		s.metrics.future.Inc()
+		s.logfLocked("cloud: rejecting census from edge %d for round %d (latest %d, skew bound %d)",
+			census.Edge, census.Round, s.latest, s.maxSkew)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: round %d is beyond latest %d + skew %d",
+			ErrFutureRound, census.Round, s.latest, s.maxSkew)
 	}
 	rb, ok := s.rounds[census.Round]
 	if !ok {
@@ -411,6 +465,11 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 		}
 	}
 	rb.span.Event("census", obs.A("edge", census.Edge))
+	if _, resubmitted := rb.censuses[census.Edge]; resubmitted {
+		// A CloudLink redial re-submits the census it never got an answer
+		// for; last write wins under the one barrier lock.
+		s.metrics.duplicates.Inc()
+	}
 	rb.censuses[census.Edge] = census.Counts
 	if s.quorumMetLocked(rb) {
 		s.completeRoundLocked(census.Round, rb, len(rb.censuses) < s.m)
@@ -455,11 +514,16 @@ func (s *Server) completeRoundLocked(round int, rb *roundBarrier, degraded bool)
 	if rb.timer != nil {
 		rb.timer.Stop()
 	}
+	if s.lag > 0 {
+		// Snapshot the pre-fold state so a late census can rewind this round.
+		s.pushWindowLocked(round, rb.censuses, degraded)
+	}
 	s.applyRoundLocked(rb)
 	rb.degraded = degraded
 	if round > s.latest {
 		s.latest = round
 	}
+	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 	// Journal before releasing the waiters: a ratio answered to an edge must
 	// never be lost to a crash the edge did not see.
 	s.persistRoundLocked(round, rb, degraded)

@@ -67,6 +67,7 @@ func (s *Server) Open(stateDir string) error {
 		}
 		s.state = cp.State
 		s.latest = cp.Round
+		s.correctionSeq = cp.CorrectionSeq
 		s.metrics.checkpointSize.Set(float64(len(snap)))
 		recovered = true
 	}
@@ -76,10 +77,36 @@ func (s *Server) Open(stateDir string) error {
 		if err != nil {
 			return err
 		}
+		if rec.Corrected {
+			// A fixed-lag rewind re-journaled this round with a late census
+			// merged in: supersede the earlier fold and re-propagate, so the
+			// recovered history is the corrected one.
+			if idx := s.windowIndexLocked(rec.Round); idx >= 0 {
+				e := s.window[idx]
+				e.censuses = rec.Censuses
+				e.degraded = rec.Degraded
+				if err := s.refoldLocked(idx); err != nil {
+					return fmt.Errorf("replaying corrected round %d: %w", rec.Round, err)
+				}
+				s.correctionSeq++
+				replayed++
+				return nil
+			}
+			if rec.Round <= s.latest {
+				// The corrected fold is already inside the checkpoint (or the
+				// window shrank across restarts); nothing to redo.
+				return nil
+			}
+			// No earlier fold of this round survives: apply it as a fresh
+			// record below.
+		}
 		if rec.Round <= s.latest {
 			// Already covered by the checkpoint: a crash between snapshot
 			// rename and journal truncate leaves such records behind.
 			return nil
+		}
+		if s.lag > 0 {
+			s.pushWindowLocked(rec.Round, rec.Censuses, rec.Degraded)
 		}
 		rb := &roundBarrier{censuses: rec.Censuses}
 		s.applyRoundLocked(rb)
@@ -101,6 +128,7 @@ func (s *Server) Open(stateDir string) error {
 	if recovered {
 		s.metrics.recoveries.Inc()
 		s.metrics.latestRound.Set(float64(s.latest))
+		s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 		s.logfLocked("cloud: recovered state through round %d from %s (%d journal records replayed)",
 			s.latest, stateDir, replayed)
 	}
@@ -137,18 +165,72 @@ func (s *Server) persistRoundLocked(round int, rb *roundBarrier, degraded bool) 
 	}
 }
 
-// checkpointLocked folds the current state into an atomic checkpoint and
-// truncates the journal. Called with s.mu held.
-func (s *Server) checkpointLocked() error {
-	payload, err := durable.EncodeCheckpoint(durable.Checkpoint{
-		Round: s.latest,
-		State: s.state,
-		FDS:   s.fds.Memory(),
+// persistCorrectedLocked re-journals a window entry whose fold a rewind just
+// superseded, marked Corrected so recovery replays the corrected history.
+// Failures are counted and logged but do not fail the rewind, matching
+// persistRoundLocked. Called with s.mu held; no-op without an open store.
+func (s *Server) persistCorrectedLocked(e *lagEntry) {
+	if s.store == nil {
+		return
+	}
+	payload, err := durable.EncodeRound(durable.RoundRecord{
+		Round:     e.round,
+		Degraded:  e.degraded,
+		Censuses:  e.censuses,
+		Corrected: true,
 	})
+	if err == nil {
+		err = s.store.Append(payload)
+	}
+	if err != nil {
+		s.metrics.journalErrors.Inc()
+		s.logfLocked("cloud: journaling corrected round %d: %v", e.round, err)
+	}
+}
+
+// checkpointLocked folds the durable state into an atomic checkpoint.
+// Without a lag window the checkpoint captures the current state and the
+// journal truncates empty. With buffered rounds, the checkpoint instead
+// captures the state *before* the oldest window entry and the window's
+// round records are retained in the journal — rewinding inside the window
+// must stay possible across a restart, and a checkpoint of the current
+// state would make the buffered rounds unrecoverable. Called with s.mu
+// held.
+func (s *Server) checkpointLocked() error {
+	cp := durable.Checkpoint{
+		Round:         s.latest,
+		State:         s.state,
+		FDS:           s.fds.Memory(),
+		CorrectionSeq: s.correctionSeq,
+	}
+	var retained [][]byte
+	if s.lag > 0 && len(s.window) > 0 {
+		w0 := s.window[0]
+		cp.Round = w0.round - 1
+		cp.State = w0.preState
+		cp.FDS = w0.preFDS
+		for _, e := range s.window {
+			rec, err := durable.EncodeRound(durable.RoundRecord{
+				Round:    e.round,
+				Degraded: e.degraded,
+				Censuses: e.censuses,
+			})
+			if err != nil {
+				return err
+			}
+			retained = append(retained, rec)
+		}
+	}
+	payload, err := durable.EncodeCheckpoint(cp)
 	if err != nil {
 		return err
 	}
-	n, err := s.store.Compact(payload)
+	var n int
+	if retained == nil {
+		n, err = s.store.Compact(payload)
+	} else {
+		n, err = s.store.CompactRetain(payload, retained)
+	}
 	if err != nil {
 		return err
 	}

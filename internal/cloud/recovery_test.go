@@ -345,3 +345,105 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 5s")
 }
+
+// A crash inside the lag window must not lose the window: the restarted
+// server recovers the corrected (post-rewind) history bit-identically and
+// can still rewind the rounds that were buffered when the process died.
+func TestRecoveryPreservesRewindWindow(t *testing.T) {
+	c0, c1 := testCounts(0, 7, 10)
+
+	// Lossless reference for the full five-round trajectory.
+	fdsRef, _ := testFDS(t)
+	ref, err := NewServer(fdsRef, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for round := 0; round < 5; round++ {
+		runFullRound(t, ref, round, c0, c1)
+	}
+
+	dir := t.TempDir()
+	fds1, _ := testFDS(t)
+	srv1, err := NewServer(fds1, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.SetFixedLag(8)
+	srv1.SetCompactEvery(2) // exercise the retained-window checkpoint path
+	if err := srv1.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	runFullRound(t, srv1, 0, c0, c1)
+	// Round 1 completes degraded, then region 1's census arrives late and
+	// rewinds it — the corrected round is journaled.
+	srv1.SetRoundDeadline(20 * time.Millisecond)
+	if _, err := srv1.Submit(transport.Census{Edge: 0, Round: 1, Counts: c0}); err != nil {
+		t.Fatal(err)
+	}
+	srv1.SetRoundDeadline(0)
+	if _, err := srv1.Submit(transport.Census{Edge: 1, Round: 1, Counts: c1}); err != nil {
+		t.Fatal(err)
+	}
+	runFullRound(t, srv1, 2, c0, c1)
+	preHash := srv1.StateHash()
+	preState := srv1.State()
+	srv1.Close() // kill -9: no Drain, no final checkpoint
+
+	fds2, _ := testFDS(t)
+	srv2, err := NewServer(fds2, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	srv2.SetFixedLag(8)
+	if err := srv2.Open(dir); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := srv2.Latest(); got != 2 {
+		t.Fatalf("recovered latest = %d, want 2", got)
+	}
+	if srv2.StateHash() != preHash {
+		t.Fatalf("recovered hash %08x != pre-crash %08x", srv2.StateHash(), preHash)
+	}
+	if !reflect.DeepEqual(srv2.State(), preState) {
+		t.Fatalf("recovered state differs from pre-crash corrected state")
+	}
+
+	// The window survived the crash: a straggler for round 2 — buffered
+	// before the crash — still rewinds on the restarted server.
+	srv2.SetRoundDeadline(20 * time.Millisecond)
+	if _, err := srv2.Submit(transport.Census{Edge: 0, Round: 3, Counts: c0}); err != nil {
+		t.Fatal(err)
+	}
+	srv2.SetRoundDeadline(0)
+	if _, err := srv2.Submit(transport.Census{Edge: 1, Round: 3, Counts: c1}); err != nil {
+		t.Fatal(err)
+	}
+	runFullRound(t, srv2, 4, c0, c1)
+	if n := metricValue(t, srv2.Registry(), "consensus_rewinds_total"); n != 1 {
+		t.Fatalf("consensus_rewinds_total after restart = %v, want 1", n)
+	}
+	if srv2.StateHash() != ref.StateHash() {
+		t.Fatalf("final hash %08x != lossless reference %08x", srv2.StateHash(), ref.StateHash())
+	}
+	if !reflect.DeepEqual(srv2.State(), ref.State()) {
+		t.Fatalf("final state differs from lossless reference:\n got %+v\nwant %+v", srv2.State(), ref.State())
+	}
+
+	// A third incarnation recovers the twice-corrected history too.
+	srv2.Close()
+	fds3, _ := testFDS(t)
+	srv3, err := NewServer(fds3, game.NewUniformState(2, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Close()
+	srv3.SetFixedLag(8)
+	if err := srv3.Open(dir); err != nil {
+		t.Fatalf("reopen after rewind: %v", err)
+	}
+	if srv3.StateHash() != ref.StateHash() {
+		t.Fatalf("re-recovered hash %08x != reference %08x", srv3.StateHash(), ref.StateHash())
+	}
+}

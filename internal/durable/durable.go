@@ -190,6 +190,65 @@ func (s *Store) Compact(payload []byte) (int, error) {
 	return n, nil
 }
 
+// CompactRetain atomically replaces the checkpoint with payload and
+// replaces the journal's contents with the given records (instead of
+// truncating it empty, as Compact does). A fixed-lag coordinator checkpoints
+// the state *before* its rewind window and must keep the window's round
+// records journaled, or a crash would lose the rounds the checkpoint does
+// not cover.
+//
+// The new journal is built in a temp file (write + fsync) and renamed over
+// the old one, so the swap is atomic: a crash before the rename leaves the
+// old journal, whose records the replayer skips by round number or
+// re-applies idempotently; a crash after it leaves exactly the retained
+// records. Returns the checkpoint size in bytes.
+func (s *Store) CompactRetain(payload []byte, records [][]byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return 0, ErrStoreClosed
+	}
+	n, err := s.writeSnapshotLocked(payload)
+	if err != nil {
+		return 0, err
+	}
+	var frames []byte
+	for _, rec := range records {
+		if len(rec) > MaxRecordBytes {
+			return n, fmt.Errorf("durable: retained record of %d bytes exceeds limit %d", len(rec), MaxRecordBytes)
+		}
+		frames = appendFrame(frames, rec)
+	}
+	tmp := filepath.Join(s.dir, journalName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return n, fmt.Errorf("durable: create journal tmp: %w", err)
+	}
+	if len(frames) > 0 {
+		if _, err := f.Write(frames); err != nil {
+			f.Close()
+			return n, fmt.Errorf("durable: write retained journal: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return n, fmt.Errorf("durable: sync retained journal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, journalName)); err != nil {
+		f.Close()
+		return n, fmt.Errorf("durable: rename journal: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return n, err
+	}
+	// The old handle points at the unlinked file; swap in the new one.
+	_ = s.journal.Close()
+	s.journal = f
+	s.size = int64(len(frames))
+	return n, nil
+}
+
 // WriteSnapshot atomically replaces the checkpoint without touching the
 // journal. Returns the checkpoint size in bytes.
 func (s *Store) WriteSnapshot(payload []byte) (int, error) {

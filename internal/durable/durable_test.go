@@ -185,6 +185,57 @@ func TestCompactTruncatesJournal(t *testing.T) {
 	}
 }
 
+// CompactRetain swaps the journal for the retained window records
+// atomically; the new journal must replay exactly those records, appends
+// must continue after them, and a reopen must see the same contents.
+func TestCompactRetainKeepsWindowRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append([]byte{byte(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	retained := [][]byte{[]byte("win-a"), []byte("win-b")}
+	if _, err := s.CompactRetain([]byte("pre-window state"), retained); err != nil {
+		t.Fatalf("CompactRetain: %v", err)
+	}
+	snap, ok, err := s.LoadSnapshot()
+	if err != nil || !ok || string(snap) != "pre-window state" {
+		t.Fatalf("LoadSnapshot = %q ok=%v err=%v", snap, ok, err)
+	}
+	got := replayAll(t, s)
+	if len(got) != 2 || string(got[0]) != "win-a" || string(got[1]) != "win-b" {
+		t.Fatalf("retained journal replayed %q", got)
+	}
+	// Appends continue on the swapped-in journal file.
+	if err := s.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after CompactRetain: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got = replayAll(t, s2)
+	if len(got) != 3 || string(got[2]) != "after" {
+		t.Fatalf("after reopen, replayed %q", got)
+	}
+	// Retaining nothing degenerates to Compact.
+	if _, err := s2.CompactRetain([]byte("s2"), nil); err != nil {
+		t.Fatalf("CompactRetain(nil): %v", err)
+	}
+	if s2.JournalSize() != 0 {
+		t.Fatalf("journal size = %d, want 0", s2.JournalSize())
+	}
+}
+
 func TestClosedStoreFails(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {

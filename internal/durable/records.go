@@ -16,6 +16,10 @@ type Checkpoint struct {
 	Round int              `json:"round"`
 	State *game.State      `json:"state"`
 	FDS   policy.FDSMemory `json:"fds"`
+	// CorrectionSeq is the fixed-lag correction counter at checkpoint time,
+	// so corrections published after a restart keep increasing monotonically
+	// and edges never discard them as stale.
+	CorrectionSeq int64 `json:"correction_seq,omitempty"`
 }
 
 // EncodeCheckpoint serializes a checkpoint payload.
@@ -49,6 +53,12 @@ type RoundRecord struct {
 	Round    int           `json:"round"`
 	Degraded bool          `json:"degraded,omitempty"`
 	Censuses map[int][]int `json:"censuses"`
+	// Corrected marks a re-journaled record written after a fixed-lag rewind
+	// folded a late census into an already-applied round. During replay a
+	// corrected record supersedes the round's earlier censuses: recovery
+	// rewinds to the round's pre-state and re-folds, reproducing the
+	// corrected history rather than the arrival-order one.
+	Corrected bool `json:"corrected,omitempty"`
 }
 
 // EncodeRound serializes a round record payload.

@@ -33,12 +33,21 @@ type CloudLink struct {
 	// the first Report; nil falls back to a private registry so Redials
 	// still counts.
 	Obs *obs.Observer
+	// OnCorrection, when non-nil, is invoked (outside the link's lock) for
+	// each ratio correction the cloud pushes after a fixed-lag rewind, with
+	// the cloud's latest completed round and this region's corrected sharing
+	// ratio. Corrections are pushed fire-and-forget, so they surface during
+	// the next Report exchange; stale or redelivered frames are dropped by
+	// the monotonic correction sequence before the callback fires.
+	OnCorrection func(round int, x float64)
 
-	mu      sync.Mutex
-	conn    transport.Conn
-	dialed  bool
-	redials *obs.Counter // edge_cloud_redials_total
-	reports *obs.Counter // edge_cloud_reports_total
+	mu          sync.Mutex
+	conn        transport.Conn
+	dialed      bool
+	lastSeq     int64        // newest adopted correction sequence
+	redials     *obs.Counter // edge_cloud_redials_total
+	reports     *obs.Counter // edge_cloud_reports_total
+	corrections *obs.Counter // edge_ratio_corrections_total
 }
 
 // metricsLocked lazily binds the link's counters to Obs (or a private
@@ -54,6 +63,7 @@ func (l *CloudLink) metricsLocked() {
 	}
 	l.redials = o.Counter("edge_cloud_redials_total", "cloud-link reconnects after the first dial")
 	l.reports = o.Counter("edge_cloud_reports_total", "censuses submitted to the cloud (including re-submissions)")
+	l.corrections = o.Counter("edge_ratio_corrections_total", "ratio corrections adopted after cloud fixed-lag rewinds")
 }
 
 // Redials returns how many times the link re-established its connection
@@ -111,6 +121,36 @@ func (l *CloudLink) dropConn(conn transport.Conn) {
 	l.mu.Unlock()
 }
 
+// handleOther absorbs non-reply frames that interleave with a census
+// exchange. Ratio corrections are adopted when their sequence advances past
+// the newest one seen — redelivered or reordered frames are no-ops — and
+// anything else fails the exchange, preserving the strict reply discipline.
+func (l *CloudLink) handleOther(m transport.Message) error {
+	if m.Kind != transport.KindRatioCorrection {
+		return fmt.Errorf("edge %d: unexpected %s frame during census exchange", l.Edge, m.Kind)
+	}
+	var rc transport.RatioCorrection
+	if err := transport.Decode(m, transport.KindRatioCorrection, &rc); err != nil {
+		return err
+	}
+	if rc.Edge != l.Edge {
+		return nil // misrouted frame; the ratio belongs to another region
+	}
+	l.mu.Lock()
+	if rc.Seq <= l.lastSeq {
+		l.mu.Unlock()
+		return nil
+	}
+	l.lastSeq = rc.Seq
+	l.corrections.Inc()
+	cb := l.OnCorrection
+	l.mu.Unlock()
+	if cb != nil {
+		cb(rc.Round, rc.X)
+	}
+	return nil
+}
+
 // Report submits one round's census and returns the next sharing ratio,
 // reconnecting and re-submitting across connection failures.
 func (l *CloudLink) Report(round int, counts []int) (float64, error) {
@@ -127,7 +167,7 @@ func (l *CloudLink) Report(round int, counts []int) (float64, error) {
 		l.mu.Lock()
 		l.reports.Inc()
 		l.mu.Unlock()
-		x, err := session.ReportCensus(conn, l.Edge, round, counts, l.ReplyTimeout)
+		x, err := session.ReportCensusWith(conn, l.Edge, round, counts, l.ReplyTimeout, l.handleOther)
 		if err == nil {
 			return x, nil
 		}

@@ -129,3 +129,96 @@ func TestCloudLinkSurfacesProtocolErrors(t *testing.T) {
 		t.Errorf("Redials = %d, want 0 for a protocol error", got)
 	}
 }
+
+// TestCloudLinkAdoptsRatioCorrections: correction frames pushed by the cloud
+// during a census exchange are adopted monotonically — redelivered and
+// reordered sequences are dropped — while the exchange still completes.
+func TestCloudLinkAdoptsRatioCorrections(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- func() error {
+			c, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			m, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			var census transport.Census
+			if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
+				return err
+			}
+			for _, rc := range []transport.RatioCorrection{
+				{Edge: 1, Round: 6, Seq: 4, X: 0.6},  // another region's frame: ignored
+				{Edge: 0, Round: 6, Seq: 5, X: 0.61}, // adopted
+				{Edge: 0, Round: 6, Seq: 5, X: 0.61}, // redelivered: dropped
+				{Edge: 0, Round: 5, Seq: 3, X: 0.40}, // reordered stale seq: dropped
+				{Edge: 0, Round: 7, Seq: 8, X: 0.66}, // adopted
+			} {
+				f, err := transport.Encode(transport.KindRatioCorrection, rc)
+				if err != nil {
+					return err
+				}
+				if err := c.Send(f); err != nil {
+					return err
+				}
+			}
+			reply, err := transport.Encode(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: 0.8})
+			if err != nil {
+				return err
+			}
+			return c.Send(reply)
+		}()
+	}()
+
+	type adoption struct {
+		round int
+		x     float64
+	}
+	var adopted []adoption
+	link := &CloudLink{
+		Edge: 0,
+		Dialer: &transport.Dialer{
+			Dial:  func() (transport.Conn, error) { return net.Dial("cloud") },
+			Seed:  1,
+			Sleep: func(time.Duration) {},
+		},
+		ReplyTimeout: 2 * time.Second,
+		OnCorrection: func(round int, x float64) {
+			adopted = append(adopted, adoption{round, x})
+		},
+	}
+	defer link.Close()
+
+	x, err := link.Report(7, []int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if x != 0.8 {
+		t.Errorf("ratio = %f, want 0.8", x)
+	}
+	want := []adoption{{6, 0.61}, {7, 0.66}}
+	if len(adopted) != len(want) {
+		t.Fatalf("adopted %v, want %v", adopted, want)
+	}
+	for i, w := range want {
+		if adopted[i] != w {
+			t.Errorf("adoption %d = %v, want %v", i, adopted[i], w)
+		}
+	}
+	if got := link.Obs.Counter("edge_ratio_corrections_total", "").Value(); got != 2 {
+		t.Errorf("edge_ratio_corrections_total = %v, want 2", got)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("fake cloud: %v", err)
+	}
+}

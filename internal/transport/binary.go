@@ -16,6 +16,7 @@ import (
 //	frame   := kindTag payload
 //	kindTag := 1 hello | 2 census | 3 ratio | 4 policy
 //	         | 5 upload | 6 delivery | 7 ack | 8 lease
+//	         | 9 ratio_correction
 //	int     := zigzag varint            (encoding/binary PutVarint)
 //	len     := uvarint                  (encoding/binary PutUvarint)
 //	f64     := 8-byte little-endian IEEE-754 bits
@@ -30,6 +31,7 @@ import (
 //	delivery := int(round) len [item]...
 //	ack      := str(err)
 //	lease    := int(edge) int(ttl_ms)
+//	ratio_correction := int(edge) int(round) int(seq) f64(x)
 //
 // Decoding is strict: truncated fields, lengths that cannot fit in the
 // remaining bytes (which also caps decode allocations), unknown kind tags,
@@ -46,6 +48,7 @@ const (
 	tagDelivery
 	tagAck
 	tagLease
+	tagRatioCorrection
 )
 
 func (binaryCodec) Name() string  { return "binary" }
@@ -128,6 +131,16 @@ func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
 		dst = append(dst, tagLease)
 		dst = appendInt(dst, int64(l.Edge))
 		return appendInt(dst, l.TTLMillis), nil
+	case KindRatioCorrection:
+		var rc RatioCorrection
+		if err := payloadFor(m, &rc); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagRatioCorrection)
+		dst = appendInt(dst, int64(rc.Edge))
+		dst = appendInt(dst, int64(rc.Round))
+		dst = appendInt(dst, rc.Seq)
+		return appendFloat(dst, rc.X), nil
 	default:
 		return nil, fmt.Errorf("transport: binary codec cannot encode kind %q", m.Kind)
 	}
@@ -183,6 +196,9 @@ func (binaryCodec) Decode(frame []byte) (Message, error) {
 	case tagLease:
 		kind = KindLease
 		body = Lease{Edge: int(r.int()), TTLMillis: r.int()}
+	case tagRatioCorrection:
+		kind = KindRatioCorrection
+		body = RatioCorrection{Edge: int(r.int()), Round: int(r.int()), Seq: r.int(), X: r.float()}
 	default:
 		return Message{}, fmt.Errorf("transport: unknown binary kind tag 0x%02x", frame[0])
 	}

@@ -32,6 +32,7 @@ func allKindsMessages(t *testing.T) []Message {
 		{KindDelivery, Delivery{Round: 5, Items: []Item{{Owner: 9, Modality: sensor.Camera, Seq: 3}}}},
 		{KindAck, Ack{Err: "nope"}},
 		{KindLease, Lease{Edge: 2, TTLMillis: 1500}},
+		{KindRatioCorrection, RatioCorrection{Edge: 2, Round: 7, Seq: 3, X: 0.5}},
 	}
 	out := make([]Message, len(payloads))
 	for i, p := range payloads {
@@ -134,6 +135,12 @@ func TestBinaryGoldenBytes(t *testing.T) {
 			body: Lease{Edge: 2, TTLMillis: 1500},
 			want: []byte{0x08, 0x04, 0xB8, 0x17},
 		},
+		{
+			name: "ratio_correction",
+			kind: KindRatioCorrection,
+			body: RatioCorrection{Edge: 2, Round: 7, Seq: 3, X: 0.5},
+			want: []byte{0x09, 0x04, 0x0E, 0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F},
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -200,6 +207,7 @@ func TestBinaryDecodeHardening(t *testing.T) {
 		{"length exceeds remaining", []byte{0x02, 0x02, 0x06, 0xFF, 0xFF, 0x03}}, // census claiming ~65k counts
 		{"trailing garbage", append(append([]byte{}, ratio...), 0xAA)},
 		{"items length overflow", []byte{0x05, 0x0E, 0x0A, 0x06, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
+		{"truncated ratio_correction", []byte{0x09, 0x04, 0x0E, 0x06, 0x00, 0x00}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -39,6 +39,10 @@ const (
 	// (answered with an Ack). Edges whose lease lapses are evicted from the
 	// round-barrier quorum until they renew.
 	KindLease Kind = "lease"
+	// KindRatioCorrection re-announces a corrected sharing ratio after the
+	// cloud's fixed-lag window rewinds and re-folds completed rounds. Edges
+	// adopt corrections monotonically by Seq.
+	KindRatioCorrection Kind = "ratio_correction"
 )
 
 // Message is the wire envelope. A message carries its payload in one of two
@@ -122,6 +126,19 @@ type Ack struct {
 type Lease struct {
 	Edge      int   `json:"edge"`
 	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// RatioCorrection supersedes a previously published Ratio after a fixed-lag
+// rewind: the cloud re-folded Round (and everything after it) with a late
+// census, and X is the corrected current ratio for the receiving edge. Seq
+// totally orders corrections; receivers must ignore any correction whose Seq
+// is not greater than the last one adopted, which makes redelivery and
+// reordering harmless.
+type RatioCorrection struct {
+	Edge  int     `json:"edge"`
+	Round int     `json:"round"`
+	Seq   int64   `json:"seq"`
+	X     float64 `json:"x"`
 }
 
 // Encode wraps a payload struct in a Message envelope. Encoding is lazy:
@@ -238,6 +255,15 @@ func copyTyped(body, out interface{}) bool {
 			*dst = src
 			return true
 		case *Lease:
+			*dst = *src
+			return true
+		}
+	case *RatioCorrection:
+		switch src := body.(type) {
+		case RatioCorrection:
+			*dst = src
+			return true
+		case *RatioCorrection:
 			*dst = *src
 			return true
 		}

@@ -156,6 +156,18 @@ func (s *Session) AcceptRegistration() (transport.Hello, error) {
 func (s *Session) Request(kind transport.Kind, payload interface{},
 	replyKind transport.Kind, out interface{}, timeout time.Duration,
 	accept func() bool) error {
+	return s.RequestWith(kind, payload, replyKind, out, timeout, accept, nil)
+}
+
+// RequestWith is Request with a handler for interleaved frames: any reply
+// that is neither an Ack nor of replyKind is passed to onOther (when
+// non-nil) and the wait continues, instead of failing the exchange. The
+// cloud pushes asynchronous frames — e.g. ratio corrections after a
+// fixed-lag rewind — on the same connection a census reply is awaited on,
+// so request loops must tolerate them. An onOther error aborts the request.
+func (s *Session) RequestWith(kind transport.Kind, payload interface{},
+	replyKind transport.Kind, out interface{}, timeout time.Duration,
+	accept func() bool, onOther Handler) error {
 	if err := s.Send(kind, payload); err != nil {
 		return err
 	}
@@ -170,6 +182,12 @@ func (s *Session) Request(kind transport.Kind, payload interface{},
 				return err
 			}
 			return &RejectedError{Reason: ack.Err}
+		}
+		if reply.Kind != replyKind && onOther != nil {
+			if err := onOther(reply); err != nil {
+				return err
+			}
+			continue
 		}
 		if err := transport.Decode(reply, replyKind, out); err != nil {
 			return err
@@ -212,12 +230,21 @@ func RenewLease(conn transport.Conn, edgeID int, ttl, timeout time.Duration) err
 // exchange shared by edge.Server.ReportCensus and edge.CloudLink.
 func ReportCensus(conn transport.Conn, edgeID, round int, counts []int,
 	replyTimeout time.Duration) (float64, error) {
+	return ReportCensusWith(conn, edgeID, round, counts, replyTimeout, nil)
+}
+
+// ReportCensusWith is ReportCensus with an onOther handler for frames the
+// cloud pushes asynchronously on the census connection (ratio corrections
+// after a fixed-lag rewind). A nil onOther keeps the strict behavior.
+func ReportCensusWith(conn transport.Conn, edgeID, round int, counts []int,
+	replyTimeout time.Duration, onOther Handler) (float64, error) {
 	var ratio transport.Ratio
-	err := Wrap(conn).Request(
+	err := Wrap(conn).RequestWith(
 		transport.KindCensus,
 		transport.Census{Edge: edgeID, Round: round, Counts: counts},
 		transport.KindRatio, &ratio, replyTimeout,
 		func() bool { return ratio.Round == round+1 },
+		onOther,
 	)
 	if err != nil {
 		return 0, err

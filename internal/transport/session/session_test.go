@@ -249,6 +249,55 @@ func TestRequestTimeoutClosesConn(t *testing.T) {
 	}
 }
 
+// TestRequestWithHandlesInterleavedFrames: the cloud can push asynchronous
+// ratio-correction frames on the connection a census reply is awaited on;
+// RequestWith must hand them to onOther and keep waiting instead of failing.
+func TestRequestWithHandlesInterleavedFrames(t *testing.T) {
+	a, b := pair(t)
+	go func() {
+		if _, err := b.Conn().Recv(); err != nil {
+			return
+		}
+		_ = b.Send(transport.KindRatioCorrection, transport.RatioCorrection{Edge: 2, Round: 4, Seq: 1, X: 0.3})
+		_ = b.Send(transport.KindRatio, transport.Ratio{Round: 6, X: 0.9})
+	}()
+	var corrected []transport.RatioCorrection
+	x, err := ReportCensusWith(a.Conn(), 2, 5, []int{1, 2}, time.Second,
+		func(m transport.Message) error {
+			var rc transport.RatioCorrection
+			if err := transport.Decode(m, transport.KindRatioCorrection, &rc); err != nil {
+				return err
+			}
+			corrected = append(corrected, rc)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("ReportCensusWith = %v", err)
+	}
+	if x != 0.9 {
+		t.Errorf("x = %v, want 0.9", x)
+	}
+	if len(corrected) != 1 || corrected[0].Seq != 1 || corrected[0].X != 0.3 {
+		t.Errorf("corrections = %+v, want one with seq 1", corrected)
+	}
+}
+
+// TestRequestWithoutHandlerStillStrict: a nil onOther preserves the old
+// behavior — an unexpected kind fails the exchange.
+func TestRequestWithoutHandlerStillStrict(t *testing.T) {
+	a, b := pair(t)
+	go func() {
+		if _, err := b.Conn().Recv(); err != nil {
+			return
+		}
+		_ = b.Send(transport.KindRatioCorrection, transport.RatioCorrection{Edge: 2, Round: 4, Seq: 1, X: 0.3})
+	}()
+	_, err := ReportCensus(a.Conn(), 2, 5, []int{1, 2}, time.Second)
+	if err == nil {
+		t.Fatal("ReportCensus accepted an unexpected frame kind")
+	}
+}
+
 func TestRenewLeaseAckedAndRejected(t *testing.T) {
 	a, b := pair(t)
 	// Server side: grant the first renewal, refuse the second.

@@ -86,19 +86,39 @@ func (c *Client) Run(conn transport.Conn) error {
 }
 
 // handlers builds the client's dispatch table for the session read loop.
+// Application is idempotent per session: a duplicated or replayed Policy
+// broadcast re-sends the round's cached upload instead of revising the
+// decision and growing the shared-cost ledger twice, and a duplicated
+// Delivery is dropped rather than double-counted into the world value.
 func (c *Client) handlers(sess *session.Session) map[transport.Kind]session.Handler {
+	duplicates := c.Obs.Counter("vehicle_duplicate_frames_total", "duplicated policy/delivery frames absorbed idempotently")
+	policyRound := -1
+	var cachedUpload transport.Upload
+	deliveryRound := -1
 	return map[transport.Kind]session.Handler{
 		transport.KindPolicy: func(m transport.Message) error {
 			var pol transport.Policy
 			if err := transport.Decode(m, transport.KindPolicy, &pol); err != nil {
 				return err
 			}
+			if policyRound >= 0 && pol.Round <= policyRound {
+				duplicates.Inc()
+				if pol.Round < policyRound {
+					return nil // stale reordered broadcast; its upload already went out
+				}
+				if err := sess.Send(transport.KindUpload, cachedUpload); err != nil {
+					return fmt.Errorf("vehicle %d: re-sending upload: %w", c.Agent.Profile.ID, err)
+				}
+				return nil
+			}
 			if len(pol.Shares) > 0 {
 				if err := c.Agent.Revise(pol.X, pol.Shares, c.Mu); err != nil {
 					return err
 				}
 			}
-			if err := sess.Send(transport.KindUpload, c.Agent.BuildUpload(pol.Round)); err != nil {
+			policyRound = pol.Round
+			cachedUpload = c.Agent.BuildUpload(pol.Round)
+			if err := sess.Send(transport.KindUpload, cachedUpload); err != nil {
 				return fmt.Errorf("vehicle %d: sending upload: %w", c.Agent.Profile.ID, err)
 			}
 			return nil
@@ -108,6 +128,11 @@ func (c *Client) handlers(sess *session.Session) map[transport.Kind]session.Hand
 			if err := transport.Decode(m, transport.KindDelivery, &del); err != nil {
 				return err
 			}
+			if deliveryRound >= 0 && del.Round <= deliveryRound {
+				duplicates.Inc()
+				return nil
+			}
+			deliveryRound = del.Round
 			return c.Agent.AbsorbDelivery(del, c.Cap)
 		},
 		transport.KindAck: func(m transport.Message) error {

@@ -2,6 +2,9 @@ package vehicle
 
 import (
 	"errors"
+	"reflect"
+
+	"repro/internal/obs"
 	"strings"
 	"sync"
 	"testing"
@@ -188,5 +191,109 @@ func TestClientNilAgent(t *testing.T) {
 	a, _ := transport.Pipe()
 	if err := c.Run(a); err == nil {
 		t.Error("nil agent must error")
+	}
+}
+
+// TestClientIdempotentUnderDuplicates: a duplicated Policy broadcast re-sends
+// the cached upload (same item sequence numbers, no second revision or
+// shared-cost charge), a stale reordered Policy is dropped, and a duplicated
+// Delivery is not double-counted.
+func TestClientIdempotentUnderDuplicates(t *testing.T) {
+	clientConn, serverConn := transport.Pipe()
+	agent, err := NewAgent(profile(7), lattice.PaperPayoffs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.SetDecision(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var uploads []transport.Upload
+	shares := []float64{1, 0, 0, 0, 0, 0, 0, 0}
+	sendPolicy := func(conn transport.Conn, round int) error {
+		pol, err := transport.Encode(transport.KindPolicy, transport.Policy{Round: round, X: 0.9, Shares: shares})
+		if err != nil {
+			return err
+		}
+		return conn.Send(pol)
+	}
+	sendDelivery := func(conn transport.Conn, round int) error {
+		del, err := transport.Encode(transport.KindDelivery, transport.Delivery{
+			Round: round,
+			Items: []transport.Item{{Owner: 2, Modality: sensor.Radar, Seq: 1}},
+		})
+		if err != nil {
+			return err
+		}
+		return conn.Send(del)
+	}
+	wg := scriptServer(t, serverConn, func(conn transport.Conn) error {
+		if _, err := recvKind(conn, transport.KindHello); err != nil {
+			return err
+		}
+		if err := ackOK(conn); err != nil {
+			return err
+		}
+		// Round 1's policy, duplicated: both trigger an upload, the second
+		// from the cache.
+		for i := 0; i < 2; i++ {
+			if err := sendPolicy(conn, 1); err != nil {
+				return err
+			}
+			m, err := recvKind(conn, transport.KindUpload)
+			if err != nil {
+				return err
+			}
+			var up transport.Upload
+			if err := transport.Decode(m, transport.KindUpload, &up); err != nil {
+				return err
+			}
+			uploads = append(uploads, up)
+			if err := ackOK(conn); err != nil {
+				return err
+			}
+		}
+		// A stale round-0 policy produces no upload; the duplicated delivery
+		// that follows is absorbed once. Round 2 afterwards proves the loop
+		// is still in sync (a stray upload would break the kind sequence).
+		if err := sendPolicy(conn, 0); err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			if err := sendDelivery(conn, 1); err != nil {
+				return err
+			}
+		}
+		if err := sendPolicy(conn, 2); err != nil {
+			return err
+		}
+		if _, err := recvKind(conn, transport.KindUpload); err != nil {
+			return err
+		}
+		return ackOK(conn)
+	})
+
+	client := &Client{Agent: agent, Mu: 0, Obs: obs.New()}
+	if err := client.Run(clientConn); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	wg.Wait()
+
+	if len(uploads) != 2 {
+		t.Fatalf("got %d uploads for the duplicated round, want 2", len(uploads))
+	}
+	if !reflect.DeepEqual(uploads[0], uploads[1]) {
+		t.Errorf("re-sent upload differs from the original:\n first %+v\nsecond %+v", uploads[0], uploads[1])
+	}
+	// One charge per distinct round (1 and 2), not per broadcast.
+	wantCost := 2 * agent.Profile.PrivacyWeight * lattice.PaperPayoffs().Cost[0]
+	if agent.SharedCost != wantCost {
+		t.Errorf("SharedCost = %v, want %v (charged once per round)", agent.SharedCost, wantCost)
+	}
+	if agent.ReceivedItems != 1 {
+		t.Errorf("agent absorbed %d items, want 1 (duplicate delivery dropped)", agent.ReceivedItems)
+	}
+	if got := client.Obs.Counter("vehicle_duplicate_frames_total", "").Value(); got != 3 {
+		t.Errorf("vehicle_duplicate_frames_total = %v, want 3", got)
 	}
 }

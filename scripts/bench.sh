@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs the performance-trajectory benchmark suite and emits a
+# machine-readable BENCH_<date>.json at the repo root, so successive PRs can
+# diff encode/round-trip/world-build/consensus throughput over time.
+#
+# Usage:
+#   scripts/bench.sh                  # writes BENCH_$(date +%F).json
+#   BENCH_DATE=2026-08-07 scripts/bench.sh
+#   BENCH_FILTER='ConsensusRoundsPerSec' scripts/bench.sh   # subset, prints only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+date_tag="${BENCH_DATE:-$(date +%F)}"
+filter="${BENCH_FILTER:-BenchmarkEncodeCensus|BenchmarkRoundTrip|BenchmarkBuildWorld|BenchmarkConsensusRoundsPerSec}"
+out="BENCH_${date_tag}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$filter" -benchmem -count=1 . | tee "$raw"
+
+python3 - "$raw" "$date_tag" > "$out" <<'PY'
+import json, re, sys
+
+raw_path, date_tag = sys.argv[1], sys.argv[2]
+meta, results = {}, []
+line_re = re.compile(r'^(Benchmark\S+)\s+(\d+)\s+(.*)$')
+for line in open(raw_path):
+    line = line.strip()
+    for key in ("goos", "goarch", "pkg", "cpu"):
+        if line.startswith(key + ":"):
+            meta[key] = line.split(":", 1)[1].strip()
+    m = line_re.match(line)
+    if not m:
+        continue
+    name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+    entry = {"name": name, "iterations": iters}
+    for value, unit in re.findall(r'([0-9.]+(?:e[+-]?\d+)?)\s+(\S+)', rest):
+        v = float(value)
+        key = {
+            "ns/op": "ns_per_op",
+            "B/op": "bytes_per_op",
+            "allocs/op": "allocs_per_op",
+        }.get(unit, unit.replace("/", "_per_"))
+        entry[key] = int(v) if v.is_integer() else v
+    results.append(entry)
+
+json.dump({"date": date_tag, **meta, "results": results}, sys.stdout, indent=2)
+print()
+PY
+
+echo "wrote $out (${#filter} filter, $(python3 -c "import json,sys;print(len(json.load(open('$out'))['results']))") series)" >&2
