@@ -552,3 +552,94 @@ func BenchmarkConsensusRoundsPerSec(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 	})
 }
+
+// benchRingGraph couples m regions in a sparse cycle, matching the graph
+// the sharded load harness folds over.
+type benchRingGraph struct{ m int }
+
+func (g benchRingGraph) M() int { return g.m }
+func (g benchRingGraph) Gamma(i, j int) float64 {
+	if i == j {
+		return 0.6
+	}
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	if d == 1 || d == g.m-1 {
+		return 0.2
+	}
+	return 0
+}
+func (g benchRingGraph) Neighbors(i int) []int {
+	return []int{(i + g.m - 1) % g.m, (i + 1) % g.m}
+}
+
+// BenchmarkShardedConsensusRoundsPerSec measures aggregation-tier fold
+// throughput under the sharded submission shape: each iteration is one
+// 16-region round arriving as 4 concurrent census batches of 4 regions —
+// what 4 shard coordinators forward upstream per round.
+func BenchmarkShardedConsensusRoundsPerSec(b *testing.B) {
+	const (
+		regions = 16
+		shards  = 4
+	)
+	m, err := game.NewModel(lattice.PaperPayoffs(), benchRingGraph{m: regions}, func() []float64 {
+		betas := make([]float64, regions)
+		for i := range betas {
+			betas[i] = 3
+		}
+		return betas
+	}())
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := []float64{0.7, 0, 0, 0, 0, 0, 0, 0}
+	field, err := policy.NewUniformField(regions, target, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < regions; i++ {
+		for k := 1; k < 8; k++ {
+			field.P[i][k].Lo, field.P[i][k].Hi = 0, 1
+		}
+	}
+	fds, err := policy.NewFDS(m, field, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := cloud.NewServer(fds, game.NewUniformState(regions, 8, 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetFixedLag(16)
+
+	counts := func(region, round int) []int {
+		cs := make([]int, 8)
+		for k := range cs {
+			cs[k] = 1 + (region*31+round*7+k*3)%5
+		}
+		return cs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			batch := transport.CensusBatch{Shard: s, Round: i}
+			for r := s * (regions / shards); r < (s+1)*(regions/shards); r++ {
+				batch.Censuses = append(batch.Censuses, transport.Census{Edge: r, Round: i, Counts: counts(r, i)})
+			}
+			wg.Add(1)
+			go func(batch transport.CensusBatch) {
+				defer wg.Done()
+				if _, err := srv.SubmitBatch(batch); err != nil {
+					b.Error(err)
+				}
+			}(batch)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}

@@ -23,6 +23,22 @@
 //
 // which serves the obs registry (/metrics, Prometheus text format), the
 // recent per-round spans (/debug/spans), and net/http/pprof.
+//
+// The consensus tier can also be sharded by region group: shard
+// coordinators own their groups' round barriers and batch each round
+// upstream to one aggregator, whose global fold stays bit-identical to a
+// single cloud (same consensus_state_hash):
+//
+//	# the aggregation tier (a cloud that answers census batches)
+//	cpnode -role aggregator -listen 127.0.0.1:7000 -regions 4
+//
+//	# four shard coordinators, regions assigned by the rendezvous ring
+//	cpnode -role shard -shards 4 -shard-id 0 -listen 127.0.0.1:7200 -aggregator 127.0.0.1:7000 -regions 4
+//	...
+//	cpnode -role shard -shards 4 -shard-id 3 -listen 127.0.0.1:7203 -aggregator 127.0.0.1:7000 -regions 4
+//
+//	# edges list every shard address; each routes to its region's owner
+//	cpnode -role edge -id 0 -shards 4 -cloud 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203 ...
 package main
 
 import (
@@ -32,6 +48,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -43,15 +60,16 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sensor"
+	"repro/internal/shard"
 	"repro/internal/transport"
 	"repro/internal/vehicle"
 )
 
 func main() {
 	var (
-		role      = flag.String("role", "", "cloud | edge | vehicles")
-		listen    = flag.String("listen", "127.0.0.1:0", "listen address (cloud, edge)")
-		cloudAddr = flag.String("cloud", "127.0.0.1:7000", "cloud address (edge)")
+		role      = flag.String("role", "", "cloud | aggregator | shard | edge | vehicles")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address (cloud, shard, edge)")
+		cloudAddr = flag.String("cloud", "127.0.0.1:7000", "cloud address, or comma-separated shard addresses with -shards > 1 (edge)")
 		edgeAddr  = flag.String("edge", "127.0.0.1:7100", "edge address (vehicles)")
 		id        = flag.Int("id", 0, "edge/region id (edge)")
 		idBase    = flag.Int("id-base", 100, "first vehicle id (vehicles)")
@@ -88,6 +106,14 @@ func main() {
 			"cloud: durable state directory (checkpoint + journal); a restarted cloud resumes the consensus from it (empty = in-memory only)")
 		leaseTTL = flag.Duration("lease-ttl", 0,
 			"edge: membership lease TTL heartbeated to the cloud; a dead edge is evicted from the barrier quorum after this long (0 = no heartbeat)")
+		shards = flag.Int("shards", 0,
+			"number of shard coordinators in the consensus tier (shard: ring size; edge: route -cloud's address list by region owner; 0/1 = unsharded)")
+		shardID = flag.Int("shard-id", 0,
+			"this coordinator's index into the shard ring (shard)")
+		aggregatorAddr = flag.String("aggregator", "127.0.0.1:7000",
+			"aggregation-tier address census batches are forwarded to (shard)")
+		shardDeadline = flag.Duration("shard-deadline", 5*time.Second,
+			"shard: forward a round degraded after this long with owned regions missing (0 = wait for the full group)")
 	)
 	flag.Parse()
 
@@ -132,14 +158,22 @@ func main() {
 	}
 
 	switch *role {
-	case "cloud":
+	case "cloud", "aggregator":
+		// An aggregator IS a cloud: the global fold is unchanged, it just
+		// also answers the shards' census batches.
 		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *stateDir, *roundDeadline, *fixedLag, fault, o, tcpOpts)
+	case "shard":
+		err = runShard(*listen, *aggregatorAddr, *shardID, *shards, *regions, *shardDeadline, *stateDir, *seed, *retryMax, fault, o, tcpOpts)
 	case "edge":
-		err = runEdge(*listen, *cloudAddr, *id, *rounds, *vehiclesN, *seed, *retryMax, *leaseTTL, fault, o, tcpOpts)
+		var addr string
+		addr, err = shardRoute(*cloudAddr, *shards, *regions, *id)
+		if err == nil {
+			err = runEdge(*listen, addr, *id, *rounds, *vehiclesN, *seed, *retryMax, *leaseTTL, fault, o, tcpOpts)
+		}
 	case "vehicles":
 		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault, o, tcpOpts)
 	default:
-		err = fmt.Errorf("unknown role %q (want cloud, edge, or vehicles)", *role)
+		err = fmt.Errorf("unknown role %q (want cloud, aggregator, shard, edge, or vehicles)", *role)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpnode: %v\n", err)
@@ -296,6 +330,119 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 	fmt.Printf("cloud: listening on %s, steering %d regions toward %s (round deadline %v, fixed lag %d)\n",
 		l.Addr(), regions, what, roundDeadline, fixedLag)
 	srv.Serve(l) // blocks
+	return nil
+}
+
+// shardRoute resolves the address an edge reports to. Unsharded (shards <=
+// 1) it is the -cloud address verbatim; sharded, -cloud lists every shard
+// coordinator's address in ring order and the edge's region owner picks one.
+func shardRoute(cloudAddr string, shards, regions, edgeID int) (string, error) {
+	addrs := strings.Split(cloudAddr, ",")
+	if shards <= 1 {
+		return addrs[0], nil
+	}
+	if len(addrs) != shards {
+		return "", fmt.Errorf("-cloud lists %d addresses, want one per shard (%d)", len(addrs), shards)
+	}
+	ring, err := shard.NewRing(shard.Names(shards))
+	if err != nil {
+		return "", err
+	}
+	table, err := shard.BuildTable(ring, regions)
+	if err != nil {
+		return "", err
+	}
+	owner, err := table.Owner(edgeID)
+	if err != nil {
+		return "", fmt.Errorf("routing edge %d: %w (is -regions right?)", edgeID, err)
+	}
+	return strings.TrimSpace(addrs[owner]), nil
+}
+
+// runShard starts one shard coordinator: the rendezvous ring over -shards
+// members assigns its region group, rounds barrier locally and forward to
+// the aggregation tier as one census batch each.
+func runShard(listen, aggregatorAddr string, shardID, shards, regions int, deadline time.Duration, stateDir string, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
+	if shards <= 0 {
+		return fmt.Errorf("-role shard needs -shards >= 1, got %d", shards)
+	}
+	if shardID < 0 || shardID >= shards {
+		return fmt.Errorf("-shard-id %d outside the ring of %d shards", shardID, shards)
+	}
+	ring, err := shard.NewRing(shard.Names(shards))
+	if err != nil {
+		return err
+	}
+	table, err := shard.BuildTable(ring, regions)
+	if err != nil {
+		return err
+	}
+	owned := table.Regions(shardID)
+	if len(owned) == 0 {
+		return fmt.Errorf("shard %d owns no regions in a %d-region/%d-shard ring (add regions or drop shards)", shardID, regions, shards)
+	}
+	upstream := &edge.BatchLink{
+		Shard: shardID,
+		Dialer: &transport.Dialer{
+			Dial: func() (transport.Conn, error) {
+				c, err := transport.DialTCP(aggregatorAddr, append([]transport.TCPOption{
+					transport.WithTimeout(time.Minute)}, tcpOpts...)...)
+				if err != nil {
+					return nil, err
+				}
+				if fault != nil {
+					c = fault.WrapConn(c)
+				}
+				return c, nil
+			},
+			MaxAttempts: retryMax,
+			Seed:        seed,
+		},
+		ReplyTimeout: 30 * time.Second,
+		Obs:          o,
+	}
+	defer upstream.Close()
+	coord, err := shard.NewCoordinator(shard.Config{
+		ID:       shardID,
+		Regions:  owned,
+		K:        lattice.NewPaper().K(),
+		Deadline: deadline,
+		Upstream: upstream,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if o != nil {
+		coord.Instrument(o)
+	}
+	if stateDir != "" {
+		if err := coord.Open(stateDir); err != nil {
+			return err
+		}
+		fmt.Printf("shard %d: durable state in %s, resuming at round %d\n", shardID, stateDir, coord.Latest()+1)
+	}
+	l, err := transport.ListenTCP(listen, tcpOpts...)
+	if err != nil {
+		return err
+	}
+	if fault != nil {
+		l = fault.WrapListener(l)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sig
+		log.Printf("shard %d: %v received, draining", shardID, s)
+		if err := coord.Drain(); err != nil {
+			log.Printf("shard %d: drain: %v", shardID, err)
+		}
+		_ = l.Close() // unblocks Serve
+	}()
+	fmt.Printf("shard %d/%d: listening on %s, owning regions %v, forwarding to %s (deadline %v)\n",
+		shardID, shards, l.Addr(), owned, aggregatorAddr, deadline)
+	coord.Serve(l) // blocks
+	coord.Close()
 	return nil
 }
 

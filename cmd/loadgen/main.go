@@ -1,0 +1,415 @@
+// Command loadgen drives the sharded consensus tier at fleet scale: it
+// simulates -edges region servers, each aggregating -vehicles-per-edge
+// simulated vehicles' decisions into a census per round, and reports them
+// over real binary/TCP with connection multiplexing — -conns-per-shard
+// worker connections per shard, each batching its slice of the shard's
+// region group into one CensusBatch frame per round.
+//
+//	# self-contained: spawns an in-process aggregator + 4 shards on
+//	# loopback TCP and drives 100k vehicles through them
+//	loadgen -edges 1000 -vehicles-per-edge 100 -shards 4 -rounds 20
+//
+//	# against an externally started tier (cpnode -role aggregator/shard):
+//	loadgen -spawn=false -shard-addrs 127.0.0.1:7200,127.0.0.1:7201,... \
+//	        -edges 64 -vehicles-per-edge 32 -rounds 40
+//
+// It publishes loadgen_rounds_per_sec, loadgen_round_latency_seconds (and
+// its p99) plus loadgen_vehicles through the obs registry (-metrics), and
+// can append the run's numbers to a bench JSON (-bench-json) in the same
+// shape scripts/bench.sh emits, keyed by scale so differently sized runs
+// never gate against each other.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/edge"
+	"repro/internal/game"
+	"repro/internal/lattice"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		edges      = flag.Int("edges", 1000, "simulated edge servers (= consensus regions)")
+		vehPerEdge = flag.Int("vehicles-per-edge", 100, "simulated vehicles aggregated into each edge's census")
+		rounds     = flag.Int("rounds", 20, "consensus rounds to drive")
+		shards     = flag.Int("shards", 4, "shard coordinators in the tier")
+		connsPer   = flag.Int("conns-per-shard", 8, "worker connections multiplexing each shard's region group")
+		spawn      = flag.Bool("spawn", true, "spawn the aggregator + shard tier in-process on loopback TCP")
+		aggAddr    = flag.String("aggregator", "", "external aggregator address (-spawn=false)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated external shard addresses in ring order (-spawn=false)")
+		deadline   = flag.Duration("shard-deadline", 5*time.Second, "spawned shards: degraded-forward deadline")
+		aggDead    = flag.Duration("round-deadline", 10*time.Second, "spawned aggregator: barrier deadline")
+		seed       = flag.Int64("seed", 1, "census sampling seed")
+		metricsAd  = flag.String("metrics", "", "serve /metrics on this address during the run (empty = off)")
+		benchJSON  = flag.String("bench-json", "", "append this run's series to a bench JSON file (created if missing)")
+	)
+	flag.Parse()
+	if err := run(*edges, *vehPerEdge, *rounds, *shards, *connsPer, *spawn,
+		*aggAddr, *shardAddrs, *deadline, *aggDead, *seed, *metricsAd, *benchJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadGraph couples the regions in a sparse cycle: enough inter-region
+// coupling that the fold is global, without the O(M^2) dense demo graph at
+// 1000 regions.
+type loadGraph struct{ m int }
+
+func (g loadGraph) M() int { return g.m }
+func (g loadGraph) Gamma(i, j int) float64 {
+	if i == j {
+		return 0.6
+	}
+	if g.m == 1 {
+		return 0
+	}
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	if d == 1 || d == g.m-1 {
+		return 0.2
+	}
+	return 0
+}
+func (g loadGraph) Neighbors(i int) []int {
+	if g.m == 1 {
+		return nil
+	}
+	return []int{(i + g.m - 1) % g.m, (i + 1) % g.m}
+}
+
+// spawnTier starts an aggregator and the shard coordinators on loopback
+// TCP, returning the shard addresses in ring order and a shutdown func.
+func spawnTier(m, nShards int, shardDeadline, aggDeadline time.Duration, table *shard.Table) ([]string, func(), error) {
+	lat := lattice.NewPaper()
+	masses := make([]float64, m)
+	for i := range masses {
+		masses[i] = 3
+	}
+	model, err := game.NewModel(lattice.PaperPayoffs(), loadGraph{m: m}, masses)
+	if err != nil {
+		return nil, nil, err
+	}
+	target := make([]float64, lat.K())
+	target[0] = 0.7
+	field, err := policy.NewUniformField(m, target, 0.1)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < m; i++ {
+		for k := 1; k < lat.K(); k++ {
+			field.P[i][k].Lo, field.P[i][k].Hi = 0, 1
+		}
+	}
+	fds, err := policy.NewFDS(model, field, 0.1)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg, err := cloud.NewServer(fds, game.NewUniformState(m, lat.K(), 0.5))
+	if err != nil {
+		return nil, nil, err
+	}
+	agg.SetFixedLag(8)
+	agg.SetRoundDeadline(aggDeadline)
+	aggL, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go agg.Serve(aggL)
+
+	var coords []*shard.Coordinator
+	var links []*edge.BatchLink
+	addrs := make([]string, nShards)
+	shutdown := func() {
+		for _, c := range coords {
+			c.Close()
+		}
+		for _, l := range links {
+			l.Close()
+		}
+		aggL.Close()
+		agg.Close()
+	}
+	for i := 0; i < nShards; i++ {
+		owned := table.Regions(i)
+		if len(owned) == 0 {
+			shutdown()
+			return nil, nil, fmt.Errorf("shard %d owns no regions with %d regions over %d shards", i, m, nShards)
+		}
+		id := i
+		upstream := &edge.BatchLink{
+			Shard: id,
+			Dialer: &transport.Dialer{
+				Dial:        func() (transport.Conn, error) { return transport.DialTCP(aggL.Addr()) },
+				MaxAttempts: 10,
+				Seed:        int64(100 + id),
+			},
+			ReplyTimeout: 30 * time.Second,
+		}
+		coord, err := shard.NewCoordinator(shard.Config{
+			ID:       id,
+			Regions:  owned,
+			K:        lat.K(),
+			Deadline: shardDeadline,
+			Upstream: upstream,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		l, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			coord.Close()
+			shutdown()
+			return nil, nil, err
+		}
+		go coord.Serve(l)
+		coords = append(coords, coord)
+		links = append(links, upstream)
+		addrs[i] = l.Addr()
+	}
+	return addrs, shutdown, nil
+}
+
+// worker is one multiplexed connection's load: a slice of one shard's
+// region group, batched into a single frame per round.
+type worker struct {
+	shard   int
+	regions []int
+	link    *edge.BatchLink
+	rng     *rand.Rand
+	// latencies[r] is the wall time round r took on this worker's slice.
+	latencies []time.Duration
+}
+
+func run(edges, vehPerEdge, rounds, nShards, connsPer int, spawn bool,
+	aggAddr, shardAddrs string, shardDeadline, aggDeadline time.Duration,
+	seed int64, metricsAddr, benchJSON string) error {
+	if edges <= 0 || vehPerEdge <= 0 || rounds <= 0 || nShards <= 0 || connsPer <= 0 {
+		return fmt.Errorf("edges, vehicles-per-edge, rounds, shards, conns-per-shard must all be positive")
+	}
+	ring, err := shard.NewRing(shard.Names(nShards))
+	if err != nil {
+		return err
+	}
+	table, err := shard.BuildTable(ring, edges)
+	if err != nil {
+		return err
+	}
+
+	var addrs []string
+	if spawn {
+		var shutdown func()
+		addrs, shutdown, err = spawnTier(edges, nShards, shardDeadline, aggDeadline, table)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		if aggAddr != "" || shardAddrs != "" {
+			return fmt.Errorf("-aggregator/-shard-addrs are for -spawn=false runs")
+		}
+	} else {
+		addrs = strings.Split(shardAddrs, ",")
+		if len(addrs) != nShards {
+			return fmt.Errorf("-shard-addrs lists %d addresses, want one per shard (%d)", len(addrs), nShards)
+		}
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+	}
+
+	o := obs.New()
+	vehicles := edges * vehPerEdge
+	o.Gauge("loadgen_vehicles", "simulated vehicles across all edges").Set(float64(vehicles))
+	latHist := o.Histogram("loadgen_round_latency_seconds", "per-worker census-batch round latency", nil)
+	rpsGauge := o.Gauge("loadgen_rounds_per_sec", "consensus rounds completed per second over the run")
+	p99Gauge := o.Gauge("loadgen_round_latency_p99_seconds", "p99 of per-worker round latency")
+	if metricsAddr != "" {
+		msrv, err := obs.Serve(metricsAddr, o)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Printf("loadgen: metrics on http://%s/metrics\n", msrv.Addr())
+	}
+
+	// Partition each shard's region group across its worker connections.
+	var workers []*worker
+	for s := 0; s < nShards; s++ {
+		group := table.Regions(s)
+		per := connsPer
+		if per > len(group) {
+			per = len(group)
+		}
+		for w := 0; w < per; w++ {
+			slice := make([]int, 0, len(group)/per+1)
+			for idx := w; idx < len(group); idx += per {
+				slice = append(slice, group[idx])
+			}
+			addr := addrs[s]
+			workers = append(workers, &worker{
+				shard:   s,
+				regions: slice,
+				rng:     rand.New(rand.NewSource(seed + int64(len(workers)))),
+				link: &edge.BatchLink{
+					Shard: s,
+					Dialer: &transport.Dialer{
+						Dial:        func() (transport.Conn, error) { return transport.DialTCP(addr) },
+						MaxAttempts: 30,
+						BaseDelay:   5 * time.Millisecond,
+						MaxDelay:    500 * time.Millisecond,
+						Seed:        seed + int64(len(workers)),
+					},
+					ReplyTimeout: 60 * time.Second,
+					Attempts:     20,
+					Obs:          o,
+				},
+				latencies: make([]time.Duration, 0, rounds),
+			})
+		}
+	}
+	defer func() {
+		for _, w := range workers {
+			w.link.Close()
+		}
+	}()
+	fmt.Printf("loadgen: %d vehicles (%d edges x %d), %d shards, %d worker conns, %d rounds\n",
+		vehicles, edges, vehPerEdge, nShards, len(workers), rounds)
+
+	k := lattice.NewPaper().K()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for wi, w := range workers {
+		wi, w := wi, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			censuses := make([]transport.Census, len(w.regions))
+			for round := 0; round < rounds; round++ {
+				for i, region := range w.regions {
+					counts := make([]int, k)
+					for v := 0; v < vehPerEdge; v++ {
+						counts[w.rng.Intn(k)]++
+					}
+					censuses[i] = transport.Census{Edge: region, Round: round, Counts: counts}
+				}
+				t0 := time.Now()
+				if _, err := w.link.Report(round, censuses); err != nil {
+					errs[wi] = fmt.Errorf("shard %d worker round %d: %w", w.shard, round, err)
+					return
+				}
+				lat := time.Since(t0)
+				w.latencies = append(w.latencies, lat)
+				latHist.Observe(lat.Seconds())
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var all []float64
+	for _, w := range workers {
+		for _, l := range w.latencies {
+			all = append(all, l.Seconds())
+		}
+	}
+	sort.Float64s(all)
+	p50 := metrics.Quantile(all, 0.50)
+	p99 := metrics.Quantile(all, 0.99)
+	rps := float64(rounds) / elapsed.Seconds()
+	censusesPerSec := float64(rounds*edges) / elapsed.Seconds()
+	rpsGauge.Set(rps)
+	p99Gauge.Set(p99)
+	fmt.Printf("loadgen: %d rounds in %v: %.2f rounds/s, %.0f censuses/s, round latency p50 %.1fms p99 %.1fms\n",
+		rounds, elapsed.Round(time.Millisecond), rps, censusesPerSec, p50*1e3, p99*1e3)
+
+	if benchJSON != "" {
+		scale := fmt.Sprintf("%dx%d", edges, vehPerEdge)
+		if err := appendBench(benchJSON, []map[string]interface{}{
+			{
+				"name":             "Loadgen/" + scale + "/rounds_per_sec",
+				"iterations":       rounds,
+				"rounds_per_sec":   round3(rps),
+				"censuses_per_sec": round3(censusesPerSec),
+				"vehicles":         vehicles,
+				"shards":           nShards,
+			},
+			{
+				"name":        "Loadgen/" + scale + "/round_latency",
+				"iterations":  len(all),
+				"p50_seconds": round6(p50),
+				"p99_seconds": round6(p99),
+				"vehicles":    vehicles,
+				"shards":      nShards,
+			},
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: appended Loadgen/%s series to %s\n", scale, benchJSON)
+	}
+	return nil
+}
+
+func round3(v float64) float64 { return float64(int(v*1e3+0.5)) / 1e3 }
+func round6(v float64) float64 { return float64(int(v*1e6+0.5)) / 1e6 }
+
+// appendBench merges the run's series into a scripts/bench.sh-shaped JSON
+// file: {"results": [...]} with same-name entries replaced.
+func appendBench(path string, entries []map[string]interface{}) error {
+	doc := map[string]interface{}{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var results []interface{}
+	if r, ok := doc["results"].([]interface{}); ok {
+		results = r
+	}
+	for _, e := range entries {
+		replaced := false
+		for i, old := range results {
+			if m, ok := old.(map[string]interface{}); ok && m["name"] == e["name"] {
+				results[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			results = append(results, e)
+		}
+	}
+	doc["results"] = results
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

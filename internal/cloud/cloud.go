@@ -43,8 +43,7 @@ type Server struct {
 	state *game.State
 
 	mu            sync.Mutex
-	rounds        map[int]*roundBarrier
-	latest        int // highest completed round (-1 before the first)
+	eng           *Engine // round barriers + completed-round watermark
 	m             int
 	k             int // decisions per census
 	roundDeadline time.Duration
@@ -155,16 +154,6 @@ type Stats struct {
 	DecodeFailures int
 }
 
-type roundBarrier struct {
-	censuses map[int][]int
-	done     chan struct{}
-	timer    *time.Timer
-	err      error
-	degraded bool
-	opened   time.Time
-	span     *obs.Span
-}
-
 // NewServer builds a cloud server steering toward the FDS controller's
 // desired field, starting from the given state (typically uniform
 // distributions at an initial ratio).
@@ -182,8 +171,7 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 	s := &Server{
 		fds:          f,
 		state:        initial.Clone(),
-		rounds:       make(map[int]*roundBarrier),
-		latest:       -1,
+		eng:          NewEngine(),
 		m:            len(initial.P),
 		k:            len(initial.P[0]),
 		obsv:         o,
@@ -206,7 +194,7 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 func (s *Server) Latest() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.latest
+	return s.eng.Latest()
 }
 
 // Instrument re-points the server's metrics and round spans at the given
@@ -218,7 +206,7 @@ func (s *Server) Instrument(o *obs.Observer) {
 	defer s.mu.Unlock()
 	s.obsv = o
 	s.metrics = newServerMetrics(o)
-	s.metrics.latestRound.Set(float64(s.latest))
+	s.metrics.latestRound.Set(float64(s.eng.Latest()))
 	s.metrics.lagDepth.Set(float64(len(s.window)))
 	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 }
@@ -320,14 +308,8 @@ func (s *Server) Close() {
 	s.once.Do(func() {
 		close(s.closed)
 		s.mu.Lock()
-		for round, rb := range s.rounds {
-			if rb.timer != nil {
-				rb.timer.Stop()
-			}
-			rb.err = transport.ErrClosed
-			close(rb.done)
-			delete(s.rounds, round)
-			rb.span.End(obs.A("closed", true))
+		for _, a := range s.eng.FailAll(transport.ErrClosed) {
+			a.Barrier.Span.End(obs.A("closed", true))
 		}
 		for _, e := range s.leases {
 			if e.timer != nil {
@@ -384,6 +366,31 @@ func (s *Server) handleConn(conn transport.Conn) {
 			}
 			return sess.Send(transport.KindRatio, transport.Ratio{Round: census.Round + 1, X: x})
 		},
+		transport.KindCensusBatch: func(m transport.Message) error {
+			var batch transport.CensusBatch
+			if err := transport.Decode(m, transport.KindCensusBatch, &batch); err != nil {
+				return dropFrame(err)
+			}
+			for _, c := range batch.Censuses {
+				s.registerEdgeSess(c.Edge, sess)
+			}
+			reply, err := s.SubmitBatch(batch)
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrRoundAbandoned):
+				// The shard fell behind; answer with the regions' current
+				// ratios so it can catch up instead of hanging.
+				s.mu.Lock()
+				reply = s.ratioBatchLocked(batch)
+				s.mu.Unlock()
+			case errors.Is(err, transport.ErrClosed):
+				return err
+			default:
+				_ = sess.Ack(err)
+				return nil
+			}
+			return sess.Send(transport.KindRatioBatch, reply)
+		},
 		transport.KindLease: func(m transport.Message) error {
 			var lease transport.Lease
 			if err := transport.Decode(m, transport.KindLease, &lease); err != nil {
@@ -421,7 +428,7 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 			ErrBadCensus, census.Edge, len(census.Counts), s.k)
 	}
 	s.mu.Lock()
-	if census.Round <= s.latest {
+	if census.Round <= s.eng.Latest() {
 		// The round already completed (possibly degraded, without this
 		// region). Inside the lag window the fold rewinds and re-propagates
 		// so the answer — and every subsequent published ratio — matches
@@ -429,7 +436,7 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 		// is folded away and answered from the current state, the degraded
 		// legacy path.
 		s.metrics.late.Inc()
-		handled, corrections, err := s.handleLateLocked(census)
+		handled, rewound, err := s.handleLateLocked(census)
 		if err != nil {
 			s.mu.Unlock()
 			return 0, err
@@ -437,49 +444,43 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 		if !handled && s.lag > 0 {
 			s.metrics.beyondLag.Inc()
 		}
+		var corrections []correctionSend
+		if rewound {
+			corrections = s.collectCorrectionsLocked(census.Edge)
+		}
 		x := s.state.X[census.Edge]
 		s.mu.Unlock()
 		s.sendCorrections(corrections)
 		return x, nil
 	}
-	if s.maxSkew > 0 && census.Round > s.latest+s.maxSkew {
+	if s.maxSkew > 0 && census.Round > s.eng.Latest()+s.maxSkew {
 		s.metrics.future.Inc()
 		s.logfLocked("cloud: rejecting census from edge %d for round %d (latest %d, skew bound %d)",
-			census.Edge, census.Round, s.latest, s.maxSkew)
+			census.Edge, census.Round, s.eng.Latest(), s.maxSkew)
 		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: round %d is beyond latest %d + skew %d",
-			ErrFutureRound, census.Round, s.latest, s.maxSkew)
+			ErrFutureRound, census.Round, s.eng.Latest(), s.maxSkew)
 	}
-	rb, ok := s.rounds[census.Round]
+	rb, ok := s.eng.Barrier(census.Round)
 	if !ok {
-		rb = &roundBarrier{
-			censuses: make(map[int][]int, s.m),
-			done:     make(chan struct{}),
-			opened:   time.Now(),
-			span:     s.obsv.Span("consensus_round", obs.A("round", census.Round)),
-		}
-		s.rounds[census.Round] = rb
-		if s.roundDeadline > 0 {
-			round := census.Round
-			rb.timer = time.AfterFunc(s.roundDeadline, func() { s.expireRound(round) })
-		}
+		span := s.obsv.Span("consensus_round", obs.A("round", census.Round))
+		rb = s.eng.Open(census.Round, span, s.roundDeadline, s.expireRound)
 	}
-	rb.span.Event("census", obs.A("edge", census.Edge))
-	if _, resubmitted := rb.censuses[census.Edge]; resubmitted {
+	rb.Span.Event("census", obs.A("edge", census.Edge))
+	if rb.Add(census.Edge, census.Counts) {
 		// A CloudLink redial re-submits the census it never got an answer
 		// for; last write wins under the one barrier lock.
 		s.metrics.duplicates.Inc()
 	}
-	rb.censuses[census.Edge] = census.Counts
 	if s.quorumMetLocked(rb) {
-		s.completeRoundLocked(census.Round, rb, len(rb.censuses) < s.m)
+		s.completeRoundLocked(census.Round, rb, rb.Size() < s.m)
 	}
 	s.mu.Unlock()
 
 	select {
-	case <-rb.done:
-		if rb.err != nil {
-			return 0, rb.err
+	case <-rb.Done:
+		if rb.Err != nil {
+			return 0, rb.Err
 		}
 		s.mu.Lock()
 		x := s.state.X[census.Edge]
@@ -495,12 +496,12 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 func (s *Server) expireRound(round int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rb, ok := s.rounds[round]
+	rb, ok := s.eng.Barrier(round)
 	if !ok {
 		return
 	}
 	select {
-	case <-rb.done:
+	case <-rb.Done:
 		return
 	default:
 	}
@@ -510,45 +511,34 @@ func (s *Server) expireRound(round int) {
 // completeRoundLocked applies the round, releases its waiters, and evicts
 // any stale barriers the completion leaves behind (an edge that died
 // mid-round must not leak its half-filled barrier). Called with s.mu held.
-func (s *Server) completeRoundLocked(round int, rb *roundBarrier, degraded bool) {
-	if rb.timer != nil {
-		rb.timer.Stop()
-	}
+func (s *Server) completeRoundLocked(round int, rb *Barrier, degraded bool) {
 	if s.lag > 0 {
 		// Snapshot the pre-fold state so a late census can rewind this round.
-		s.pushWindowLocked(round, rb.censuses, degraded)
+		s.pushWindowLocked(round, rb.Censuses, degraded)
 	}
-	s.applyRoundLocked(rb)
-	rb.degraded = degraded
-	if round > s.latest {
-		s.latest = round
-	}
+	rb.Err = s.applyRoundLocked(rb.Censuses)
 	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
+	// Advance the watermark before journaling: a compaction inside persist
+	// snapshots Latest() as the checkpoint round, and the state it captures
+	// already includes this round's fold.
+	if round > s.eng.Latest() {
+		s.eng.SetLatest(round)
+	}
 	// Journal before releasing the waiters: a ratio answered to an edge must
 	// never be lost to a crash the edge did not see.
 	s.persistRoundLocked(round, rb, degraded)
-	close(rb.done)
-	delete(s.rounds, round)
+	abandoned := s.eng.Complete(round, rb, degraded)
 	s.metrics.rounds.Inc()
-	s.metrics.latestRound.Set(float64(s.latest))
-	s.metrics.roundDuration.Observe(time.Since(rb.opened).Seconds())
+	s.metrics.latestRound.Set(float64(s.eng.Latest()))
+	s.metrics.roundDuration.Observe(time.Since(rb.Opened).Seconds())
 	if degraded {
 		s.metrics.degraded.Inc()
-		s.logfLocked("cloud: round %d completed degraded with %d/%d regions", round, len(rb.censuses), s.m)
+		s.logfLocked("cloud: round %d completed degraded with %d/%d regions", round, rb.Size(), s.m)
 	}
-	rb.span.End(obs.A("degraded", degraded), obs.A("regions", len(rb.censuses)), obs.A("of", s.m))
-	for r, old := range s.rounds {
-		if r > s.latest {
-			continue
-		}
-		if old.timer != nil {
-			old.timer.Stop()
-		}
-		old.err = fmt.Errorf("%w: round %d superseded by round %d", ErrRoundAbandoned, r, round)
-		close(old.done)
-		delete(s.rounds, r)
+	rb.Span.End(obs.A("degraded", degraded), obs.A("regions", rb.Size()), obs.A("of", s.m))
+	for _, a := range abandoned {
 		s.metrics.abandoned.Inc()
-		old.span.End(obs.A("abandoned", true), obs.A("superseded_by", round))
+		a.Barrier.Span.End(obs.A("abandoned", true), obs.A("superseded_by", round))
 	}
 }
 
@@ -556,8 +546,8 @@ func (s *Server) completeRoundLocked(round int, rb *roundBarrier, degraded bool)
 // update. Regions missing from a degraded round — and empty censuses from
 // edges with no registered vehicles — keep their last-known shares.
 // Called with s.mu held.
-func (s *Server) applyRoundLocked(rb *roundBarrier) {
-	for i, counts := range rb.censuses {
+func (s *Server) applyRoundLocked(censuses map[int][]int) error {
+	for i, counts := range censuses {
 		total := 0
 		for _, c := range counts {
 			total += c
@@ -571,6 +561,7 @@ func (s *Server) applyRoundLocked(rb *roundBarrier) {
 		}
 	}
 	if _, err := s.fds.UpdateRatios(s.state); err != nil {
-		rb.err = fmt.Errorf("cloud: FDS update: %w", err)
+		return fmt.Errorf("cloud: FDS update: %w", err)
 	}
+	return nil
 }

@@ -89,7 +89,7 @@ func TestRoundAbandonedEviction(t *testing.T) {
 	// Wait until the round-0 barrier exists so the eviction has a target.
 	for {
 		srv.mu.Lock()
-		_, ok := srv.rounds[0]
+		_, ok := srv.eng.Barrier(0)
 		srv.mu.Unlock()
 		if ok {
 			break

@@ -66,7 +66,7 @@ func (s *Server) Open(stateDir string) error {
 			}
 		}
 		s.state = cp.State
-		s.latest = cp.Round
+		s.eng.SetLatest(cp.Round)
 		s.correctionSeq = cp.CorrectionSeq
 		s.metrics.checkpointSize.Set(float64(len(snap)))
 		recovered = true
@@ -92,7 +92,7 @@ func (s *Server) Open(stateDir string) error {
 				replayed++
 				return nil
 			}
-			if rec.Round <= s.latest {
+			if rec.Round <= s.eng.Latest() {
 				// The corrected fold is already inside the checkpoint (or the
 				// window shrank across restarts); nothing to redo.
 				return nil
@@ -100,7 +100,7 @@ func (s *Server) Open(stateDir string) error {
 			// No earlier fold of this round survives: apply it as a fresh
 			// record below.
 		}
-		if rec.Round <= s.latest {
+		if rec.Round <= s.eng.Latest() {
 			// Already covered by the checkpoint: a crash between snapshot
 			// rename and journal truncate leaves such records behind.
 			return nil
@@ -108,12 +108,10 @@ func (s *Server) Open(stateDir string) error {
 		if s.lag > 0 {
 			s.pushWindowLocked(rec.Round, rec.Censuses, rec.Degraded)
 		}
-		rb := &roundBarrier{censuses: rec.Censuses}
-		s.applyRoundLocked(rb)
-		if rb.err != nil {
-			return fmt.Errorf("replaying round %d: %w", rec.Round, rb.err)
+		if err := s.applyRoundLocked(rec.Censuses); err != nil {
+			return fmt.Errorf("replaying round %d: %w", rec.Round, err)
 		}
-		s.latest = rec.Round
+		s.eng.SetLatest(rec.Round)
 		replayed++
 		return nil
 	})
@@ -127,10 +125,10 @@ func (s *Server) Open(stateDir string) error {
 	}
 	if recovered {
 		s.metrics.recoveries.Inc()
-		s.metrics.latestRound.Set(float64(s.latest))
+		s.metrics.latestRound.Set(float64(s.eng.Latest()))
 		s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 		s.logfLocked("cloud: recovered state through round %d from %s (%d journal records replayed)",
-			s.latest, stateDir, replayed)
+			s.eng.Latest(), stateDir, replayed)
 	}
 	s.store = store
 	s.sinceCompact = replayed
@@ -143,11 +141,11 @@ func (s *Server) Open(stateDir string) error {
 // compactEvery rounds. Persistence failures are counted and logged but do
 // not fail the round: the coordinator keeps serving from memory. Called
 // with s.mu held; no-op without an open store.
-func (s *Server) persistRoundLocked(round int, rb *roundBarrier, degraded bool) {
+func (s *Server) persistRoundLocked(round int, rb *Barrier, degraded bool) {
 	if s.store == nil {
 		return
 	}
-	payload, err := durable.EncodeRound(durable.RoundRecord{Round: round, Degraded: degraded, Censuses: rb.censuses})
+	payload, err := durable.EncodeRound(durable.RoundRecord{Round: round, Degraded: degraded, Censuses: rb.Censuses})
 	if err == nil {
 		err = s.store.Append(payload)
 	}
@@ -198,7 +196,7 @@ func (s *Server) persistCorrectedLocked(e *lagEntry) {
 // held.
 func (s *Server) checkpointLocked() error {
 	cp := durable.Checkpoint{
-		Round:         s.latest,
+		Round:         s.eng.Latest(),
 		State:         s.state,
 		FDS:           s.fds.Memory(),
 		CorrectionSeq: s.correctionSeq,
@@ -247,16 +245,9 @@ func (s *Server) checkpointLocked() error {
 func (s *Server) Drain() error {
 	var err error
 	s.mu.Lock()
-	best := -1
-	for round := range s.rounds {
-		if round > best {
-			best = round
-		}
-	}
-	if best >= 0 {
-		rb := s.rounds[best]
-		s.logfLocked("cloud: draining: completing round %d with %d/%d regions", best, len(rb.censuses), s.m)
-		s.completeRoundLocked(best, rb, len(rb.censuses) < s.m)
+	if best, rb := s.eng.Best(nil); best >= 0 {
+		s.logfLocked("cloud: draining: completing round %d with %d/%d regions", best, rb.Size(), s.m)
+		s.completeRoundLocked(best, rb, rb.Size() < s.m)
 	}
 	if s.store != nil {
 		err = s.checkpointLocked()

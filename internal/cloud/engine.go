@@ -1,0 +1,170 @@
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Engine is the transport-independent round-barrier core shared by the
+// aggregation tier (Server) and the shard coordinators (internal/shard): one
+// Barrier per pending round, a completion deadline per barrier, and the
+// eviction sweep that abandons stale barriers once a newer round completes.
+// The engine holds no fold state and does no locking of its own — the owner
+// serializes every call under its own mutex — so the same machinery drives
+// both the global FDS fold and a shard's forward-and-wait round.
+type Engine struct {
+	rounds map[int]*Barrier
+	latest int // highest completed round (-1 before the first)
+}
+
+// Barrier collects one pending round's censuses until its quorum fills or
+// its deadline expires. Waiters block on Done; after it closes, Err reports
+// abandonment or shutdown (nil means the round completed and the owner's
+// post-round state is current). All fields are guarded by the owner's mutex
+// except Done, which is safe to receive on anywhere.
+type Barrier struct {
+	Censuses map[int][]int
+	Done     chan struct{}
+	Err      error
+	Degraded bool
+	Opened   time.Time
+	Span     *obs.Span
+	timer    *time.Timer
+}
+
+// Add records one member's census on the barrier, last write wins. It
+// reports whether the member had already reported (a re-submitted census
+// after a redial, worth a duplicate counter tick).
+func (b *Barrier) Add(member int, counts []int) (dup bool) {
+	_, dup = b.Censuses[member]
+	b.Censuses[member] = counts
+	return dup
+}
+
+// Size returns how many members have reported.
+func (b *Barrier) Size() int { return len(b.Censuses) }
+
+// Abandoned pairs an evicted barrier with the round it was waiting on, so
+// the owner can tick its metrics and end its span outside the engine.
+type Abandoned struct {
+	Round   int
+	Barrier *Barrier
+}
+
+// NewEngine returns an empty engine with no completed rounds.
+func NewEngine() *Engine {
+	return &Engine{rounds: make(map[int]*Barrier), latest: -1}
+}
+
+// Latest returns the highest completed round (-1 before the first).
+func (e *Engine) Latest() int { return e.latest }
+
+// SetLatest fast-forwards the completed-round watermark (recovery replay).
+func (e *Engine) SetLatest(round int) { e.latest = round }
+
+// Barrier returns the pending barrier for round, if any.
+func (e *Engine) Barrier(round int) (*Barrier, bool) {
+	b, ok := e.rounds[round]
+	return b, ok
+}
+
+// Pending returns the number of rounds currently holding a barrier.
+func (e *Engine) Pending() int { return len(e.rounds) }
+
+// Open creates the barrier for round and, with a positive deadline, arms a
+// timer that calls expire(round) when it fires. The expire callback runs on
+// the timer goroutine: it must take the owner's lock, re-look the barrier up,
+// and check Done before acting (the round may have completed in the window).
+func (e *Engine) Open(round int, span *obs.Span, deadline time.Duration, expire func(round int)) *Barrier {
+	b := &Barrier{
+		Censuses: make(map[int][]int),
+		Done:     make(chan struct{}),
+		Opened:   time.Now(),
+		Span:     span,
+	}
+	e.rounds[round] = b
+	if deadline > 0 && expire != nil {
+		b.timer = time.AfterFunc(deadline, func() { expire(round) })
+	}
+	return b
+}
+
+// Best returns the most advanced pending round whose barrier satisfies ok
+// (nil accepts any), or (-1, nil) when none does.
+func (e *Engine) Best(ok func(round int, b *Barrier) bool) (int, *Barrier) {
+	best := -1
+	for round, b := range e.rounds {
+		if round > best && (ok == nil || ok(round, b)) {
+			best = round
+		}
+	}
+	if best < 0 {
+		return -1, nil
+	}
+	return best, e.rounds[best]
+}
+
+// Complete finishes round: the watermark advances, b's waiters release, and
+// every pending barrier the new watermark strands (round <= latest) is
+// evicted with ErrRoundAbandoned. The owner must have folded/persisted the
+// round's effect before calling — waiters read the post-round state the
+// moment Done closes. Evicted barriers are returned for metrics and spans.
+func (e *Engine) Complete(round int, b *Barrier, degraded bool) []Abandoned {
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	b.Degraded = degraded
+	if round > e.latest {
+		e.latest = round
+	}
+	close(b.Done)
+	delete(e.rounds, round)
+	var evicted []Abandoned
+	for r, old := range e.rounds {
+		if r > e.latest {
+			continue
+		}
+		if old.timer != nil {
+			old.timer.Stop()
+		}
+		old.Err = fmt.Errorf("%w: round %d superseded by round %d", ErrRoundAbandoned, r, round)
+		close(old.Done)
+		delete(e.rounds, r)
+		evicted = append(evicted, Abandoned{Round: r, Barrier: old})
+	}
+	return evicted
+}
+
+// Fail fails round's pending barrier with err without advancing the
+// watermark (a shard's upstream forward failed; the submitting edges will
+// redial and re-open the round). No-op if the round has no barrier.
+func (e *Engine) Fail(round int, err error) {
+	b, ok := e.rounds[round]
+	if !ok {
+		return
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	b.Err = err
+	close(b.Done)
+	delete(e.rounds, round)
+}
+
+// FailAll fails every pending barrier with err (shutdown) and returns them
+// for the owner to end their spans.
+func (e *Engine) FailAll(err error) []Abandoned {
+	var failed []Abandoned
+	for round, b := range e.rounds {
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		b.Err = err
+		close(b.Done)
+		delete(e.rounds, round)
+		failed = append(failed, Abandoned{Round: round, Barrier: b})
+	}
+	return failed
+}

@@ -98,15 +98,8 @@ func (s *Server) expireLease(edgeID int) {
 	s.logfLocked("cloud: lease of edge %d expired, evicting from quorum", edgeID)
 	// Complete the most advanced barrier the shrunken quorum now satisfies;
 	// its completion sweeps the stale ones.
-	best := -1
-	for round, rb := range s.rounds {
-		if round > best && s.quorumMetLocked(rb) {
-			best = round
-		}
-	}
-	if best >= 0 {
-		rb := s.rounds[best]
-		s.completeRoundLocked(best, rb, len(rb.censuses) < s.m)
+	if best, rb := s.eng.Best(func(_ int, b *Barrier) bool { return s.quorumMetLocked(b) }); best >= 0 {
+		s.completeRoundLocked(best, rb, rb.Size() < s.m)
 	}
 }
 
@@ -125,18 +118,18 @@ func (s *Server) liveLeasesLocked() int {
 // or — once leases are in use — every edge holding a live lease reported.
 // An edge reporting without a lease still counts toward its own barrier; it
 // just cannot be waited on after its lease lapses. Called with s.mu held.
-func (s *Server) quorumMetLocked(rb *roundBarrier) bool {
-	if len(rb.censuses) >= s.m {
+func (s *Server) quorumMetLocked(rb *Barrier) bool {
+	if rb.Size() >= s.m {
 		return true
 	}
-	if !s.leasing || len(rb.censuses) == 0 {
+	if !s.leasing || rb.Size() == 0 {
 		return false
 	}
 	for id, e := range s.leases {
 		if !e.live {
 			continue
 		}
-		if _, ok := rb.censuses[id]; !ok {
+		if _, ok := rb.Censuses[id]; !ok {
 			return false
 		}
 	}

@@ -272,7 +272,7 @@ func TestDrainCompletesPendingAndCheckpoints(t *testing.T) {
 	waitFor(t, func() bool {
 		srv1.mu.Lock()
 		defer srv1.mu.Unlock()
-		return len(srv1.rounds) == 1
+		return srv1.eng.Pending() == 1
 	})
 	if err := srv1.Drain(); err != nil {
 		t.Fatalf("Drain: %v", err)

@@ -151,10 +151,8 @@ func (s *Server) refoldLocked(idx int) error {
 	for _, entry := range s.window[idx:] {
 		entry.preState = s.state.Clone()
 		entry.preFDS = s.fds.Memory()
-		rb := &roundBarrier{censuses: entry.censuses}
-		s.applyRoundLocked(rb)
-		if rb.err != nil {
-			return fmt.Errorf("re-folding round %d: %w", entry.round, rb.err)
+		if err := s.applyRoundLocked(entry.censuses); err != nil {
+			return fmt.Errorf("re-folding round %d: %w", entry.round, err)
 		}
 	}
 	return nil
@@ -167,28 +165,29 @@ func (s *Server) refoldLocked(idx int) error {
 // answer-from-current-state path. When the census is a byte-identical
 // duplicate of what the round already folded, it is absorbed without a
 // rewind. Otherwise the fold rewinds, the census is merged last-write-wins,
-// subsequent rounds re-propagate, the corrected round is re-journaled, and
-// correction frames for every other connected edge are returned for the
-// caller to push after unlocking. Called with s.mu held.
-func (s *Server) handleLateLocked(census transport.Census) (handled bool, corrections []correctionSend, err error) {
+// subsequent rounds re-propagate, and the corrected round is re-journaled;
+// rewound=true tells the caller to collect correction frames (once per
+// submission, even when a batch rewinds several times) and push them after
+// unlocking. Called with s.mu held.
+func (s *Server) handleLateLocked(census transport.Census) (handled, rewound bool, err error) {
 	if s.lag <= 0 {
-		return false, nil, nil
+		return false, false, nil
 	}
 	idx := s.windowIndexLocked(census.Round)
 	if idx < 0 {
-		return false, nil, nil
+		return false, false, nil
 	}
 	e := s.window[idx]
 	if prev, ok := e.censuses[census.Edge]; ok && equalCounts(prev, census.Counts) {
 		s.metrics.duplicates.Inc()
-		return true, nil, nil
+		return true, false, nil
 	}
 	span := s.obsv.Span("consensus_rewind",
 		obs.A("round", census.Round), obs.A("edge", census.Edge))
 	e.censuses[census.Edge] = census.Counts
 	if err := s.refoldLocked(idx); err != nil {
 		span.End(obs.A("error", err.Error()))
-		return true, nil, err
+		return true, false, err
 	}
 	replayed := len(s.window) - idx
 	s.correctionSeq++
@@ -196,30 +195,33 @@ func (s *Server) handleLateLocked(census transport.Census) (handled bool, correc
 	s.metrics.replayed.Add(int64(replayed))
 	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 	s.persistCorrectedLocked(e)
-	corrections = s.collectCorrectionsLocked(census.Edge)
 	s.logfLocked("cloud: rewound round %d for edge %d, re-folded %d rounds (correction seq %d)",
 		census.Round, census.Edge, replayed, s.correctionSeq)
 	span.End(obs.A("replayed", replayed), obs.A("seq", s.correctionSeq))
-	return true, corrections, nil
+	return true, true, nil
 }
 
 // collectCorrectionsLocked builds one ratio-correction frame per connected
-// edge other than the submitter (whose census reply already carries the
-// corrected ratio). Called with s.mu held.
-func (s *Server) collectCorrectionsLocked(excludeEdge int) []correctionSend {
+// edge not in exclude (the submitters, whose census replies already carry
+// the corrected ratios). Called with s.mu held.
+func (s *Server) collectCorrectionsLocked(exclude ...int) []correctionSend {
 	if len(s.edgeSess) == 0 {
 		return nil
 	}
+	skip := make(map[int]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
 	out := make([]correctionSend, 0, len(s.edgeSess))
 	for i, sess := range s.edgeSess {
-		if i == excludeEdge || i < 0 || i >= len(s.state.X) {
+		if skip[i] || i < 0 || i >= len(s.state.X) {
 			continue
 		}
 		out = append(out, correctionSend{
 			sess: sess,
 			rc: transport.RatioCorrection{
 				Edge:  i,
-				Round: s.latest,
+				Round: s.eng.Latest(),
 				Seq:   s.correctionSeq,
 				X:     s.state.X[i],
 			},

@@ -208,11 +208,11 @@ func TestPendingBarrierDuplicateLastWriteWins(t *testing.T) {
 		return func() bool {
 			srv.mu.Lock()
 			defer srv.mu.Unlock()
-			rb, ok := srv.rounds[0]
+			rb, ok := srv.eng.Barrier(0)
 			if !ok {
 				return false
 			}
-			got, ok := rb.censuses[0]
+			got, ok := rb.Censuses[0]
 			return ok && equalCounts(got, want)
 		}
 	}

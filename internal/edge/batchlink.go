@@ -1,0 +1,189 @@
+package edge
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/session"
+)
+
+// BatchLink maintains a census-batch connection to a consensus coordinator
+// (a shard forwarding its region group to the aggregation tier, or a load
+// generator multiplexing many regions over one conn). It is CloudLink's
+// batched sibling: Report dials lazily with backoff, submits one
+// CensusBatch frame for the round, and — when the link drops or the reply
+// times out — redials and re-submits the same batch. The receiving tier
+// treats a re-submitted batch as last-write-wins duplicates, so retries are
+// harmless, and a batch for an already-completed round is answered
+// immediately with the regions' current ratios.
+type BatchLink struct {
+	// Shard identifies the submitting coordinator in batch frames
+	// (informational; routing is by each census's Edge id).
+	Shard int
+	// Dialer establishes coordinator connections with backoff (required).
+	Dialer *transport.Dialer
+	// ReplyTimeout bounds the wait for the RatioBatch reply before the link
+	// is declared dead and the batch re-submitted (0 = wait forever).
+	ReplyTimeout time.Duration
+	// Attempts is the number of submit attempts per Report (default 3).
+	Attempts int
+	// Obs, when non-nil, is the observer the link reports through. Set it
+	// before the first Report; nil falls back to a private registry.
+	Obs *obs.Observer
+	// OnCorrection, when non-nil, is invoked (outside the link's lock) for
+	// each ratio correction the coordinator pushes after a fixed-lag rewind.
+	// Unlike CloudLink the batched link spans many regions, so the whole
+	// frame — corrected edge, round, sequence, ratio — is handed through: a
+	// shard coordinator forwards it verbatim to the owning edge's session,
+	// preserving the aggregator-assigned sequence the edges' monotonic
+	// adoption depends on. Stale or redelivered frames are dropped by the
+	// link's own sequence check before the callback fires.
+	OnCorrection func(rc transport.RatioCorrection)
+
+	// reqMu serializes whole Report exchanges: a shard coordinator forwards
+	// concurrent rounds and late stragglers over one link, and interleaved
+	// request/reply pairs on a single connection would cross replies between
+	// waiters (a consumed frame is never redelivered to the right exchange).
+	reqMu sync.Mutex
+
+	mu          sync.Mutex
+	conn        transport.Conn
+	dialed      bool
+	lastSeq     int64
+	redials     *obs.Counter // edge_cloud_redials_total
+	reports     *obs.Counter // edge_batch_reports_total
+	corrections *obs.Counter // edge_ratio_corrections_total
+}
+
+// metricsLocked lazily binds the link's counters to Obs (or a private
+// observer). Called with l.mu held.
+func (l *BatchLink) metricsLocked() {
+	if l.redials != nil {
+		return
+	}
+	o := l.Obs
+	if o == nil {
+		o = obs.New()
+		l.Obs = o
+	}
+	l.redials = o.Counter("edge_cloud_redials_total", "cloud-link reconnects after the first dial")
+	l.reports = o.Counter("edge_batch_reports_total", "census batches submitted upstream (including re-submissions)")
+	l.corrections = o.Counter("edge_ratio_corrections_total", "ratio corrections adopted after cloud fixed-lag rewinds")
+}
+
+// Redials returns how many times the link re-established its connection
+// after the first dial.
+func (l *BatchLink) Redials() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metricsLocked()
+	return int(l.redials.Value())
+}
+
+// Close drops the link's connection, if any.
+func (l *BatchLink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return nil
+	}
+	err := l.conn.Close()
+	l.conn = nil
+	return err
+}
+
+// ensureConn returns the live connection, dialing one if needed.
+func (l *BatchLink) ensureConn() (transport.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metricsLocked()
+	if l.conn != nil {
+		return l.conn, nil
+	}
+	if l.Dialer == nil {
+		return nil, fmt.Errorf("shard %d: batch link has no dialer", l.Shard)
+	}
+	conn, err := l.Dialer.DialRetry()
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: dialing coordinator: %w", l.Shard, err)
+	}
+	if l.dialed {
+		l.redials.Inc()
+	}
+	l.dialed = true
+	l.conn = conn
+	return conn, nil
+}
+
+// dropConn discards conn if it is still the link's current connection.
+func (l *BatchLink) dropConn(conn transport.Conn) {
+	_ = conn.Close()
+	l.mu.Lock()
+	if l.conn == conn {
+		l.conn = nil
+	}
+	l.mu.Unlock()
+}
+
+// handleOther absorbs non-reply frames that interleave with a batch
+// exchange: ratio corrections are adopted monotonically by sequence,
+// anything else fails the exchange.
+func (l *BatchLink) handleOther(m transport.Message) error {
+	if m.Kind != transport.KindRatioCorrection {
+		return fmt.Errorf("shard %d: unexpected %s frame during batch exchange", l.Shard, m.Kind)
+	}
+	var rc transport.RatioCorrection
+	if err := transport.Decode(m, transport.KindRatioCorrection, &rc); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if rc.Seq <= l.lastSeq {
+		l.mu.Unlock()
+		return nil
+	}
+	l.lastSeq = rc.Seq
+	l.corrections.Inc()
+	cb := l.OnCorrection
+	l.mu.Unlock()
+	if cb != nil {
+		cb(rc)
+	}
+	return nil
+}
+
+// Report submits one round's census batch and returns the coordinator's
+// RatioBatch answer (reply.Round = round+1), reconnecting and re-submitting
+// across connection failures.
+func (l *BatchLink) Report(round int, censuses []transport.Census) (transport.RatioBatch, error) {
+	l.reqMu.Lock()
+	defer l.reqMu.Unlock()
+	batch := transport.CensusBatch{Shard: l.Shard, Round: round, Censuses: censuses}
+	attempts := l.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		conn, err := l.ensureConn()
+		if err != nil {
+			return transport.RatioBatch{}, err // the dialer already retried with backoff
+		}
+		l.mu.Lock()
+		l.reports.Inc()
+		l.mu.Unlock()
+		reply, err := session.ReportCensusBatch(conn, batch, l.ReplyTimeout, l.handleOther)
+		if err == nil {
+			return reply, nil
+		}
+		l.dropConn(conn)
+		if !transport.IsConnError(err) {
+			return transport.RatioBatch{}, fmt.Errorf("shard %d: reporting round %d: %w", l.Shard, round, err)
+		}
+		lastErr = err
+	}
+	return transport.RatioBatch{}, fmt.Errorf("shard %d: reporting round %d failed after %d attempts: %w",
+		l.Shard, round, attempts, lastErr)
+}

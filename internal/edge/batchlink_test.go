@@ -1,0 +1,185 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestBatchLinkResubmitsAfterDrop: when the upstream connection dies before
+// the RatioBatch reply arrives, the link redials and re-submits the same
+// round's batch, skipping stale replies once reconnected.
+func TestBatchLinkResubmitsAfterDrop(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- func() error {
+			// Session 1: swallow the batch and drop the link.
+			c1, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			if _, err := c1.Recv(); err != nil {
+				return err
+			}
+			_ = c1.Close()
+
+			// Session 2: answer the re-submission, preceded by a stale reply
+			// the link must skip.
+			c2, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			defer c2.Close()
+			m, err := c2.Recv()
+			if err != nil {
+				return err
+			}
+			var batch transport.CensusBatch
+			if err := transport.Decode(m, transport.KindCensusBatch, &batch); err != nil {
+				return err
+			}
+			if batch.Shard != 2 || len(batch.Censuses) != 2 {
+				return nil // the assertion below fails on the zero reply
+			}
+			stale, err := transport.Encode(transport.KindRatioBatch,
+				transport.RatioBatch{Round: batch.Round, Edges: []int{0, 1}, X: []float64{0.1, 0.1}})
+			if err != nil {
+				return err
+			}
+			if err := c2.Send(stale); err != nil {
+				return err
+			}
+			good, err := transport.Encode(transport.KindRatioBatch,
+				transport.RatioBatch{Round: batch.Round + 1, Edges: []int{0, 1}, X: []float64{0.75, 0.25}})
+			if err != nil {
+				return err
+			}
+			return c2.Send(good)
+		}()
+	}()
+
+	link := &BatchLink{
+		Shard: 2,
+		Dialer: &transport.Dialer{
+			Dial:  func() (transport.Conn, error) { return net.Dial("agg") },
+			Seed:  1,
+			Sleep: func(time.Duration) {},
+		},
+		ReplyTimeout: 2 * time.Second,
+	}
+	defer link.Close()
+
+	reply, err := link.Report(3, []transport.Census{
+		{Edge: 0, Round: 3, Counts: []int{1, 2}},
+		{Edge: 1, Round: 3, Counts: []int{3, 0}},
+	})
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if reply.Round != 4 || len(reply.X) != 2 || reply.X[0] != 0.75 {
+		t.Errorf("reply = %+v, want round 4 with the non-stale ratios", reply)
+	}
+	if got := link.Redials(); got != 1 {
+		t.Errorf("Redials = %d, want 1", got)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("fake aggregator: %v", err)
+	}
+}
+
+// TestBatchLinkAdoptsRatioCorrections: corrections interleaved with a batch
+// exchange are adopted monotonically by sequence, carrying the corrected
+// edge id through to the callback.
+func TestBatchLinkAdoptsRatioCorrections(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	l, err := net.Listen("agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- func() error {
+			c, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			m, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			var batch transport.CensusBatch
+			if err := transport.Decode(m, transport.KindCensusBatch, &batch); err != nil {
+				return err
+			}
+			for _, rc := range []transport.RatioCorrection{
+				{Edge: 5, Round: 6, Seq: 5, X: 0.61}, // adopted
+				{Edge: 5, Round: 6, Seq: 5, X: 0.61}, // redelivered: dropped
+				{Edge: 9, Round: 5, Seq: 3, X: 0.40}, // reordered stale seq: dropped
+				{Edge: 9, Round: 7, Seq: 8, X: 0.66}, // adopted
+			} {
+				f, err := transport.Encode(transport.KindRatioCorrection, rc)
+				if err != nil {
+					return err
+				}
+				if err := c.Send(f); err != nil {
+					return err
+				}
+			}
+			reply, err := transport.Encode(transport.KindRatioBatch,
+				transport.RatioBatch{Round: batch.Round + 1, Edges: []int{5, 9}, X: []float64{0.7, 0.66}})
+			if err != nil {
+				return err
+			}
+			return c.Send(reply)
+		}()
+	}()
+
+	type adoption struct {
+		edge, round int
+		x           float64
+	}
+	var adopted []adoption
+	link := &BatchLink{
+		Shard: 1,
+		Dialer: &transport.Dialer{
+			Dial:  func() (transport.Conn, error) { return net.Dial("agg") },
+			Seed:  1,
+			Sleep: func(time.Duration) {},
+		},
+		ReplyTimeout: 2 * time.Second,
+		OnCorrection: func(rc transport.RatioCorrection) {
+			adopted = append(adopted, adoption{rc.Edge, rc.Round, rc.X})
+		},
+	}
+	defer link.Close()
+
+	if _, err := link.Report(7, []transport.Census{
+		{Edge: 5, Round: 7, Counts: []int{1}},
+		{Edge: 9, Round: 7, Counts: []int{2}},
+	}); err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	want := []adoption{{5, 6, 0.61}, {9, 7, 0.66}}
+	if len(adopted) != len(want) {
+		t.Fatalf("adopted %v, want %v", adopted, want)
+	}
+	for i, w := range want {
+		if adopted[i] != w {
+			t.Errorf("adoption %d = %v, want %v", i, adopted[i], w)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("fake aggregator: %v", err)
+	}
+}

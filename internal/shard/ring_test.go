@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Error("empty shard name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate shard name accepted")
+	}
+}
+
+// TestRingDeterministic: ownership is a pure function of the member set,
+// independent of the order the members were listed in.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"shard-0", "shard-1", "shard-2", "shard-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"shard-3", "shard-1", "shard-0", "shard-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for region := 0; region < 256; region++ {
+		if a.Owner(region) != b.Owner(region) {
+			t.Fatalf("region %d: owner %q vs %q under reordered members", region, a.Owner(region), b.Owner(region))
+		}
+	}
+}
+
+// TestRingBalance: under random member sets the heaviest shard carries at
+// most twice the lightest's regions — the load-spread property the sharded
+// tier's capacity planning rests on.
+func TestRingBalance(t *testing.T) {
+	const m = 1024
+	rng := rand.New(rand.NewSource(7))
+	memberSets := [][]string{Names(2), Names(4), Names(8)}
+	for i := 0; i < 8; i++ {
+		n := 2 + rng.Intn(7)
+		names := make([]string, n)
+		for j := range names {
+			names[j] = randomName(rng)
+		}
+		memberSets = append(memberSets, names)
+	}
+	for _, names := range memberSets {
+		r, err := NewRing(names)
+		if err != nil {
+			// Random names may collide; skip that draw.
+			continue
+		}
+		table, err := BuildTable(r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := table.Loads()
+		min, max := loads[0], loads[0]
+		for _, l := range loads[1:] {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if min == 0 || float64(max)/float64(min) > 2 {
+			t.Errorf("shards %v: loads %v, max/min ratio above 2", names, loads)
+		}
+	}
+}
+
+func randomName(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 6)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// TestRingStability: rendezvous hashing moves only the regions it must.
+// When a shard leaves, exactly its regions are re-homed; when one joins,
+// regions move only *to* the newcomer, and roughly 1/(n+1) of them.
+func TestRingStability(t *testing.T) {
+	const m = 1024
+	base, err := NewRing(Names(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("leave", func(t *testing.T) {
+		smaller, err := NewRing([]string{"shard-0", "shard-1", "shard-3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for region := 0; region < m; region++ {
+			before := base.Owner(region)
+			after := smaller.Owner(region)
+			if before != "shard-2" && after != before {
+				t.Fatalf("region %d moved %q -> %q though its owner never left", region, before, after)
+			}
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		larger, err := NewRing(append(Names(4), "shard-4"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for region := 0; region < m; region++ {
+			before := base.Owner(region)
+			after := larger.Owner(region)
+			if after == before {
+				continue
+			}
+			if after != "shard-4" {
+				t.Fatalf("region %d moved %q -> %q instead of to the joining shard", region, before, after)
+			}
+			moved++
+		}
+		// Expected m/5; allow headroom but catch wholesale reshuffles
+		// (consistent-hashing's ~m/2 would fail this immediately).
+		if moved > 2*m/5 {
+			t.Errorf("%d of %d regions moved on join, want about %d", moved, m, m/5)
+		}
+		if moved == 0 {
+			t.Error("no region moved to the joining shard")
+		}
+	})
+}
+
+// TestGoldenAssignment pins the 16-region / 4-shard assignment table — the
+// topology the sharded quickstart and the equivalence tests run — so any
+// change to the hash or tie-break is a deliberate, reviewed diff.
+func TestGoldenAssignment(t *testing.T) {
+	r, err := NewRing(Names(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := BuildTable(r, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(table, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "assignment_16x4.golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate by writing the got bytes): %v\ngot:\n%s", golden, err, got)
+	}
+	if string(got) != string(want) {
+		t.Errorf("assignment table drifted from %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+
+	// Every region has exactly one owner and the groups partition 0..15.
+	seen := make(map[int]bool)
+	for i := range table.Shards {
+		for _, region := range table.Regions(i) {
+			if seen[region] {
+				t.Errorf("region %d owned by more than one shard", region)
+			}
+			seen[region] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("%d regions assigned, want 16", len(seen))
+	}
+}

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is the materialized assignment of a lattice's regions to a ring's
+// shards: Owners[region] indexes into Shards. Building it once per process
+// start (regions and membership are deployment-static here) keeps routing a
+// slice lookup, and its JSON form is pinned by a golden-file test so any
+// re-sharding shows up as a deliberate diff.
+type Table struct {
+	Shards []string `json:"shards"`
+	Owners []int    `json:"owners"`
+}
+
+// BuildTable assigns regions 0..m-1 across the ring.
+func BuildTable(r *Ring, m int) (*Table, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("shard: table needs at least one region, got %d", m)
+	}
+	names := r.Shards()
+	index := make(map[string]int, len(names))
+	for i, s := range names {
+		index[s] = i
+	}
+	t := &Table{Shards: names, Owners: make([]int, m)}
+	for region := 0; region < m; region++ {
+		t.Owners[region] = index[r.Owner(region)]
+	}
+	return t, nil
+}
+
+// Owner returns the index (into Shards) of the shard owning region, or an
+// error for a region outside the table.
+func (t *Table) Owner(region int) (int, error) {
+	if region < 0 || region >= len(t.Owners) {
+		return 0, fmt.Errorf("shard: region %d outside table of %d regions", region, len(t.Owners))
+	}
+	return t.Owners[region], nil
+}
+
+// Regions returns the sorted region group owned by shard index i.
+func (t *Table) Regions(i int) []int {
+	var out []int
+	for region, owner := range t.Owners {
+		if owner == i {
+			out = append(out, region)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Loads returns the per-shard region counts, aligned with Shards.
+func (t *Table) Loads() []int {
+	loads := make([]int, len(t.Shards))
+	for _, owner := range t.Owners {
+		loads[owner]++
+	}
+	return loads
+}

@@ -16,7 +16,7 @@ import (
 //	frame   := kindTag payload
 //	kindTag := 1 hello | 2 census | 3 ratio | 4 policy
 //	         | 5 upload | 6 delivery | 7 ack | 8 lease
-//	         | 9 ratio_correction
+//	         | 9 ratio_correction | 10 census_batch | 11 ratio_batch
 //	int     := zigzag varint            (encoding/binary PutVarint)
 //	len     := uvarint                  (encoding/binary PutUvarint)
 //	f64     := 8-byte little-endian IEEE-754 bits
@@ -32,6 +32,8 @@ import (
 //	ack      := str(err)
 //	lease    := int(edge) int(ttl_ms)
 //	ratio_correction := int(edge) int(round) int(seq) f64(x)
+//	census_batch := int(shard) int(round) len [census]...
+//	ratio_batch  := int(round) len [int(edge)]... [f64(x)]...
 //
 // Decoding is strict: truncated fields, lengths that cannot fit in the
 // remaining bytes (which also caps decode allocations), unknown kind tags,
@@ -49,6 +51,8 @@ const (
 	tagAck
 	tagLease
 	tagRatioCorrection
+	tagCensusBatch
+	tagRatioBatch
 )
 
 func (binaryCodec) Name() string  { return "binary" }
@@ -141,6 +145,42 @@ func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
 		dst = appendInt(dst, int64(rc.Round))
 		dst = appendInt(dst, rc.Seq)
 		return appendFloat(dst, rc.X), nil
+	case KindCensusBatch:
+		var cb CensusBatch
+		if err := payloadFor(m, &cb); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagCensusBatch)
+		dst = appendInt(dst, int64(cb.Shard))
+		dst = appendInt(dst, int64(cb.Round))
+		dst = appendLen(dst, len(cb.Censuses))
+		for _, c := range cb.Censuses {
+			dst = appendInt(dst, int64(c.Edge))
+			dst = appendInt(dst, int64(c.Round))
+			dst = appendLen(dst, len(c.Counts))
+			for _, n := range c.Counts {
+				dst = appendInt(dst, int64(n))
+			}
+		}
+		return dst, nil
+	case KindRatioBatch:
+		var rb RatioBatch
+		if err := payloadFor(m, &rb); err != nil {
+			return nil, err
+		}
+		if len(rb.Edges) != len(rb.X) {
+			return nil, fmt.Errorf("transport: ratio batch has %d edges but %d ratios", len(rb.Edges), len(rb.X))
+		}
+		dst = append(dst, tagRatioBatch)
+		dst = appendInt(dst, int64(rb.Round))
+		dst = appendLen(dst, len(rb.Edges))
+		for _, e := range rb.Edges {
+			dst = appendInt(dst, int64(e))
+		}
+		for _, x := range rb.X {
+			dst = appendFloat(dst, x)
+		}
+		return dst, nil
 	default:
 		return nil, fmt.Errorf("transport: binary codec cannot encode kind %q", m.Kind)
 	}
@@ -199,6 +239,37 @@ func (binaryCodec) Decode(frame []byte) (Message, error) {
 	case tagRatioCorrection:
 		kind = KindRatioCorrection
 		body = RatioCorrection{Edge: int(r.int()), Round: int(r.int()), Seq: r.int(), X: r.float()}
+	case tagCensusBatch:
+		cb := CensusBatch{Shard: int(r.int()), Round: int(r.int())}
+		// Each census is at least 3 bytes (edge, round, empty counts).
+		if n := r.len(3); n > 0 {
+			cb.Censuses = make([]Census, n)
+			for i := range cb.Censuses {
+				c := Census{Edge: int(r.int()), Round: int(r.int())}
+				if k := r.len(1); k > 0 {
+					c.Counts = make([]int, k)
+					for j := range c.Counts {
+						c.Counts[j] = int(r.int())
+					}
+				}
+				cb.Censuses[i] = c
+			}
+		}
+		kind, body = KindCensusBatch, cb
+	case tagRatioBatch:
+		rb := RatioBatch{Round: int(r.int())}
+		// Each entry is at least 9 bytes (1-byte edge varint + 8-byte float).
+		if n := r.len(9); n > 0 {
+			rb.Edges = make([]int, n)
+			for i := range rb.Edges {
+				rb.Edges[i] = int(r.int())
+			}
+			rb.X = make([]float64, n)
+			for i := range rb.X {
+				rb.X[i] = r.float()
+			}
+		}
+		kind, body = KindRatioBatch, rb
 	default:
 		return Message{}, fmt.Errorf("transport: unknown binary kind tag 0x%02x", frame[0])
 	}

@@ -33,6 +33,11 @@ func allKindsMessages(t *testing.T) []Message {
 		{KindAck, Ack{Err: "nope"}},
 		{KindLease, Lease{Edge: 2, TTLMillis: 1500}},
 		{KindRatioCorrection, RatioCorrection{Edge: 2, Round: 7, Seq: 3, X: 0.5}},
+		{KindCensusBatch, CensusBatch{Shard: 1, Round: 3, Censuses: []Census{
+			{Edge: 0, Round: 3, Counts: []int{2, 1}},
+			{Edge: 1, Round: 3, Counts: []int{0, 4}},
+		}}},
+		{KindRatioBatch, RatioBatch{Round: 4, Edges: []int{0, 1}, X: []float64{0.5, 0.25}}},
 	}
 	out := make([]Message, len(payloads))
 	for i, p := range payloads {
@@ -141,6 +146,25 @@ func TestBinaryGoldenBytes(t *testing.T) {
 			body: RatioCorrection{Edge: 2, Round: 7, Seq: 3, X: 0.5},
 			want: []byte{0x09, 0x04, 0x0E, 0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F},
 		},
+		{
+			name: "census_batch",
+			kind: KindCensusBatch,
+			body: CensusBatch{Shard: 1, Round: 3, Censuses: []Census{
+				{Edge: 0, Round: 3, Counts: []int{2, 1}},
+				{Edge: 1, Round: 3, Counts: []int{0, 4}},
+			}},
+			want: []byte{0x0A, 0x02, 0x06, 0x02,
+				0x00, 0x06, 0x02, 0x04, 0x02,
+				0x02, 0x06, 0x02, 0x00, 0x08},
+		},
+		{
+			name: "ratio_batch",
+			kind: KindRatioBatch,
+			body: RatioBatch{Round: 4, Edges: []int{0, 1}, X: []float64{0.5, 0.25}},
+			want: []byte{0x0B, 0x08, 0x02, 0x00, 0x02,
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F},
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -208,6 +232,10 @@ func TestBinaryDecodeHardening(t *testing.T) {
 		{"trailing garbage", append(append([]byte{}, ratio...), 0xAA)},
 		{"items length overflow", []byte{0x05, 0x0E, 0x0A, 0x06, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
 		{"truncated ratio_correction", []byte{0x09, 0x04, 0x0E, 0x06, 0x00, 0x00}},
+		{"census_batch length overflow", []byte{0x0A, 0x02, 0x06, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
+		{"census_batch truncated census", []byte{0x0A, 0x02, 0x06, 0x02, 0x00, 0x06, 0x02, 0x04}},
+		{"ratio_batch length exceeds remaining", []byte{0x0B, 0x08, 0x7F, 0x00}},
+		{"ratio_batch truncated float", []byte{0x0B, 0x08, 0x01, 0x00, 0x00, 0x00, 0xE0, 0x3F}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -516,6 +544,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		{KindUpload, Upload{Vehicle: 7, Round: 5, Decision: 3, Items: []Item{{Owner: 7, Modality: sensor.LiDAR, Seq: 1}}}},
 		{KindDelivery, Delivery{Round: 5, Items: []Item{{Owner: 9, Modality: sensor.Camera, Seq: 3}}}},
 		{KindAck, Ack{Err: "nope"}},
+		{KindCensusBatch, CensusBatch{Shard: 1, Round: 3, Censuses: []Census{{Edge: 0, Round: 3, Counts: []int{2, 1}}}}},
+		{KindRatioBatch, RatioBatch{Round: 4, Edges: []int{0, 1}, X: []float64{0.5, 0.25}}},
 	}
 	for _, p := range payloads {
 		m, err := Encode(p.kind, p.body)

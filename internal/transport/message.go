@@ -43,6 +43,14 @@ const (
 	// cloud's fixed-lag window rewinds and re-folds completed rounds. Edges
 	// adopt corrections monotonically by Seq.
 	KindRatioCorrection Kind = "ratio_correction"
+	// KindCensusBatch carries many regions' censuses for one round in a
+	// single frame (step ① batched): a shard coordinator forwarding its
+	// region group to the aggregation tier, or an edge process multiplexing
+	// several regions over one connection.
+	KindCensusBatch Kind = "census_batch"
+	// KindRatioBatch answers a census batch with each region's next sharing
+	// ratio (step ② batched).
+	KindRatioBatch Kind = "ratio_batch"
 )
 
 // Message is the wire envelope. A message carries its payload in one of two
@@ -139,6 +147,27 @@ type RatioCorrection struct {
 	Round int     `json:"round"`
 	Seq   int64   `json:"seq"`
 	X     float64 `json:"x"`
+}
+
+// CensusBatch is many regions' step-① censuses in one frame, all for the
+// same Round. Shard identifies the submitting coordinator (informational —
+// routing is by the censuses' Edge ids). Batching collapses a region group's
+// per-round uploads into one frame and one reply, the wire-level win that
+// lets a connection multiplex hundreds of regions.
+type CensusBatch struct {
+	Shard    int      `json:"shard"`
+	Round    int      `json:"round"`
+	Censuses []Census `json:"censuses"`
+}
+
+// RatioBatch is the step-② answer to a CensusBatch: X[i] is the next-round
+// sharing ratio for region Edges[i]. Round is the batch's round + 1,
+// mirroring the single-census Ratio convention (a late batch is answered
+// with the regions' current ratios under the same Round).
+type RatioBatch struct {
+	Round int       `json:"round"`
+	Edges []int     `json:"edges"`
+	X     []float64 `json:"x"`
 }
 
 // Encode wraps a payload struct in a Message envelope. Encoding is lazy:
@@ -264,6 +293,24 @@ func copyTyped(body, out interface{}) bool {
 			*dst = src
 			return true
 		case *RatioCorrection:
+			*dst = *src
+			return true
+		}
+	case *CensusBatch:
+		switch src := body.(type) {
+		case CensusBatch:
+			*dst = src
+			return true
+		case *CensusBatch:
+			*dst = *src
+			return true
+		}
+	case *RatioBatch:
+		switch src := body.(type) {
+		case RatioBatch:
+			*dst = src
+			return true
+		case *RatioBatch:
 			*dst = *src
 			return true
 		}

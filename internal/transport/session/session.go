@@ -233,6 +233,42 @@ func ReportCensus(conn transport.Conn, edgeID, round int, counts []int,
 	return ReportCensusWith(conn, edgeID, round, counts, replyTimeout, nil)
 }
 
+// ReportCensusBatch submits one round's censuses for a whole region group in
+// a single frame (step ① batched) and waits for the matching RatioBatch
+// (step ② batched), skipping stale replies from re-submitted batches. Frames
+// the coordinator pushes asynchronously on the same connection — ratio
+// corrections after a fixed-lag rewind — go to onOther (nil fails on them).
+// A refusal surfaces as *RejectedError.
+func ReportCensusBatch(conn transport.Conn, batch transport.CensusBatch,
+	replyTimeout time.Duration, onOther Handler) (transport.RatioBatch, error) {
+	var reply transport.RatioBatch
+	err := Wrap(conn).RequestWith(
+		transport.KindCensusBatch, batch,
+		transport.KindRatioBatch, &reply, replyTimeout,
+		func() bool {
+			// Round alone is not enough: a duplicated frame (or an exchange
+			// for the same round with a different census subset, e.g. a
+			// shard's main batch vs a late straggler) also answers round+1.
+			// The receiver echoes the request's edges in order, so the edge
+			// list is the exchange's identity.
+			if reply.Round != batch.Round+1 || len(reply.Edges) != len(batch.Censuses) {
+				return false
+			}
+			for i, cs := range batch.Censuses {
+				if reply.Edges[i] != cs.Edge {
+					return false
+				}
+			}
+			return true
+		},
+		onOther,
+	)
+	if err != nil {
+		return transport.RatioBatch{}, err
+	}
+	return reply, nil
+}
+
 // ReportCensusWith is ReportCensus with an onOther handler for frames the
 // cloud pushes asynchronously on the census connection (ratio corrections
 // after a fixed-lag rewind). A nil onOther keeps the strict behavior.

@@ -7,11 +7,19 @@
 #   scripts/bench.sh                  # writes BENCH_$(date +%F).json
 #   BENCH_DATE=2026-08-07 scripts/bench.sh
 #   BENCH_FILTER='ConsensusRoundsPerSec' scripts/bench.sh   # subset, prints only
+#   LOADGEN_SCALES="64x32 1000x100" scripts/bench.sh        # extra load-harness scales
+#   BENCH_SKIP_LOADGEN=1 scripts/bench.sh                   # micro-benchmarks only
+#
+# Besides the Go micro-benchmarks, it drives cmd/loadgen once per scale in
+# LOADGEN_SCALES (edges x vehicles-per-edge, default 64x32) against a
+# spawned 4-shard tier and merges the rounds/sec + p99 latency series into
+# the same JSON; series names carry the scale, so differently sized runs
+# never compare against each other.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 date_tag="${BENCH_DATE:-$(date +%F)}"
-filter="${BENCH_FILTER:-BenchmarkEncodeCensus|BenchmarkRoundTrip|BenchmarkBuildWorld|BenchmarkConsensusRoundsPerSec}"
+filter="${BENCH_FILTER:-BenchmarkEncodeCensus|BenchmarkRoundTrip|BenchmarkBuildWorld|BenchmarkConsensusRoundsPerSec|BenchmarkShardedConsensusRoundsPerSec}"
 out="BENCH_${date_tag}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -47,5 +55,15 @@ for line in open(raw_path):
 json.dump({"date": date_tag, **meta, "results": results}, sys.stdout, indent=2)
 print()
 PY
+
+if [ "${BENCH_SKIP_LOADGEN:-0}" != "1" ]; then
+  for scale in ${LOADGEN_SCALES:-64x32}; do
+    edges="${scale%x*}"
+    vpe="${scale#*x}"
+    go run ./cmd/loadgen -edges "$edges" -vehicles-per-edge "$vpe" \
+      -rounds "${LOADGEN_ROUNDS:-40}" -shards "${LOADGEN_SHARDS:-4}" \
+      -bench-json "$out"
+  done
+fi
 
 echo "wrote $out (${#filter} filter, $(python3 -c "import json,sys;print(len(json.load(open('$out'))['results']))") series)" >&2

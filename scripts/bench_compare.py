@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh bench JSON against a baseline.
+
+Usage: scripts/bench_compare.py BASELINE.json NEW.json [--tolerance 0.20]
+
+For every series name present in BOTH files (series only one side has —
+e.g. a differently scaled loadgen run or a newly added benchmark — are
+reported but never gate):
+
+  - ns_per_op may grow at most tolerance (default 20%): slower is worse.
+  - rounds_per_sec may shrink at most tolerance: fewer is worse.
+
+Exits 1 if any shared series regressed beyond tolerance.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {r["name"]: r for r in doc.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional regression (default 0.20)")
+    args = ap.parse_args()
+
+    old, new = load(args.baseline), load(args.new)
+    shared = sorted(set(old) & set(new))
+    skipped = sorted(set(old) ^ set(new))
+    failures = []
+
+    for name in shared:
+        o, n = old[name], new[name]
+        # Lower is better.
+        if "ns_per_op" in o and "ns_per_op" in n:
+            limit = o["ns_per_op"] * (1 + args.tolerance)
+            status = "FAIL" if n["ns_per_op"] > limit else "ok"
+            print(f"{status:4} {name}: ns/op {o['ns_per_op']:.4g} -> {n['ns_per_op']:.4g} "
+                  f"(limit {limit:.4g})")
+            if status == "FAIL":
+                failures.append(name)
+        # Higher is better.
+        if "rounds_per_sec" in o and "rounds_per_sec" in n:
+            limit = o["rounds_per_sec"] * (1 - args.tolerance)
+            status = "FAIL" if n["rounds_per_sec"] < limit else "ok"
+            print(f"{status:4} {name}: rounds/s {o['rounds_per_sec']:.4g} -> {n['rounds_per_sec']:.4g} "
+                  f"(limit {limit:.4g})")
+            if status == "FAIL":
+                failures.append(name)
+
+    for name in skipped:
+        side = "baseline" if name in old else "new"
+        print(f"skip {name}: only in {side}")
+
+    if failures:
+        print(f"\n{len(failures)} series regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(sorted(set(failures)))}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} shared series within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
