@@ -39,30 +39,27 @@
 //
 //	# edges list every shard address; each routes to its region's owner
 //	cpnode -role edge -id 0 -shards 4 -cloud 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203 ...
+//
+// cpnode is a thin adapter over internal/scenario's typed NodeConfig: each
+// flag the invocation actually sets maps to one functional option, and an
+// option set on a role that ignores it is rejected up front ("-role edge
+// -fixed-lag 8" is an error, not a silently dead knob). The same NodeConfig
+// constructors wire cmd/loadgen, cmd/scenario, and examples/distributed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"os/signal"
-	"strings"
 	"sync"
 	"syscall"
 	"time"
 
-	"repro/internal/cloud"
-	"repro/internal/edge"
-	"repro/internal/game"
-	"repro/internal/lattice"
 	"repro/internal/obs"
-	"repro/internal/policy"
-	"repro/internal/sensor"
-	"repro/internal/shard"
+	"repro/internal/scenario"
 	"repro/internal/transport"
-	"repro/internal/vehicle"
 )
 
 func main() {
@@ -73,7 +70,7 @@ func main() {
 		edgeAddr  = flag.String("edge", "127.0.0.1:7100", "edge address (vehicles)")
 		id        = flag.Int("id", 0, "edge/region id (edge)")
 		idBase    = flag.Int("id-base", 100, "first vehicle id (vehicles)")
-		regions   = flag.Int("regions", 2, "number of regions (cloud)")
+		regions   = flag.Int("regions", 2, "number of regions (cloud, aggregator, shard, edge)")
 		n         = flag.Int("n", 20, "fleet size (vehicles)")
 		rounds    = flag.Int("rounds", 40, "rounds to run (edge)")
 		vehiclesN = flag.Int("vehicles", 20, "vehicles to wait for before starting (edge)")
@@ -93,7 +90,7 @@ func main() {
 		fixedLag = flag.Int("fixed-lag", 0,
 			"cloud: rewind window in rounds; a census arriving this late is folded back in and the corrected ratio re-published (0 = answer late censuses from current state)")
 		retryMax = flag.Int("retry-max", 8,
-			"max dial attempts per reconnect burst (edge, vehicles)")
+			"max dial attempts per reconnect burst (shard, edge, vehicles)")
 		roundDeadline = flag.Duration("round-deadline", 10*time.Second,
 			"cloud: complete a round barrier after this long with last-known shares for missing edges (0 = wait forever)")
 		metricsAddr = flag.String("metrics", "",
@@ -103,7 +100,7 @@ func main() {
 		ioTimeout = flag.Duration("io-timeout", 0,
 			"per-operation read/write deadline on every TCP conn, dialed or accepted (0 = off; must exceed the idle gap between rounds)")
 		stateDir = flag.String("state-dir", "",
-			"cloud: durable state directory (checkpoint + journal); a restarted cloud resumes the consensus from it (empty = in-memory only)")
+			"cloud, shard: durable state directory (checkpoint + journal); a restarted node resumes the consensus from it (empty = in-memory only)")
 		leaseTTL = flag.Duration("lease-ttl", 0,
 			"edge: membership lease TTL heartbeated to the cloud; a dead edge is evicted from the barrier quorum after this long (0 = no heartbeat)")
 		shards = flag.Int("shards", 0,
@@ -116,19 +113,6 @@ func main() {
 			"shard: forward a round degraded after this long with owned regions missing (0 = wait for the full group)")
 	)
 	flag.Parse()
-
-	codec, err := transport.CodecByName(*codecName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cpnode: %v\n", err)
-		os.Exit(1)
-	}
-	// Options applied to every TCP endpoint this node opens: listeners pass
-	// them to accepted conns (satellite fix: accepted conns previously never
-	// inherited WithTimeout), dialed conns declare the codec.
-	tcpOpts := []transport.TCPOption{transport.WithCodec(codec)}
-	if *ioTimeout > 0 {
-		tcpOpts = append(tcpOpts, transport.WithTimeout(*ioTimeout))
-	}
 
 	var o *obs.Observer
 	if *metricsAddr != "" {
@@ -143,37 +127,74 @@ func main() {
 		fmt.Printf("metrics: serving /metrics, /debug/spans, /debug/pprof on http://%s\n", msrv.Addr())
 	}
 
-	var fault *transport.Fault
-	if *faultDrop > 0 || *faultDelay > 0 || *faultDup > 0 {
-		fault = transport.NewFault(transport.FaultConfig{
+	// Each flag the invocation actually set (flag.Visit) maps to one typed
+	// option; scenario.New rejects any option the role does not consume.
+	optionByFlag := map[string]func() scenario.Option{
+		"listen":         func() scenario.Option { return scenario.Listen(*listen) },
+		"cloud":          func() scenario.Option { return scenario.CloudAddr(*cloudAddr) },
+		"edge":           func() scenario.Option { return scenario.EdgeAddr(*edgeAddr) },
+		"id":             func() scenario.Option { return scenario.EdgeID(*id) },
+		"id-base":        func() scenario.Option { return scenario.IDBase(*idBase) },
+		"regions":        func() scenario.Option { return scenario.Regions(*regions) },
+		"n":              func() scenario.Option { return scenario.FleetSize(*n) },
+		"rounds":         func() scenario.Option { return scenario.Rounds(*rounds) },
+		"vehicles":       func() scenario.Option { return scenario.WaitVehicles(*vehiclesN) },
+		"x0":             func() scenario.Option { return scenario.X0(*x0) },
+		"target-x":       func() scenario.Option { return scenario.TargetX(*targetX) },
+		"eps":            func() scenario.Option { return scenario.Eps(*eps) },
+		"field":          func() scenario.Option { return scenario.FieldPath(*fieldPath) },
+		"beta":           func() scenario.Option { return scenario.Beta(*beta) },
+		"seed":           func() scenario.Option { return scenario.Seed(*seed) },
+		"fixed-lag":      func() scenario.Option { return scenario.FixedLag(*fixedLag) },
+		"retry-max":      func() scenario.Option { return scenario.RetryMax(*retryMax) },
+		"round-deadline": func() scenario.Option { return scenario.RoundDeadline(*roundDeadline) },
+		"codec":          func() scenario.Option { return scenario.Codec(*codecName) },
+		"io-timeout":     func() scenario.Option { return scenario.IOTimeout(*ioTimeout) },
+		"state-dir":      func() scenario.Option { return scenario.StateDir(*stateDir) },
+		"lease-ttl":      func() scenario.Option { return scenario.LeaseTTL(*leaseTTL) },
+		"shards":         func() scenario.Option { return scenario.Shards(*shards) },
+		"shard-id":       func() scenario.Option { return scenario.ShardID(*shardID) },
+		"aggregator":     func() scenario.Option { return scenario.AggregatorAddr(*aggregatorAddr) },
+		"shard-deadline": func() scenario.Option { return scenario.ShardDeadline(*shardDeadline) },
+	}
+	opts := []scenario.Option{scenario.WithLogf(log.Printf)}
+	if o != nil {
+		opts = append(opts, scenario.WithObs(o))
+	}
+	faultSet := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "role", "metrics":
+		case "fault-drop", "fault-delay", "fault-dup":
+			faultSet = true
+		default:
+			if mk, ok := optionByFlag[f.Name]; ok {
+				opts = append(opts, mk())
+			}
+		}
+	})
+	if faultSet {
+		opts = append(opts, scenario.WithFault(&transport.FaultConfig{
 			Seed:     *seed,
 			DropProb: *faultDrop,
 			DupProb:  *faultDup,
 			MinDelay: *faultDelay / 20,
 			MaxDelay: *faultDelay,
-		})
-		if o != nil {
-			fault.Instrument(o)
-		}
+		}))
 	}
 
-	switch *role {
-	case "cloud", "aggregator":
-		// An aggregator IS a cloud: the global fold is unchanged, it just
-		// also answers the shards' census batches.
-		err = runCloud(*listen, *regions, *x0, *targetX, *eps, *beta, *fieldPath, *stateDir, *roundDeadline, *fixedLag, fault, o, tcpOpts)
-	case "shard":
-		err = runShard(*listen, *aggregatorAddr, *shardID, *shards, *regions, *shardDeadline, *stateDir, *seed, *retryMax, fault, o, tcpOpts)
-	case "edge":
-		var addr string
-		addr, err = shardRoute(*cloudAddr, *shards, *regions, *id)
-		if err == nil {
-			err = runEdge(*listen, addr, *id, *rounds, *vehiclesN, *seed, *retryMax, *leaseTTL, fault, o, tcpOpts)
+	nc, err := scenario.New(scenario.Role(*role), opts...)
+	if err == nil {
+		switch nc.Role {
+		case scenario.RoleCloud, scenario.RoleAggregator:
+			err = runCloud(nc)
+		case scenario.RoleShard:
+			err = runShard(nc)
+		case scenario.RoleEdge:
+			err = runEdge(nc)
+		case scenario.RoleVehicles:
+			err = runVehicles(nc)
 		}
-	case "vehicles":
-		err = runVehicles(*edgeAddr, *n, *idBase, *beta, *seed, *retryMax, fault, o, tcpOpts)
-	default:
-		err = fmt.Errorf("unknown role %q (want cloud, aggregator, shard, edge, or vehicles)", *role)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpnode: %v\n", err)
@@ -181,141 +202,21 @@ func main() {
 	}
 }
 
-// demoTau is the choice temperature used by both the cloud's mean-field
-// probe and the vehicle agents; a soft temperature keeps the demo's
-// equilibria away from basin boundaries so small fleets track the mean
-// field (see EXPERIMENTS.md on multistability).
-const demoTau = 0.25
-
-// demoGraph is the cloud's region graph for the demo: all regions adjacent
-// with a dominant intra-region frequency.
-type demoGraph struct{ m int }
-
-func (g demoGraph) M() int { return g.m }
-func (g demoGraph) Gamma(i, j int) float64 {
-	if i == j {
-		return 0.9
-	}
-	if g.m == 1 {
-		return 0
-	}
-	return 0.1 / float64(g.m-1)
-}
-func (g demoGraph) Neighbors(i int) []int {
-	var out []int
-	for j := 0; j < g.m; j++ {
-		if j != i {
-			out = append(out, j)
-		}
-	}
-	return out
-}
-
-func runCloud(listen string, regions int, x0, targetX, eps, beta float64, fieldPath, stateDir string, roundDeadline time.Duration, fixedLag int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
-	betas := make([]float64, regions)
-	for i := range betas {
-		betas[i] = beta
-	}
-	model, err := game.NewModel(lattice.PaperPayoffs(), demoGraph{m: regions}, betas)
-	if err != nil {
-		return err
-	}
-
-	const lambda = 0.1
-	var field *policy.Field
-	if fieldPath != "" {
-		// Operator-supplied declarative field (see policy.FieldSpec).
-		fh, err := os.Open(fieldPath)
-		if err != nil {
-			return err
-		}
-		field, err = policy.ReadFieldSpec(fh)
-		fh.Close()
-		if err != nil {
-			return err
-		}
-		if field.M() != regions || field.K() != model.K() {
-			return fmt.Errorf("field spec is %dx%d, want %dx%d", field.M(), field.K(), regions, model.K())
-		}
-		return serveCloud(listen, model, field, regions, x0, lambda,
-			fmt.Sprintf("field spec %s", fieldPath), stateDir, roundDeadline, fixedLag, fault, o, tcpOpts)
-	}
-
-	// Desired field: the regime reachable from a uniform mix at the target
-	// ratio (adiabatic continuation under the same Lambda FDS uses).
-	dyn, err := game.NewLogitDynamics(model, demoTau, 0.5)
-	if err != nil {
-		return err
-	}
-	probe := game.NewUniformState(regions, model.K(), x0)
-	for ramping := true; ramping; {
-		ramping = false
-		for i := range probe.X {
-			if probe.X[i]+lambda < targetX {
-				probe.X[i] += lambda
-				ramping = true
-			} else {
-				probe.X[i] = targetX
-			}
-		}
-		if err := dyn.Step(probe); err != nil {
-			return err
-		}
-	}
-	if _, err := dyn.Equilibrium(probe, 1e-9, 20000); err != nil {
-		return err
-	}
-	field = policy.NewFreeField(regions, model.K())
-	for i := range probe.P {
-		for k, v := range probe.P[i] {
-			lo, hi := v-eps, v+eps
-			if lo < 0 {
-				lo = 0
-			}
-			if hi > 1 {
-				hi = 1
-			}
-			field.P[i][k].Lo, field.P[i][k].Hi = lo, hi
-		}
-	}
-	return serveCloud(listen, model, field, regions, x0, lambda,
-		fmt.Sprintf("the x=%.2f regime (eps %.2f)", targetX, eps), stateDir, roundDeadline, fixedLag, fault, o, tcpOpts)
-}
-
-// serveCloud starts the FDS coordinator over TCP and blocks until the
+// runCloud starts the FDS coordinator over TCP and blocks until the
 // listener dies or a termination signal arrives. With a state directory the
 // consensus survives both kill -9 (journal replay on the next start) and
 // SIGTERM (graceful drain: pending round completed, checkpoint written).
-func serveCloud(listen string, model *game.Model, field *policy.Field, regions int, x0, lambda float64, what, stateDir string, roundDeadline time.Duration, fixedLag int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
-	fds, err := policy.NewFDS(model, field, lambda)
+func runCloud(nc *scenario.NodeConfig) error {
+	srv, what, err := nc.NewCloud()
 	if err != nil {
 		return err
 	}
-	if o != nil {
-		fds.Instrument(o)
+	if nc.StateDir != "" {
+		fmt.Printf("cloud: durable state in %s, resuming at round %d\n", nc.StateDir, srv.Latest()+1)
 	}
-	srv, err := cloud.NewServer(fds, game.NewUniformState(regions, model.K(), x0))
+	l, err := nc.Listener()
 	if err != nil {
 		return err
-	}
-	if o != nil {
-		srv.Instrument(o)
-	}
-	srv.SetRoundDeadline(roundDeadline)
-	srv.SetFixedLag(fixedLag) // before Open: recovery rebuilds the rewind window
-	srv.SetLogf(log.Printf)
-	if stateDir != "" {
-		if err := srv.Open(stateDir); err != nil {
-			return err
-		}
-		fmt.Printf("cloud: durable state in %s, resuming at round %d\n", stateDir, srv.Latest()+1)
-	}
-	l, err := transport.ListenTCP(listen, tcpOpts...)
-	if err != nil {
-		return err
-	}
-	if fault != nil {
-		l = fault.WrapListener(l)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -328,164 +229,66 @@ func serveCloud(listen string, model *game.Model, field *policy.Field, regions i
 		_ = l.Close() // unblocks Serve
 	}()
 	fmt.Printf("cloud: listening on %s, steering %d regions toward %s (round deadline %v, fixed lag %d)\n",
-		l.Addr(), regions, what, roundDeadline, fixedLag)
+		l.Addr(), nc.Regions, what, nc.RoundDeadline, nc.FixedLag)
 	srv.Serve(l) // blocks
 	return nil
 }
 
-// shardRoute resolves the address an edge reports to. Unsharded (shards <=
-// 1) it is the -cloud address verbatim; sharded, -cloud lists every shard
-// coordinator's address in ring order and the edge's region owner picks one.
-func shardRoute(cloudAddr string, shards, regions, edgeID int) (string, error) {
-	addrs := strings.Split(cloudAddr, ",")
-	if shards <= 1 {
-		return addrs[0], nil
-	}
-	if len(addrs) != shards {
-		return "", fmt.Errorf("-cloud lists %d addresses, want one per shard (%d)", len(addrs), shards)
-	}
-	ring, err := shard.NewRing(shard.Names(shards))
-	if err != nil {
-		return "", err
-	}
-	table, err := shard.BuildTable(ring, regions)
-	if err != nil {
-		return "", err
-	}
-	owner, err := table.Owner(edgeID)
-	if err != nil {
-		return "", fmt.Errorf("routing edge %d: %w (is -regions right?)", edgeID, err)
-	}
-	return strings.TrimSpace(addrs[owner]), nil
-}
-
-// runShard starts one shard coordinator: the rendezvous ring over -shards
+// runShard starts one shard coordinator: the rendezvous ring over Shards
 // members assigns its region group, rounds barrier locally and forward to
 // the aggregation tier as one census batch each.
-func runShard(listen, aggregatorAddr string, shardID, shards, regions int, deadline time.Duration, stateDir string, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
-	if shards <= 0 {
-		return fmt.Errorf("-role shard needs -shards >= 1, got %d", shards)
-	}
-	if shardID < 0 || shardID >= shards {
-		return fmt.Errorf("-shard-id %d outside the ring of %d shards", shardID, shards)
-	}
-	ring, err := shard.NewRing(shard.Names(shards))
+func runShard(nc *scenario.NodeConfig) error {
+	coord, upstream, err := nc.NewShard(nil)
 	if err != nil {
 		return err
-	}
-	table, err := shard.BuildTable(ring, regions)
-	if err != nil {
-		return err
-	}
-	owned := table.Regions(shardID)
-	if len(owned) == 0 {
-		return fmt.Errorf("shard %d owns no regions in a %d-region/%d-shard ring (add regions or drop shards)", shardID, regions, shards)
-	}
-	upstream := &edge.BatchLink{
-		Shard: shardID,
-		Dialer: &transport.Dialer{
-			Dial: func() (transport.Conn, error) {
-				c, err := transport.DialTCP(aggregatorAddr, append([]transport.TCPOption{
-					transport.WithTimeout(time.Minute)}, tcpOpts...)...)
-				if err != nil {
-					return nil, err
-				}
-				if fault != nil {
-					c = fault.WrapConn(c)
-				}
-				return c, nil
-			},
-			MaxAttempts: retryMax,
-			Seed:        seed,
-		},
-		ReplyTimeout: 30 * time.Second,
-		Obs:          o,
 	}
 	defer upstream.Close()
-	coord, err := shard.NewCoordinator(shard.Config{
-		ID:       shardID,
-		Regions:  owned,
-		K:        lattice.NewPaper().K(),
-		Deadline: deadline,
-		Upstream: upstream,
-		Logf:     log.Printf,
-	})
+	if nc.StateDir != "" {
+		fmt.Printf("shard %d: durable state in %s, resuming at round %d\n", nc.ShardID, nc.StateDir, coord.Latest()+1)
+	}
+	table, err := scenario.ShardTable(nc.Shards, nc.Regions)
 	if err != nil {
 		return err
 	}
-	if o != nil {
-		coord.Instrument(o)
-	}
-	if stateDir != "" {
-		if err := coord.Open(stateDir); err != nil {
-			return err
-		}
-		fmt.Printf("shard %d: durable state in %s, resuming at round %d\n", shardID, stateDir, coord.Latest()+1)
-	}
-	l, err := transport.ListenTCP(listen, tcpOpts...)
+	l, err := nc.Listener()
 	if err != nil {
 		return err
-	}
-	if fault != nil {
-		l = fault.WrapListener(l)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
 		s := <-sig
-		log.Printf("shard %d: %v received, draining", shardID, s)
+		log.Printf("shard %d: %v received, draining", nc.ShardID, s)
 		if err := coord.Drain(); err != nil {
-			log.Printf("shard %d: drain: %v", shardID, err)
+			log.Printf("shard %d: drain: %v", nc.ShardID, err)
 		}
 		_ = l.Close() // unblocks Serve
 	}()
 	fmt.Printf("shard %d/%d: listening on %s, owning regions %v, forwarding to %s (deadline %v)\n",
-		shardID, shards, l.Addr(), owned, aggregatorAddr, deadline)
+		nc.ShardID, nc.Shards, l.Addr(), table.Regions(nc.ShardID), nc.AggregatorAddr, nc.ShardDeadline)
 	coord.Serve(l) // blocks
 	coord.Close()
 	return nil
 }
 
-func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, retryMax int, leaseTTL time.Duration, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
-	srv := edge.NewServer(id, lattice.NewPaper(), seed)
-	if o != nil {
-		srv.Instrument(o)
-	}
-	l, err := transport.ListenTCP(listen, tcpOpts...)
+func runEdge(nc *scenario.NodeConfig) error {
+	srv := nc.NewEdge()
+	l, err := nc.Listener()
 	if err != nil {
 		return err
 	}
-	if fault != nil {
-		l = fault.WrapListener(l)
-	}
 	go srv.Serve(l)
 	defer srv.Close()
-	fmt.Printf("edge %d: listening on %s, waiting for %d vehicles\n", id, l.Addr(), vehiclesN)
+	fmt.Printf("edge %d: listening on %s, waiting for %d vehicles\n", nc.ID, l.Addr(), nc.Vehicles)
 
-	for srv.NumVehicles() < vehiclesN {
+	for srv.NumVehicles() < nc.Vehicles {
 		time.Sleep(50 * time.Millisecond)
 	}
-	fmt.Printf("edge %d: %d vehicles registered, starting rounds\n", id, srv.NumVehicles())
+	fmt.Printf("edge %d: %d vehicles registered, starting rounds\n", nc.ID, srv.NumVehicles())
 
-	link := &edge.CloudLink{
-		Edge: id,
-		Dialer: &transport.Dialer{
-			Dial: func() (transport.Conn, error) {
-				c, err := transport.DialTCP(cloudAddr, append([]transport.TCPOption{
-					transport.WithTimeout(time.Minute)}, tcpOpts...)...)
-				if err != nil {
-					return nil, err
-				}
-				if fault != nil {
-					c = fault.WrapConn(c)
-				}
-				return c, nil
-			},
-			MaxAttempts: retryMax,
-			Seed:        seed,
-		},
-		ReplyTimeout: 30 * time.Second,
-		Obs:          o,
+	link, err := nc.NewCloudLink(nil)
+	if err != nil {
+		return err
 	}
 	defer link.Close()
 	// Ratio corrections pushed after a cloud fixed-lag rewind (another
@@ -498,40 +301,22 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 		corrMu.Lock()
 		correctedX, haveCorrection = cx, true
 		corrMu.Unlock()
-		log.Printf("edge %d: cloud rewound through round %d; corrected x=%.4f", id, round, cx)
+		log.Printf("edge %d: cloud rewound through round %d; corrected x=%.4f", nc.ID, round, cx)
 	}
 
-	if leaseTTL > 0 {
-		// Membership heartbeat on its own connection (the census link's
-		// request/reply exchange would race with the lease acks): the cloud
-		// evicts this edge from the barrier quorum if it dies.
-		hb := &edge.Heartbeat{
-			Edge: id,
-			Dialer: &transport.Dialer{
-				Dial: func() (transport.Conn, error) {
-					c, err := transport.DialTCP(cloudAddr, tcpOpts...)
-					if err != nil {
-						return nil, err
-					}
-					if fault != nil {
-						c = fault.WrapConn(c)
-					}
-					return c, nil
-				},
-				MaxAttempts: retryMax,
-				Seed:        seed + 1,
-			},
-			TTL: leaseTTL,
-			Obs: o,
+	if nc.LeaseTTL > 0 {
+		hb, err := nc.NewHeartbeat(nil)
+		if err != nil {
+			return err
 		}
 		hbStop := make(chan struct{})
 		defer close(hbStop)
 		go hb.Run(hbStop)
-		fmt.Printf("edge %d: heartbeating membership lease (ttl %v)\n", id, leaseTTL)
+		fmt.Printf("edge %d: heartbeating membership lease (ttl %v)\n", nc.ID, nc.LeaseTTL)
 	}
 
 	x := 0.3
-	for t := 0; t < rounds; t++ {
+	for t := 0; t < nc.Rounds; t++ {
 		corrMu.Lock()
 		if haveCorrection {
 			x, haveCorrection = correctedX, false
@@ -545,54 +330,35 @@ func runEdge(listen, cloudAddr string, id, rounds, vehiclesN int, seed int64, re
 		if err != nil {
 			// Degraded round: the cloud is unreachable; keep the current
 			// ratio and try again next round.
-			log.Printf("edge %d round %d: cloud unreachable (%v); keeping x=%.2f", id, t, err, x)
+			log.Printf("edge %d round %d: cloud unreachable (%v); keeping x=%.2f", nc.ID, t, err, x)
 			continue
 		}
-		fmt.Printf("edge %d round %2d: x=%.2f census=%v -> next x=%.2f\n", id, t, x, census, next)
+		fmt.Printf("edge %d round %2d: x=%.2f census=%v -> next x=%.2f\n", nc.ID, t, x, census, next)
 		x = next
 	}
 	return nil
 }
 
-func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retryMax int, fault *transport.Fault, o *obs.Observer, tcpOpts []transport.TCPOption) error {
-	payoffs := lattice.PaperPayoffs()
-	rng := rand.New(rand.NewSource(seed))
+func runVehicles(nc *scenario.NodeConfig) error {
+	fleet, err := nc.NewFleet(scenario.FleetSpec{
+		N:               nc.N,
+		IDBase:          nc.IDBase,
+		Beta:            nc.Beta,
+		Seed:            nc.Seed,
+		RegisterTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
 	var wg sync.WaitGroup
-	errCh := make(chan error, n)
-	for v := 0; v < n; v++ {
-		prof := vehicle.Profile{
-			ID:            idBase + v,
-			Equipped:      sensor.MaskAll,
-			Desired:       sensor.MaskAll,
-			PrivacyWeight: 1,
-			Beta:          beta,
-			Tau:           demoTau,
-		}
-		agent, err := vehicle.NewAgent(prof, payoffs, rng.Int63())
-		if err != nil {
-			return err
-		}
-		client := &vehicle.Client{
-			Agent:           agent,
-			Mu:              0.5,
-			Cap:             sensor.TableIII(),
-			RegisterTimeout: 5 * time.Second,
-			Obs:             o,
-		}
+	errCh := make(chan error, nc.N)
+	for _, fv := range fleet {
 		dialer := &transport.Dialer{
-			Dial: func() (transport.Conn, error) {
-				c, err := transport.DialTCP(edgeAddr, tcpOpts...)
-				if err != nil {
-					return nil, err
-				}
-				if fault != nil {
-					c = fault.WrapConn(c)
-				}
-				return c, nil
-			},
-			MaxAttempts: retryMax,
-			Seed:        rng.Int63(),
+			Dial:        nc.DialFunc(nc.EdgeAddr),
+			MaxAttempts: nc.RetryMax,
+			Seed:        int64(fv.Agent.Profile.ID) + 0x5eed,
 		}
+		client := fv.Client
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -601,7 +367,7 @@ func runVehicles(edgeAddr string, n, idBase int, beta float64, seed int64, retry
 			}
 		}()
 	}
-	fmt.Printf("vehicles: %d agents connected to %s\n", n, edgeAddr)
+	fmt.Printf("vehicles: %d agents connected to %s\n", nc.N, nc.EdgeAddr)
 	wg.Wait()
 	select {
 	case err := <-errCh:

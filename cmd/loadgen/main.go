@@ -21,7 +21,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,13 +31,11 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cloud"
 	"repro/internal/edge"
-	"repro/internal/game"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
 	"repro/internal/obs"
-	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/shard"
 	"repro/internal/transport"
 )
@@ -67,70 +64,32 @@ func main() {
 	}
 }
 
-// loadGraph couples the regions in a sparse cycle: enough inter-region
-// coupling that the fold is global, without the O(M^2) dense demo graph at
-// 1000 regions.
-type loadGraph struct{ m int }
-
-func (g loadGraph) M() int { return g.m }
-func (g loadGraph) Gamma(i, j int) float64 {
-	if i == j {
-		return 0.6
-	}
-	if g.m == 1 {
-		return 0
-	}
-	d := i - j
-	if d < 0 {
-		d = -d
-	}
-	if d == 1 || d == g.m-1 {
-		return 0.2
-	}
-	return 0
-}
-func (g loadGraph) Neighbors(i int) []int {
-	if g.m == 1 {
-		return nil
-	}
-	return []int{(i + g.m - 1) % g.m, (i + 1) % g.m}
-}
-
 // spawnTier starts an aggregator and the shard coordinators on loopback
-// TCP, returning the shard addresses in ring order and a shutdown func.
-func spawnTier(m, nShards int, shardDeadline, aggDeadline time.Duration, table *shard.Table) ([]string, func(), error) {
-	lat := lattice.NewPaper()
-	masses := make([]float64, m)
-	for i := range masses {
-		masses[i] = 3
-	}
-	model, err := game.NewModel(lattice.PaperPayoffs(), loadGraph{m: m}, masses)
+// TCP through the shared scenario.NodeConfig constructors, returning the
+// shard addresses in ring order and a shutdown func. The cycle region graph
+// keeps the inter-region coupling sparse (the O(M^2) dense demo graph is
+// unusable at 1000 regions) and the P1 band field skips the mean-field
+// probe, whose cost also scales with the region count.
+func spawnTier(m, nShards int, shardDeadline, aggDeadline time.Duration) ([]string, func(), error) {
+	field, err := scenario.P1BandField(m, lattice.NewPaper().K(), 0.7, 0.1)
 	if err != nil {
 		return nil, nil, err
 	}
-	target := make([]float64, lat.K())
-	target[0] = 0.7
-	field, err := policy.NewUniformField(m, target, 0.1)
+	nc := scenario.Defaults(scenario.RoleAggregator)
+	nc.Regions = m
+	nc.Beta = 3 // region mass
+	nc.Graph = scenario.CycleGraph(m)
+	nc.X0 = 0.5
+	nc.FixedLag = 8
+	nc.RoundDeadline = aggDeadline
+	nc.Field = field
+	agg, _, err := nc.NewCloud()
 	if err != nil {
 		return nil, nil, err
 	}
-	for i := 0; i < m; i++ {
-		for k := 1; k < lat.K(); k++ {
-			field.P[i][k].Lo, field.P[i][k].Hi = 0, 1
-		}
-	}
-	fds, err := policy.NewFDS(model, field, 0.1)
-	if err != nil {
-		return nil, nil, err
-	}
-	agg, err := cloud.NewServer(fds, game.NewUniformState(m, lat.K(), 0.5))
-	if err != nil {
-		return nil, nil, err
-	}
-	agg.SetFixedLag(8)
-	agg.SetRoundDeadline(aggDeadline)
 	aggL, err := transport.ListenTCP("127.0.0.1:0")
 	if err != nil {
+		agg.Close()
 		return nil, nil, err
 	}
 	go agg.Serve(aggL)
@@ -148,30 +107,17 @@ func spawnTier(m, nShards int, shardDeadline, aggDeadline time.Duration, table *
 		aggL.Close()
 		agg.Close()
 	}
+	aggAddr := aggL.Addr()
 	for i := 0; i < nShards; i++ {
-		owned := table.Regions(i)
-		if len(owned) == 0 {
-			shutdown()
-			return nil, nil, fmt.Errorf("shard %d owns no regions with %d regions over %d shards", i, m, nShards)
-		}
-		id := i
-		upstream := &edge.BatchLink{
-			Shard: id,
-			Dialer: &transport.Dialer{
-				Dial:        func() (transport.Conn, error) { return transport.DialTCP(aggL.Addr()) },
-				MaxAttempts: 10,
-				Seed:        int64(100 + id),
-			},
-			ReplyTimeout: 30 * time.Second,
-		}
-		coord, err := shard.NewCoordinator(shard.Config{
-			ID:       id,
-			Regions:  owned,
-			K:        lat.K(),
-			Deadline: shardDeadline,
-			Upstream: upstream,
-			Logf:     log.Printf,
-		})
+		snc := scenario.Defaults(scenario.RoleShard)
+		snc.Seed = int64(100 + i)
+		snc.RetryMax = 10
+		snc.Shards = nShards
+		snc.ShardID = i
+		snc.Regions = m
+		snc.ShardDeadline = shardDeadline
+		snc.Logf = log.Printf
+		coord, upstream, err := snc.NewShard(func() (transport.Conn, error) { return transport.DialTCP(aggAddr) })
 		if err != nil {
 			shutdown()
 			return nil, nil, err
@@ -179,6 +125,7 @@ func spawnTier(m, nShards int, shardDeadline, aggDeadline time.Duration, table *
 		l, err := transport.ListenTCP("127.0.0.1:0")
 		if err != nil {
 			coord.Close()
+			upstream.Close()
 			shutdown()
 			return nil, nil, err
 		}
@@ -219,7 +166,7 @@ func run(edges, vehPerEdge, rounds, nShards, connsPer int, spawn bool,
 	var addrs []string
 	if spawn {
 		var shutdown func()
-		addrs, shutdown, err = spawnTier(edges, nShards, shardDeadline, aggDeadline, table)
+		addrs, shutdown, err = spawnTier(edges, nShards, shardDeadline, aggDeadline)
 		if err != nil {
 			return err
 		}
@@ -350,20 +297,20 @@ func run(edges, vehPerEdge, rounds, nShards, connsPer int, spawn bool,
 
 	if benchJSON != "" {
 		scale := fmt.Sprintf("%dx%d", edges, vehPerEdge)
-		if err := appendBench(benchJSON, []map[string]interface{}{
+		if err := scenario.AppendBench(benchJSON, []map[string]interface{}{
 			{
 				"name":             "Loadgen/" + scale + "/rounds_per_sec",
 				"iterations":       rounds,
-				"rounds_per_sec":   round3(rps),
-				"censuses_per_sec": round3(censusesPerSec),
+				"rounds_per_sec":   scenario.Round3(rps),
+				"censuses_per_sec": scenario.Round3(censusesPerSec),
 				"vehicles":         vehicles,
 				"shards":           nShards,
 			},
 			{
 				"name":        "Loadgen/" + scale + "/round_latency",
 				"iterations":  len(all),
-				"p50_seconds": round6(p50),
-				"p99_seconds": round6(p99),
+				"p50_seconds": scenario.Round6(p50),
+				"p99_seconds": scenario.Round6(p99),
 				"vehicles":    vehicles,
 				"shards":      nShards,
 			},
@@ -373,43 +320,4 @@ func run(edges, vehPerEdge, rounds, nShards, connsPer int, spawn bool,
 		fmt.Printf("loadgen: appended Loadgen/%s series to %s\n", scale, benchJSON)
 	}
 	return nil
-}
-
-func round3(v float64) float64 { return float64(int(v*1e3+0.5)) / 1e3 }
-func round6(v float64) float64 { return float64(int(v*1e6+0.5)) / 1e6 }
-
-// appendBench merges the run's series into a scripts/bench.sh-shaped JSON
-// file: {"results": [...]} with same-name entries replaced.
-func appendBench(path string, entries []map[string]interface{}) error {
-	doc := map[string]interface{}{}
-	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &doc); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	var results []interface{}
-	if r, ok := doc["results"].([]interface{}); ok {
-		results = r
-	}
-	for _, e := range entries {
-		replaced := false
-		for i, old := range results {
-			if m, ok := old.(map[string]interface{}); ok && m["name"] == e["name"] {
-				results[i] = e
-				replaced = true
-				break
-			}
-		}
-		if !replaced {
-			results = append(results, e)
-		}
-	}
-	doc["results"] = results
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -181,7 +181,7 @@ func TestSubmitBatchLateRewind(t *testing.T) {
 	if srvB.StateHash() != srvA.StateHash() {
 		t.Errorf("state hash %08x (rewound) != %08x (lossless)", srvB.StateHash(), srvA.StateHash())
 	}
-	if got := srvB.Stats().LateCensuses; got != 1 {
-		t.Errorf("LateCensuses = %d, want 1", got)
+	if got := srvCounter(srvB, "consensus_late_censuses_total"); got != 1 {
+		t.Errorf("consensus_late_censuses_total = %d, want 1", got)
 	}
 }

@@ -131,29 +131,6 @@ func newServerMetrics(o *obs.Observer) serverMetrics {
 	}
 }
 
-// Stats is a point-in-time view of the coordinator's failure-handling
-// counters.
-//
-// Deprecated: Stats is a thin read-through over the obs registry, kept for
-// existing callers; new code should read the consensus_* series from the
-// registry installed with Instrument (or Registry for the default one).
-type Stats struct {
-	// CompletedRounds counts rounds whose FDS update ran (degraded or not).
-	CompletedRounds int
-	// DegradedRounds counts rounds completed by the deadline with at least
-	// one region missing.
-	DegradedRounds int
-	// AbandonedRounds counts stale barriers evicted when a newer round
-	// completed first.
-	AbandonedRounds int
-	// LateCensuses counts censuses for already-completed rounds, answered
-	// immediately with the region's current ratio.
-	LateCensuses int
-	// DecodeFailures counts malformed frames dropped by connection
-	// handlers.
-	DecodeFailures int
-}
-
 // NewServer builds a cloud server steering toward the FDS controller's
 // desired field, starting from the given state (typically uniform
 // distributions at an initial ratio).
@@ -241,21 +218,6 @@ func (s *Server) SetLogf(logf func(format string, args ...interface{})) {
 func (s *Server) logfLocked(format string, args ...interface{}) {
 	if s.logf != nil {
 		s.logf(format, args...)
-	}
-}
-
-// Stats returns a snapshot of the failure-handling counters. It is a typed
-// view over the obs registry; see the Stats type for the replacement.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	m := s.metrics
-	s.mu.Unlock()
-	return Stats{
-		CompletedRounds: int(m.rounds.Value()),
-		DegradedRounds:  int(m.degraded.Value()),
-		AbandonedRounds: int(m.abandoned.Value()),
-		LateCensuses:    int(m.late.Value()),
-		DecodeFailures:  int(m.decodeFailures.Value()),
 	}
 }
 

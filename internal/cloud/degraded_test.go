@@ -11,6 +11,18 @@ import (
 	"repro/internal/transport"
 )
 
+// srvCounter reads one counter out of the server's registry snapshot — the
+// registry is the only stats surface; assert against the consensus_* series
+// by name.
+func srvCounter(s *Server, name string) int {
+	for _, p := range s.Registry().Snapshot() {
+		if p.Name == name && len(p.Labels) == 0 {
+			return int(p.Value)
+		}
+	}
+	return 0
+}
+
 // TestDegradedBarrier: with a round deadline set, a barrier missing one
 // region completes on time with last-known shares for the silent region,
 // and a late census for the completed round is answered immediately.
@@ -36,9 +48,10 @@ func TestDegradedBarrier(t *testing.T) {
 	if x < 0 || x > 1 {
 		t.Errorf("ratio %f out of range", x)
 	}
-	st := srv.Stats()
-	if st.CompletedRounds != 1 || st.DegradedRounds != 1 {
-		t.Errorf("stats = %+v, want 1 completed, 1 degraded", st)
+	completed := srvCounter(srv, "consensus_rounds_total")
+	degraded := srvCounter(srv, "consensus_degraded_rounds_total")
+	if completed != 1 || degraded != 1 {
+		t.Errorf("rounds=%d degraded=%d, want 1 completed, 1 degraded", completed, degraded)
 	}
 
 	// Region 0's census was applied; the silent region kept its last-known
@@ -63,8 +76,8 @@ func TestDegradedBarrier(t *testing.T) {
 	if x1 < 0 || x1 > 1 {
 		t.Errorf("late ratio %f out of range", x1)
 	}
-	if st := srv.Stats(); st.LateCensuses != 1 {
-		t.Errorf("LateCensuses = %d, want 1", st.LateCensuses)
+	if got := srvCounter(srv, "consensus_late_censuses_total"); got != 1 {
+		t.Errorf("consensus_late_censuses_total = %d, want 1", got)
 	}
 }
 
@@ -119,8 +132,8 @@ func TestRoundAbandonedEviction(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("stale round-0 waiter was never released")
 	}
-	if st := srv.Stats(); st.AbandonedRounds != 1 {
-		t.Errorf("AbandonedRounds = %d, want 1", st.AbandonedRounds)
+	if got := srvCounter(srv, "consensus_abandoned_rounds_total"); got != 1 {
+		t.Errorf("consensus_abandoned_rounds_total = %d, want 1", got)
 	}
 }
 
@@ -177,8 +190,8 @@ func TestDecodeFailuresCounted(t *testing.T) {
 	if r.Round != 1 {
 		t.Errorf("reply round = %d, want 1", r.Round)
 	}
-	if st := srv.Stats(); st.DecodeFailures != 1 {
-		t.Errorf("DecodeFailures = %d, want 1", st.DecodeFailures)
+	if got := srvCounter(srv, "consensus_decode_failures_total"); got != 1 {
+		t.Errorf("consensus_decode_failures_total = %d, want 1", got)
 	}
 	if logged == 0 {
 		t.Error("dropped frame was not logged")

@@ -324,8 +324,8 @@ func TestSubmitRejectsMalformedCounts(t *testing.T) {
 			t.Fatalf("Submit with %d counts = %v, want ErrBadCensus", len(counts), err)
 		}
 	}
-	if got := srv.Stats().DecodeFailures; got != 3 {
-		t.Fatalf("DecodeFailures = %d, want 3", got)
+	if got := srvCounter(srv, "consensus_decode_failures_total"); got != 3 {
+		t.Fatalf("consensus_decode_failures_total = %d, want 3", got)
 	}
 	// Unknown edges still fail with the unknown-edge error, not ErrBadCensus.
 	if _, err := srv.Submit(transport.Census{Edge: 5, Round: 0}); errors.Is(err, ErrBadCensus) || err == nil {

@@ -6,9 +6,26 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sensor"
 	"repro/internal/sim"
 )
+
+// stageCounter reads one stage-labeled worldbuild_* counter from a registry
+// snapshot; a stage never touched has no series and reads 0.
+func stageCounter(snap []obs.Point, name, stage string) int {
+	for _, p := range snap {
+		if p.Name != name {
+			continue
+		}
+		for _, l := range p.Labels {
+			if l.Name == "stage" && l.Value == stage {
+				return int(p.Value)
+			}
+		}
+	}
+	return 0
+}
 
 // testWorlds builds a pair of very small worlds for experiment tests.
 func testWorlds(t *testing.T) (*sim.World, *sim.World) {
@@ -246,6 +263,8 @@ func TestWorldsSharedSubstrate(t *testing.T) {
 		t.Skip("skipping default-scale world build in -short mode")
 	}
 	b := sim.NewWorldBuilder()
+	o := obs.New()
+	b.Instrument(o)
 	bc, td, err := WorldsWith(b, ScaleSmall, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -258,9 +277,9 @@ func TestWorldsSharedSubstrate(t *testing.T) {
 	}
 	// The whole point of building the pair through one cache: the expensive
 	// shared stages run exactly once, and the TD build hits them.
-	stats := b.CacheStats()
+	snap := o.Registry().Snapshot()
 	for _, stage := range []string{"network", "trace", "match"} {
-		if got := stats[stage].Executions; got != 1 {
+		if got := stageCounter(snap, "worldbuild_stage_executions_total", stage); got != 1 {
 			t.Errorf("stage %s executed %d times for the BC+TD pair, want 1", stage, got)
 		}
 	}
@@ -268,12 +287,12 @@ func TestWorldsSharedSubstrate(t *testing.T) {
 	// hits network and match directly; trace records no hit because its only
 	// consumer, match, never misses.)
 	for _, stage := range []string{"network", "match"} {
-		if stats[stage].Hits == 0 {
+		if stageCounter(snap, "worldbuild_stage_hits_total", stage) == 0 {
 			t.Errorf("stage %s recorded no cache hits for the TD build", stage)
 		}
 	}
 	// density is demanded only by the TD branch, so it also runs once.
-	if got := stats["density"].Executions; got != 1 {
+	if got := stageCounter(snap, "worldbuild_stage_executions_total", "density"); got != 1 {
 		t.Errorf("density executed %d times, want 1", got)
 	}
 }

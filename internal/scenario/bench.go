@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Round3 and Round6 trim bench numbers to stable precision for checked-in
+// JSON.
+func Round3(v float64) float64 { return float64(int(v*1e3+0.5)) / 1e3 }
+func Round6(v float64) float64 { return float64(int(v*1e6+0.5)) / 1e6 }
+
+// AppendBench merges the run's series into a scripts/bench.sh-shaped JSON
+// file: {"results": [...]} with same-name entries replaced, so repeated
+// runs update their own rows without clobbering other tools' series.
+func AppendBench(path string, entries []map[string]interface{}) error {
+	doc := map[string]interface{}{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var results []interface{}
+	if r, ok := doc["results"].([]interface{}); ok {
+		results = r
+	}
+	for _, e := range entries {
+		replaced := false
+		for i, old := range results {
+			if m, ok := old.(map[string]interface{}); ok && m["name"] == e["name"] {
+				results[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			results = append(results, e)
+		}
+	}
+	doc["results"] = results
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,422 @@
+// Package scenario is the declarative workload layer over the consensus
+// tier: a typed node-configuration API shared by every entry point
+// (cmd/cpnode, cmd/loadgen, cmd/scenario, examples, the agent simulation),
+// a versioned YAML/JSON scenario spec, and a runner that compiles a spec
+// into a wired tier, executes it, and emits a machine-readable verdict.
+//
+// The configuration API replaces the loose per-binary flag plumbing: a
+// NodeConfig is built from functional options, each of which declares the
+// roles it applies to, so an option set on a role that ignores it is a
+// construction error instead of a silently dead knob. All tier
+// constructors (game model, desired field, FDS, cloud server, shard
+// coordinator, vehicle fleets) live behind NodeConfig methods, so no
+// component is wired from two different flag-parsing paths.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/transport"
+)
+
+// Role names one node of the consensus tier.
+type Role string
+
+// The five cpnode roles. An aggregator is a cloud that additionally
+// answers shard census batches; the distinction matters only for flag
+// validation and documentation.
+const (
+	RoleCloud      Role = "cloud"
+	RoleAggregator Role = "aggregator"
+	RoleShard      Role = "shard"
+	RoleEdge       Role = "edge"
+	RoleVehicles   Role = "vehicles"
+)
+
+// Roles lists every valid role in display order.
+func Roles() []Role {
+	return []Role{RoleCloud, RoleAggregator, RoleShard, RoleEdge, RoleVehicles}
+}
+
+// NodeConfig is the typed configuration for one node of the tier. Build one
+// with New (which validates option/role combinations) or fill it directly
+// for programmatic callers, then use the constructor methods in build.go.
+type NodeConfig struct {
+	Role Role
+
+	// Common runtime knobs.
+	Listen    string // listen address (cloud, aggregator, shard, edge)
+	Seed      int64
+	Codec     string        // wire codec dialed links declare ("" = codec default json)
+	IOTimeout time.Duration // per-op read/write deadline on TCP conns
+	RetryMax  int           // max dial attempts per reconnect burst
+	Fault     *transport.FaultConfig
+	Obs       *obs.Observer
+	Logf      func(format string, args ...interface{})
+
+	// Cloud / aggregator.
+	Regions       int
+	X0            float64
+	TargetX       float64
+	Eps           float64
+	Beta          float64
+	Lambda        float64
+	Tau           float64
+	FieldPath     string        // declarative field JSON (overrides TargetX probe)
+	Field         *policy.Field // programmatic field (overrides FieldPath)
+	Model         *game.Model   // programmatic model (overrides Graph/Beta)
+	Graph         game.Graph    // region graph (nil = DemoGraph(Regions))
+	RoundDeadline time.Duration
+	FixedLag      int
+	StateDir      string
+
+	// Shard.
+	Shards         int
+	ShardID        int
+	AggregatorAddr string
+	ShardDeadline  time.Duration
+
+	// Edge.
+	ID        int
+	CloudAddr string
+	Rounds    int
+	Vehicles  int // registrations to wait for before starting rounds
+	LeaseTTL  time.Duration
+
+	// Vehicles.
+	EdgeAddr string
+	N        int
+	IDBase   int
+}
+
+// Option is one typed configuration knob. Every option declares the roles
+// that consume it; New rejects an option applied to any other role, so a
+// cpnode invocation like "-role edge -fixed-lag 8" fails loudly instead of
+// silently ignoring the flag.
+type Option struct {
+	name  string
+	roles []Role
+	apply func(*NodeConfig)
+}
+
+// Name returns the option's display name (the cpnode flag name).
+func (o Option) Name() string { return o.name }
+
+func mkOpt(name string, apply func(*NodeConfig), roles ...Role) Option {
+	return Option{name: name, roles: roles, apply: apply}
+}
+
+var allRoles = []Role{RoleCloud, RoleAggregator, RoleShard, RoleEdge, RoleVehicles}
+
+// tierRoles are the two roles that run the global fold.
+var tierRoles = []Role{RoleCloud, RoleAggregator}
+
+// Listen sets the listen address (cloud, aggregator, shard, edge).
+func Listen(addr string) Option {
+	return mkOpt("listen", func(c *NodeConfig) { c.Listen = addr },
+		RoleCloud, RoleAggregator, RoleShard, RoleEdge)
+}
+
+// Seed sets the node's random seed (all roles).
+func Seed(seed int64) Option {
+	return mkOpt("seed", func(c *NodeConfig) { c.Seed = seed }, allRoles...)
+}
+
+// Codec names the wire codec dialed TCP links declare (all roles).
+func Codec(name string) Option {
+	return mkOpt("codec", func(c *NodeConfig) { c.Codec = name }, allRoles...)
+}
+
+// IOTimeout sets the per-operation read/write deadline on every TCP conn
+// (all roles).
+func IOTimeout(d time.Duration) Option {
+	return mkOpt("io-timeout", func(c *NodeConfig) { c.IOTimeout = d }, allRoles...)
+}
+
+// RetryMax bounds dial attempts per reconnect burst (shard, edge, vehicles).
+func RetryMax(n int) Option {
+	return mkOpt("retry-max", func(c *NodeConfig) { c.RetryMax = n },
+		RoleShard, RoleEdge, RoleVehicles)
+}
+
+// WithFault installs a fault-injection profile on the node's links (all
+// roles).
+func WithFault(fc *transport.FaultConfig) Option {
+	return mkOpt("fault", func(c *NodeConfig) { c.Fault = fc }, allRoles...)
+}
+
+// WithObs routes the node's metrics through a shared observer (all roles).
+func WithObs(o *obs.Observer) Option {
+	return mkOpt("obs", func(c *NodeConfig) { c.Obs = o }, allRoles...)
+}
+
+// WithLogf installs a progress/failure logger (all roles).
+func WithLogf(logf func(string, ...interface{})) Option {
+	return mkOpt("logf", func(c *NodeConfig) { c.Logf = logf }, allRoles...)
+}
+
+// Regions sets the number of consensus regions (cloud, aggregator, shard;
+// edges need it to route through the shard ring).
+func Regions(m int) Option {
+	return mkOpt("regions", func(c *NodeConfig) { c.Regions = m },
+		RoleCloud, RoleAggregator, RoleShard, RoleEdge)
+}
+
+// X0 sets the initial sharing ratio (cloud, aggregator).
+func X0(x float64) Option {
+	return mkOpt("x0", func(c *NodeConfig) { c.X0 = x }, tierRoles...)
+}
+
+// TargetX sets the desired sharing regime the probe field is derived from
+// (cloud, aggregator).
+func TargetX(x float64) Option {
+	return mkOpt("target-x", func(c *NodeConfig) { c.TargetX = x }, tierRoles...)
+}
+
+// Eps sets the desired-field tolerance band (cloud, aggregator).
+func Eps(e float64) Option {
+	return mkOpt("eps", func(c *NodeConfig) { c.Eps = e }, tierRoles...)
+}
+
+// Beta sets the utility coefficient (cloud, aggregator, vehicles).
+func Beta(b float64) Option {
+	return mkOpt("beta", func(c *NodeConfig) { c.Beta = b },
+		RoleCloud, RoleAggregator, RoleVehicles)
+}
+
+// Lambda sets the FDS ratio step limit (cloud, aggregator).
+func Lambda(l float64) Option {
+	return mkOpt("lambda", func(c *NodeConfig) { c.Lambda = l }, tierRoles...)
+}
+
+// Tau sets the choice temperature of the mean-field probe (cloud,
+// aggregator).
+func Tau(t float64) Option {
+	return mkOpt("tau", func(c *NodeConfig) { c.Tau = t }, tierRoles...)
+}
+
+// FieldPath points at a declarative desired-field JSON spec (cloud,
+// aggregator; overrides the TargetX probe).
+func FieldPath(path string) Option {
+	return mkOpt("field", func(c *NodeConfig) { c.FieldPath = path }, tierRoles...)
+}
+
+// WithField installs a prebuilt desired field (cloud, aggregator;
+// programmatic callers).
+func WithField(f *policy.Field) Option {
+	return mkOpt("field-value", func(c *NodeConfig) { c.Field = f }, tierRoles...)
+}
+
+// WithModel installs a prebuilt game model (cloud, aggregator;
+// programmatic callers — overrides Graph/Beta/Regions).
+func WithModel(m *game.Model) Option {
+	return mkOpt("model", func(c *NodeConfig) { c.Model = m }, tierRoles...)
+}
+
+// WithGraph installs the region coupling graph (cloud, aggregator; nil
+// defaults to the dense demo graph).
+func WithGraph(g game.Graph) Option {
+	return mkOpt("graph", func(c *NodeConfig) { c.Graph = g }, tierRoles...)
+}
+
+// RoundDeadline bounds the cloud's round barrier (cloud, aggregator).
+func RoundDeadline(d time.Duration) Option {
+	return mkOpt("round-deadline", func(c *NodeConfig) { c.RoundDeadline = d }, tierRoles...)
+}
+
+// FixedLag sets the cloud's rewind window in rounds (cloud, aggregator).
+func FixedLag(n int) Option {
+	return mkOpt("fixed-lag", func(c *NodeConfig) { c.FixedLag = n }, tierRoles...)
+}
+
+// StateDir enables durable state (cloud, aggregator, shard).
+func StateDir(dir string) Option {
+	return mkOpt("state-dir", func(c *NodeConfig) { c.StateDir = dir },
+		RoleCloud, RoleAggregator, RoleShard)
+}
+
+// Shards sets the shard-ring size (shard; edges need it to route their
+// region's owner).
+func Shards(n int) Option {
+	return mkOpt("shards", func(c *NodeConfig) { c.Shards = n },
+		RoleShard, RoleEdge)
+}
+
+// ShardID sets this coordinator's index into the ring (shard).
+func ShardID(id int) Option {
+	return mkOpt("shard-id", func(c *NodeConfig) { c.ShardID = id }, RoleShard)
+}
+
+// AggregatorAddr points a shard at the aggregation tier (shard).
+func AggregatorAddr(addr string) Option {
+	return mkOpt("aggregator", func(c *NodeConfig) { c.AggregatorAddr = addr }, RoleShard)
+}
+
+// ShardDeadline bounds the shard's local round barrier (shard).
+func ShardDeadline(d time.Duration) Option {
+	return mkOpt("shard-deadline", func(c *NodeConfig) { c.ShardDeadline = d }, RoleShard)
+}
+
+// EdgeID sets the edge/region id (edge).
+func EdgeID(id int) Option {
+	return mkOpt("id", func(c *NodeConfig) { c.ID = id }, RoleEdge)
+}
+
+// CloudAddr points an edge at the cloud (or, sharded, at the comma-
+// separated shard address list) (edge).
+func CloudAddr(addr string) Option {
+	return mkOpt("cloud", func(c *NodeConfig) { c.CloudAddr = addr }, RoleEdge)
+}
+
+// Rounds bounds the edge's round loop (edge).
+func Rounds(n int) Option {
+	return mkOpt("rounds", func(c *NodeConfig) { c.Rounds = n }, RoleEdge)
+}
+
+// WaitVehicles sets how many registrations an edge waits for before
+// starting rounds (edge).
+func WaitVehicles(n int) Option {
+	return mkOpt("vehicles", func(c *NodeConfig) { c.Vehicles = n }, RoleEdge)
+}
+
+// LeaseTTL enables the edge's membership heartbeat (edge).
+func LeaseTTL(d time.Duration) Option {
+	return mkOpt("lease-ttl", func(c *NodeConfig) { c.LeaseTTL = d }, RoleEdge)
+}
+
+// EdgeAddr points a vehicle fleet at its edge server (vehicles).
+func EdgeAddr(addr string) Option {
+	return mkOpt("edge", func(c *NodeConfig) { c.EdgeAddr = addr }, RoleVehicles)
+}
+
+// FleetSize sets the fleet size (vehicles).
+func FleetSize(n int) Option {
+	return mkOpt("n", func(c *NodeConfig) { c.N = n }, RoleVehicles)
+}
+
+// IDBase sets the first vehicle id (vehicles).
+func IDBase(id int) Option {
+	return mkOpt("id-base", func(c *NodeConfig) { c.IDBase = id }, RoleVehicles)
+}
+
+// rolesString renders a role list for error messages.
+func rolesString(roles []Role) string {
+	out := make([]string, len(roles))
+	for i, r := range roles {
+		out[i] = string(r)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+// New builds a NodeConfig for role from defaults plus the given options.
+// An option whose declared roles do not include role is rejected with an
+// error naming the option and the roles that do consume it — the typed
+// replacement for cpnode's silently ignored flag combinations.
+func New(role Role, opts ...Option) (*NodeConfig, error) {
+	valid := false
+	for _, r := range allRoles {
+		if r == role {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("scenario: unknown role %q (want cloud, aggregator, shard, edge, or vehicles)", role)
+	}
+	cfg := Defaults(role)
+	for _, opt := range opts {
+		ok := false
+		for _, r := range opt.roles {
+			if r == role {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("scenario: option %q is not used by role %q (applies to: %s)",
+				opt.name, role, rolesString(opt.roles))
+		}
+		opt.apply(cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Defaults returns the role's default configuration (the former cpnode
+// flag defaults).
+func Defaults(role Role) *NodeConfig {
+	return &NodeConfig{
+		Role:           role,
+		Listen:         "127.0.0.1:0",
+		Seed:           1,
+		RetryMax:       8,
+		Regions:        2,
+		X0:             0.3,
+		TargetX:        0.85,
+		Eps:            0.05,
+		Beta:           4.0,
+		Lambda:         0.1,
+		Tau:            DemoTau,
+		RoundDeadline:  10 * time.Second,
+		ShardDeadline:  5 * time.Second,
+		CloudAddr:      "127.0.0.1:7000",
+		AggregatorAddr: "127.0.0.1:7000",
+		EdgeAddr:       "127.0.0.1:7100",
+		Rounds:         40,
+		Vehicles:       20,
+		N:              20,
+		IDBase:         100,
+	}
+}
+
+// Validate checks cross-field consistency for the configured role.
+func (c *NodeConfig) Validate() error {
+	if c.Codec != "" {
+		if _, err := transport.CodecByName(c.Codec); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	switch c.Role {
+	case RoleCloud, RoleAggregator:
+		if c.Model == nil && c.Regions <= 0 {
+			return fmt.Errorf("scenario: role %s needs regions >= 1, got %d", c.Role, c.Regions)
+		}
+		if c.FixedLag < 0 {
+			return fmt.Errorf("scenario: fixed-lag must be >= 0, got %d", c.FixedLag)
+		}
+		if c.Field != nil && c.FieldPath != "" {
+			return fmt.Errorf("scenario: field-value and field are mutually exclusive")
+		}
+	case RoleShard:
+		if c.Shards <= 0 {
+			return fmt.Errorf("scenario: role shard needs shards >= 1, got %d", c.Shards)
+		}
+		if c.ShardID < 0 || c.ShardID >= c.Shards {
+			return fmt.Errorf("scenario: shard-id %d outside the ring of %d shards", c.ShardID, c.Shards)
+		}
+		if c.Regions <= 0 {
+			return fmt.Errorf("scenario: role shard needs regions >= 1, got %d", c.Regions)
+		}
+	case RoleEdge:
+		if c.Rounds <= 0 {
+			return fmt.Errorf("scenario: role edge needs rounds >= 1, got %d", c.Rounds)
+		}
+		if c.Vehicles < 0 {
+			return fmt.Errorf("scenario: role edge needs vehicles >= 0, got %d", c.Vehicles)
+		}
+	case RoleVehicles:
+		if c.N <= 0 {
+			return fmt.Errorf("scenario: role vehicles needs n >= 1, got %d", c.N)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func loadSpec(t *testing.T, name string) *Spec {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "scenarios", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestRunBaselineSpec: the checked-in baseline executes end to end and its
+// verdict passes — the smallest full-stack exercise of the runner.
+func TestRunBaselineSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full scenario run in -short mode")
+	}
+	spec := loadSpec(t, "baseline.yaml")
+	v, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Errorf("baseline verdict failed: %+v", v.Checks)
+	}
+	if !v.Converged {
+		t.Error("baseline did not converge")
+	}
+	if len(v.ConsensusStateHash) != 8 || v.ConsensusStateHash == "00000000" {
+		t.Errorf("consensus_state_hash = %q, want a CRC-32C witness", v.ConsensusStateHash)
+	}
+	if v.Welfare.DeliveredItems == 0 {
+		t.Error("no perception items delivered")
+	}
+}
+
+// TestRunBaselineDeterministic: the same spec and seed fold to the same
+// hash — the reproducibility contract behind hash-equality verdicts.
+func TestRunBaselineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full scenario run in -short mode")
+	}
+	spec := loadSpec(t, "baseline.yaml")
+	a, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(loadSpec(t, "baseline.yaml"), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConsensusStateHash != b.ConsensusStateHash {
+		t.Errorf("hash %s != %s across identical runs", a.ConsensusStateHash, b.ConsensusStateHash)
+	}
+}
+
+// TestRunLossyHashEqualsLossless: under duplication and delay (no drops, no
+// deadline) the fold is bit-identical to the lossless twin — the headline
+// rewind/dedup property the lossy-network spec pins in CI.
+func TestRunLossyHashEqualsLossless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full scenario run in -short mode")
+	}
+	spec := loadSpec(t, "lossy-network.yaml")
+	if !spec.Verdict.RequireHashEqual {
+		t.Fatal("lossy-network.yaml no longer requires hash equality")
+	}
+	v, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Errorf("lossy-network verdict failed: %+v", v.Checks)
+	}
+	if v.Baseline == nil || !v.Baseline.HashEqual {
+		t.Errorf("faulted hash %s != lossless twin %v", v.ConsensusStateHash, v.Baseline)
+	}
+	if v.FaultsInjected == 0 {
+		t.Error("no faults injected — the lossy run is vacuous")
+	}
+}
+
+// TestRunSeedOverride: RunOptions.Seed wins over the spec seed and is
+// reported in the verdict.
+func TestRunSeedOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full scenario run in -short mode")
+	}
+	spec := loadSpec(t, "baseline.yaml")
+	seed := spec.Seed + 1000
+	v, err := Run(spec, RunOptions{Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Seed != seed {
+		t.Errorf("verdict seed = %d, want override %d", v.Seed, seed)
+	}
+}

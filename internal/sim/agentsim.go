@@ -6,12 +6,11 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cloud"
 	"repro/internal/edge"
-	"repro/internal/game"
 	"repro/internal/lattice"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/sensor"
 	"repro/internal/transport"
 	"repro/internal/vehicle"
@@ -137,21 +136,24 @@ func (w *World) RunAgentSim(cfg AgentSimConfig) (*AgentSimResult, error) {
 		return nil, fmt.Errorf("sim: agent simulation requires a desired field")
 	}
 	m := w.Model.M()
-	k := w.Model.K()
 
-	fds, err := policy.NewFDS(w.Model, cfg.Field, cfg.Lambda)
+	// The cloud is wired through the shared scenario.NodeConfig layer — the
+	// same constructor cpnode, cmd/loadgen, and cmd/scenario use. Round
+	// deadline 0 keeps the in-process barrier waiting for every region.
+	nc, err := scenario.New(scenario.RoleCloud,
+		scenario.WithModel(w.Model),
+		scenario.WithField(cfg.Field),
+		scenario.Lambda(cfg.Lambda),
+		scenario.X0(cfg.X0),
+		scenario.RoundDeadline(0),
+		scenario.WithObs(cfg.Obs),
+	)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Obs != nil {
-		fds.Instrument(cfg.Obs)
-	}
-	cloudSrv, err := cloud.NewServer(fds, game.NewUniformState(m, k, cfg.X0))
+	cloudSrv, _, err := nc.NewCloud()
 	if err != nil {
 		return nil, err
-	}
-	if cfg.Obs != nil {
-		cloudSrv.Instrument(cfg.Obs)
 	}
 	defer cloudSrv.Close()
 

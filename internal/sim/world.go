@@ -138,12 +138,6 @@ func (b *WorldBuilder) Build(cfg WorldConfig) (*World, error) {
 	}, nil
 }
 
-// CacheStats returns the builder's per-stage execution and cache-hit
-// counters (see worldbuild.Cache).
-func (b *WorldBuilder) CacheStats() map[string]worldbuild.StageStats {
-	return b.pipe.Cache().Stats()
-}
-
 // BuildWorld runs the full substrate pipeline with a fresh artifact cache.
 // Use a WorldBuilder to share artifacts across related builds.
 func BuildWorld(cfg WorldConfig) (*World, error) {

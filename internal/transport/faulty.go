@@ -41,21 +41,6 @@ type FaultConfig struct {
 	AcceptFailProb float64
 }
 
-// FaultStats is a point-in-time view of the injected-fault counters of one
-// Fault, joint across every conn and listener it wraps.
-//
-// Deprecated: FaultStats is a thin read-through over the obs registry, kept
-// for existing callers; new code should read the transport_fault_* series
-// from the registry installed with Instrument.
-type FaultStats struct {
-	Sent           int64 // messages offered to Send on wrapped conns
-	Dropped        int64
-	Duplicated     int64
-	Delayed        int64
-	Disconnects    int64
-	AcceptFailures int64
-}
-
 // faultMetrics are the injector's registry-backed instruments.
 type faultMetrics struct {
 	sent           *obs.Counter // transport_fault_sent_total
@@ -112,20 +97,6 @@ func (f *Fault) m() faultMetrics {
 
 // Config returns the injector's configuration.
 func (f *Fault) Config() FaultConfig { return f.cfg }
-
-// Stats returns a snapshot of the injected-fault counters. It is a typed
-// view over the obs registry; see FaultStats for the replacement.
-func (f *Fault) Stats() FaultStats {
-	m := f.m()
-	return FaultStats{
-		Sent:           m.sent.Value(),
-		Dropped:        m.dropped.Value(),
-		Duplicated:     m.duplicated.Value(),
-		Delayed:        m.delayed.Value(),
-		Disconnects:    m.disconnects.Value(),
-		AcceptFailures: m.acceptFailures.Value(),
-	}
-}
 
 // WrapConn wraps c so that sends are subject to drops, duplicates, and
 // delays, and the whole connection to a forced disconnect after N messages.

@@ -5,7 +5,26 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// instrumented builds a fault injector with a fresh shared registry installed
+// before anything is wrapped (Instrument does not carry over earlier counts)
+// and returns a reader for its transport_fault_* series.
+func instrumented(cfg FaultConfig) (*Fault, func(name string) int64) {
+	o := obs.New()
+	f := NewFault(cfg)
+	f.Instrument(o)
+	return f, func(name string) int64 {
+		for _, p := range o.Registry().Snapshot() {
+			if p.Name == name && len(p.Labels) == 0 {
+				return int64(p.Value)
+			}
+		}
+		return 0
+	}
+}
 
 func ratioMsg(t *testing.T, round int) Message {
 	t.Helper()
@@ -28,7 +47,7 @@ func countUntilEOF(conn Conn) int {
 }
 
 func TestFaultDropStatsConsistent(t *testing.T) {
-	f := NewFault(FaultConfig{Seed: 1, DropProb: 0.3})
+	f, ctr := instrumented(FaultConfig{Seed: 1, DropProb: 0.3})
 	a, b := Pipe()
 	fa := f.WrapConn(a)
 
@@ -45,21 +64,30 @@ func TestFaultDropStatsConsistent(t *testing.T) {
 	}
 	received := <-got
 
-	st := f.Stats()
-	if st.Sent != n {
-		t.Errorf("Sent = %d, want %d", st.Sent, n)
+	sent := ctr("transport_fault_sent_total")
+	dropped := ctr("transport_fault_dropped_total")
+	if sent != n {
+		t.Errorf("transport_fault_sent_total = %d, want %d", sent, n)
 	}
-	if st.Dropped == 0 || st.Dropped == n {
-		t.Errorf("Dropped = %d of %d, want some but not all", st.Dropped, n)
+	if dropped == 0 || dropped == n {
+		t.Errorf("transport_fault_dropped_total = %d of %d, want some but not all", dropped, n)
 	}
-	if want := st.Sent - st.Dropped; int64(received) != want {
-		t.Errorf("receiver got %d messages, want Sent-Dropped = %d", received, want)
+	if want := sent - dropped; int64(received) != want {
+		t.Errorf("receiver got %d messages, want sent-dropped = %d", received, want)
 	}
 }
 
 func TestFaultDeterministicUnderSeed(t *testing.T) {
-	run := func() FaultStats {
-		f := NewFault(FaultConfig{Seed: 99, DropProb: 0.25, DupProb: 0.2})
+	series := []string{
+		"transport_fault_sent_total",
+		"transport_fault_dropped_total",
+		"transport_fault_duplicated_total",
+		"transport_fault_delayed_total",
+		"transport_fault_disconnects_total",
+		"transport_fault_accept_failures_total",
+	}
+	run := func() [6]int64 {
+		f, ctr := instrumented(FaultConfig{Seed: 99, DropProb: 0.25, DupProb: 0.2})
 		a, b := Pipe()
 		fa := f.WrapConn(a)
 		done := make(chan int, 1)
@@ -71,16 +99,20 @@ func TestFaultDeterministicUnderSeed(t *testing.T) {
 		}
 		_ = fa.Close()
 		<-done
-		return f.Stats()
+		var out [6]int64
+		for i, name := range series {
+			out[i] = ctr(name)
+		}
+		return out
 	}
 	first, second := run(), run()
 	if first != second {
-		t.Errorf("fault sequences diverged for the same seed:\n  %+v\n  %+v", first, second)
+		t.Errorf("fault sequences diverged for the same seed:\n  %v\n  %v\n  (series %v)", first, second, series)
 	}
 }
 
 func TestFaultDuplicates(t *testing.T) {
-	f := NewFault(FaultConfig{Seed: 3, DupProb: 1})
+	f, ctr := instrumented(FaultConfig{Seed: 3, DupProb: 1})
 	a, b := Pipe()
 	fa := f.WrapConn(a)
 	if err := fa.Send(ratioMsg(t, 1)); err != nil {
@@ -90,13 +122,13 @@ func TestFaultDuplicates(t *testing.T) {
 	if got := countUntilEOF(b); got != 2 {
 		t.Errorf("received %d copies, want 2", got)
 	}
-	if st := f.Stats(); st.Duplicated != 1 {
-		t.Errorf("Duplicated = %d, want 1", st.Duplicated)
+	if got := ctr("transport_fault_duplicated_total"); got != 1 {
+		t.Errorf("transport_fault_duplicated_total = %d, want 1", got)
 	}
 }
 
 func TestFaultDelayDelivers(t *testing.T) {
-	f := NewFault(FaultConfig{Seed: 4, MinDelay: 20 * time.Millisecond, MaxDelay: 40 * time.Millisecond})
+	f, ctr := instrumented(FaultConfig{Seed: 4, MinDelay: 20 * time.Millisecond, MaxDelay: 40 * time.Millisecond})
 	a, b := Pipe()
 	fa := f.WrapConn(a)
 	start := time.Now()
@@ -114,13 +146,13 @@ func TestFaultDelayDelivers(t *testing.T) {
 	if err := Decode(m, KindRatio, &r); err != nil || r.Round != 7 {
 		t.Errorf("delayed message corrupted: %+v, %v", r, err)
 	}
-	if st := f.Stats(); st.Delayed != 1 {
-		t.Errorf("Delayed = %d, want 1", st.Delayed)
+	if got := ctr("transport_fault_delayed_total"); got != 1 {
+		t.Errorf("transport_fault_delayed_total = %d, want 1", got)
 	}
 }
 
 func TestFaultDisconnectAfter(t *testing.T) {
-	f := NewFault(FaultConfig{Seed: 5, DisconnectAfter: 2})
+	f, ctr := instrumented(FaultConfig{Seed: 5, DisconnectAfter: 2})
 	a, b := Pipe()
 	fa := f.WrapConn(a)
 	for i := 0; i < 2; i++ {
@@ -138,13 +170,13 @@ func TestFaultDisconnectAfter(t *testing.T) {
 	if got := countUntilEOF(b); got != 2 {
 		t.Errorf("peer received %d messages, want 2", got)
 	}
-	if st := f.Stats(); st.Disconnects != 1 {
-		t.Errorf("Disconnects = %d, want 1", st.Disconnects)
+	if got := ctr("transport_fault_disconnects_total"); got != 1 {
+		t.Errorf("transport_fault_disconnects_total = %d, want 1", got)
 	}
 }
 
 func TestFaultyListenerAcceptFailure(t *testing.T) {
-	f := NewFault(FaultConfig{Seed: 6, AcceptFailProb: 1})
+	f, ctr := instrumented(FaultConfig{Seed: 6, AcceptFailProb: 1})
 	n := NewInprocNetwork()
 	inner, err := n.Listen("cloud")
 	if err != nil {
@@ -165,8 +197,8 @@ func TestFaultyListenerAcceptFailure(t *testing.T) {
 	if _, err := l.Accept(); !errors.Is(err, ErrInjected) {
 		t.Errorf("Accept = %v, want ErrInjected", err)
 	}
-	if st := f.Stats(); st.AcceptFailures != 1 {
-		t.Errorf("AcceptFailures = %d, want 1", st.AcceptFailures)
+	if got := ctr("transport_fault_accept_failures_total"); got != 1 {
+		t.Errorf("transport_fault_accept_failures_total = %d, want 1", got)
 	}
 	// The rejected dialer's conn was closed server-side: its Recv sees EOF.
 	select {

@@ -31,20 +31,6 @@ func stageKey(stage string, parts ...interface{}) Key {
 	return k
 }
 
-// StageStats is a point-in-time view of one stage's cache activity.
-//
-// Deprecated: StageStats is a thin read-through over the obs registry, kept
-// for existing callers; new code should read the
-// worldbuild_stage_executions_total / worldbuild_stage_hits_total series
-// (labeled by stage) from the registry installed with Instrument.
-type StageStats struct {
-	// Executions is the number of times the stage function actually ran.
-	Executions int
-	// Hits is the number of lookups served from the cache (including waits
-	// on an in-flight computation of the same key).
-	Hits int
-}
-
 // Cache is a content-addressed artifact store shared by every build that
 // goes through one Pipeline. Lookups of an in-flight key wait for the single
 // running computation instead of duplicating it, so even concurrent builds
@@ -54,7 +40,6 @@ type StageStats struct {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*cacheEntry
-	stages  map[string]struct{} // stage names seen, for the Stats view
 	obsv    *obs.Observer
 	exec    *obs.CounterVec // worldbuild_stage_executions_total{stage}
 	hits    *obs.CounterVec // worldbuild_stage_hits_total{stage}
@@ -69,10 +54,7 @@ type cacheEntry struct {
 // NewCache returns an empty artifact cache reporting through a private
 // registry (see Instrument for sharing one).
 func NewCache() *Cache {
-	c := &Cache{
-		entries: make(map[Key]*cacheEntry),
-		stages:  make(map[string]struct{}),
-	}
+	c := &Cache{entries: make(map[Key]*cacheEntry)}
 	c.bindLocked(obs.New())
 	return c
 }
@@ -107,7 +89,6 @@ func (c *Cache) observer() *obs.Observer {
 // computation of the same key).
 func (c *Cache) getOrCompute(stage string, key Key, fn func() (interface{}, error)) (val interface{}, err error, hit bool) {
 	c.mu.Lock()
-	c.stages[stage] = struct{}{}
 	exec, hits := c.exec, c.hits
 	if e, ok := c.entries[key]; ok {
 		hits.With(stage).Inc()
@@ -129,22 +110,6 @@ func (c *Cache) getOrCompute(stage string, key Key, fn func() (interface{}, erro
 	}
 	close(e.done)
 	return e.val, e.err, false
-}
-
-// Stats returns a snapshot of the per-stage execution and hit counters. It
-// is a typed view over the obs registry; see StageStats for the
-// replacement.
-func (c *Cache) Stats() map[string]StageStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]StageStats, len(c.stages))
-	for name := range c.stages {
-		out[name] = StageStats{
-			Executions: int(c.exec.With(name).Value()),
-			Hits:       int(c.hits.With(name).Value()),
-		}
-	}
-	return out
 }
 
 // Len returns the number of cached artifacts.

@@ -27,6 +27,41 @@ func tinyConfig(src CoeffSource) Config {
 	}
 }
 
+// stageCounter reads one stage-labeled worldbuild_* counter from the cache's
+// registry snapshot — the only stats surface; a stage never touched has no
+// series and reads 0.
+func stageCounter(c *Cache, name, stage string) int {
+	for _, p := range c.observer().Registry().Snapshot() {
+		if p.Name != name {
+			continue
+		}
+		for _, l := range p.Labels {
+			if l.Name == "stage" && l.Value == stage {
+				return int(p.Value)
+			}
+		}
+	}
+	return 0
+}
+
+func stageExecutions(c *Cache, stage string) int {
+	return stageCounter(c, "worldbuild_stage_executions_total", stage)
+}
+
+func stageHits(c *Cache, stage string) int {
+	return stageCounter(c, "worldbuild_stage_hits_total", stage)
+}
+
+func totalExecutions(c *Cache) int {
+	n := 0
+	for _, p := range c.observer().Registry().Snapshot() {
+		if p.Name == "worldbuild_stage_executions_total" {
+			n += int(p.Value)
+		}
+	}
+	return n
+}
+
 func mustBuild(t *testing.T, p *Pipeline, cfg Config) *Result {
 	t.Helper()
 	res, err := p.Build(cfg)
@@ -76,19 +111,18 @@ func TestPairSharesSubstrate(t *testing.T) {
 		t.Error("BC and TD worlds must share the matched-trace artifact")
 	}
 
-	stats := p.Cache().Stats()
 	for _, stage := range []string{"network", "trace", "match", "density", "betweenness", "voronoi"} {
-		if got := stats[stage].Executions; got != 1 {
+		if got := stageExecutions(p.Cache(), stage); got != 1 {
 			t.Errorf("stage %s executed %d times, want exactly 1", stage, got)
 		}
 	}
 	// Source-dependent stages run once per world.
 	for _, stage := range []string{"coefficients", "clustering", "regiongraph", "beta", "stats", "model"} {
-		if got := stats[stage].Executions; got != 2 {
+		if got := stageExecutions(p.Cache(), stage); got != 2 {
 			t.Errorf("stage %s executed %d times, want 2 (one per source)", stage, got)
 		}
 	}
-	if stats["network"].Hits == 0 {
+	if stageHits(p.Cache(), "network") == 0 {
 		t.Error("TD build should have hit the cached network")
 	}
 }
@@ -98,15 +132,13 @@ func TestPairSharesSubstrate(t *testing.T) {
 func TestDemandDrivenBranches(t *testing.T) {
 	p := NewPipeline(nil)
 	mustBuild(t, p, tinyConfig(CoeffBC))
-	stats := p.Cache().Stats()
-	if got := stats["density"].Executions + stats["density"].Hits; got != 0 {
+	if got := stageExecutions(p.Cache(), "density") + stageHits(p.Cache(), "density"); got != 0 {
 		t.Errorf("BC build touched the density stage %d times", got)
 	}
 
 	p2 := NewPipeline(nil)
 	mustBuild(t, p2, tinyConfig(CoeffTD))
-	stats2 := p2.Cache().Stats()
-	if got := stats2["betweenness"].Executions + stats2["betweenness"].Hits; got != 0 {
+	if got := stageExecutions(p2.Cache(), "betweenness") + stageHits(p2.Cache(), "betweenness"); got != 0 {
 		t.Errorf("TD build touched the betweenness stage %d times", got)
 	}
 }
@@ -121,21 +153,19 @@ func TestKeySubtreeInvalidation(t *testing.T) {
 	cfg := tinyConfig(CoeffBC)
 	cfg.Regions = 5
 	mustBuild(t, p, cfg)
-	stats := p.Cache().Stats()
 	for _, stage := range []string{"network", "trace", "match", "betweenness", "coefficients"} {
-		if got := stats[stage].Executions; got != 1 {
+		if got := stageExecutions(p.Cache(), stage); got != 1 {
 			t.Errorf("after Regions change, stage %s executed %d times, want 1", stage, got)
 		}
 	}
-	if got := stats["clustering"].Executions; got != 2 {
+	if got := stageExecutions(p.Cache(), "clustering"); got != 2 {
 		t.Errorf("after Regions change, clustering executed %d times, want 2", got)
 	}
 
 	cfg = tinyConfig(CoeffBC)
 	cfg.Net.Seed = 99
 	mustBuild(t, p, cfg)
-	stats = p.Cache().Stats()
-	if got := stats["network"].Executions; got != 2 {
+	if got := stageExecutions(p.Cache(), "network"); got != 2 {
 		t.Errorf("after network seed change, network executed %d times, want 2", got)
 	}
 }
@@ -147,21 +177,13 @@ func TestWorkersExcludedFromKeys(t *testing.T) {
 	cfg := tinyConfig(CoeffBC)
 	cfg.Workers = 1
 	mustBuild(t, p, cfg)
-	execBefore := totalExecutions(p.Cache().Stats())
+	execBefore := totalExecutions(p.Cache())
 
 	cfg.Workers = 4
 	mustBuild(t, p, cfg)
-	if got := totalExecutions(p.Cache().Stats()); got != execBefore {
+	if got := totalExecutions(p.Cache()); got != execBefore {
 		t.Errorf("Workers change triggered %d new stage executions", got-execBefore)
 	}
-}
-
-func totalExecutions(stats map[string]StageStats) int {
-	n := 0
-	for _, st := range stats {
-		n += st.Executions
-	}
-	return n
 }
 
 // TestConcurrentPairBuild: concurrent builds of both sources through one
@@ -190,9 +212,8 @@ func TestConcurrentPairBuild(t *testing.T) {
 	if results[0].Net != results[1].Net {
 		t.Error("concurrent builds must share the network artifact")
 	}
-	stats := p.Cache().Stats()
 	for _, stage := range []string{"network", "trace", "match"} {
-		if got := stats[stage].Executions; got != 1 {
+		if got := stageExecutions(p.Cache(), stage); got != 1 {
 			t.Errorf("stage %s executed %d times under concurrency, want 1", stage, got)
 		}
 	}

@@ -9,12 +9,17 @@
 #   BENCH_FILTER='ConsensusRoundsPerSec' scripts/bench.sh   # subset, prints only
 #   LOADGEN_SCALES="64x32 1000x100" scripts/bench.sh        # extra load-harness scales
 #   BENCH_SKIP_LOADGEN=1 scripts/bench.sh                   # micro-benchmarks only
+#   BENCH_SKIP_SCENARIO=1 scripts/bench.sh                  # skip scenario series
+#   BENCH_SCENARIOS="baseline citywide" scripts/bench.sh    # other scenario specs
 #
 # Besides the Go micro-benchmarks, it drives cmd/loadgen once per scale in
 # LOADGEN_SCALES (edges x vehicles-per-edge, default 64x32) against a
 # spawned 4-shard tier and merges the rounds/sec + p99 latency series into
 # the same JSON; series names carry the scale, so differently sized runs
-# never compare against each other.
+# never compare against each other. It also runs each scenario spec in
+# BENCH_SCENARIOS through cmd/scenario, merging a Scenario/<name>
+# rounds-per-sec series keyed by the spec's name — end-to-end tier
+# throughput under that spec's exact fleet and fault profile.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +68,12 @@ if [ "${BENCH_SKIP_LOADGEN:-0}" != "1" ]; then
     go run ./cmd/loadgen -edges "$edges" -vehicles-per-edge "$vpe" \
       -rounds "${LOADGEN_ROUNDS:-40}" -shards "${LOADGEN_SHARDS:-4}" \
       -bench-json "$out"
+  done
+fi
+
+if [ "${BENCH_SKIP_SCENARIO:-0}" != "1" ]; then
+  for spec in ${BENCH_SCENARIOS:-baseline lossy-network}; do
+    go run ./cmd/scenario run "scenarios/${spec}.yaml" -q -bench-json "$out" >/dev/null
   done
 fi
 
