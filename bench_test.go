@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/game"
 	"repro/internal/lattice"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"runtime"
 )
 
 // benchWorlds lazily builds the pair of benchmark worlds exactly once across
@@ -642,4 +644,44 @@ func BenchmarkShardedConsensusRoundsPerSec(b *testing.B) {
 		wg.Wait()
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkJournalAppend measures the durable journal's append+fsync cost
+// per record under the two commit disciplines: one fsync per record (the
+// historical floor) and group commit, where concurrent appenders share a
+// batched fsync. The parallel driver models a gossip tier journaling many
+// edges' local rounds against one store.
+func BenchmarkJournalAppend(b *testing.B) {
+	record := []byte(`{"round":117,"censuses":{"3":[12,40,7,3,0,9,1,28]}}`)
+	for _, bc := range []struct {
+		name  string
+		group int
+	}{
+		{"sync", 0},
+		{"group8", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			store, err := durable.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			if bc.group > 0 {
+				store.SetGroupCommit(bc.group, time.Millisecond)
+			}
+			// 16 appenders regardless of GOMAXPROCS: the group discipline
+			// batches whatever accumulates while an fsync is in flight, so
+			// the win needs concurrent writers, not CPUs.
+			b.SetParallelism(16 / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := store.Append(record); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
 }

@@ -40,6 +40,22 @@
 //	# edges list every shard address; each routes to its region's owner
 //	cpnode -role edge -id 0 -shards 4 -cloud 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203 ...
 //
+// Edges can instead form an edge-local gossip data plane: a neighborhood
+// of edges exchanges censuses peer-to-peer, folds the consensus locally
+// (same FDS core as the cloud), and its leader — the lowest edge id —
+// escalates a compacted digest to the cloud every K rounds. The cloud
+// becomes a slow control plane; edges keep shaping traffic while it is
+// unreachable and reconcile on heal:
+//
+//	# the control plane (never on the round critical path)
+//	cpnode -role cloud -listen 127.0.0.1:7000 -regions 2
+//
+//	# a two-edge neighborhood, escalating every 4 local rounds
+//	cpnode -role edge -id 0 -listen 127.0.0.1:7100 -gossip-listen 127.0.0.1:7300 \
+//	  -gossip-peers 1=127.0.0.1:7301 -gossip-every 4 -cloud 127.0.0.1:7000 -regions 2 ...
+//	cpnode -role edge -id 1 -listen 127.0.0.1:7101 -gossip-listen 127.0.0.1:7301 \
+//	  -gossip-peers 0=127.0.0.1:7300 -gossip-every 4 -cloud 127.0.0.1:7000 -regions 2 ...
+//
 // cpnode is a thin adapter over internal/scenario's typed NodeConfig: each
 // flag the invocation actually sets maps to one functional option, and an
 // option set on a role that ignores it is rejected up front ("-role edge
@@ -57,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/edge"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/transport"
@@ -111,6 +128,18 @@ func main() {
 			"aggregation-tier address census batches are forwarded to (shard)")
 		shardDeadline = flag.Duration("shard-deadline", 5*time.Second,
 			"shard: forward a round degraded after this long with owned regions missing (0 = wait for the full group)")
+		gossipPeers = flag.String("gossip-peers", "",
+			"edge: comma-separated region=addr gossip peers; non-empty switches the edge from direct census reports to local gossip rounds")
+		gossipListen = flag.String("gossip-listen", "127.0.0.1:0",
+			"edge: listen address peers dial for gossip censuses")
+		gossipHood = flag.Int("gossip-hood", 0,
+			"edge: this neighborhood's index among -gossip-of escalating to the cloud")
+		gossipOf = flag.Int("gossip-of", 1,
+			"edge: total neighborhoods the cloud folds digests from")
+		gossipEvery = flag.Int("gossip-every", 1,
+			"edge: the neighborhood leader escalates a digest every K-th local round")
+		gossipDeadline = flag.Duration("gossip-deadline", 0,
+			"edge: local round barrier deadline; a silent peer degrades the round after this long (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -130,32 +159,38 @@ func main() {
 	// Each flag the invocation actually set (flag.Visit) maps to one typed
 	// option; scenario.New rejects any option the role does not consume.
 	optionByFlag := map[string]func() scenario.Option{
-		"listen":         func() scenario.Option { return scenario.Listen(*listen) },
-		"cloud":          func() scenario.Option { return scenario.CloudAddr(*cloudAddr) },
-		"edge":           func() scenario.Option { return scenario.EdgeAddr(*edgeAddr) },
-		"id":             func() scenario.Option { return scenario.EdgeID(*id) },
-		"id-base":        func() scenario.Option { return scenario.IDBase(*idBase) },
-		"regions":        func() scenario.Option { return scenario.Regions(*regions) },
-		"n":              func() scenario.Option { return scenario.FleetSize(*n) },
-		"rounds":         func() scenario.Option { return scenario.Rounds(*rounds) },
-		"vehicles":       func() scenario.Option { return scenario.WaitVehicles(*vehiclesN) },
-		"x0":             func() scenario.Option { return scenario.X0(*x0) },
-		"target-x":       func() scenario.Option { return scenario.TargetX(*targetX) },
-		"eps":            func() scenario.Option { return scenario.Eps(*eps) },
-		"field":          func() scenario.Option { return scenario.FieldPath(*fieldPath) },
-		"beta":           func() scenario.Option { return scenario.Beta(*beta) },
-		"seed":           func() scenario.Option { return scenario.Seed(*seed) },
-		"fixed-lag":      func() scenario.Option { return scenario.FixedLag(*fixedLag) },
-		"retry-max":      func() scenario.Option { return scenario.RetryMax(*retryMax) },
-		"round-deadline": func() scenario.Option { return scenario.RoundDeadline(*roundDeadline) },
-		"codec":          func() scenario.Option { return scenario.Codec(*codecName) },
-		"io-timeout":     func() scenario.Option { return scenario.IOTimeout(*ioTimeout) },
-		"state-dir":      func() scenario.Option { return scenario.StateDir(*stateDir) },
-		"lease-ttl":      func() scenario.Option { return scenario.LeaseTTL(*leaseTTL) },
-		"shards":         func() scenario.Option { return scenario.Shards(*shards) },
-		"shard-id":       func() scenario.Option { return scenario.ShardID(*shardID) },
-		"aggregator":     func() scenario.Option { return scenario.AggregatorAddr(*aggregatorAddr) },
-		"shard-deadline": func() scenario.Option { return scenario.ShardDeadline(*shardDeadline) },
+		"listen":          func() scenario.Option { return scenario.Listen(*listen) },
+		"cloud":           func() scenario.Option { return scenario.CloudAddr(*cloudAddr) },
+		"edge":            func() scenario.Option { return scenario.EdgeAddr(*edgeAddr) },
+		"id":              func() scenario.Option { return scenario.EdgeID(*id) },
+		"id-base":         func() scenario.Option { return scenario.IDBase(*idBase) },
+		"regions":         func() scenario.Option { return scenario.Regions(*regions) },
+		"n":               func() scenario.Option { return scenario.FleetSize(*n) },
+		"rounds":          func() scenario.Option { return scenario.Rounds(*rounds) },
+		"vehicles":        func() scenario.Option { return scenario.WaitVehicles(*vehiclesN) },
+		"x0":              func() scenario.Option { return scenario.X0(*x0) },
+		"target-x":        func() scenario.Option { return scenario.TargetX(*targetX) },
+		"eps":             func() scenario.Option { return scenario.Eps(*eps) },
+		"field":           func() scenario.Option { return scenario.FieldPath(*fieldPath) },
+		"beta":            func() scenario.Option { return scenario.Beta(*beta) },
+		"seed":            func() scenario.Option { return scenario.Seed(*seed) },
+		"fixed-lag":       func() scenario.Option { return scenario.FixedLag(*fixedLag) },
+		"retry-max":       func() scenario.Option { return scenario.RetryMax(*retryMax) },
+		"round-deadline":  func() scenario.Option { return scenario.RoundDeadline(*roundDeadline) },
+		"codec":           func() scenario.Option { return scenario.Codec(*codecName) },
+		"io-timeout":      func() scenario.Option { return scenario.IOTimeout(*ioTimeout) },
+		"state-dir":       func() scenario.Option { return scenario.StateDir(*stateDir) },
+		"lease-ttl":       func() scenario.Option { return scenario.LeaseTTL(*leaseTTL) },
+		"shards":          func() scenario.Option { return scenario.Shards(*shards) },
+		"shard-id":        func() scenario.Option { return scenario.ShardID(*shardID) },
+		"aggregator":      func() scenario.Option { return scenario.AggregatorAddr(*aggregatorAddr) },
+		"shard-deadline":  func() scenario.Option { return scenario.ShardDeadline(*shardDeadline) },
+		"gossip-peers":    func() scenario.Option { return scenario.GossipPeers(*gossipPeers) },
+		"gossip-listen":   func() scenario.Option { return scenario.GossipListen(*gossipListen) },
+		"gossip-hood":     func() scenario.Option { return scenario.GossipHood(*gossipHood) },
+		"gossip-of":       func() scenario.Option { return scenario.GossipOf(*gossipOf) },
+		"gossip-every":    func() scenario.Option { return scenario.GossipEvery(*gossipEvery) },
+		"gossip-deadline": func() scenario.Option { return scenario.GossipDeadline(*gossipDeadline) },
 	}
 	opts := []scenario.Option{scenario.WithLogf(log.Printf)}
 	if o != nil {
@@ -286,6 +321,10 @@ func runEdge(nc *scenario.NodeConfig) error {
 	}
 	fmt.Printf("edge %d: %d vehicles registered, starting rounds\n", nc.ID, srv.NumVehicles())
 
+	if nc.GossipPeers != "" {
+		return runEdgeGossip(nc, srv)
+	}
+
 	link, err := nc.NewCloudLink(nil)
 	if err != nil {
 		return err
@@ -335,6 +374,75 @@ func runEdge(nc *scenario.NodeConfig) error {
 		}
 		fmt.Printf("edge %d round %2d: x=%.2f census=%v -> next x=%.2f\n", nc.ID, t, x, census, next)
 		x = next
+	}
+	return nil
+}
+
+// runEdgeGossip drives the edge through the gossip data plane: each round's
+// census goes to the neighborhood, the next ratio comes from the local fold,
+// and the leader escalates digests to the cloud on the -gossip-every cadence.
+// The cloud being unreachable only delays escalation — rounds keep completing.
+func runEdgeGossip(nc *scenario.NodeConfig, srv *edge.Server) error {
+	peers, err := scenario.ParseGossipPeers(nc.GossipPeers)
+	if err != nil {
+		return err
+	}
+	members := scenario.GossipMembers(nc.ID, peers)
+	peerDial := func(member int) (transport.Conn, error) {
+		addr, ok := peers[member]
+		if !ok {
+			return nil, fmt.Errorf("cpnode: no address for gossip peer %d", member)
+		}
+		return nc.DialFunc(addr)()
+	}
+	node, what, err := nc.NewGossipNode(members, peerDial, nc.DialFunc(nc.CloudAddr))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	gopts, err := nc.TCPOptions()
+	if err != nil {
+		return err
+	}
+	gl, err := transport.ListenTCP(nc.GossipListen, gopts...)
+	if err != nil {
+		return err
+	}
+	defer gl.Close()
+	go node.Serve(gl)
+
+	role := "member"
+	if node.Leader() {
+		role = "leader"
+	}
+	if nc.StateDir != "" {
+		fmt.Printf("edge %d: durable gossip state in %s, resuming at round %d\n", nc.ID, nc.StateDir, node.Latest()+1)
+	}
+	fmt.Printf("edge %d: gossiping on %s as %s of neighborhood %d/%d (members %v, escalate every %d), steering toward %s\n",
+		nc.ID, gl.Addr(), role, nc.GossipHood, nc.GossipOf, members, nc.GossipEvery, what)
+
+	x := node.X()
+	for t := node.Latest() + 1; t < nc.Rounds; t++ {
+		census, err := srv.RunRound(t, x, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", t, err)
+		}
+		next, err := node.LocalRound(t, census)
+		if err != nil {
+			return fmt.Errorf("gossip round %d: %w", t, err)
+		}
+		line := fmt.Sprintf("edge %d round %2d: x=%.2f census=%v -> next x=%.2f", nc.ID, t, x, census, next)
+		if cx, ok := node.CloudRatio(); ok {
+			line += fmt.Sprintf(" (cloud view %.2f)", cx)
+		}
+		fmt.Println(line)
+		x = next
+	}
+	// Drain the escalation backlog so the control plane sees the tail even
+	// when the run length is not a multiple of -gossip-every.
+	if err := node.Flush(); err != nil {
+		log.Printf("edge %d: final digest flush: %v", nc.ID, err)
 	}
 	return nil
 }

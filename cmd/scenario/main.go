@@ -1,12 +1,14 @@
 // Command scenario executes declarative consensus scenarios.
 //
-//	scenario run spec.yaml [-json] [-seed N] [-q] [-bench-json file]
+//	scenario run spec.yaml [-json] [-seed N] [-q] [-metrics addr] [-bench-json file]
 //	scenario check spec.yaml...
 //	scenario fmt spec.yaml [-w]
 //
 // run compiles the spec into a wired tier (in-proc or TCP, per the spec),
 // executes it, and prints the verdict — human-readable by default, machine-
-// readable with -json. Exit status: 0 when every verdict check passed, 2
+// readable with -json. -metrics serves the run's live /metrics (Prometheus
+// text) on addr while the scenario is in flight, so smoke jobs can assert
+// mid-run counters. Exit status: 0 when every verdict check passed, 2
 // when the run finished but a check failed, 1 on infrastructure errors.
 // check validates specs without running them; fmt rewrites a spec in
 // canonical form.
@@ -19,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -51,7 +54,7 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  scenario run spec.yaml [-json] [-seed N] [-q] [-bench-json file]
+  scenario run spec.yaml [-json] [-seed N] [-q] [-metrics addr] [-bench-json file]
   scenario check spec.yaml...
   scenario fmt spec.yaml [-w]
 `)
@@ -63,6 +66,7 @@ func cmdRun(args []string) error {
 	seed := fs.Int64("seed", 0, "override the spec's seed (0 keeps it)")
 	quiet := fs.Bool("q", false, "suppress progress logging")
 	benchJSON := fs.String("bench-json", "", "merge a Scenario/<name> rounds-per-sec series into this bench JSON file")
+	metrics := fs.String("metrics", "", "serve the run's live /metrics on this address while it executes")
 	spec, _, rest, err := parseSpecArg(fs, args, "run")
 	if err != nil {
 		return err
@@ -74,6 +78,16 @@ func cmdRun(args []string) error {
 	opts := scenario.RunOptions{}
 	if *seed != 0 {
 		opts.Seed = seed
+	}
+	if *metrics != "" {
+		o := obs.New()
+		srv, err := obs.Serve(*metrics, o)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		opts.Obs = o
+		fmt.Fprintf(os.Stderr, "# metrics on http://%s/metrics\n", srv.Addr())
 	}
 	if !*quiet {
 		opts.Logf = func(format string, a ...any) {
@@ -131,6 +145,11 @@ func printVerdict(v *scenario.Verdict) {
 	}
 	if v.FaultsInjected > 0 || v.FailedReports > 0 {
 		fmt.Printf("  faults:         %d injected, %d failed reports\n", v.FaultsInjected, v.FailedReports)
+	}
+	if v.GossipLocalRounds > 0 {
+		fmt.Printf("  gossip:         %d local rounds (%d degraded, %d during partition), %d escalations (%d failed)\n",
+			v.GossipLocalRounds, v.GossipDegradedRounds, v.GossipPartitionLocalRounds,
+			v.GossipEscalations, v.GossipEscalationFailures)
 	}
 	fmt.Printf("  welfare:        %.2f net (utility %.2f - cost %.2f, %d items)\n",
 		v.Welfare.Net, v.Welfare.ReceivedUtility, v.Welfare.SharedCost, v.Welfare.DeliveredItems)

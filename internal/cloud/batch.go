@@ -125,7 +125,7 @@ func (s *Server) ratioBatchLocked(batch transport.CensusBatch) transport.RatioBa
 	}
 	for i, c := range batch.Censuses {
 		reply.Edges[i] = c.Edge
-		reply.X[i] = s.state.X[c.Edge]
+		reply.X[i] = s.fold.X(c.Edge)
 	}
 	return reply
 }

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"repro/internal/durable"
-	"repro/internal/edge"
 	"repro/internal/game"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -39,8 +38,7 @@ var ErrBadCensus = errors.New("cloud: malformed census")
 // last-known shares for the missing regions, so one dead edge cannot stall
 // the rest of the system.
 type Server struct {
-	fds   *policy.FDS
-	state *game.State
+	fold *Fold
 
 	mu            sync.Mutex
 	eng           *Engine // round barriers + completed-round watermark
@@ -75,6 +73,11 @@ type Server struct {
 	correctionSeq int64
 	maxSkew       int
 	edgeSess      map[int]*session.Session
+
+	// Digest reconciliation (see SubmitDigest). digestSeen tracks, per
+	// pending round, which neighborhoods have reported it; a round folds
+	// once every neighborhood has.
+	digestSeen map[int]map[int]bool
 }
 
 // serverMetrics are the coordinator's registry-backed instruments (see the
@@ -102,6 +105,8 @@ type serverMetrics struct {
 	corrections    *obs.Counter   // consensus_ratio_corrections_total
 	lagDepth       *obs.Gauge     // consensus_lag_window_depth
 	stateHash      *obs.Gauge     // consensus_state_hash
+	digests        *obs.Counter   // consensus_digests_total
+	digestRounds   *obs.Counter   // consensus_digest_rounds_total
 }
 
 func newServerMetrics(o *obs.Observer) serverMetrics {
@@ -128,6 +133,8 @@ func newServerMetrics(o *obs.Observer) serverMetrics {
 		corrections:    o.Counter("consensus_ratio_corrections_total", "ratio-correction frames published after rewinds"),
 		lagDepth:       o.Gauge("consensus_lag_window_depth", "completed rounds currently buffered in the fixed-lag window"),
 		stateHash:      o.Gauge("consensus_state_hash", "CRC-32C of the canonical JSON game state (bit-identity check)"),
+		digests:        o.Counter("consensus_digests_total", "gossip digests reconciled from neighborhood leaders"),
+		digestRounds:   o.Counter("consensus_digest_rounds_total", "rounds carried by reconciled gossip digests"),
 	}
 }
 
@@ -135,22 +142,16 @@ func newServerMetrics(o *obs.Observer) serverMetrics {
 // desired field, starting from the given state (typically uniform
 // distributions at an initial ratio).
 func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
-	if f == nil || initial == nil {
-		return nil, fmt.Errorf("cloud: controller and state must be non-nil")
-	}
-	if err := initial.Validate(); err != nil {
-		return nil, fmt.Errorf("cloud: initial state: %w", err)
-	}
-	if len(initial.P) == 0 {
-		return nil, fmt.Errorf("cloud: initial state has no regions")
+	fold, err := NewFold(f, initial)
+	if err != nil {
+		return nil, err
 	}
 	o := obs.New()
 	s := &Server{
-		fds:          f,
-		state:        initial.Clone(),
+		fold:         fold,
 		eng:          NewEngine(),
-		m:            len(initial.P),
-		k:            len(initial.P[0]),
+		m:            fold.Regions(),
+		k:            fold.Decisions(),
 		obsv:         o,
 		metrics:      newServerMetrics(o),
 		conns:        make(map[transport.Conn]struct{}),
@@ -159,6 +160,7 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 		leases:       make(map[int]*leaseEntry),
 		maxSkew:      defaultMaxRoundSkew,
 		edgeSess:     make(map[int]*session.Session),
+		digestSeen:   make(map[int]map[int]bool),
 	}
 	s.metrics.latestRound.Set(-1)
 	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
@@ -225,13 +227,14 @@ func (s *Server) logfLocked(format string, args ...interface{}) {
 func (s *Server) State() *game.State {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.state.Clone()
+	return s.fold.State().Clone()
 }
 
 // Converged reports whether the current state satisfies the desired field.
 func (s *Server) Converged() bool {
-	ok, _ := s.fds.Field().Converged(s.State())
-	return ok
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fold.Converged()
 }
 
 // Serve accepts edge-server connections until the listener is torn down or
@@ -317,7 +320,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 				// The edge fell behind; answer with the region's current
 				// ratio so it can catch up instead of hanging.
 				s.mu.Lock()
-				x = s.state.X[census.Edge]
+				x = s.fold.X(census.Edge)
 				s.mu.Unlock()
 			case errors.Is(err, transport.ErrClosed):
 				return err
@@ -348,6 +351,24 @@ func (s *Server) handleConn(conn transport.Conn) {
 			case errors.Is(err, transport.ErrClosed):
 				return err
 			default:
+				_ = sess.Ack(err)
+				return nil
+			}
+			return sess.Send(transport.KindRatioBatch, reply)
+		},
+		transport.KindDigest: func(m transport.Message) error {
+			var d transport.Digest
+			if err := transport.Decode(m, transport.KindDigest, &d); err != nil {
+				return dropFrame(err)
+			}
+			reply, err := s.SubmitDigest(d)
+			switch {
+			case err == nil:
+			case errors.Is(err, transport.ErrClosed):
+				return err
+			default:
+				// Bad digest (malformed census, skew bound): reject it, keep
+				// the conn for the leader's next attempt.
 				_ = sess.Ack(err)
 				return nil
 			}
@@ -410,7 +431,7 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 		if rewound {
 			corrections = s.collectCorrectionsLocked(census.Edge)
 		}
-		x := s.state.X[census.Edge]
+		x := s.fold.X(census.Edge)
 		s.mu.Unlock()
 		s.sendCorrections(corrections)
 		return x, nil
@@ -445,7 +466,7 @@ func (s *Server) Submit(census transport.Census) (float64, error) {
 			return 0, rb.Err
 		}
 		s.mu.Lock()
-		x := s.state.X[census.Edge]
+		x := s.fold.X(census.Edge)
 		s.mu.Unlock()
 		return x, nil
 	case <-s.closed:
@@ -478,7 +499,7 @@ func (s *Server) completeRoundLocked(round int, rb *Barrier, degraded bool) {
 		// Snapshot the pre-fold state so a late census can rewind this round.
 		s.pushWindowLocked(round, rb.Censuses, degraded)
 	}
-	rb.Err = s.applyRoundLocked(rb.Censuses)
+	rb.Err = s.fold.Apply(rb.Censuses)
 	s.metrics.stateHash.Set(float64(s.stateHashLocked()))
 	// Advance the watermark before journaling: a compaction inside persist
 	// snapshots Latest() as the checkpoint round, and the state it captures
@@ -502,28 +523,4 @@ func (s *Server) completeRoundLocked(round int, rb *Barrier, degraded bool) {
 		s.metrics.abandoned.Inc()
 		a.Barrier.Span.End(obs.A("abandoned", true), obs.A("superseded_by", round))
 	}
-}
-
-// applyRoundLocked folds the censuses into the state and runs one FDS
-// update. Regions missing from a degraded round — and empty censuses from
-// edges with no registered vehicles — keep their last-known shares.
-// Called with s.mu held.
-func (s *Server) applyRoundLocked(censuses map[int][]int) error {
-	for i, counts := range censuses {
-		total := 0
-		for _, c := range counts {
-			total += c
-		}
-		if total == 0 {
-			continue
-		}
-		shares := edge.Shares(counts)
-		if len(shares) == len(s.state.P[i]) {
-			copy(s.state.P[i], shares)
-		}
-	}
-	if _, err := s.fds.UpdateRatios(s.state); err != nil {
-		return fmt.Errorf("cloud: FDS update: %w", err)
-	}
-	return nil
 }

@@ -1,0 +1,115 @@
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// SubmitDigest reconciles one neighborhood's compacted round history into
+// the control-plane fold. Each digest round carries the full census set the
+// neighborhood folded locally; rounds the cloud already completed go
+// through the fixed-lag late path (byte-identical duplicates — the normal
+// case, since every neighborhood folds the same members' censuses its
+// digest reports — are absorbed; genuinely late censuses rewind and merge),
+// while new rounds accumulate on the round barrier until every neighborhood
+// (d.Of of them) has reported, then fold in round order. SubmitDigest never
+// blocks on a barrier: the reply is the cloud's *current* view of the
+// members' ratios, which gossip nodes record for observability only — the
+// digest stream is the data plane's history, not a policy round-trip.
+//
+// Rounds inside one digest must be ascending; neighborhoods escalate their
+// backlog in order, so cross-neighborhood completion is ascending too.
+func (s *Server) SubmitDigest(d transport.Digest) (transport.RatioBatch, error) {
+	if d.Of <= 0 {
+		return transport.RatioBatch{}, fmt.Errorf("cloud: digest from neighborhood %d of %d", d.Neighborhood, d.Of)
+	}
+	if d.Neighborhood < 0 || d.Neighborhood >= d.Of {
+		return transport.RatioBatch{}, fmt.Errorf("cloud: digest from neighborhood %d outside 0..%d", d.Neighborhood, d.Of-1)
+	}
+	if len(d.Rounds) == 0 {
+		return transport.RatioBatch{}, fmt.Errorf("cloud: empty digest from neighborhood %d", d.Neighborhood)
+	}
+	last := -1
+	for _, dr := range d.Rounds {
+		if dr.Round <= last {
+			return transport.RatioBatch{}, fmt.Errorf("cloud: digest rounds out of order (%d after %d)", dr.Round, last)
+		}
+		last = dr.Round
+		for _, c := range dr.Censuses {
+			if c.Edge < 0 || c.Edge >= s.m {
+				return transport.RatioBatch{}, fmt.Errorf("cloud: digest census from unknown edge %d", c.Edge)
+			}
+			if len(c.Counts) != s.k {
+				return transport.RatioBatch{}, fmt.Errorf("%w: digest edge %d sent %d counts, lattice has %d decisions",
+					ErrBadCensus, c.Edge, len(c.Counts), s.k)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.digests.Inc()
+	var firstErr error
+	for _, dr := range d.Rounds {
+		s.metrics.digestRounds.Inc()
+		if dr.Round <= s.eng.Latest() {
+			// Re-escalation after a lost ack, or another neighborhood's copy
+			// of a round this one already completed: the rewind window
+			// absorbs duplicates and merges genuinely late censuses.
+			for _, c := range dr.Censuses {
+				cc := c
+				cc.Round = dr.Round
+				s.metrics.late.Inc()
+				if _, _, err := s.handleLateLocked(cc); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		if s.maxSkew > 0 && dr.Round > s.eng.Latest()+s.maxSkew {
+			s.metrics.future.Inc()
+			return transport.RatioBatch{}, fmt.Errorf("%w: digest round %d is beyond latest %d + skew %d",
+				ErrFutureRound, dr.Round, s.eng.Latest(), s.maxSkew)
+		}
+		rb, ok := s.eng.Barrier(dr.Round)
+		if !ok {
+			span := s.obsv.Span("consensus_round", obs.A("round", dr.Round))
+			rb = s.eng.Open(dr.Round, span, 0, nil)
+		}
+		for _, c := range dr.Censuses {
+			if rb.Add(c.Edge, c.Counts) {
+				s.metrics.duplicates.Inc()
+			}
+		}
+		seen := s.digestSeen[dr.Round]
+		if seen == nil {
+			seen = make(map[int]bool)
+			s.digestSeen[dr.Round] = seen
+		}
+		seen[d.Neighborhood] = true
+		if len(seen) >= d.Of {
+			s.completeRoundLocked(dr.Round, rb, rb.Size() < s.m)
+		}
+	}
+	for round := range s.digestSeen {
+		if round <= s.eng.Latest() {
+			delete(s.digestSeen, round)
+		}
+	}
+	if firstErr != nil {
+		return transport.RatioBatch{}, firstErr
+	}
+	reply := transport.RatioBatch{
+		Round: last + 1,
+		Edges: append([]int(nil), d.Members...),
+		X:     make([]float64, len(d.Members)),
+	}
+	for i, e := range d.Members {
+		if e >= 0 && e < s.m {
+			reply.X[i] = s.fold.X(e)
+		}
+	}
+	return reply, nil
+}

@@ -60,12 +60,12 @@ func (s *Server) Open(stateDir string) error {
 				stateDir, len(cp.State.P), cpK, s.m, s.k)
 		}
 		if len(cp.FDS.LastShortfall) > 0 {
-			if err := s.fds.SetMemory(cp.FDS); err != nil {
+			if err := s.fold.SetMemory(cp.FDS); err != nil {
 				store.Close()
 				return fmt.Errorf("cloud: checkpoint in %s: %w", stateDir, err)
 			}
 		}
-		s.state = cp.State
+		s.fold.SetState(cp.State)
 		s.eng.SetLatest(cp.Round)
 		s.correctionSeq = cp.CorrectionSeq
 		s.metrics.checkpointSize.Set(float64(len(snap)))
@@ -108,7 +108,7 @@ func (s *Server) Open(stateDir string) error {
 		if s.lag > 0 {
 			s.pushWindowLocked(rec.Round, rec.Censuses, rec.Degraded)
 		}
-		if err := s.applyRoundLocked(rec.Censuses); err != nil {
+		if err := s.fold.Apply(rec.Censuses); err != nil {
 			return fmt.Errorf("replaying round %d: %w", rec.Round, err)
 		}
 		s.eng.SetLatest(rec.Round)
@@ -197,8 +197,8 @@ func (s *Server) persistCorrectedLocked(e *lagEntry) {
 func (s *Server) checkpointLocked() error {
 	cp := durable.Checkpoint{
 		Round:         s.eng.Latest(),
-		State:         s.state,
-		FDS:           s.fds.Memory(),
+		State:         s.fold.State(),
+		FDS:           s.fold.Memory(),
 		CorrectionSeq: s.correctionSeq,
 	}
 	var retained [][]byte

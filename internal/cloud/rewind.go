@@ -1,7 +1,6 @@
 package cloud
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -91,13 +90,7 @@ func (s *Server) StateHash() uint32 {
 	return s.stateHashLocked()
 }
 
-func (s *Server) stateHashLocked() uint32 {
-	b, err := json.Marshal(s.state)
-	if err != nil {
-		return 0
-	}
-	return crc32.Checksum(b, castagnoli)
-}
+func (s *Server) stateHashLocked() uint32 { return s.fold.Hash() }
 
 // pushWindowLocked buffers a round about to be applied: the snapshots are
 // taken from the *current* (pre-fold) state. Called with s.mu held, before
@@ -105,8 +98,8 @@ func (s *Server) stateHashLocked() uint32 {
 func (s *Server) pushWindowLocked(round int, censuses map[int][]int, degraded bool) {
 	s.window = append(s.window, &lagEntry{
 		round:    round,
-		preState: s.state.Clone(),
-		preFDS:   s.fds.Memory(),
+		preState: s.fold.State().Clone(),
+		preFDS:   s.fold.Memory(),
 		censuses: censuses,
 		degraded: degraded,
 	})
@@ -139,19 +132,19 @@ func (s *Server) windowIndexLocked(round int) int {
 
 // refoldLocked rewinds the fold to window entry idx's pre-state and
 // re-propagates through every buffered round from there, refreshing each
-// entry's snapshots along the way. The fold itself is applyRoundLocked —
-// the exact code live rounds run — so a replayed history is bit-identical
-// to one where the censuses had arrived on time. Called with s.mu held.
+// entry's snapshots along the way. The fold itself is Fold.Apply — the
+// exact code live rounds run — so a replayed history is bit-identical to
+// one where the censuses had arrived on time. Called with s.mu held.
 func (s *Server) refoldLocked(idx int) error {
 	e := s.window[idx]
-	s.state = e.preState.Clone()
-	if err := s.fds.SetMemory(e.preFDS); err != nil {
+	s.fold.SetState(e.preState.Clone())
+	if err := s.fold.SetMemory(e.preFDS); err != nil {
 		return err
 	}
 	for _, entry := range s.window[idx:] {
-		entry.preState = s.state.Clone()
-		entry.preFDS = s.fds.Memory()
-		if err := s.applyRoundLocked(entry.censuses); err != nil {
+		entry.preState = s.fold.State().Clone()
+		entry.preFDS = s.fold.Memory()
+		if err := s.fold.Apply(entry.censuses); err != nil {
 			return fmt.Errorf("re-folding round %d: %w", entry.round, err)
 		}
 	}
@@ -214,7 +207,7 @@ func (s *Server) collectCorrectionsLocked(exclude ...int) []correctionSend {
 	}
 	out := make([]correctionSend, 0, len(s.edgeSess))
 	for i, sess := range s.edgeSess {
-		if skip[i] || i < 0 || i >= len(s.state.X) {
+		if skip[i] || i < 0 || i >= s.m {
 			continue
 		}
 		out = append(out, correctionSend{
@@ -223,7 +216,7 @@ func (s *Server) collectCorrectionsLocked(exclude ...int) []correctionSend {
 				Edge:  i,
 				Round: s.eng.Latest(),
 				Seq:   s.correctionSeq,
-				X:     s.state.X[i],
+				X:     s.fold.X(i),
 			},
 		})
 	}

@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 const (
@@ -49,6 +50,25 @@ type Store struct {
 	mu      sync.Mutex
 	journal *os.File
 	size    int64 // current journal length (all complete records)
+
+	// Group commit (see SetGroupCommit). With groupN <= 1 every Append
+	// fsyncs on its own, the historical behavior. Otherwise appends write
+	// their frames immediately and block on flushed until one fsync — run
+	// by whichever appender trips the count threshold, or by the window
+	// timer — covers them. writeSeq counts frames written into the file,
+	// syncedSeq frames a completed fsync made durable; a failed fsync
+	// records (flushErrSeq, flushErr) so every append it covered reports
+	// the failure instead of claiming durability.
+	groupN      int
+	groupWindow time.Duration
+	flushed     *sync.Cond
+	flushing    bool
+	writeSeq    int64
+	syncedSeq   int64
+	flushErr    error
+	flushErrSeq int64
+	timer       *time.Timer
+	timerArmed  bool
 }
 
 // Open creates the state directory if needed and opens (or creates) its
@@ -70,7 +90,31 @@ func Open(dir string) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("durable: stat journal: %w", err)
 	}
-	return &Store{dir: dir, journal: f, size: st.Size()}, nil
+	s := &Store{dir: dir, journal: f, size: st.Size()}
+	s.flushed = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// defaultGroupWindow bounds how long a lone record waits for company before
+// its fsync runs anyway.
+const defaultGroupWindow = 2 * time.Millisecond
+
+// SetGroupCommit batches journal fsyncs: up to n pending Append calls share
+// one fsync, flushed as soon as n records are pending or after window at
+// the latest (window <= 0 uses a 2ms default). Append's durability contract
+// is unchanged — it still blocks until the fsync covering its record
+// completes — only the per-record fsync floor is amortized away, which is
+// what lets a gossip node journal every local round without paying a disk
+// round-trip per round. n <= 1 restores the historical fsync-per-append
+// behavior. Safe to call only before the first Append.
+func (s *Store) SetGroupCommit(n int, window time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if window <= 0 {
+		window = defaultGroupWindow
+	}
+	s.groupN = n
+	s.groupWindow = window
 }
 
 // Dir returns the state directory path.
@@ -145,6 +189,8 @@ func (s *Store) Replay(fn func(payload []byte) error) (int, error) {
 
 // Append frames the payload, writes it at the journal's end, and fsyncs
 // before returning: once Append returns nil the record survives kill -9.
+// Under SetGroupCommit the fsync may be shared with other pending appends,
+// but the durability contract is the same.
 func (s *Store) Append(payload []byte) error {
 	if len(payload) > MaxRecordBytes {
 		return fmt.Errorf("durable: record of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
@@ -158,11 +204,112 @@ func (s *Store) Append(payload []byte) error {
 	if _, err := s.journal.WriteAt(frame, s.size); err != nil {
 		return fmt.Errorf("durable: append journal: %w", err)
 	}
-	if err := s.journal.Sync(); err != nil {
-		return fmt.Errorf("durable: sync journal: %w", err)
+	if s.groupN <= 1 {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("durable: sync journal: %w", err)
+		}
+		s.size += int64(len(frame))
+		return nil
 	}
 	s.size += int64(len(frame))
+	s.writeSeq++
+	seq := s.writeSeq
+	if s.writeSeq-s.syncedSeq >= int64(s.groupN) && !s.flushing {
+		s.flushLocked()
+	} else {
+		s.armTimerLocked()
+	}
+	// A waiter that already sat through one flush without being covered (it
+	// wrote its frame while that fsync was in flight) leads the next flush
+	// immediately: it has waited a full disk round-trip, which is all the
+	// deadline was bounding. Only a first-round waiter holds out for the
+	// count threshold or the window timer.
+	waited := false
+	for s.syncedSeq < seq {
+		if s.journal == nil {
+			return ErrStoreClosed
+		}
+		if !s.flushing && (waited || s.writeSeq-s.syncedSeq >= int64(s.groupN)) {
+			s.flushLocked()
+			continue
+		}
+		s.flushed.Wait()
+		waited = true
+	}
+	if s.flushErr != nil && seq <= s.flushErrSeq {
+		return fmt.Errorf("durable: sync journal: %w", s.flushErr)
+	}
 	return nil
+}
+
+// flushLocked runs one group fsync covering every record written so far.
+// The lock is released for the fsync itself, so appenders keep writing
+// frames (the next group) while the disk works. Called with s.mu held;
+// returns with it held.
+func (s *Store) flushLocked() {
+	target := s.writeSeq
+	s.flushing = true
+	s.timerArmed = false
+	j := s.journal
+	s.mu.Unlock()
+	err := j.Sync()
+	s.mu.Lock()
+	s.flushing = false
+	if target > s.syncedSeq {
+		s.syncedSeq = target
+	}
+	if err != nil {
+		s.flushErr = err
+		s.flushErrSeq = target
+	}
+	s.flushed.Broadcast()
+}
+
+// armTimerLocked schedules the window flush for the current pending group,
+// if one is not already scheduled. Called with s.mu held.
+func (s *Store) armTimerLocked() {
+	if s.timerArmed {
+		return
+	}
+	s.timerArmed = true
+	if s.timer == nil {
+		s.timer = time.AfterFunc(s.groupWindow, s.windowFlush)
+		return
+	}
+	s.timer.Reset(s.groupWindow)
+}
+
+// windowFlush is the timer path: flush whatever is pending when the group
+// window closes, unless a count-triggered flush is already running (its
+// completion wakes the waiters this timer was armed for).
+func (s *Store) windowFlush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timerArmed = false
+	if s.journal == nil || s.flushing || s.writeSeq <= s.syncedSeq {
+		return
+	}
+	s.flushLocked()
+}
+
+// drainLocked waits out any in-flight group flush and fsyncs any remaining
+// pending records, so callers about to swap or truncate the journal never
+// race a concurrent fsync or strand an un-synced append. Called with s.mu
+// held.
+func (s *Store) drainLocked() {
+	for s.flushing {
+		s.flushed.Wait()
+	}
+	if s.journal != nil && s.writeSeq > s.syncedSeq {
+		err := s.journal.Sync()
+		target := s.writeSeq
+		s.syncedSeq = target
+		if err != nil {
+			s.flushErr = err
+			s.flushErrSeq = target
+		}
+		s.flushed.Broadcast()
+	}
 }
 
 // Compact atomically replaces the checkpoint with the given payload and
@@ -176,6 +323,7 @@ func (s *Store) Compact(payload []byte) (int, error) {
 	if s.journal == nil {
 		return 0, ErrStoreClosed
 	}
+	s.drainLocked()
 	n, err := s.writeSnapshotLocked(payload)
 	if err != nil {
 		return 0, err
@@ -208,6 +356,7 @@ func (s *Store) CompactRetain(payload []byte, records [][]byte) (int, error) {
 	if s.journal == nil {
 		return 0, ErrStoreClosed
 	}
+	s.drainLocked()
 	n, err := s.writeSnapshotLocked(payload)
 	if err != nil {
 		return 0, err
@@ -295,8 +444,13 @@ func (s *Store) Close() error {
 	if s.journal == nil {
 		return nil
 	}
+	s.drainLocked()
 	err := s.journal.Close()
 	s.journal = nil
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.flushed.Broadcast()
 	return err
 }
 

@@ -20,6 +20,12 @@ type Checkpoint struct {
 	// so corrections published after a restart keep increasing monotonically
 	// and edges never discard them as stale.
 	CorrectionSeq int64 `json:"correction_seq,omitempty"`
+	// Escalated is the gossip tier's escalation watermark: the first round
+	// NOT yet compacted into a cloud-acknowledged digest (every round below
+	// it has been acked). A restarted gossip leader rebuilds its escalation
+	// backlog from journal records at or past it. Zero-valued for the cloud
+	// coordinator's own checkpoints.
+	Escalated int `json:"escalated,omitempty"`
 }
 
 // EncodeCheckpoint serializes a checkpoint payload.

@@ -1,0 +1,169 @@
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/durable"
+)
+
+// Open attaches a durable state directory to the node and recovers any
+// state a previous process left there: the checkpoint restores the fold and
+// the escalation watermark, the journal's round records replay onto it
+// through the same fold the live rounds use (bit-identical), and the leader
+// rebuilds its unacked backlog from the records above the watermark. Call
+// before Serve; the node resumes at Latest()+1.
+func (n *Node) Open(stateDir string) error {
+	store, err := durable.Open(stateDir)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.store != nil {
+		store.Close()
+		return fmt.Errorf("gossip: state directory already open (%s)", n.store.Dir())
+	}
+	fromCheckpoint := false
+	snap, ok, err := store.LoadSnapshot()
+	if err != nil {
+		store.Close()
+		return err
+	}
+	if ok {
+		cp, err := durable.DecodeCheckpoint(snap)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		cpK := 0
+		if len(cp.State.P) > 0 {
+			cpK = len(cp.State.P[0])
+		}
+		if len(cp.State.P) != n.fold.Regions() || cpK != n.k {
+			store.Close()
+			return fmt.Errorf("gossip: checkpoint in %s has %dx%d state, node configured for %dx%d",
+				stateDir, len(cp.State.P), cpK, n.fold.Regions(), n.k)
+		}
+		if len(cp.FDS.LastShortfall) > 0 {
+			if err := n.fold.SetMemory(cp.FDS); err != nil {
+				store.Close()
+				return fmt.Errorf("gossip: checkpoint in %s: %w", stateDir, err)
+			}
+		}
+		n.fold.SetState(cp.State)
+		n.eng.SetLatest(cp.Round)
+		n.escalated = cp.Escalated
+		fromCheckpoint = true
+	}
+	replayed := 0
+	_, err = store.Replay(func(payload []byte) error {
+		rec, err := durable.DecodeRound(payload)
+		if err != nil {
+			return err
+		}
+		if rec.Round <= n.eng.Latest() && fromCheckpoint {
+			// The fold effect is already inside the checkpoint — either a
+			// record a crash between snapshot rename and journal truncate
+			// left behind, or an unacked round the leader's compaction
+			// retained. The latter still rebuilds the escalation backlog;
+			// re-applying it would double-fold.
+			if n.leader && rec.Round >= n.escalated {
+				n.pending = append(n.pending, rec)
+			}
+			return nil
+		}
+		if err := n.fold.Apply(rec.Censuses); err != nil {
+			return fmt.Errorf("replaying round %d: %w", rec.Round, err)
+		}
+		n.eng.SetLatest(rec.Round)
+		if n.leader && rec.Round >= n.escalated {
+			n.pending = append(n.pending, rec)
+		} else if !n.leader {
+			n.escalated = rec.Round + 1
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		store.Close()
+		return fmt.Errorf("gossip: journal in %s: %w", stateDir, err)
+	}
+	if replayed > 0 {
+		n.metrics.replayed.Add(int64(replayed))
+	}
+	if fromCheckpoint || replayed > 0 || len(n.pending) > 0 {
+		n.metrics.recoveries.Inc()
+		n.metrics.latestRound.Set(float64(n.eng.Latest()))
+		n.metrics.pendingGauge.Set(float64(len(n.pending)))
+		n.metrics.stateHash.Set(float64(n.fold.Hash()))
+		n.logf("gossip: edge %d: recovered state through round %d from %s (%d journal records replayed, %d pending escalation)",
+			n.cfg.Edge, n.eng.Latest(), stateDir, replayed, len(n.pending))
+	}
+	n.store = store
+	n.sinceComp = replayed
+	return nil
+}
+
+// persistRoundLocked journals one completed local round. The append fsyncs
+// before the round's waiters release; failures are counted and logged but
+// do not fail the round — the node keeps serving from memory. Non-leader
+// nodes compact by count (their journal only serves their own recovery);
+// the leader compacts on acknowledged escalations instead, because its
+// journal doubles as the unacked-digest backlog. Called with n.mu held;
+// no-op without an open store.
+func (n *Node) persistRoundLocked(rec durable.RoundRecord) {
+	if n.store == nil {
+		return
+	}
+	payload, err := durable.EncodeRound(rec)
+	if err == nil {
+		err = n.store.Append(payload)
+	}
+	if err != nil {
+		n.metrics.journalErrs.Inc()
+		n.logf("gossip: edge %d: journaling round %d: %v", n.cfg.Edge, rec.Round, err)
+		return
+	}
+	n.sinceComp++
+	if !n.leader && n.sinceComp >= defaultCompactEvery {
+		if err := n.checkpointLocked(); err != nil {
+			n.metrics.journalErrs.Inc()
+			n.logf("gossip: edge %d: compacting after round %d: %v", n.cfg.Edge, rec.Round, err)
+		}
+	}
+}
+
+// checkpointLocked folds the node's durable state into an atomic snapshot,
+// retaining the round records still awaiting cloud acknowledgment so a
+// restarted leader re-escalates exactly the unacked backlog. Called with
+// n.mu held.
+func (n *Node) checkpointLocked() error {
+	cp := durable.Checkpoint{
+		Round:     n.eng.Latest(),
+		State:     n.fold.State(),
+		FDS:       n.fold.Memory(),
+		Escalated: n.escalated,
+	}
+	payload, err := durable.EncodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	var retained [][]byte
+	for _, rec := range n.pending {
+		b, err := durable.EncodeRound(rec)
+		if err != nil {
+			return err
+		}
+		retained = append(retained, b)
+	}
+	if retained == nil {
+		_, err = n.store.Compact(payload)
+	} else {
+		_, err = n.store.CompactRetain(payload, retained)
+	}
+	if err != nil {
+		return err
+	}
+	n.sinceComp = 0
+	return nil
+}

@@ -1,0 +1,639 @@
+// Package gossip implements the edge-local consensus data plane: the edges
+// of one neighborhood run the consensus rounds among themselves — exchanging
+// census frames peer-to-peer over the session layer and folding a local game
+// state through the same cloud.Fold core the global coordinator uses — and
+// only escalate a compacted Digest frame to the cloud every K rounds. The
+// cloud becomes a slow control plane: it reconciles the digests through its
+// fixed-lag rewind window and answers with its current view of the members'
+// ratios, which the node records for observability but never adopts into
+// policy. The policy ratio an edge serves its vehicles is always the local
+// fold's — that makes the census stream independent of cloud connectivity,
+// so a run that loses the cloud for part of its life produces a bit-identical
+// control-plane state after the backlog drains on heal.
+//
+// Each node journals every completed local round (and the escalation
+// watermark) through internal/durable, so a killed node recovers its fold
+// bit-identically and the neighborhood leader re-escalates exactly the
+// rounds the cloud has not acknowledged.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/session"
+)
+
+// ErrClosed is returned by LocalRound after Close.
+var ErrClosed = errors.New("gossip: node closed")
+
+// defaultCompactEvery matches the cloud coordinator's journal compaction
+// cadence for nodes that are not their neighborhood's leader (the leader
+// compacts on acknowledged escalations instead, since its journal doubles
+// as the escalation backlog).
+const defaultCompactEvery = 32
+
+// Config assembles a Node. Members must include Edge; the member with the
+// smallest id is the neighborhood's leader and the only escalator.
+type Config struct {
+	// Edge is this node's region id.
+	Edge int
+	// Members are the region ids of every edge in the neighborhood,
+	// including Edge.
+	Members []int
+	// Neighborhood is this neighborhood's index, 0 <= Neighborhood < Of.
+	Neighborhood int
+	// Of is the total number of neighborhoods reporting to the cloud.
+	Of int
+	// EscalateEvery is K: the leader escalates a digest after every K-th
+	// completed local round (<=1 escalates every round).
+	EscalateEvery int
+	// Deadline bounds each local round barrier: a round whose member
+	// censuses have not all arrived within Deadline of the first completes
+	// in degraded mode (0 = wait forever; a dead peer then stalls the
+	// neighborhood).
+	Deadline time.Duration
+	// ReplyTimeout bounds each peer ack and cloud digest reply wait
+	// (0 = forever).
+	ReplyTimeout time.Duration
+	// Fold is the shared consensus fold core (required). The node takes
+	// ownership and serializes access.
+	Fold *cloud.Fold
+	// PeerDial dials the gossip listener of another member (required).
+	PeerDial func(member int) (transport.Conn, error)
+	// CloudDial dials the cloud control plane for digest escalation
+	// (required for the leader; a fresh connection is dialed per
+	// escalation so partitions fail fast and heal cleanly).
+	CloudDial func() (transport.Conn, error)
+	// Logf, when non-nil, logs degraded rounds, escalation failures, and
+	// recovery summaries.
+	Logf func(format string, args ...interface{})
+}
+
+// Node is one edge's gossip consensus participant.
+type Node struct {
+	cfg     Config
+	members []int // sorted copy
+	leader  bool
+
+	mu        sync.Mutex
+	eng       *cloud.Engine
+	fold      *cloud.Fold
+	k         int                   // decisions per census
+	escalated int                   // next round the leader will escalate (rounds below are acked)
+	pending   []durable.RoundRecord // leader's unacked rounds, ascending
+	peers     map[int]*peerLink
+	store     *durable.Store
+	sinceComp int
+	cloudX    float64 // latest cloud-published ratio for Edge (observability)
+	cloudSeen bool
+	obsv      *obs.Observer
+	metrics   nodeMetrics
+
+	conns  map[transport.Conn]struct{}
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// nodeMetrics are the node's registry-backed instruments. Counters are
+// unlabeled — several nodes instrumented into one registry sum naturally —
+// while per-node gauges carry an edge label so they do not clobber each
+// other.
+type nodeMetrics struct {
+	localRounds  *obs.Counter // gossip_local_rounds_total
+	degraded     *obs.Counter // gossip_degraded_rounds_total
+	peerCensuses *obs.Counter // gossip_peer_censuses_total
+	late         *obs.Counter // gossip_late_peer_censuses_total
+	duplicates   *obs.Counter // gossip_duplicate_censuses_total
+	peerSends    *obs.Counter // gossip_peer_sends_total
+	sendFailures *obs.Counter // gossip_peer_send_failures_total
+	escalations  *obs.Counter // gossip_digest_escalations_total
+	escFailures  *obs.Counter // gossip_escalation_failures_total
+	cloudUpdates *obs.Counter // gossip_cloud_ratio_updates_total
+	journalErrs  *obs.Counter // gossip_journal_errors_total
+	recoveries   *obs.Counter // gossip_recoveries_total
+	replayed     *obs.Counter // gossip_replay_records_total
+	latestRound  *obs.Gauge   // gossip_round_latest{edge}
+	pendingGauge *obs.Gauge   // gossip_pending_rounds{edge}
+	stateHash    *obs.Gauge   // gossip_state_hash{edge}
+}
+
+func newNodeMetrics(o *obs.Observer, edge int) nodeMetrics {
+	e := strconv.Itoa(edge)
+	r := o.Registry()
+	return nodeMetrics{
+		localRounds:  o.Counter("gossip_local_rounds_total", "local consensus rounds folded by gossip nodes (degraded or not)"),
+		degraded:     o.Counter("gossip_degraded_rounds_total", "local rounds completed by the deadline with at least one member missing"),
+		peerCensuses: o.Counter("gossip_peer_censuses_total", "censuses received from neighborhood peers"),
+		late:         o.Counter("gossip_late_peer_censuses_total", "peer censuses for already-completed local rounds, absorbed"),
+		duplicates:   o.Counter("gossip_duplicate_censuses_total", "duplicate peer censuses absorbed without changing a round's fold"),
+		peerSends:    o.Counter("gossip_peer_sends_total", "censuses broadcast to neighborhood peers (including re-sends)"),
+		sendFailures: o.Counter("gossip_peer_send_failures_total", "peer census broadcasts abandoned after redial attempts"),
+		escalations:  o.Counter("gossip_digest_escalations_total", "digests the cloud control plane acknowledged"),
+		escFailures:  o.Counter("gossip_escalation_failures_total", "digest escalations that failed (cloud unreachable or rejecting)"),
+		cloudUpdates: o.Counter("gossip_cloud_ratio_updates_total", "ratio views adopted from cloud digest replies (observability only)"),
+		journalErrs:  o.Counter("gossip_journal_errors_total", "gossip journal appends or checkpoints that failed (state kept in memory)"),
+		recoveries:   o.Counter("gossip_recoveries_total", "gossip node state recoveries from a state directory"),
+		replayed:     o.Counter("gossip_replay_records_total", "journal round records replayed during gossip recovery"),
+		latestRound:  r.GaugeVec("gossip_round_latest", "highest completed local round (-1 before the first)", "edge").With(e),
+		pendingGauge: r.GaugeVec("gossip_pending_rounds", "completed local rounds awaiting cloud acknowledgment", "edge").With(e),
+		stateHash:    r.GaugeVec("gossip_state_hash", "CRC-32C of the node's canonical JSON game state", "edge").With(e),
+	}
+}
+
+// NewNode validates cfg and returns an idle node. Call Serve with the
+// node's gossip listener, then drive rounds with LocalRound.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Fold == nil {
+		return nil, fmt.Errorf("gossip: config needs a fold")
+	}
+	if cfg.PeerDial == nil {
+		return nil, fmt.Errorf("gossip: config needs a peer dialer")
+	}
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("gossip: neighborhood has no members")
+	}
+	members := append([]int(nil), cfg.Members...)
+	sort.Ints(members)
+	self := false
+	for _, m := range members {
+		if m == cfg.Edge {
+			self = true
+		}
+		if m < 0 || m >= cfg.Fold.Regions() {
+			return nil, fmt.Errorf("gossip: member %d outside the %d-region state", m, cfg.Fold.Regions())
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("gossip: edge %d is not in its own neighborhood %v", cfg.Edge, members)
+	}
+	if cfg.EscalateEvery <= 0 {
+		cfg.EscalateEvery = 1
+	}
+	o := obs.New()
+	n := &Node{
+		cfg:     cfg,
+		members: members,
+		leader:  members[0] == cfg.Edge,
+		eng:     cloud.NewEngine(),
+		fold:    cfg.Fold,
+		k:       cfg.Fold.Decisions(),
+		peers:   make(map[int]*peerLink),
+		obsv:    o,
+		metrics: newNodeMetrics(o, cfg.Edge),
+		conns:   make(map[transport.Conn]struct{}),
+		closed:  make(chan struct{}),
+	}
+	for _, m := range members {
+		if m == cfg.Edge {
+			continue
+		}
+		member := m
+		n.peers[m] = &peerLink{
+			member: m,
+			// A short dial schedule: a dead peer must cost less than the
+			// round deadline, not the transport default's two-second cap.
+			dialer: &transport.Dialer{
+				Dial:        func() (transport.Conn, error) { return cfg.PeerDial(member) },
+				MaxAttempts: 4,
+				BaseDelay:   2 * time.Millisecond,
+				MaxDelay:    50 * time.Millisecond,
+			},
+		}
+	}
+	n.metrics.latestRound.Set(-1)
+	n.metrics.stateHash.Set(float64(n.fold.Hash()))
+	return n, nil
+}
+
+// Instrument re-points the node's metrics at the given observer so several
+// nodes (and the cloud) report through one registry. Call before Serve.
+func (n *Node) Instrument(o *obs.Observer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.obsv = o
+	n.metrics = newNodeMetrics(o, n.cfg.Edge)
+	n.metrics.latestRound.Set(float64(n.eng.Latest()))
+	n.metrics.pendingGauge.Set(float64(len(n.pending)))
+	n.metrics.stateHash.Set(float64(n.fold.Hash()))
+}
+
+// Leader reports whether this node escalates the neighborhood's digests.
+func (n *Node) Leader() bool { return n.leader }
+
+// Latest returns the highest completed local round (-1 before the first).
+func (n *Node) Latest() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.eng.Latest()
+}
+
+// StateHash returns the CRC-32C witness over the node's local fold state.
+func (n *Node) StateHash() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fold.Hash()
+}
+
+// X returns the local fold's current sharing ratio for this node's region —
+// the policy the edge serves its vehicles, regardless of cloud connectivity.
+func (n *Node) X() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fold.X(n.cfg.Edge)
+}
+
+// CloudRatio returns the cloud's last published view of this region's ratio
+// and whether any digest reply has been adopted yet. Observability only:
+// the local fold's X drives policy.
+func (n *Node) CloudRatio() (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cloudX, n.cloudSeen
+}
+
+// Pending returns how many completed rounds await cloud acknowledgment
+// (always 0 on non-leader nodes).
+func (n *Node) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+func (n *Node) logf(format string, args ...interface{}) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts peer connections on the node's gossip listener until the
+// listener is torn down or the node closes. Run in a goroutine.
+func (n *Node) Serve(l transport.Listener) {
+	transport.AcceptLoop(l, n.closed, func(conn transport.Conn) {
+		n.mu.Lock()
+		select {
+		case <-n.closed:
+			n.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		n.conns[conn] = struct{}{}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go func() {
+			defer n.wg.Done()
+			n.handleConn(conn)
+			n.mu.Lock()
+			delete(n.conns, conn)
+			n.mu.Unlock()
+		}()
+	})
+}
+
+func (n *Node) handleConn(conn transport.Conn) {
+	sess := session.Wrap(conn)
+	defer sess.Close()
+	_ = sess.Serve(map[transport.Kind]session.Handler{
+		transport.KindCensus: func(m transport.Message) error {
+			var census transport.Census
+			if err := transport.Decode(m, transport.KindCensus, &census); err != nil {
+				return sess.Ack(err)
+			}
+			return sess.Ack(n.SubmitPeer(census))
+		},
+	}, func(m transport.Message) error {
+		return sess.Ack(fmt.Errorf("gossip: unexpected %s frame on peer link", m.Kind))
+	})
+}
+
+// SubmitPeer folds one peer's census into the pending local round. Unlike
+// the cloud's Submit it never blocks: the peer only needs receipt, not the
+// round's outcome — each member folds the round itself once its own barrier
+// fills.
+func (n *Node) SubmitPeer(census transport.Census) error {
+	if !n.isMember(census.Edge) {
+		return fmt.Errorf("gossip: census from edge %d outside neighborhood %v", census.Edge, n.members)
+	}
+	if len(census.Counts) != n.k {
+		return fmt.Errorf("gossip: census from edge %d has %d counts, lattice has %d decisions",
+			census.Edge, len(census.Counts), n.k)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics.peerCensuses.Inc()
+	if census.Round <= n.eng.Latest() {
+		// The local round already completed (degraded, or this is a re-send
+		// after a redial). The fold moved on; receipt is all the peer needs.
+		n.metrics.late.Inc()
+		return nil
+	}
+	rb, ok := n.eng.Barrier(census.Round)
+	if !ok {
+		span := n.obsv.Span("gossip_round", obs.A("round", census.Round), obs.A("edge", n.cfg.Edge))
+		rb = n.eng.Open(census.Round, span, n.cfg.Deadline, n.expireRound)
+	}
+	if rb.Add(census.Edge, census.Counts) {
+		n.metrics.duplicates.Inc()
+	}
+	if rb.Size() == len(n.members) {
+		n.completeLocalLocked(census.Round, rb, false)
+	}
+	return nil
+}
+
+func (n *Node) isMember(edge int) bool {
+	for _, m := range n.members {
+		if m == edge {
+			return true
+		}
+	}
+	return false
+}
+
+// expireRound completes a still-pending local round in degraded mode when
+// its deadline fires (a dead or partitioned member).
+func (n *Node) expireRound(round int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rb, ok := n.eng.Barrier(round)
+	if !ok {
+		return
+	}
+	select {
+	case <-rb.Done:
+		return
+	default:
+	}
+	n.completeLocalLocked(round, rb, true)
+}
+
+// LocalRound runs this node's part of one local consensus round: it adds its
+// own census to the round barrier, broadcasts the census to every peer, and
+// blocks until the barrier fills (or its deadline degrades it), returning
+// the region's next sharing ratio from the local fold. A census for an
+// already-completed round returns the current ratio immediately.
+func (n *Node) LocalRound(round int, counts []int) (float64, error) {
+	if len(counts) != n.k {
+		return 0, fmt.Errorf("gossip: edge %d census has %d counts, lattice has %d decisions",
+			n.cfg.Edge, len(counts), n.k)
+	}
+	n.mu.Lock()
+	if round <= n.eng.Latest() {
+		// Completed while this node was down or behind; serve the current
+		// policy so the caller catches up to Latest()+1.
+		x := n.fold.X(n.cfg.Edge)
+		n.mu.Unlock()
+		return x, nil
+	}
+	rb, ok := n.eng.Barrier(round)
+	if !ok {
+		span := n.obsv.Span("gossip_round", obs.A("round", round), obs.A("edge", n.cfg.Edge))
+		rb = n.eng.Open(round, span, n.cfg.Deadline, n.expireRound)
+	}
+	if rb.Add(n.cfg.Edge, counts) {
+		n.metrics.duplicates.Inc()
+	}
+	if rb.Size() == len(n.members) {
+		n.completeLocalLocked(round, rb, false)
+	}
+	n.mu.Unlock()
+
+	// Broadcast outside the lock: peer barriers fill from these sends the
+	// way ours fills from theirs. Sends run concurrently per peer; each
+	// link serializes its own rounds, so per-peer order is preserved.
+	var sendWG sync.WaitGroup
+	for _, pl := range n.peers {
+		sendWG.Add(1)
+		go func(pl *peerLink) {
+			defer sendWG.Done()
+			n.metrics.peerSends.Inc()
+			if err := pl.send(n.cfg.Edge, round, counts, n.cfg.ReplyTimeout); err != nil {
+				n.metrics.sendFailures.Inc()
+				n.logf("gossip: edge %d: census to peer %d round %d: %v", n.cfg.Edge, pl.member, round, err)
+			}
+		}(pl)
+	}
+	sendWG.Wait()
+
+	select {
+	case <-rb.Done:
+		if rb.Err != nil {
+			return 0, rb.Err
+		}
+	case <-n.closed:
+		return 0, ErrClosed
+	}
+
+	n.mu.Lock()
+	x := n.fold.X(n.cfg.Edge)
+	boundary := n.leader && (round+1)%n.cfg.EscalateEvery == 0 && len(n.pending) > 0
+	n.mu.Unlock()
+	if boundary {
+		n.escalate()
+	}
+	return x, nil
+}
+
+// completeLocalLocked folds the round, journals it, and releases its
+// waiters. The journal append fsyncs before Done closes, so a ratio served
+// to a vehicle is always recoverable — the same write discipline as the
+// cloud coordinator. Called with n.mu held.
+func (n *Node) completeLocalLocked(round int, rb *cloud.Barrier, degraded bool) {
+	rb.Err = n.fold.Apply(rb.Censuses)
+	rec := durable.RoundRecord{Round: round, Degraded: degraded, Censuses: rb.Censuses}
+	n.persistRoundLocked(rec)
+	if n.leader {
+		n.pending = append(n.pending, rec)
+	} else {
+		n.escalated = round + 1
+	}
+	if round > n.eng.Latest() {
+		n.eng.SetLatest(round)
+	}
+	abandoned := n.eng.Complete(round, rb, degraded)
+	n.metrics.localRounds.Inc()
+	n.metrics.latestRound.Set(float64(n.eng.Latest()))
+	n.metrics.pendingGauge.Set(float64(len(n.pending)))
+	n.metrics.stateHash.Set(float64(n.fold.Hash()))
+	if degraded {
+		n.metrics.degraded.Inc()
+		n.logf("gossip: edge %d: round %d completed degraded with %d/%d members",
+			n.cfg.Edge, round, rb.Size(), len(n.members))
+	}
+	rb.Span.End(obs.A("degraded", degraded), obs.A("members", rb.Size()), obs.A("of", len(n.members)))
+	for _, a := range abandoned {
+		a.Barrier.Span.End(obs.A("abandoned", true), obs.A("superseded_by", round))
+	}
+}
+
+// Flush escalates every pending round immediately, regardless of the K
+// boundary — the graceful shutdown path, so the control plane holds the
+// complete history before the node exits. No-op on non-leader nodes and
+// when nothing is pending.
+func (n *Node) Flush() error {
+	n.mu.Lock()
+	todo := len(n.pending) > 0
+	n.mu.Unlock()
+	if !n.leader || !todo {
+		return nil
+	}
+	return n.escalate()
+}
+
+// escalate sends one Digest carrying every pending round to the cloud and,
+// on acknowledgment, advances the escalation watermark and compacts the
+// journal. A fresh connection is dialed per escalation: a partitioned cloud
+// fails the dial fast, the backlog is kept, and the next K boundary (or
+// Flush) retries. Runs on the caller's goroutine, never under n.mu.
+func (n *Node) escalate() error {
+	if n.cfg.CloudDial == nil {
+		return fmt.Errorf("gossip: edge %d: no cloud dialer", n.cfg.Edge)
+	}
+	n.mu.Lock()
+	if len(n.pending) == 0 {
+		n.mu.Unlock()
+		return nil
+	}
+	d := transport.Digest{
+		Neighborhood: n.cfg.Neighborhood,
+		Of:           n.cfg.Of,
+		Members:      append([]int(nil), n.members...),
+		Rounds:       make([]transport.DigestRound, 0, len(n.pending)),
+	}
+	for _, rec := range n.pending {
+		dr := transport.DigestRound{Round: rec.Round, Degraded: rec.Degraded}
+		for _, m := range n.members {
+			if counts, ok := rec.Censuses[m]; ok {
+				dr.Censuses = append(dr.Censuses, transport.Census{Edge: m, Round: rec.Round, Counts: counts})
+			}
+		}
+		d.Rounds = append(d.Rounds, dr)
+	}
+	last := d.Rounds[len(d.Rounds)-1].Round
+	n.mu.Unlock()
+
+	conn, err := n.cfg.CloudDial()
+	if err != nil {
+		n.metrics.escFailures.Inc()
+		n.logf("gossip: edge %d: dialing cloud for digest through round %d: %v", n.cfg.Edge, last, err)
+		return err
+	}
+	reply, err := session.EscalateDigest(conn, d, n.cfg.ReplyTimeout)
+	conn.Close()
+	if err != nil {
+		n.metrics.escFailures.Inc()
+		n.logf("gossip: edge %d: escalating digest through round %d: %v", n.cfg.Edge, last, err)
+		return err
+	}
+
+	n.mu.Lock()
+	for i, e := range reply.Edges {
+		if e == n.cfg.Edge && i < len(reply.X) {
+			n.cloudX = reply.X[i]
+			n.cloudSeen = true
+			n.metrics.cloudUpdates.Inc()
+		}
+	}
+	// Drop exactly the rounds this digest carried; rounds completed while
+	// the escalation was in flight stay pending for the next boundary.
+	keep := n.pending[:0]
+	for _, rec := range n.pending {
+		if rec.Round > last {
+			keep = append(keep, rec)
+		}
+	}
+	n.pending = keep
+	n.escalated = last + 1
+	n.metrics.escalations.Inc()
+	n.metrics.pendingGauge.Set(float64(len(n.pending)))
+	if n.store != nil {
+		if err := n.checkpointLocked(); err != nil {
+			n.metrics.journalErrs.Inc()
+			n.logf("gossip: edge %d: compacting after escalation through round %d: %v", n.cfg.Edge, last, err)
+		}
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// Close shuts the node down: pending barriers fail, peer links and inbound
+// connections close. It does not Flush; callers wanting the backlog on the
+// cloud call Flush first.
+func (n *Node) Close() {
+	n.once.Do(func() {
+		close(n.closed)
+		n.mu.Lock()
+		for _, a := range n.eng.FailAll(ErrClosed) {
+			a.Barrier.Span.End(obs.A("closed", true))
+		}
+		for conn := range n.conns {
+			conn.Close()
+		}
+		n.conns = make(map[transport.Conn]struct{})
+		for _, pl := range n.peers {
+			pl.close()
+		}
+		if n.store != nil {
+			_ = n.store.Close()
+			n.store = nil
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+// peerLink maintains one lazily-dialed connection to a neighborhood peer,
+// re-dialing and re-sending across connection failures (the CloudLink
+// discipline, without the ratio reply).
+type peerLink struct {
+	member int
+	dialer *transport.Dialer
+
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
+func (p *peerLink) send(edge, round int, counts []int, timeout time.Duration) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if p.conn == nil {
+			conn, err := p.dialer.DialRetry()
+			if err != nil {
+				return err // the dialer already retried with backoff
+			}
+			p.conn = conn
+		}
+		err := session.GossipCensus(p.conn, edge, round, counts, timeout)
+		if err == nil {
+			return nil
+		}
+		p.conn.Close()
+		p.conn = nil
+		if !transport.IsConnError(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("gossip: census to peer %d failed after 3 attempts: %w", p.member, lastErr)
+}
+
+func (p *peerLink) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}

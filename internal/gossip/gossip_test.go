@@ -1,0 +1,460 @@
+package gossip
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/game"
+	"repro/internal/lattice"
+	"repro/internal/policy"
+	"repro/internal/transport"
+)
+
+// meshGraph is an m-region test graph with uniform coupling.
+type meshGraph struct{ m int }
+
+func (g meshGraph) M() int { return g.m }
+func (g meshGraph) Gamma(i, j int) float64 {
+	if i == j {
+		return 0.8
+	}
+	return 0.2 / float64(g.m-1)
+}
+func (g meshGraph) Neighbors(i int) []int {
+	var ns []int
+	for j := 0; j < g.m; j++ {
+		if j != i {
+			ns = append(ns, j)
+		}
+	}
+	return ns
+}
+
+// testFold builds one independent fold over an m-region uniform state —
+// every node (and the cloud's server fixture) gets its own so the test
+// mirrors the real deployment, where bit-identity must emerge from the
+// census stream alone.
+func testFold(t *testing.T, m int) *cloud.Fold {
+	t.Helper()
+	model, err := game.NewModel(lattice.PaperPayoffs(), meshGraph{m: m}, uniformN(m, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := make([]float64, 8)
+	target[0] = 0.7
+	field, err := policy.NewUniformField(m, target, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for k := 1; k < 8; k++ {
+			field.P[i][k].Lo, field.P[i][k].Hi = 0, 1
+		}
+	}
+	fds, err := policy.NewFDS(model, field, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold, err := cloud.NewFold(fds, game.NewUniformState(m, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fold
+}
+
+func uniformN(m int, v float64) []float64 {
+	ns := make([]float64, m)
+	for i := range ns {
+		ns[i] = v
+	}
+	return ns
+}
+
+func testCloud(t *testing.T, m int) *cloud.Server {
+	t.Helper()
+	model, err := game.NewModel(lattice.PaperPayoffs(), meshGraph{m: m}, uniformN(m, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := make([]float64, 8)
+	target[0] = 0.7
+	field, err := policy.NewUniformField(m, target, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for k := 1; k < 8; k++ {
+			field.P[i][k].Lo, field.P[i][k].Hi = 0, 1
+		}
+	}
+	fds, err := policy.NewFDS(model, field, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cloud.NewServer(fds, game.NewUniformState(m, 8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// counts returns a deterministic census for (edge, round).
+func counts(edge, round int) []int {
+	c := make([]int, 8)
+	for k := range c {
+		c[k] = 1 + (edge+round+k)%5
+	}
+	return c
+}
+
+// hood spins up one neighborhood of gossip nodes over an in-process network
+// with a live cloud, returning the nodes and a teardown func. cloudGate,
+// when non-nil, is consulted per cloud dial (false = partitioned).
+func hood(t *testing.T, m, escalateEvery int, cloudGate *atomic.Bool) ([]*Node, *cloud.Server, func()) {
+	t.Helper()
+	netw := transport.NewInprocNetwork()
+	srv := testCloud(t, m)
+	cl, err := netw.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(cl)
+
+	members := make([]int, m)
+	for i := range members {
+		members[i] = i
+	}
+	nodes := make([]*Node, m)
+	var listeners []transport.Listener
+	for i := 0; i < m; i++ {
+		l, err := netw.Listen(fmt.Sprintf("gossip-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, l)
+		node, err := NewNode(Config{
+			Edge:          i,
+			Members:       members,
+			Neighborhood:  0,
+			Of:            1,
+			EscalateEvery: escalateEvery,
+			Deadline:      2 * time.Second,
+			ReplyTimeout:  5 * time.Second,
+			Fold:          testFold(t, m),
+			PeerDial: func(member int) (transport.Conn, error) {
+				return netw.Dial(fmt.Sprintf("gossip-%d", member))
+			},
+			CloudDial: func() (transport.Conn, error) {
+				if cloudGate != nil && !cloudGate.Load() {
+					return nil, fmt.Errorf("cloud partitioned away")
+				}
+				return netw.Dial("cloud")
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		go node.Serve(l)
+	}
+	return nodes, srv, func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		for _, l := range listeners {
+			l.Close()
+		}
+		srv.Close()
+		cl.Close()
+	}
+}
+
+// driveRound runs one lockstep round across all live nodes.
+func driveRound(t *testing.T, nodes []*Node, round int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(nodes))
+	for i, n := range nodes {
+		if n == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			_, errs[i] = n.LocalRound(round, counts(i, round))
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("round %d edge %d: %v", round, i, err)
+		}
+	}
+}
+
+func TestNeighborhoodsCoverAllRegions(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{{1, 1}, {4, 2}, {9, 3}, {5, 8}} {
+		hoods, err := Neighborhoods(tc.m, tc.n)
+		if err != nil {
+			t.Fatalf("Neighborhoods(%d,%d): %v", tc.m, tc.n, err)
+		}
+		seen := make(map[int]bool)
+		for h, members := range hoods {
+			if len(members) == 0 {
+				t.Errorf("Neighborhoods(%d,%d): hood %d empty", tc.m, tc.n, h)
+			}
+			for _, r := range members {
+				if seen[r] {
+					t.Errorf("Neighborhoods(%d,%d): region %d assigned twice", tc.m, tc.n, r)
+				}
+				seen[r] = true
+			}
+		}
+		if len(seen) != tc.m {
+			t.Errorf("Neighborhoods(%d,%d): covered %d regions, want %d", tc.m, tc.n, len(seen), tc.m)
+		}
+		again, err := Neighborhoods(tc.m, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := range hoods {
+			if fmt.Sprint(hoods[h]) != fmt.Sprint(again[h]) {
+				t.Errorf("Neighborhoods(%d,%d) not deterministic", tc.m, tc.n)
+			}
+		}
+	}
+}
+
+// TestLocalRoundsConvergeAndEscalate is the happy path: every node folds the
+// same rounds to bit-identical states, and the leader's digests drive the
+// cloud to the same state.
+func TestLocalRoundsConvergeAndEscalate(t *testing.T) {
+	nodes, srv, teardown := hood(t, 3, 2, nil)
+	defer teardown()
+
+	const rounds = 6
+	for r := 0; r < rounds; r++ {
+		driveRound(t, nodes, r)
+	}
+	for i, n := range nodes {
+		if got := n.Latest(); got != rounds-1 {
+			t.Errorf("edge %d latest = %d, want %d", i, got, rounds-1)
+		}
+		if n.StateHash() != nodes[0].StateHash() {
+			t.Errorf("edge %d state hash %08x != edge 0 %08x", i, n.StateHash(), nodes[0].StateHash())
+		}
+	}
+	if err := nodes[0].Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := srv.Latest(); got != rounds-1 {
+		t.Errorf("cloud latest = %d, want %d", got, rounds-1)
+	}
+	if srv.StateHash() != nodes[0].StateHash() {
+		t.Errorf("cloud state hash %08x != local %08x", srv.StateHash(), nodes[0].StateHash())
+	}
+	if x, ok := nodes[0].CloudRatio(); !ok || x <= 0 {
+		t.Errorf("leader adopted no cloud ratio view (x=%v ok=%v)", x, ok)
+	}
+	if nodes[1].Leader() || !nodes[0].Leader() {
+		t.Error("leader must be the smallest member id")
+	}
+}
+
+// TestPartitionHealBitIdentical proves the determinism claim at package
+// level: a run whose cloud is unreachable for the middle half of its rounds
+// reconciles, on heal, to the exact control-plane hash of an always-
+// connected run.
+func TestPartitionHealBitIdentical(t *testing.T) {
+	run := func(partition bool) (uint32, uint32) {
+		var gate atomic.Bool
+		gate.Store(true)
+		nodes, srv, teardown := hood(t, 3, 2, &gate)
+		defer teardown()
+		const rounds = 8
+		for r := 0; r < rounds; r++ {
+			if partition {
+				gate.Store(!(r >= 2 && r < 6))
+			}
+			driveRound(t, nodes, r)
+		}
+		gate.Store(true)
+		if err := nodes[0].Flush(); err != nil {
+			t.Fatalf("final flush: %v", err)
+		}
+		return srv.StateHash(), nodes[0].StateHash()
+	}
+	cloudA, localA := run(false)
+	cloudB, localB := run(true)
+	if cloudA != cloudB {
+		t.Errorf("partitioned cloud hash %08x != connected %08x", cloudB, cloudA)
+	}
+	if localA != localB {
+		t.Errorf("partitioned local hash %08x != connected %08x", localB, localA)
+	}
+	if cloudA != localA {
+		t.Errorf("cloud hash %08x != local hash %08x", cloudA, localA)
+	}
+}
+
+// TestPartitionKeepsLocalRoundsRunning checks the edge-autonomy claim: with
+// the cloud gone, local rounds (and their policy output) keep advancing,
+// and escalation failures are what accumulate instead.
+func TestPartitionKeepsLocalRoundsRunning(t *testing.T) {
+	var gate atomic.Bool // starts false: cloud partitioned from round 0
+	nodes, srv, teardown := hood(t, 2, 1, &gate)
+	defer teardown()
+	for r := 0; r < 4; r++ {
+		driveRound(t, nodes, r)
+	}
+	if got := nodes[0].Latest(); got != 3 {
+		t.Errorf("local rounds stalled at %d during partition, want 3", got)
+	}
+	if got := srv.Latest(); got != -1 {
+		t.Errorf("cloud advanced to %d during partition, want -1", got)
+	}
+	if nodes[0].Pending() != 4 {
+		t.Errorf("leader pending = %d, want 4", nodes[0].Pending())
+	}
+	gate.Store(true)
+	if err := nodes[0].Flush(); err != nil {
+		t.Fatalf("Flush after heal: %v", err)
+	}
+	if got := srv.Latest(); got != 3 {
+		t.Errorf("cloud latest after heal = %d, want 3", got)
+	}
+	if nodes[0].Pending() != 0 {
+		t.Errorf("leader pending after heal = %d, want 0", nodes[0].Pending())
+	}
+}
+
+// TestDegradedLocalRounds checks that a dead member degrades rounds via the
+// deadline instead of stalling the neighborhood.
+func TestDegradedLocalRounds(t *testing.T) {
+	netw := transport.NewInprocNetwork()
+	members := []int{0, 1, 2}
+	var nodes []*Node
+	// Member 2 never comes up: no listener, no rounds.
+	for i := 0; i < 2; i++ {
+		l, err := netw.Listen(fmt.Sprintf("gossip-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		node, err := NewNode(Config{
+			Edge: i, Members: members, Neighborhood: 0, Of: 1,
+			EscalateEvery: 100, // never escalate in this test
+			Deadline:      400 * time.Millisecond,
+			ReplyTimeout:  time.Second,
+			Fold:          testFold(t, 3),
+			PeerDial: func(member int) (transport.Conn, error) {
+				return netw.Dial(fmt.Sprintf("gossip-%d", member))
+			},
+			CloudDial: func() (transport.Conn, error) { return nil, fmt.Errorf("no cloud") },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		nodes = append(nodes, node)
+		go node.Serve(l)
+	}
+	driveRound(t, nodes, 0)
+	driveRound(t, nodes, 1)
+	if nodes[0].StateHash() != nodes[1].StateHash() {
+		t.Errorf("degraded folds diverged: %08x vs %08x", nodes[0].StateHash(), nodes[1].StateHash())
+	}
+	if got := nodes[0].Latest(); got != 1 {
+		t.Errorf("latest = %d, want 1", got)
+	}
+}
+
+// TestRecoveryRebuildsFoldAndBacklog kills the leader after some rounds and
+// reopens its journal: the fold hash must match a survivor bit-for-bit and
+// the unacked backlog must re-escalate on Flush.
+func TestRecoveryRebuildsFoldAndBacklog(t *testing.T) {
+	var gate atomic.Bool // cloud partitioned: backlog accumulates
+	netw := transport.NewInprocNetwork()
+	srv := testCloud(t, 2)
+	defer srv.Close()
+	cl, err := netw.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	go srv.Serve(cl)
+
+	members := []int{0, 1}
+	dirs := []string{t.TempDir(), t.TempDir()}
+	mk := func(i int) (*Node, transport.Listener) {
+		l, err := netw.Listen(fmt.Sprintf("gossip-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(Config{
+			Edge: i, Members: members, Neighborhood: 0, Of: 1,
+			EscalateEvery: 3,
+			Deadline:      2 * time.Second,
+			ReplyTimeout:  2 * time.Second,
+			Fold:          testFold(t, 2),
+			PeerDial: func(member int) (transport.Conn, error) {
+				return netw.Dial(fmt.Sprintf("gossip-%d", member))
+			},
+			CloudDial: func() (transport.Conn, error) {
+				if !gate.Load() {
+					return nil, fmt.Errorf("cloud partitioned away")
+				}
+				return netw.Dial("cloud")
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Open(dirs[i]); err != nil {
+			t.Fatal(err)
+		}
+		go node.Serve(l)
+		return node, l
+	}
+	n0, l0 := mk(0)
+	n1, l1 := mk(1)
+	defer n1.Close()
+	defer l1.Close()
+	for r := 0; r < 5; r++ {
+		driveRound(t, []*Node{n0, n1}, r)
+	}
+	wantHash := n1.StateHash()
+	if n0.Pending() != 5 {
+		t.Fatalf("leader pending = %d, want 5", n0.Pending())
+	}
+
+	// Kill -9: Close without Flush, reopen from the journal.
+	n0.Close()
+	l0.Close()
+	n0, l0 = mk(0)
+	defer n0.Close()
+	defer l0.Close()
+	if got := n0.StateHash(); got != wantHash {
+		t.Fatalf("recovered hash %08x != survivor %08x", got, wantHash)
+	}
+	if got := n0.Latest(); got != 4 {
+		t.Fatalf("recovered latest = %d, want 4", got)
+	}
+	if got := n0.Pending(); got != 5 {
+		t.Fatalf("recovered pending = %d, want 5", got)
+	}
+	gate.Store(true)
+	if err := n0.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := srv.Latest(); got != 4 {
+		t.Errorf("cloud latest = %d, want 4", got)
+	}
+	if srv.StateHash() != wantHash {
+		t.Errorf("cloud hash %08x != local %08x", srv.StateHash(), wantHash)
+	}
+}

@@ -1,0 +1,80 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/shard"
+)
+
+// Neighborhoods partitions regions 0..m-1 into n gossip neighborhoods using
+// the same rendezvous ring the shard tier uses for region assignment, so
+// neighborhood membership is a pure function of (m, n): every node — and the
+// cloud handing out membership through the lease layer — computes the same
+// table with no coordination. The returned slice has one sorted member list
+// per neighborhood; every neighborhood is non-empty (n is clamped to m).
+func Neighborhoods(m, n int) ([][]int, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("gossip: need at least one region, got %d", m)
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if n > m {
+		n = m
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("hood-%d", i)
+	}
+	ring, err := shard.NewRing(names)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, n)
+	for i, name := range names {
+		index[name] = i
+	}
+	hoods := make([][]int, n)
+	for region := 0; region < m; region++ {
+		h := index[ring.Owner(region)]
+		hoods[h] = append(hoods[h], region)
+	}
+	// Rendezvous hashing can leave a neighborhood empty for small m; fold
+	// empties away by stealing from the largest so every returned
+	// neighborhood can run rounds.
+	for h := range hoods {
+		if len(hoods[h]) > 0 {
+			continue
+		}
+		big := 0
+		for j := range hoods {
+			if len(hoods[j]) > len(hoods[big]) {
+				big = j
+			}
+		}
+		if len(hoods[big]) <= 1 {
+			return nil, fmt.Errorf("gossip: cannot fill %d neighborhoods from %d regions", n, m)
+		}
+		last := hoods[big][len(hoods[big])-1]
+		hoods[big] = hoods[big][:len(hoods[big])-1]
+		hoods[h] = append(hoods[h], last)
+	}
+	for h := range hoods {
+		sort.Ints(hoods[h])
+	}
+	return hoods, nil
+}
+
+// HoodOf returns the neighborhood index owning region in the table
+// Neighborhoods returned, or -1 when the region is in none.
+func HoodOf(hoods [][]int, region int) int {
+	for h, members := range hoods {
+		for _, m := range members {
+			if m == region {
+				return h
+			}
+		}
+	}
+	return -1
+}

@@ -3,12 +3,15 @@ package scenario
 import (
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/edge"
 	"repro/internal/game"
+	"repro/internal/gossip"
 	"repro/internal/lattice"
 	"repro/internal/policy"
 	"repro/internal/sensor"
@@ -247,6 +250,114 @@ func (c *NodeConfig) NewCloud() (*cloud.Server, string, error) {
 		}
 	}
 	return srv, what, nil
+}
+
+// ParseGossipPeers parses an edge's "region=addr" gossip peer list
+// ("1=127.0.0.1:7301,3=127.0.0.1:7303") into a map. The list names the
+// *other* members of the edge's neighborhood; the edge itself is implied.
+func ParseGossipPeers(s string) (map[int]string, error) {
+	peers := map[int]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idStr, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("scenario: gossip peer %q: want region=addr", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: gossip peer %q: bad region: %v", part, err)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("scenario: gossip peer %d listed twice", id)
+		}
+		if strings.TrimSpace(addr) == "" {
+			return nil, fmt.Errorf("scenario: gossip peer %d has an empty address", id)
+		}
+		peers[id] = strings.TrimSpace(addr)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("scenario: gossip peer list %q names no peers", s)
+	}
+	return peers, nil
+}
+
+// NewGossipFold builds an edge's local fold core from the same model and
+// desired field the cloud resolves, so both tiers fold one policy. The FDS
+// is deliberately left uninstrumented: the gossip node's own gossip_*
+// metrics cover the data plane, and per-edge FDS instruments would collide
+// with the control plane's.
+func (c *NodeConfig) NewGossipFold() (*cloud.Fold, string, error) {
+	model, err := c.BuildModel()
+	if err != nil {
+		return nil, "", err
+	}
+	field, what, err := c.ResolveField(model)
+	if err != nil {
+		return nil, "", err
+	}
+	fds, err := policy.NewFDS(model, field, c.Lambda)
+	if err != nil {
+		return nil, "", err
+	}
+	fold, err := cloud.NewFold(fds, game.NewUniformState(model.M(), model.K(), c.X0))
+	if err != nil {
+		return nil, "", err
+	}
+	return fold, what, nil
+}
+
+// NewGossipNode wires one edge's gossip consensus participant: the local
+// fold over the cloud's model and desired field, the neighborhood
+// membership, and the peer/cloud dialers. members must include the edge
+// itself. With a StateDir the node's journal is opened before returning, so
+// a restarted edge resumes its fold and escalation backlog. The returned
+// description names the field source.
+func (c *NodeConfig) NewGossipNode(members []int, peerDial func(int) (transport.Conn, error), cloudDial func() (transport.Conn, error)) (*gossip.Node, string, error) {
+	fold, what, err := c.NewGossipFold()
+	if err != nil {
+		return nil, "", err
+	}
+	node, err := gossip.NewNode(gossip.Config{
+		Edge:          c.ID,
+		Members:       members,
+		Neighborhood:  c.GossipHood,
+		Of:            c.GossipOf,
+		EscalateEvery: c.GossipEvery,
+		Deadline:      c.GossipDeadline,
+		ReplyTimeout:  30 * time.Second,
+		Fold:          fold,
+		PeerDial:      peerDial,
+		CloudDial:     cloudDial,
+		Logf:          c.Logf,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if c.Obs != nil {
+		node.Instrument(c.Obs)
+	}
+	if c.StateDir != "" {
+		if err := node.Open(c.StateDir); err != nil {
+			node.Close()
+			return nil, "", err
+		}
+	}
+	return node, what, nil
+}
+
+// GossipMembers resolves an edge's neighborhood member list from its parsed
+// peer map (the other members) plus the edge itself, sorted.
+func GossipMembers(edgeID int, peers map[int]string) []int {
+	members := make([]int, 0, len(peers)+1)
+	members = append(members, edgeID)
+	for id := range peers {
+		members = append(members, id)
+	}
+	sort.Ints(members)
+	return members
 }
 
 // ShardTable builds the rendezvous ring over shards members and its

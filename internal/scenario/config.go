@@ -89,6 +89,18 @@ type NodeConfig struct {
 	Vehicles  int // registrations to wait for before starting rounds
 	LeaseTTL  time.Duration
 
+	// Edge gossip data plane (internal/gossip). A non-empty GossipPeers
+	// switches the edge from direct census reports to local gossip rounds;
+	// the cloud knobs above (X0, TargetX, Eps, Lambda, Beta, Graph, Field)
+	// then parameterize the edge's local fold, which must resolve the same
+	// policy the cloud runs.
+	GossipPeers    string        // comma-separated "region=addr" peer list
+	GossipListen   string        // gossip listener address
+	GossipHood     int           // this neighborhood's index, 0 <= GossipHood < GossipOf
+	GossipOf       int           // total neighborhoods reporting to the cloud
+	GossipEvery    int           // leader escalates a digest every K-th local round
+	GossipDeadline time.Duration // local round barrier deadline (0 = wait forever)
+
 	// Vehicles.
 	EdgeAddr string
 	N        int
@@ -116,6 +128,11 @@ var allRoles = []Role{RoleCloud, RoleAggregator, RoleShard, RoleEdge, RoleVehicl
 
 // tierRoles are the two roles that run the global fold.
 var tierRoles = []Role{RoleCloud, RoleAggregator}
+
+// foldRoles additionally include gossip edges, which resolve the same
+// model/field/FDS locally so the edge data plane folds the policy the cloud
+// control plane reconciles.
+var foldRoles = []Role{RoleCloud, RoleAggregator, RoleEdge}
 
 // Listen sets the listen address (cloud, aggregator, shard, edge).
 func Listen(addr string) Option {
@@ -168,61 +185,63 @@ func Regions(m int) Option {
 		RoleCloud, RoleAggregator, RoleShard, RoleEdge)
 }
 
-// X0 sets the initial sharing ratio (cloud, aggregator).
+// X0 sets the initial sharing ratio (cloud, aggregator, gossip edges).
 func X0(x float64) Option {
-	return mkOpt("x0", func(c *NodeConfig) { c.X0 = x }, tierRoles...)
+	return mkOpt("x0", func(c *NodeConfig) { c.X0 = x }, foldRoles...)
 }
 
 // TargetX sets the desired sharing regime the probe field is derived from
-// (cloud, aggregator).
+// (cloud, aggregator, gossip edges).
 func TargetX(x float64) Option {
-	return mkOpt("target-x", func(c *NodeConfig) { c.TargetX = x }, tierRoles...)
+	return mkOpt("target-x", func(c *NodeConfig) { c.TargetX = x }, foldRoles...)
 }
 
-// Eps sets the desired-field tolerance band (cloud, aggregator).
+// Eps sets the desired-field tolerance band (cloud, aggregator, gossip
+// edges).
 func Eps(e float64) Option {
-	return mkOpt("eps", func(c *NodeConfig) { c.Eps = e }, tierRoles...)
+	return mkOpt("eps", func(c *NodeConfig) { c.Eps = e }, foldRoles...)
 }
 
-// Beta sets the utility coefficient (cloud, aggregator, vehicles).
+// Beta sets the utility coefficient (cloud, aggregator, vehicles, gossip
+// edges).
 func Beta(b float64) Option {
 	return mkOpt("beta", func(c *NodeConfig) { c.Beta = b },
-		RoleCloud, RoleAggregator, RoleVehicles)
+		RoleCloud, RoleAggregator, RoleVehicles, RoleEdge)
 }
 
-// Lambda sets the FDS ratio step limit (cloud, aggregator).
+// Lambda sets the FDS ratio step limit (cloud, aggregator, gossip edges).
 func Lambda(l float64) Option {
-	return mkOpt("lambda", func(c *NodeConfig) { c.Lambda = l }, tierRoles...)
+	return mkOpt("lambda", func(c *NodeConfig) { c.Lambda = l }, foldRoles...)
 }
 
 // Tau sets the choice temperature of the mean-field probe (cloud,
-// aggregator).
+// aggregator, gossip edges).
 func Tau(t float64) Option {
-	return mkOpt("tau", func(c *NodeConfig) { c.Tau = t }, tierRoles...)
+	return mkOpt("tau", func(c *NodeConfig) { c.Tau = t }, foldRoles...)
 }
 
 // FieldPath points at a declarative desired-field JSON spec (cloud,
-// aggregator; overrides the TargetX probe).
+// aggregator, gossip edges; overrides the TargetX probe).
 func FieldPath(path string) Option {
-	return mkOpt("field", func(c *NodeConfig) { c.FieldPath = path }, tierRoles...)
+	return mkOpt("field", func(c *NodeConfig) { c.FieldPath = path }, foldRoles...)
 }
 
-// WithField installs a prebuilt desired field (cloud, aggregator;
-// programmatic callers).
+// WithField installs a prebuilt desired field (cloud, aggregator, gossip
+// edges; programmatic callers).
 func WithField(f *policy.Field) Option {
-	return mkOpt("field-value", func(c *NodeConfig) { c.Field = f }, tierRoles...)
+	return mkOpt("field-value", func(c *NodeConfig) { c.Field = f }, foldRoles...)
 }
 
-// WithModel installs a prebuilt game model (cloud, aggregator;
-// programmatic callers — overrides Graph/Beta/Regions).
+// WithModel installs a prebuilt game model (cloud, aggregator, gossip
+// edges; programmatic callers — overrides Graph/Beta/Regions).
 func WithModel(m *game.Model) Option {
-	return mkOpt("model", func(c *NodeConfig) { c.Model = m }, tierRoles...)
+	return mkOpt("model", func(c *NodeConfig) { c.Model = m }, foldRoles...)
 }
 
-// WithGraph installs the region coupling graph (cloud, aggregator; nil
-// defaults to the dense demo graph).
+// WithGraph installs the region coupling graph (cloud, aggregator, gossip
+// edges; nil defaults to the dense demo graph).
 func WithGraph(g game.Graph) Option {
-	return mkOpt("graph", func(c *NodeConfig) { c.Graph = g }, tierRoles...)
+	return mkOpt("graph", func(c *NodeConfig) { c.Graph = g }, foldRoles...)
 }
 
 // RoundDeadline bounds the cloud's round barrier (cloud, aggregator).
@@ -235,10 +254,11 @@ func FixedLag(n int) Option {
 	return mkOpt("fixed-lag", func(c *NodeConfig) { c.FixedLag = n }, tierRoles...)
 }
 
-// StateDir enables durable state (cloud, aggregator, shard).
+// StateDir enables durable state (cloud, aggregator, shard, gossip edges'
+// round journal).
 func StateDir(dir string) Option {
 	return mkOpt("state-dir", func(c *NodeConfig) { c.StateDir = dir },
-		RoleCloud, RoleAggregator, RoleShard)
+		RoleCloud, RoleAggregator, RoleShard, RoleEdge)
 }
 
 // Shards sets the shard-ring size (shard; edges need it to route their
@@ -288,6 +308,40 @@ func WaitVehicles(n int) Option {
 // LeaseTTL enables the edge's membership heartbeat (edge).
 func LeaseTTL(d time.Duration) Option {
 	return mkOpt("lease-ttl", func(c *NodeConfig) { c.LeaseTTL = d }, RoleEdge)
+}
+
+// GossipPeers switches the edge into the gossip data plane: the comma-
+// separated "region=addr" list of every other member of its neighborhood
+// (edge).
+func GossipPeers(peers string) Option {
+	return mkOpt("gossip-peers", func(c *NodeConfig) { c.GossipPeers = peers }, RoleEdge)
+}
+
+// GossipListen sets the edge's gossip listener address (edge).
+func GossipListen(addr string) Option {
+	return mkOpt("gossip-listen", func(c *NodeConfig) { c.GossipListen = addr }, RoleEdge)
+}
+
+// GossipHood sets the edge's neighborhood index (edge).
+func GossipHood(h int) Option {
+	return mkOpt("gossip-hood", func(c *NodeConfig) { c.GossipHood = h }, RoleEdge)
+}
+
+// GossipOf sets how many neighborhoods report to the cloud (edge).
+func GossipOf(n int) Option {
+	return mkOpt("gossip-of", func(c *NodeConfig) { c.GossipOf = n }, RoleEdge)
+}
+
+// GossipEvery sets K: the neighborhood leader escalates a digest to the
+// cloud after every K-th completed local round (edge).
+func GossipEvery(k int) Option {
+	return mkOpt("gossip-every", func(c *NodeConfig) { c.GossipEvery = k }, RoleEdge)
+}
+
+// GossipDeadline bounds each local gossip round barrier; a round missing
+// members past the deadline completes degraded (edge).
+func GossipDeadline(d time.Duration) Option {
+	return mkOpt("gossip-deadline", func(c *NodeConfig) { c.GossipDeadline = d }, RoleEdge)
 }
 
 // EdgeAddr points a vehicle fleet at its edge server (vehicles).
@@ -371,6 +425,9 @@ func Defaults(role Role) *NodeConfig {
 		CloudAddr:      "127.0.0.1:7000",
 		AggregatorAddr: "127.0.0.1:7000",
 		EdgeAddr:       "127.0.0.1:7100",
+		GossipListen:   "127.0.0.1:0",
+		GossipOf:       1,
+		GossipEvery:    1,
 		Rounds:         40,
 		Vehicles:       20,
 		N:              20,
@@ -412,6 +469,29 @@ func (c *NodeConfig) Validate() error {
 		}
 		if c.Vehicles < 0 {
 			return fmt.Errorf("scenario: role edge needs vehicles >= 0, got %d", c.Vehicles)
+		}
+		if c.GossipPeers != "" {
+			if _, err := ParseGossipPeers(c.GossipPeers); err != nil {
+				return err
+			}
+			if c.GossipOf < 1 {
+				return fmt.Errorf("scenario: gossip-of must be >= 1, got %d", c.GossipOf)
+			}
+			if c.GossipHood < 0 || c.GossipHood >= c.GossipOf {
+				return fmt.Errorf("scenario: gossip-hood %d outside 0..%d", c.GossipHood, c.GossipOf-1)
+			}
+			if c.GossipEvery < 1 {
+				return fmt.Errorf("scenario: gossip-every must be >= 1, got %d", c.GossipEvery)
+			}
+			if c.GossipDeadline < 0 {
+				return fmt.Errorf("scenario: gossip-deadline must be >= 0")
+			}
+			if c.Shards > 1 {
+				return fmt.Errorf("scenario: gossip edges report digests straight to the cloud; shards > 1 is not supported")
+			}
+			if c.LeaseTTL != 0 {
+				return fmt.Errorf("scenario: gossip edges do not heartbeat leases; neighborhood membership is static")
+			}
 		}
 	case RoleVehicles:
 		if c.N <= 0 {

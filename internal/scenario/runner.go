@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/edge"
+	"repro/internal/gossip"
 	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -24,6 +25,11 @@ type RunOptions struct {
 	// StateRoot is where durable runs keep checkpoints and journals
 	// (default: a fresh temp dir, removed afterward).
 	StateRoot string
+	// Obs, when non-nil, is the observer the run instruments (so a caller
+	// can serve /metrics while the scenario is in flight). The lossless
+	// twin always gets its own registry, so twin counters never pollute
+	// the run's.
+	Obs *obs.Observer
 }
 
 // Verdict is the machine-readable outcome of one scenario run — the
@@ -59,6 +65,16 @@ type Verdict struct {
 	LeaseEvictions    uint64 `json:"lease_evictions"`
 	FaultsInjected    uint64 `json:"faults_injected"`
 	FailedReports     int    `json:"failed_reports"`
+
+	// Gossip counters (zero unless topology.gossip is set). Recoveries
+	// above already includes gossip journal recoveries.
+	GossipLocalRounds        uint64 `json:"gossip_local_rounds,omitempty"`
+	GossipDegradedRounds     uint64 `json:"gossip_degraded_rounds,omitempty"`
+	GossipEscalations        uint64 `json:"gossip_escalations,omitempty"`
+	GossipEscalationFailures uint64 `json:"gossip_escalation_failures,omitempty"`
+	// GossipPartitionLocalRounds counts local rounds completed while the
+	// cloud was partitioned away — the edge-autonomy witness.
+	GossipPartitionLocalRounds uint64 `json:"gossip_rounds_during_partition,omitempty"`
 
 	Welfare      WelfareReport `json:"welfare"`
 	RoundLatency LatencyReport `json:"round_latency"`
@@ -123,7 +139,7 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 	}
 
 	started := time.Now()
-	res, err := runOnce(spec, seed, logf, opts.StateRoot)
+	res, err := runOnce(spec, seed, logf, opts.StateRoot, opts.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -145,12 +161,17 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 		ReplayedRounds:     res.counter("consensus_replayed_rounds_total"),
 		LateCensuses:       res.counter("consensus_late_censuses_total"),
 		DuplicateCensuses:  res.counter("consensus_duplicate_censuses_total"),
-		Recoveries:         res.counter("durable_recoveries_total"),
+		Recoveries:         res.counter("durable_recoveries_total") + res.counter("gossip_recoveries_total"),
 		LeaseEvictions:     res.counter("lease_evictions_total"),
 		FailedReports:      res.failedReports,
 		Welfare:            res.welfare,
 		RoundLatency:       latencyReport(res.latencies),
 	}
+	v.GossipLocalRounds = res.counter("gossip_local_rounds_total")
+	v.GossipDegradedRounds = res.counter("gossip_degraded_rounds_total")
+	v.GossipEscalations = res.counter("gossip_digest_escalations_total")
+	v.GossipEscalationFailures = res.counter("gossip_escalation_failures_total")
+	v.GossipPartitionLocalRounds = res.gossipPartRounds
 	v.FaultsInjected = res.counter("transport_fault_dropped_total") +
 		res.counter("transport_fault_duplicated_total") +
 		res.counter("transport_fault_delayed_total") +
@@ -159,7 +180,7 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 	if spec.Verdict.CompareLossless {
 		twin := spec.LosslessTwin()
 		logf("running lossless twin %q for the baseline", twin.Name)
-		base, err := runOnce(twin, seed, logf, opts.StateRoot)
+		base, err := runOnce(twin, seed, logf, opts.StateRoot, nil)
 		if err != nil {
 			return nil, fmt.Errorf("lossless twin: %w", err)
 		}
@@ -198,6 +219,10 @@ func (s *Spec) LosslessTwin() *Spec {
 	t.Verdict = VerdictSpec{}
 	t.Cloud.RoundDeadline = 0 // full barriers: the ideal trajectory
 	t.Cloud.Durable = false
+	if s.Topology.Gossip != nil {
+		g := *s.Topology.Gossip
+		t.Topology.Gossip = &g // twin keeps the gossip data plane, unaliased
+	}
 	return t
 }
 
@@ -230,6 +255,10 @@ func evaluateChecks(spec *Spec, v *Verdict) {
 		add("min_recoveries", v.Recoveries >= uint64(vs.MinRecoveries),
 			fmt.Sprintf("%d recoveries >= %d", v.Recoveries, vs.MinRecoveries))
 	}
+	if vs.MinPartitionLocalRounds > 0 {
+		add("min_partition_local_rounds", v.GossipPartitionLocalRounds >= uint64(vs.MinPartitionLocalRounds),
+			fmt.Sprintf("%d local rounds during partition >= %d", v.GossipPartitionLocalRounds, vs.MinPartitionLocalRounds))
+	}
 	v.Pass = true
 	for _, c := range v.Checks {
 		if !c.OK {
@@ -254,20 +283,33 @@ func latencyReport(lat []time.Duration) LatencyReport {
 // --- one execution ---
 
 type runResult struct {
-	hash           uint32
-	converged      bool
-	convergedRound int
-	meanX          float64
-	vehicles       int
-	welfare        WelfareReport
-	latencies      []time.Duration
-	failedReports  int
-	snapshot       []obs.Point
+	hash             uint32
+	converged        bool
+	convergedRound   int
+	meanX            float64
+	vehicles         int
+	welfare          WelfareReport
+	latencies        []time.Duration
+	failedReports    int
+	gossipPartRounds uint64
+	snapshot         []obs.Point
 }
 
 func (r *runResult) counter(name string) uint64 {
 	total := 0.0
 	for _, p := range r.snapshot {
+		if p.Name == name && p.Type == obs.TypeCounter {
+			total += p.Value
+		}
+	}
+	return uint64(total)
+}
+
+// counterNow sums a counter's live value across the registry — used by the
+// driver to bracket partition windows while the run is still in flight.
+func (r *runner) counterNow(name string) uint64 {
+	total := 0.0
+	for _, p := range r.o.Registry().Snapshot() {
 		if p.Name == name && p.Type == obs.TypeCounter {
 			total += p.Value
 		}
@@ -356,8 +398,10 @@ type edgeState struct {
 	seed     int64
 	srv      *edge.Server
 	listener transport.Listener
-	link     *edge.CloudLink
-	hbStop   chan struct{} // per-life heartbeat stop (nil when no leases)
+	link     *edge.CloudLink // nil in gossip mode
+	hbStop   chan struct{}   // per-life heartbeat stop (nil when no leases)
+	gnode    *gossip.Node    // gossip mode: the edge's consensus participant
+	gossipL  transport.Listener
 
 	down   atomic.Bool // outage: silent toward the tier
 	killed atomic.Bool
@@ -398,6 +442,13 @@ type runner struct {
 	shardFault  *transport.Fault
 	cohortFault map[string]*transport.Fault
 
+	// Gossip data plane (nil/empty unless topology.gossip is set).
+	gossipNC        *NodeConfig // template: model+field resolved once, cloned per edge
+	hoods           [][]int     // neighborhood membership by rendezvous ring
+	cloudPart       atomic.Bool // partition event in force: cloud dials fail fast
+	partMark        uint64      // gossip_local_rounds_total when the partition began
+	partLocalRounds uint64      // local rounds completed across partition windows
+
 	fleetMu     sync.Mutex
 	fleet       []*FleetVehicle
 	clientWG    sync.WaitGroup
@@ -409,12 +460,15 @@ type runner struct {
 	removeState bool
 }
 
-func runOnce(spec *Spec, seed int64, logf func(string, ...any), stateRoot string) (_ *runResult, err error) {
+func runOnce(spec *Spec, seed int64, logf func(string, ...any), stateRoot string, o *obs.Observer) (_ *runResult, err error) {
+	if o == nil {
+		o = obs.New()
+	}
 	r := &runner{
 		spec:        spec,
 		seed:        seed,
 		logf:        logf,
-		o:           obs.New(),
+		o:           o,
 		stop:        make(chan struct{}),
 		nextID:      1,
 		cohortFault: map[string]*transport.Fault{},
@@ -659,6 +713,52 @@ func (r *runner) buildEdges() error {
 	m := s.Topology.Regions
 	r.edges = make([]*edgeState, m)
 
+	if g := s.Topology.Gossip; g != nil {
+		hoods, err := gossip.Neighborhoods(m, g.Neighborhoods)
+		if err != nil {
+			return err
+		}
+		r.hoods = hoods
+		graph, err := GraphByName(s.Topology.Graph, m)
+		if err != nil {
+			return err
+		}
+		nc := Defaults(RoleEdge)
+		nc.Regions = m
+		nc.Graph = graph
+		nc.X0 = s.Cloud.X0
+		nc.TargetX = s.Cloud.TargetX
+		nc.Eps = s.Cloud.Eps
+		nc.Lambda = s.Cloud.Lambda
+		nc.Beta = s.Cloud.Beta
+		nc.Tau = DemoTau
+		if s.Cloud.Field != nil {
+			field, err := s.Cloud.Field.Compile(m)
+			if err != nil {
+				return err
+			}
+			nc.Field = field
+		}
+		// Resolve the model and field once; every edge's local fold shares
+		// them (the probe is the expensive part, and identical inputs would
+		// just recompute the identical field per edge).
+		model, err := nc.BuildModel()
+		if err != nil {
+			return err
+		}
+		field, what, err := nc.ResolveField(model)
+		if err != nil {
+			return err
+		}
+		nc.Model, nc.Field = model, field
+		nc.GossipOf = len(hoods)
+		nc.GossipEvery = g.EscalateEvery
+		nc.GossipDeadline = time.Duration(g.Deadline)
+		r.gossipNC = nc
+		r.logf("gossip data plane: %d neighborhoods over %d regions, escalate every %d rounds, steering toward %s",
+			len(hoods), m, g.EscalateEvery, what)
+	}
+
 	// Union of rsu perception masks per region.
 	percept := make([]func(*edge.Server) error, m)
 	for ci := range s.Cohorts {
@@ -734,6 +834,10 @@ func (r *runner) startEdge(es *edgeState) error {
 	es.listener = l
 	go es.srv.Serve(l)
 
+	if r.gossipNC != nil {
+		return r.startGossip(es)
+	}
+
 	es.link = &edge.CloudLink{
 		Edge: es.id,
 		Dialer: &transport.Dialer{
@@ -772,13 +876,77 @@ func (r *runner) startEdge(es *edgeState) error {
 	return nil
 }
 
+// startGossip attaches edge es to its neighborhood's gossip plane: a local
+// fold cloned from the shared template, a listener peers dial, and a node
+// that escalates digests to the cloud. Replaces the CloudLink/heartbeat
+// wiring entirely — in gossip mode the edge never reports censuses direct.
+func (r *runner) startGossip(es *edgeState) error {
+	nc := *r.gossipNC
+	nc.ID = es.id
+	nc.Seed = es.seed
+	nc.Obs = r.o
+	nc.Logf = func(format string, args ...any) { r.logf(fmt.Sprintf("gossip %d: ", es.id)+format, args...) }
+	h := gossip.HoodOf(r.hoods, es.id)
+	if h < 0 {
+		return fmt.Errorf("scenario: edge %d is in no gossip neighborhood", es.id)
+	}
+	nc.GossipHood = h
+	if r.stateDirs != "" {
+		nc.StateDir = fmt.Sprintf("%s/gossip-%d", r.stateDirs, es.id)
+	}
+	peerDial := func(member int) (transport.Conn, error) {
+		// Peer links are the neighborhood LAN: outages and faults model the
+		// edge→cloud uplink, not the local mesh.
+		return r.net.dial(fmt.Sprintf("gossip-%d", member))
+	}
+	cloudDial := func() (transport.Conn, error) {
+		if r.cloudPart.Load() {
+			return nil, fmt.Errorf("scenario: cloud partitioned away")
+		}
+		if es.down.Load() || es.killed.Load() {
+			return nil, fmt.Errorf("scenario: edge %d is offline", es.id)
+		}
+		c, err := r.net.dial("cloud")
+		if err != nil {
+			return nil, err
+		}
+		if f := r.edgeFaults[es.id]; f != nil {
+			c = f.WrapConn(c)
+		}
+		return c, nil
+	}
+	gl, err := r.net.listen(fmt.Sprintf("gossip-%d", es.id))
+	if err != nil {
+		return err
+	}
+	node, _, err := nc.NewGossipNode(r.hoods[h], peerDial, cloudDial)
+	if err != nil {
+		gl.Close()
+		return err
+	}
+	es.gnode, es.gossipL = node, gl
+	go node.Serve(gl)
+	return nil
+}
+
 func (r *runner) stopEdge(es *edgeState) {
 	es.killed.Store(true)
 	if es.hbStop != nil {
 		close(es.hbStop)
 		es.hbStop = nil
 	}
-	es.link.Close()
+	if es.link != nil {
+		es.link.Close()
+		es.link = nil
+	}
+	if es.gossipL != nil {
+		es.gossipL.Close()
+		es.gossipL = nil
+	}
+	if es.gnode != nil {
+		es.gnode.Close()
+		es.gnode = nil
+	}
 	es.listener.Close()
 	es.srv.Close()
 }
@@ -894,6 +1062,8 @@ type timeline struct {
 	edgeRestart  map[int][]int
 	shardKill    map[int][]int
 	shardRestart map[int][]int
+	partStart    map[int]bool
+	partEnd      map[int]bool
 	surges       map[int][]Event
 }
 
@@ -905,6 +1075,8 @@ func buildTimeline(events []Event) (*timeline, error) {
 		edgeRestart:  map[int][]int{},
 		shardKill:    map[int][]int{},
 		shardRestart: map[int][]int{},
+		partStart:    map[int]bool{},
+		partEnd:      map[int]bool{},
 		surges:       map[int][]Event{},
 	}
 	for _, e := range events {
@@ -933,6 +1105,11 @@ func buildTimeline(events []Event) (*timeline, error) {
 				if e.Until > 0 {
 					tl.shardRestart[e.Until] = append(tl.shardRestart[e.Until], n)
 				}
+			}
+		case "partition":
+			tl.partStart[e.Round] = true
+			if e.Until > 0 {
+				tl.partEnd[e.Until] = true
 			}
 		case "surge":
 			tl.surges[e.Round] = append(tl.surges[e.Round], e)
@@ -975,6 +1152,24 @@ func (r *runner) drive() (*runResult, error) {
 			r.logf("round %d: desired field satisfied", t)
 		}
 	}
+
+	// The run is over. Heal any partition still in force and drain every
+	// leader's escalation backlog, so the cloud's fold reflects all local
+	// rounds before its hash is read — this is the reconcile-on-heal step
+	// the partition verdicts compare against an always-connected run.
+	if r.cloudPart.Load() {
+		r.cloudPart.Store(false)
+		r.partLocalRounds += r.counterNow("gossip_local_rounds_total") - r.partMark
+		r.logf("end of run: cloud partition healed for reconciliation")
+	}
+	for _, es := range r.edges {
+		if es.gnode != nil && !es.killed.Load() {
+			if err := es.gnode.Flush(); err != nil {
+				r.logf("gossip %d: final flush: %v", es.id, err)
+			}
+		}
+	}
+	res.gossipPartRounds = r.partLocalRounds
 
 	// The run is over: read the fold before teardown. Converged means the
 	// fold satisfied the desired field at some round — the revision
@@ -1023,6 +1218,21 @@ func (r *runner) edgeRound(es *edgeState, t int) {
 		r.failedRep.Add(1)
 		return
 	}
+	if es.gnode != nil {
+		// Gossip data plane: fold the neighborhood's censuses locally; the
+		// new ratio comes from the local fold, never from the cloud, so the
+		// census stream is identical whether or not the cloud is reachable.
+		newX, err := es.gnode.LocalRound(t, counts)
+		if err != nil {
+			r.logf("gossip %d round %d: %v", es.id, t, err)
+			r.failedRep.Add(1)
+			return
+		}
+		es.mu.Lock()
+		es.x = newX
+		es.mu.Unlock()
+		return
+	}
 	newX, err := es.link.Report(t, counts)
 	if err != nil {
 		// Upstream unreachable (kill window, exhausted retries): keep x and
@@ -1038,6 +1248,16 @@ func (r *runner) edgeRound(es *edgeState, t int) {
 }
 
 func (r *runner) applyEvents(tl *timeline, t int) error {
+	if tl.partEnd[t] && r.cloudPart.Load() {
+		r.cloudPart.Store(false)
+		r.partLocalRounds += r.counterNow("gossip_local_rounds_total") - r.partMark
+		r.logf("round %d: cloud partition healed", t)
+	}
+	if tl.partStart[t] && !r.cloudPart.Load() {
+		r.cloudPart.Store(true)
+		r.partMark = r.counterNow("gossip_local_rounds_total")
+		r.logf("round %d: cloud partitioned away", t)
+	}
 	for _, region := range tl.outageEnd[t] {
 		r.edges[region].down.Store(false)
 		r.logf("round %d: region %d restored", t, region)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/gossip"
 	"repro/internal/lattice"
 	"repro/internal/policy"
 	"repro/internal/sensor"
@@ -57,6 +58,27 @@ type Topology struct {
 	// Codec serializes messages ("json" or "binary"; empty keeps the
 	// transport default).
 	Codec string `json:"codec"`
+	// Gossip switches the edges into the edge-local gossip data plane:
+	// neighborhoods of edges run consensus rounds among themselves and
+	// escalate compacted digests to the cloud, which becomes a slow control
+	// plane (incompatible with shards > 1 and lease_ttl).
+	Gossip *GossipSpec `json:"gossip"`
+}
+
+// GossipSpec parameterizes the edge-local gossip data plane.
+type GossipSpec struct {
+	// Neighborhoods partitions the regions into this many gossip
+	// neighborhoods through the shard rendezvous ring, so membership is a
+	// pure function of (regions, neighborhoods) (default 1).
+	Neighborhoods int `json:"neighborhoods"`
+	// EscalateEvery is K: each neighborhood leader escalates a digest to
+	// the cloud after every K-th completed local round (default 1).
+	EscalateEvery int `json:"escalate_every"`
+	// Deadline bounds each local round barrier: a round missing members
+	// past it completes degraded. Zero waits forever — fully deterministic,
+	// but outage/kill events then need a deadline or the neighborhood
+	// stalls.
+	Deadline Duration `json:"deadline"`
 }
 
 // CloudSpec parameterizes the aggregation tier: the FDS controller, the
@@ -181,10 +203,13 @@ type Event struct {
 	// Round the event fires on (0-based, < Rounds).
 	Round int `json:"round"`
 	// Action is "outage" (a region goes silent: no reports, no
-	// heartbeats), "kill" (tear a component down mid-run), or "surge"
-	// (extra vehicles arrive).
+	// heartbeats), "kill" (tear a component down mid-run), "surge"
+	// (extra vehicles arrive), or "partition" (gossip topologies: the
+	// cloud becomes unreachable; edges keep folding local rounds and the
+	// escalation backlog drains on heal).
 	Action string `json:"action"`
-	// Target for outage is "region:N"; for kill, "edge:N" or "shard:N".
+	// Target for outage is "region:N"; for kill, "edge:N" or "shard:N";
+	// for partition, the literal "cloud".
 	Target string `json:"target"`
 	// Until, when > Round, ends the outage / restarts the killed component
 	// at that round; zero makes it permanent.
@@ -227,6 +252,10 @@ type VerdictSpec struct {
 	MinRewinds int `json:"min_rewinds"`
 	// MinRecoveries demands at least this many durable restarts.
 	MinRecoveries int `json:"min_recoveries"`
+	// MinPartitionLocalRounds demands the gossip data plane completed at
+	// least this many local rounds while the cloud was partitioned away —
+	// the edge-autonomy witness (needs a partition event).
+	MinPartitionLocalRounds int `json:"min_partition_local_rounds"`
 }
 
 // Duration marshals as a time.ParseDuration string ("150ms", "5s").
@@ -369,6 +398,14 @@ func (s *Spec) fill() {
 			c.Beta = s.Cloud.Beta
 		}
 	}
+	if g := s.Topology.Gossip; g != nil {
+		if g.Neighborhoods == 0 {
+			g.Neighborhoods = 1
+		}
+		if g.EscalateEvery == 0 {
+			g.EscalateEvery = 1
+		}
+	}
 	if s.Verdict.RequireHashEqual {
 		s.Verdict.CompareLossless = true
 	}
@@ -413,6 +450,28 @@ func (s *Spec) Validate() error {
 	if t.Codec != "" {
 		if _, err := transport.CodecByName(t.Codec); err != nil {
 			bad("topology.codec: %v", err)
+		}
+	}
+	var hoods [][]int // gossip neighborhood table, for leader-aware checks
+	if g := t.Gossip; g != nil {
+		if g.Neighborhoods < 1 {
+			bad("topology.gossip.neighborhoods must be >= 1 (got %d)", g.Neighborhoods)
+		} else if g.Neighborhoods > t.Regions {
+			bad("topology.gossip.neighborhoods %d exceeds regions %d", g.Neighborhoods, t.Regions)
+		} else if t.Regions >= 1 {
+			hoods, _ = gossip.Neighborhoods(t.Regions, g.Neighborhoods)
+		}
+		if g.EscalateEvery < 1 {
+			bad("topology.gossip.escalate_every must be >= 1 (got %d)", g.EscalateEvery)
+		}
+		if g.Deadline < 0 {
+			bad("topology.gossip.deadline must be >= 0")
+		}
+		if t.Shards > 1 {
+			bad("topology.gossip is incompatible with topology.shards > 1 (digests go straight to the cloud)")
+		}
+		if s.Cloud.LeaseTTL != 0 {
+			bad("topology.gossip forbids cloud.lease_ttl: neighborhood membership is static, not leased")
 		}
 	}
 
@@ -581,6 +640,13 @@ func (s *Spec) Validate() error {
 			case "edge":
 				if n < 0 || n >= t.Regions {
 					bad("%s: edge %d out of 0..%d", where, n, t.Regions-1)
+				} else if t.Gossip != nil {
+					if !s.Cloud.Durable {
+						bad("%s: edge kills under gossip need cloud.durable (a cold node cannot resume its local fold)", where)
+					}
+					if h := gossip.HoodOf(hoods, n); h >= 0 && hoods[h][0] == n {
+						bad("%s: edge %d leads neighborhood %d; the leader carries the escalation backlog, kill a non-leader", where, n, h)
+					}
 				}
 			case "shard":
 				if t.Shards <= 1 {
@@ -593,6 +659,16 @@ func (s *Spec) Validate() error {
 				}
 			default:
 				bad("%s: kill targets edge:N or shard:N, got %q", where, e.Target)
+			}
+		case "partition":
+			if t.Gossip == nil {
+				bad("%s: partition events need topology.gossip (direct edges have no data plane without the cloud)", where)
+			}
+			if e.Target != "cloud" {
+				bad("%s: partition targets \"cloud\", got %q", where, e.Target)
+			}
+			if e.Cohort != "" || e.Count != 0 {
+				bad("%s: cohort/count do not apply to partition events", where)
 			}
 		case "surge":
 			if e.Cohort == "" || !names[e.Cohort] {
@@ -611,11 +687,19 @@ func (s *Spec) Validate() error {
 				bad("%s: target does not apply to surge events", where)
 			}
 		default:
-			bad("%s: unknown action %q (want outage, kill, or surge)", where, e.Action)
+			bad("%s: unknown action %q (want outage, kill, surge, or partition)", where, e.Action)
 		}
 	}
-	if needsDeadline && s.Cloud.RoundDeadline == 0 {
-		bad("outage/kill events need cloud.round_deadline > 0 (a silent region would stall the barrier forever)")
+	if needsDeadline {
+		if t.Gossip != nil {
+			// Gossip rounds barrier at the edges, not the cloud: a silent
+			// member stalls its neighborhood, not the cloud's digest fold.
+			if t.Gossip.Deadline == 0 {
+				bad("outage/kill events need topology.gossip.deadline > 0 (a silent member would stall its neighborhood forever)")
+			}
+		} else if s.Cloud.RoundDeadline == 0 {
+			bad("outage/kill events need cloud.round_deadline > 0 (a silent region would stall the barrier forever)")
+		}
 	}
 
 	v := &s.Verdict
@@ -628,9 +712,25 @@ func (s *Spec) Validate() error {
 	if v.MinRecoveries < 0 {
 		bad("verdict.min_recoveries must be >= 0")
 	}
+	if v.MinPartitionLocalRounds < 0 {
+		bad("verdict.min_partition_local_rounds must be >= 0")
+	} else if v.MinPartitionLocalRounds > 0 {
+		hasPartition := false
+		for ei := range s.Events {
+			if s.Events[ei].Action == "partition" {
+				hasPartition = true
+			}
+		}
+		if !hasPartition {
+			bad("verdict.min_partition_local_rounds needs a partition event")
+		}
+	}
 	if v.RequireHashEqual {
 		if s.Cloud.RoundDeadline != 0 {
 			bad("verdict.require_hash_equal needs cloud.round_deadline 0: degraded rounds publish a different ratio trajectory than the lossless twin")
+		}
+		if t.Gossip != nil && t.Gossip.Deadline != 0 {
+			bad("verdict.require_hash_equal needs topology.gossip.deadline 0: a deadline-degraded local round folds a different census set than the lossless twin")
 		}
 		for ci := range s.Cohorts {
 			if s.Cohorts[ci].Fault != nil {

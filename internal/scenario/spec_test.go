@@ -213,6 +213,45 @@ func TestValidateErrors(t *testing.T) {
 			s.Links = []LinkFault{{Link: "edge_cloud", Fault: FaultSpec{DropProb: 0.1}}}
 			s.Verdict.RequireHashEqual = true
 		}, "forbids link drops"},
+		{"gossip hoods exceed regions", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{Neighborhoods: 3}
+		}, "exceeds regions"},
+		{"gossip with shards", func(s *Spec) {
+			s.Topology.Shards = 2
+			s.Topology.Gossip = &GossipSpec{}
+		}, "incompatible with topology.shards"},
+		{"gossip with leases", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{}
+			s.Cloud.LeaseTTL = Duration(time.Second)
+		}, "forbids cloud.lease_ttl"},
+		{"partition without gossip", func(s *Spec) {
+			s.Events = []Event{{Round: 1, Action: "partition", Target: "cloud"}}
+		}, "need topology.gossip"},
+		{"partition wrong target", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{}
+			s.Events = []Event{{Round: 1, Action: "partition", Target: "region:0"}}
+		}, `partition targets "cloud"`},
+		{"gossip outage without gossip deadline", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{}
+			s.Events = []Event{{Round: 1, Action: "outage", Target: "region:0"}}
+		}, "need topology.gossip.deadline > 0"},
+		{"gossip edge kill without durable", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{Deadline: Duration(time.Second)}
+			s.Events = []Event{{Round: 1, Action: "kill", Target: "edge:1"}}
+		}, "edge kills under gossip need cloud.durable"},
+		{"gossip leader kill", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{Deadline: Duration(time.Second)}
+			s.Cloud.Durable = true
+			s.Events = []Event{{Round: 1, Action: "kill", Target: "edge:0"}}
+		}, "leads neighborhood"},
+		{"hash-equal with gossip deadline", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{Deadline: Duration(time.Second)}
+			s.Verdict.RequireHashEqual = true
+		}, "needs topology.gossip.deadline 0"},
+		{"partition-rounds floor without partition", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{}
+			s.Verdict.MinPartitionLocalRounds = 5
+		}, "needs a partition event"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

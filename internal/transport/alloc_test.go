@@ -1,0 +1,37 @@
+package transport
+
+import "testing"
+
+// TestBinaryEncodeHotPathZeroAlloc pins the per-frame heap cost of the two
+// messages every consensus round sends (census up, ratio down) at zero: the
+// scratch structs the encoder extracts typed bodies into come from a pool,
+// and the destination buffer is reused the way tcpConn.Send reuses its own.
+// BenchmarkEncodeCensus reports the same number as allocs/op; this test
+// makes the regression a hard failure instead of a bench diff.
+func TestBinaryEncodeHotPathZeroAlloc(t *testing.T) {
+	census, err := Encode(KindCensus, Census{Edge: 3, Round: 117, Counts: []int{12, 40, 7, 3, 0, 9, 1, 28}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := Encode(KindRatio, Ratio{Round: 118, X: 0.7125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 512)
+	for _, tc := range []struct {
+		name string
+		m    Message
+	}{
+		{"census", census},
+		{"ratio", ratio},
+	} {
+		allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := Binary.AppendEncode(buf[:0], tc.m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("binary %s encode: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/sensor"
 )
@@ -17,6 +18,7 @@ import (
 //	kindTag := 1 hello | 2 census | 3 ratio | 4 policy
 //	         | 5 upload | 6 delivery | 7 ack | 8 lease
 //	         | 9 ratio_correction | 10 census_batch | 11 ratio_batch
+//	         | 12 digest
 //	int     := zigzag varint            (encoding/binary PutVarint)
 //	len     := uvarint                  (encoding/binary PutUvarint)
 //	f64     := 8-byte little-endian IEEE-754 bits
@@ -34,6 +36,8 @@ import (
 //	ratio_correction := int(edge) int(round) int(seq) f64(x)
 //	census_batch := int(shard) int(round) len [census]...
 //	ratio_batch  := int(round) len [int(edge)]... [f64(x)]...
+//	digest_round := int(round) int(degraded 0|1) len [census]...
+//	digest       := int(neighborhood) int(of) len [int(member)]... len [digest_round]...
 //
 // Decoding is strict: truncated fields, lengths that cannot fit in the
 // remaining bytes (which also caps decode allocations), unknown kind tags,
@@ -53,6 +57,17 @@ const (
 	tagRatioCorrection
 	tagCensusBatch
 	tagRatioBatch
+	tagDigest
+)
+
+// censusScratch and ratioScratch recycle the payload structs the per-round
+// hot path (census up, ratio down) extracts typed bodies into, so encoding
+// a frame costs zero heap allocations. Structs are zeroed before Put: a
+// JSON-fallback decode merges into whatever the struct holds, and a pooled
+// census must not pin the previous caller's Counts slice.
+var (
+	censusScratch = sync.Pool{New: func() interface{} { return new(Census) }}
+	ratioScratch  = sync.Pool{New: func() interface{} { return new(Ratio) }}
 )
 
 func (binaryCodec) Name() string  { return "binary" }
@@ -68,26 +83,32 @@ func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
 		dst = append(dst, tagHello)
 		return appendInt(dst, int64(h.Vehicle)), nil
 	case KindCensus:
-		var c Census
-		if err := payloadFor(m, &c); err != nil {
-			return nil, err
+		c := censusScratch.Get().(*Census)
+		err := payloadFor(m, c)
+		if err == nil {
+			dst = append(dst, tagCensus)
+			dst = appendCensus(dst, c)
 		}
-		dst = append(dst, tagCensus)
-		dst = appendInt(dst, int64(c.Edge))
-		dst = appendInt(dst, int64(c.Round))
-		dst = appendLen(dst, len(c.Counts))
-		for _, n := range c.Counts {
-			dst = appendInt(dst, int64(n))
+		*c = Census{}
+		censusScratch.Put(c)
+		if err != nil {
+			return nil, err
 		}
 		return dst, nil
 	case KindRatio:
-		var r Ratio
-		if err := payloadFor(m, &r); err != nil {
+		r := ratioScratch.Get().(*Ratio)
+		err := payloadFor(m, r)
+		if err == nil {
+			dst = append(dst, tagRatio)
+			dst = appendInt(dst, int64(r.Round))
+			dst = appendFloat(dst, r.X)
+		}
+		*r = Ratio{}
+		ratioScratch.Put(r)
+		if err != nil {
 			return nil, err
 		}
-		dst = append(dst, tagRatio)
-		dst = appendInt(dst, int64(r.Round))
-		return appendFloat(dst, r.X), nil
+		return dst, nil
 	case KindPolicy:
 		var p Policy
 		if err := payloadFor(m, &p); err != nil {
@@ -154,13 +175,8 @@ func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
 		dst = appendInt(dst, int64(cb.Shard))
 		dst = appendInt(dst, int64(cb.Round))
 		dst = appendLen(dst, len(cb.Censuses))
-		for _, c := range cb.Censuses {
-			dst = appendInt(dst, int64(c.Edge))
-			dst = appendInt(dst, int64(c.Round))
-			dst = appendLen(dst, len(c.Counts))
-			for _, n := range c.Counts {
-				dst = appendInt(dst, int64(n))
-			}
+		for i := range cb.Censuses {
+			dst = appendCensus(dst, &cb.Censuses[i])
 		}
 		return dst, nil
 	case KindRatioBatch:
@@ -179,6 +195,32 @@ func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
 		}
 		for _, x := range rb.X {
 			dst = appendFloat(dst, x)
+		}
+		return dst, nil
+	case KindDigest:
+		var d Digest
+		if err := payloadFor(m, &d); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagDigest)
+		dst = appendInt(dst, int64(d.Neighborhood))
+		dst = appendInt(dst, int64(d.Of))
+		dst = appendLen(dst, len(d.Members))
+		for _, member := range d.Members {
+			dst = appendInt(dst, int64(member))
+		}
+		dst = appendLen(dst, len(d.Rounds))
+		for _, dr := range d.Rounds {
+			dst = appendInt(dst, int64(dr.Round))
+			degraded := int64(0)
+			if dr.Degraded {
+				degraded = 1
+			}
+			dst = appendInt(dst, degraded)
+			dst = appendLen(dst, len(dr.Censuses))
+			for i := range dr.Censuses {
+				dst = appendCensus(dst, &dr.Censuses[i])
+			}
 		}
 		return dst, nil
 	default:
@@ -241,20 +283,7 @@ func (binaryCodec) Decode(frame []byte) (Message, error) {
 		body = RatioCorrection{Edge: int(r.int()), Round: int(r.int()), Seq: r.int(), X: r.float()}
 	case tagCensusBatch:
 		cb := CensusBatch{Shard: int(r.int()), Round: int(r.int())}
-		// Each census is at least 3 bytes (edge, round, empty counts).
-		if n := r.len(3); n > 0 {
-			cb.Censuses = make([]Census, n)
-			for i := range cb.Censuses {
-				c := Census{Edge: int(r.int()), Round: int(r.int())}
-				if k := r.len(1); k > 0 {
-					c.Counts = make([]int, k)
-					for j := range c.Counts {
-						c.Counts[j] = int(r.int())
-					}
-				}
-				cb.Censuses[i] = c
-			}
-		}
+		cb.Censuses = r.censuses()
 		kind, body = KindCensusBatch, cb
 	case tagRatioBatch:
 		rb := RatioBatch{Round: int(r.int())}
@@ -270,6 +299,24 @@ func (binaryCodec) Decode(frame []byte) (Message, error) {
 			}
 		}
 		kind, body = KindRatioBatch, rb
+	case tagDigest:
+		d := Digest{Neighborhood: int(r.int()), Of: int(r.int())}
+		if n := r.len(1); n > 0 {
+			d.Members = make([]int, n)
+			for i := range d.Members {
+				d.Members[i] = int(r.int())
+			}
+		}
+		// Each digest round is at least 3 bytes (round, degraded, empty list).
+		if n := r.len(3); n > 0 {
+			d.Rounds = make([]DigestRound, n)
+			for i := range d.Rounds {
+				dr := DigestRound{Round: int(r.int()), Degraded: r.int() != 0}
+				dr.Censuses = r.censuses()
+				d.Rounds[i] = dr
+			}
+		}
+		kind, body = KindDigest, d
 	default:
 		return Message{}, fmt.Errorf("transport: unknown binary kind tag 0x%02x", frame[0])
 	}
@@ -309,6 +356,18 @@ func appendFloat(dst []byte, f float64) []byte {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
 	return append(dst, tmp[:]...)
+}
+
+// appendCensus appends one census body (edge, round, counts) — the shared
+// tail of the census, census_batch, and digest encodings.
+func appendCensus(dst []byte, c *Census) []byte {
+	dst = appendInt(dst, int64(c.Edge))
+	dst = appendInt(dst, int64(c.Round))
+	dst = appendLen(dst, len(c.Counts))
+	for _, n := range c.Counts {
+		dst = appendInt(dst, int64(n))
+	}
+	return dst
 }
 
 func appendItems(dst []byte, items []Item) []byte {
@@ -393,6 +452,28 @@ func (r *byteReader) str() string {
 	s := string(r.buf[:n]) // copies: the frame buffer is pooled
 	r.buf = r.buf[n:]
 	return s
+}
+
+// censuses reads a census list — the shared tail of the census_batch and
+// digest encodings. Each census is at least 3 bytes (edge, round, empty
+// counts).
+func (r *byteReader) censuses() []Census {
+	n := r.len(3)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]Census, n)
+	for i := range out {
+		c := Census{Edge: int(r.int()), Round: int(r.int())}
+		if k := r.len(1); k > 0 {
+			c.Counts = make([]int, k)
+			for j := range c.Counts {
+				c.Counts[j] = int(r.int())
+			}
+		}
+		out[i] = c
+	}
+	return out
 }
 
 func (r *byteReader) items() []Item {

@@ -38,6 +38,15 @@ func allKindsMessages(t *testing.T) []Message {
 			{Edge: 1, Round: 3, Counts: []int{0, 4}},
 		}}},
 		{KindRatioBatch, RatioBatch{Round: 4, Edges: []int{0, 1}, X: []float64{0.5, 0.25}}},
+		{KindDigest, Digest{Neighborhood: 1, Of: 2, Members: []int{2, 3}, Rounds: []DigestRound{
+			{Round: 6, Censuses: []Census{
+				{Edge: 2, Round: 6, Counts: []int{3, 1}},
+				{Edge: 3, Round: 6, Counts: []int{0, 5}},
+			}},
+			{Round: 7, Degraded: true, Censuses: []Census{
+				{Edge: 2, Round: 7, Counts: []int{2, 2}},
+			}},
+		}}},
 	}
 	out := make([]Message, len(payloads))
 	for i, p := range payloads {

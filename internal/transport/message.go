@@ -51,6 +51,12 @@ const (
 	// KindRatioBatch answers a census batch with each region's next sharing
 	// ratio (step ② batched).
 	KindRatioBatch Kind = "ratio_batch"
+	// KindDigest is a gossip neighborhood's compacted escalation to the
+	// control plane: every local consensus round the neighborhood folded
+	// since its last acknowledged escalation, in round order. Answered with
+	// a RatioBatch carrying the control plane's current ratios for the
+	// neighborhood's members.
+	KindDigest Kind = "digest"
 )
 
 // Message is the wire envelope. A message carries its payload in one of two
@@ -168,6 +174,32 @@ type RatioBatch struct {
 	Round int       `json:"round"`
 	Edges []int     `json:"edges"`
 	X     []float64 `json:"x"`
+}
+
+// DigestRound is one locally folded gossip round inside a Digest: the full
+// census set the neighborhood's fold ran over (each census carries the same
+// Round) and whether the local barrier completed degraded. Replaying the
+// rounds of a digest stream through the control plane's fold in order
+// reproduces the neighborhood's local state bit-identically.
+type DigestRound struct {
+	Round    int      `json:"round"`
+	Degraded bool     `json:"degraded,omitempty"`
+	Censuses []Census `json:"censuses"`
+}
+
+// Digest is a gossip neighborhood's escalation frame (KindDigest): the
+// neighborhood's identity within the deployment (index Neighborhood of Of,
+// member regions Members) and the contiguous run of local rounds folded
+// since the last acknowledged escalation. The control plane reconciles the
+// rounds through its own fold — completing a round once every one of the Of
+// neighborhoods has reported it — and answers with a RatioBatch of current
+// ratios for Members. Digests are idempotent: a retried frame whose rounds
+// were already folded is absorbed by the duplicate/late-census machinery.
+type Digest struct {
+	Neighborhood int           `json:"neighborhood"`
+	Of           int           `json:"of"`
+	Members      []int         `json:"members"`
+	Rounds       []DigestRound `json:"rounds"`
 }
 
 // Encode wraps a payload struct in a Message envelope. Encoding is lazy:
@@ -311,6 +343,15 @@ func copyTyped(body, out interface{}) bool {
 			*dst = src
 			return true
 		case *RatioBatch:
+			*dst = *src
+			return true
+		}
+	case *Digest:
+		switch src := body.(type) {
+		case Digest:
+			*dst = src
+			return true
+		case *Digest:
 			*dst = *src
 			return true
 		}

@@ -269,6 +269,67 @@ func ReportCensusBatch(conn transport.Conn, batch transport.CensusBatch,
 	return reply, nil
 }
 
+// GossipCensus pushes one round's census to a gossip peer on conn and waits
+// for the peer's ack. Unlike ReportCensus there is no ratio reply: peers
+// fold each other's censuses into their own local engines, so the exchange
+// is census → ack. A peer refusal (e.g. a census for a region outside the
+// neighborhood) surfaces as *RejectedError. timeout bounds the ack wait
+// (0 = forever); on expiry the conn is closed and must be redialed.
+func GossipCensus(conn transport.Conn, edgeID, round int, counts []int,
+	timeout time.Duration) error {
+	s := Wrap(conn)
+	if err := s.Send(transport.KindCensus,
+		transport.Census{Edge: edgeID, Round: round, Counts: counts}); err != nil {
+		return fmt.Errorf("sending gossip census: %w", err)
+	}
+	m, err := transport.RecvTimeout(conn, timeout)
+	if err != nil {
+		return fmt.Errorf("waiting for gossip ack: %w", err)
+	}
+	var ack transport.Ack
+	if err := transport.Decode(m, transport.KindAck, &ack); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return &RejectedError{Reason: ack.Err}
+	}
+	return nil
+}
+
+// EscalateDigest submits a neighborhood's compacted round digest to the
+// cloud control plane and waits for the matching RatioBatch reply (the
+// cloud's current view of the digest members' ratios, round = the digest's
+// last round + 1). Stale replies from re-submitted digests are skipped by
+// the same edge-list identity rule batched censuses use. A cloud refusal
+// surfaces as *RejectedError.
+func EscalateDigest(conn transport.Conn, d transport.Digest,
+	replyTimeout time.Duration) (transport.RatioBatch, error) {
+	if len(d.Rounds) == 0 {
+		return transport.RatioBatch{}, fmt.Errorf("escalating empty digest")
+	}
+	last := d.Rounds[len(d.Rounds)-1].Round
+	var reply transport.RatioBatch
+	err := Wrap(conn).Request(
+		transport.KindDigest, d,
+		transport.KindRatioBatch, &reply, replyTimeout,
+		func() bool {
+			if reply.Round != last+1 || len(reply.Edges) != len(d.Members) {
+				return false
+			}
+			for i, e := range d.Members {
+				if reply.Edges[i] != e {
+					return false
+				}
+			}
+			return true
+		},
+	)
+	if err != nil {
+		return transport.RatioBatch{}, err
+	}
+	return reply, nil
+}
+
 // ReportCensusWith is ReportCensus with an onOther handler for frames the
 // cloud pushes asynchronously on the census connection (ratio corrections
 // after a fixed-lag rewind). A nil onOther keeps the strict behavior.

@@ -24,7 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 date_tag="${BENCH_DATE:-$(date +%F)}"
-filter="${BENCH_FILTER:-BenchmarkEncodeCensus|BenchmarkRoundTrip|BenchmarkBuildWorld|BenchmarkConsensusRoundsPerSec|BenchmarkShardedConsensusRoundsPerSec}"
+filter="${BENCH_FILTER:-BenchmarkEncodeCensus|BenchmarkRoundTrip|BenchmarkBuildWorld|BenchmarkConsensusRoundsPerSec|BenchmarkShardedConsensusRoundsPerSec|BenchmarkJournalAppend}"
 out="BENCH_${date_tag}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
