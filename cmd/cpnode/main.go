@@ -56,6 +56,15 @@
 //	cpnode -role edge -id 1 -listen 127.0.0.1:7101 -gossip-listen 127.0.0.1:7301 \
 //	  -gossip-peers 0=127.0.0.1:7300 -gossip-every 4 -cloud 127.0.0.1:7000 -regions 2 ...
 //
+// With -gossip-failover-ttl the leadership itself is fault tolerant: the
+// leader heartbeats a lease to its peers, and when the lease lapses the ring
+// successor promotes itself under a higher epoch, takes over the mirrored
+// escalation backlog, and keeps escalating — a kill -9'd leader costs no
+// digests. The killed node can restart from -state-dir and rejoins as a
+// follower; the cloud's per-neighborhood digest watermark absorbs any
+// re-escalated overlap. -gossip-max-backlog bounds the buffered digests
+// while the cloud is unreachable (shedding oldest first).
+//
 // cpnode is a thin adapter over internal/scenario's typed NodeConfig: each
 // flag the invocation actually sets maps to one functional option, and an
 // option set on a role that ignores it is rejected up front ("-role edge
@@ -140,6 +149,10 @@ func main() {
 			"edge: the neighborhood leader escalates a digest every K-th local round")
 		gossipDeadline = flag.Duration("gossip-deadline", 0,
 			"edge: local round barrier deadline; a silent peer degrades the round after this long (0 = wait forever)")
+		gossipFailoverTTL = flag.Duration("gossip-failover-ttl", 0,
+			"edge: heartbeat lease TTL for neighborhood leadership; followers promote the ring successor after this long without a leader beat (0 = static leadership, no failover)")
+		gossipMaxBacklog = flag.Int("gossip-max-backlog", 0,
+			"edge: cap on buffered escalation digests while the cloud is unreachable; the oldest rounds are shed past the cap (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -191,6 +204,10 @@ func main() {
 		"gossip-of":       func() scenario.Option { return scenario.GossipOf(*gossipOf) },
 		"gossip-every":    func() scenario.Option { return scenario.GossipEvery(*gossipEvery) },
 		"gossip-deadline": func() scenario.Option { return scenario.GossipDeadline(*gossipDeadline) },
+		"gossip-failover-ttl": func() scenario.Option {
+			return scenario.GossipFailoverTTL(*gossipFailoverTTL)
+		},
+		"gossip-max-backlog": func() scenario.Option { return scenario.GossipMaxBacklog(*gossipMaxBacklog) },
 	}
 	opts := []scenario.Option{scenario.WithLogf(log.Printf)}
 	if o != nil {

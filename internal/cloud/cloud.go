@@ -76,8 +76,14 @@ type Server struct {
 
 	// Digest reconciliation (see SubmitDigest). digestSeen tracks, per
 	// pending round, which neighborhoods have reported it; a round folds
-	// once every neighborhood has.
+	// once every neighborhood has. digestMark[h] is neighborhood h's
+	// monotonic escalation watermark: every digest round below it has
+	// already been adopted, so a re-sent backlog — an old leader retrying
+	// after a lost ack, or a failed-over successor draining the same
+	// journal-reconstructed rounds — folds idempotently instead of leaning
+	// on the rewind window. Persisted in the checkpoint.
 	digestSeen map[int]map[int]bool
+	digestMark map[int]int
 }
 
 // serverMetrics are the coordinator's registry-backed instruments (see the
@@ -107,6 +113,7 @@ type serverMetrics struct {
 	stateHash      *obs.Gauge     // consensus_state_hash
 	digests        *obs.Counter   // consensus_digests_total
 	digestRounds   *obs.Counter   // consensus_digest_rounds_total
+	digestSkipped  *obs.Counter   // consensus_digest_rounds_skipped_total
 }
 
 func newServerMetrics(o *obs.Observer) serverMetrics {
@@ -135,6 +142,7 @@ func newServerMetrics(o *obs.Observer) serverMetrics {
 		stateHash:      o.Gauge("consensus_state_hash", "CRC-32C of the canonical JSON game state (bit-identity check)"),
 		digests:        o.Counter("consensus_digests_total", "gossip digests reconciled from neighborhood leaders"),
 		digestRounds:   o.Counter("consensus_digest_rounds_total", "rounds carried by reconciled gossip digests"),
+		digestSkipped:  o.Counter("consensus_digest_rounds_skipped_total", "digest rounds below a neighborhood's escalation watermark, adopted idempotently"),
 	}
 }
 
@@ -161,6 +169,7 @@ func NewServer(f *policy.FDS, initial *game.State) (*Server, error) {
 		maxSkew:      defaultMaxRoundSkew,
 		edgeSess:     make(map[int]*session.Session),
 		digestSeen:   make(map[int]map[int]bool),
+		digestMark:   make(map[int]int),
 	}
 	s.metrics.latestRound.Set(-1)
 	s.metrics.stateHash.Set(float64(s.stateHashLocked()))

@@ -54,6 +54,15 @@ func (s *Server) SubmitDigest(d transport.Digest) (transport.RatioBatch, error) 
 	var firstErr error
 	for _, dr := range d.Rounds {
 		s.metrics.digestRounds.Inc()
+		if dr.Round < s.digestMark[d.Neighborhood] {
+			// This neighborhood already escalated the round — the same
+			// leader retrying a lost ack, or a failed-over successor
+			// draining the backlog its journal reconstructed. Idempotent
+			// adoption: skip without disturbing the rewind window, so the
+			// re-sent copy folds bit-identically to having never arrived.
+			s.metrics.digestSkipped.Inc()
+			continue
+		}
 		if dr.Round <= s.eng.Latest() {
 			// Re-escalation after a lost ack, or another neighborhood's copy
 			// of a round this one already completed: the rewind window
@@ -100,6 +109,15 @@ func (s *Server) SubmitDigest(d transport.Digest) (transport.RatioBatch, error) 
 	}
 	if firstErr != nil {
 		return transport.RatioBatch{}, firstErr
+	}
+	// Advance the neighborhood's watermark past everything this digest
+	// carried: the rounds are either folded, pending on the digest barrier,
+	// or absorbed by the rewind window, and the ack below tells the leader
+	// to drop them — any future copy must be treated as a duplicate. The
+	// reply Round stays last+1 even when every round was skipped, since the
+	// escalation exchange identifies its answer by that number.
+	if last+1 > s.digestMark[d.Neighborhood] {
+		s.digestMark[d.Neighborhood] = last + 1
 	}
 	reply := transport.RatioBatch{
 		Round: last + 1,

@@ -68,6 +68,9 @@ func (s *Server) Open(stateDir string) error {
 		s.fold.SetState(cp.State)
 		s.eng.SetLatest(cp.Round)
 		s.correctionSeq = cp.CorrectionSeq
+		for h, mark := range cp.DigestWatermarks {
+			s.digestMark[h] = mark
+		}
 		s.metrics.checkpointSize.Set(float64(len(snap)))
 		recovered = true
 	}
@@ -200,6 +203,12 @@ func (s *Server) checkpointLocked() error {
 		State:         s.fold.State(),
 		FDS:           s.fold.Memory(),
 		CorrectionSeq: s.correctionSeq,
+	}
+	if len(s.digestMark) > 0 {
+		cp.DigestWatermarks = make(map[int]int, len(s.digestMark))
+		for h, mark := range s.digestMark {
+			cp.DigestWatermarks[h] = mark
+		}
 	}
 	var retained [][]byte
 	if s.lag > 0 && len(s.window) > 0 {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -43,12 +44,23 @@ var ErrStoreClosed = errors.New("durable: store closed")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// journalFile is the slice of *os.File the journal path uses. Tests
+// substitute implementations whose Sync fails on demand to exercise the
+// fsync-failure poisoning below.
+type journalFile interface {
+	io.Closer
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+}
+
 // Store owns one state directory. All methods are safe for concurrent use.
 type Store struct {
 	dir string
 
 	mu      sync.Mutex
-	journal *os.File
+	journal journalFile
 	size    int64 // current journal length (all complete records)
 
 	// Group commit (see SetGroupCommit). With groupN <= 1 every Append
@@ -56,9 +68,15 @@ type Store struct {
 	// their frames immediately and block on flushed until one fsync — run
 	// by whichever appender trips the count threshold, or by the window
 	// timer — covers them. writeSeq counts frames written into the file,
-	// syncedSeq frames a completed fsync made durable; a failed fsync
-	// records (flushErrSeq, flushErr) so every append it covered reports
-	// the failure instead of claiming durability.
+	// syncedSeq frames a completed fsync made durable.
+	//
+	// A failed fsync poisons the journal (flushErr): every Append batched
+	// under the failed commit AND every later Append reports the failure,
+	// until a Compact/CompactRetain rebuilds the journal file. The blanket
+	// rule is not conservatism: after a failed fsync the kernel may mark the
+	// dirty pages clean without writing them, so a later successful fsync
+	// covering later frames would leave a corrupt middle that replay
+	// truncates at — silently discarding records whose Append returned nil.
 	groupN      int
 	groupWindow time.Duration
 	flushed     *sync.Cond
@@ -66,7 +84,6 @@ type Store struct {
 	writeSeq    int64
 	syncedSeq   int64
 	flushErr    error
-	flushErrSeq int64
 	timer       *time.Timer
 	timerArmed  bool
 }
@@ -201,11 +218,15 @@ func (s *Store) Append(payload []byte) error {
 	if s.journal == nil {
 		return ErrStoreClosed
 	}
+	if s.flushErr != nil {
+		return fmt.Errorf("durable: journal poisoned by earlier sync failure: %w", s.flushErr)
+	}
 	if _, err := s.journal.WriteAt(frame, s.size); err != nil {
 		return fmt.Errorf("durable: append journal: %w", err)
 	}
 	if s.groupN <= 1 {
 		if err := s.journal.Sync(); err != nil {
+			s.flushErr = err
 			return fmt.Errorf("durable: sync journal: %w", err)
 		}
 		s.size += int64(len(frame))
@@ -229,6 +250,9 @@ func (s *Store) Append(payload []byte) error {
 		if s.journal == nil {
 			return ErrStoreClosed
 		}
+		if s.flushErr != nil {
+			return fmt.Errorf("durable: sync journal: %w", s.flushErr)
+		}
 		if !s.flushing && (waited || s.writeSeq-s.syncedSeq >= int64(s.groupN)) {
 			s.flushLocked()
 			continue
@@ -236,7 +260,7 @@ func (s *Store) Append(payload []byte) error {
 		s.flushed.Wait()
 		waited = true
 	}
-	if s.flushErr != nil && seq <= s.flushErrSeq {
+	if s.flushErr != nil {
 		return fmt.Errorf("durable: sync journal: %w", s.flushErr)
 	}
 	return nil
@@ -258,9 +282,8 @@ func (s *Store) flushLocked() {
 	if target > s.syncedSeq {
 		s.syncedSeq = target
 	}
-	if err != nil {
+	if err != nil && s.flushErr == nil {
 		s.flushErr = err
-		s.flushErrSeq = target
 	}
 	s.flushed.Broadcast()
 }
@@ -286,7 +309,7 @@ func (s *Store) windowFlush() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.timerArmed = false
-	if s.journal == nil || s.flushing || s.writeSeq <= s.syncedSeq {
+	if s.journal == nil || s.flushing || s.flushErr != nil || s.writeSeq <= s.syncedSeq {
 		return
 	}
 	s.flushLocked()
@@ -302,11 +325,9 @@ func (s *Store) drainLocked() {
 	}
 	if s.journal != nil && s.writeSeq > s.syncedSeq {
 		err := s.journal.Sync()
-		target := s.writeSeq
-		s.syncedSeq = target
-		if err != nil {
+		s.syncedSeq = s.writeSeq
+		if err != nil && s.flushErr == nil {
 			s.flushErr = err
-			s.flushErrSeq = target
 		}
 		s.flushed.Broadcast()
 	}
@@ -335,6 +356,9 @@ func (s *Store) Compact(payload []byte) (int, error) {
 		return n, fmt.Errorf("durable: sync journal: %w", err)
 	}
 	s.size = 0
+	// The checkpoint now covers everything and the journal is verifiably
+	// empty, so an earlier fsync failure no longer shadows any record.
+	s.flushErr = nil
 	return n, nil
 }
 
@@ -391,10 +415,13 @@ func (s *Store) CompactRetain(payload []byte, records [][]byte) (int, error) {
 		f.Close()
 		return n, err
 	}
-	// The old handle points at the unlinked file; swap in the new one.
+	// The old handle points at the unlinked file; swap in the new one. A
+	// freshly written and fsynced journal also lifts any fsync-failure
+	// poison: every retained record is durable in the new file.
 	_ = s.journal.Close()
 	s.journal = f
 	s.size = int64(len(frames))
+	s.flushErr = nil
 	return n, nil
 }
 

@@ -1,11 +1,164 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 )
+
+// flakySync wraps the store's real journal file and fails Sync while armed,
+// counting every attempt.
+type flakySync struct {
+	journalFile
+	mu    sync.Mutex
+	fail  bool
+	syncs int
+}
+
+func (f *flakySync) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.fail {
+		return errors.New("injected fsync failure")
+	}
+	return f.journalFile.Sync()
+}
+
+func (f *flakySync) setFail(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = v
+}
+
+// armFlakySync swaps the store's journal for a Sync-failing wrapper.
+func armFlakySync(s *Store) *flakySync {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fj := &flakySync{journalFile: s.journal, fail: true}
+	s.journal = fj
+	return fj
+}
+
+// TestGroupCommitSyncFailureFailsEveryWaiter is the multi-waiter error-path
+// regression: when the one fsync covering a batch of Appends fails, every
+// Append in the batch must report the failure — none may claim durability —
+// and the journal stays poisoned for later Appends until a compaction
+// rebuilds it, at which point appends work again.
+func TestGroupCommitSyncFailureFailsEveryWaiter(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	const writers = 4
+	s.SetGroupCommit(writers, 50*time.Millisecond)
+	fj := armFlakySync(s)
+
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = s.Append([]byte(fmt.Sprintf("w%d", w)))
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err == nil {
+			t.Errorf("writer %d: Append returned nil under a failed group fsync", w)
+			continue
+		}
+		if !strings.Contains(err.Error(), "injected fsync failure") {
+			t.Errorf("writer %d: error %v does not carry the fsync failure", w, err)
+		}
+	}
+
+	// Even after the injected fault clears, the store must stay poisoned: a
+	// later successful fsync cannot resurrect the possibly-dropped frames in
+	// the middle of the file, so accepting new records would let replay
+	// silently truncate them away.
+	fj.setFail(false)
+	if err := s.Append([]byte("after-failure")); err == nil {
+		t.Fatal("Append succeeded on a poisoned journal")
+	}
+
+	// CompactRetain rebuilds the journal file from scratch (write + fsync +
+	// rename), which is the one legitimate cure.
+	if _, err := s.CompactRetain([]byte("snap"), [][]byte{[]byte("kept")}); err != nil {
+		t.Fatalf("CompactRetain: %v", err)
+	}
+	if err := s.Append([]byte("after-compact")); err != nil {
+		t.Fatalf("Append after compaction: %v", err)
+	}
+	got := replayAll(t, s)
+	if len(got) != 2 || string(got[0]) != "kept" || string(got[1]) != "after-compact" {
+		t.Fatalf("replayed %q, want [kept after-compact]", got)
+	}
+}
+
+// TestGroupCommitSyncFailureFailsLaggingWaiter pins the subtler half of the
+// contract: a waiter whose frame was written while the failing fsync was
+// already in flight (so it was NOT covered by that commit) must also fail —
+// its frame sits after the possibly-lost ones, so its durability is void
+// even if its own fsync were to succeed.
+func TestGroupCommitSyncFailureFailsLaggingWaiter(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	s.SetGroupCommit(2, 20*time.Millisecond)
+	fj := armFlakySync(s)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errCh <- s.Append([]byte(fmt.Sprintf("w%d", w)))
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err == nil {
+			t.Error("an Append claimed durability while every fsync was failing")
+		}
+	}
+	// One fsync failure is enough to poison; later appends fail without
+	// touching the disk again. Wait out any flush still in flight before
+	// sampling the sync count.
+	for {
+		s.mu.Lock()
+		flushing := s.flushing
+		s.mu.Unlock()
+		if !flushing {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fj.mu.Lock()
+	syncsAtPoison := fj.syncs
+	fj.mu.Unlock()
+	if syncsAtPoison == 0 {
+		t.Fatal("no fsync ever ran — the batch never flushed")
+	}
+	if err := s.Append([]byte("poisoned")); err == nil {
+		t.Fatal("Append succeeded on a poisoned journal")
+	}
+	fj.mu.Lock()
+	syncsAfter := fj.syncs
+	fj.mu.Unlock()
+	if syncsAfter != syncsAtPoison {
+		t.Errorf("poisoned Append still drove %d fsyncs", syncsAfter-syncsAtPoison)
+	}
+}
 
 // Concurrent appenders under group commit must all come back durable: every
 // record a returned Append wrote survives a reopen, in a consistent order.

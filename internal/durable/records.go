@@ -26,6 +26,18 @@ type Checkpoint struct {
 	// backlog from journal records at or past it. Zero-valued for the cloud
 	// coordinator's own checkpoints.
 	Escalated int `json:"escalated,omitempty"`
+	// Epoch is the gossip tier's leadership epoch at checkpoint time (see
+	// gossip failover): leader(epoch) = members[epoch mod len(members)]. A
+	// restarted node resumes from the recorded epoch and lets incoming
+	// hood beats correct it forward. Zero-valued for cloud checkpoints.
+	Epoch int `json:"epoch,omitempty"`
+	// DigestWatermarks is the cloud control plane's per-neighborhood
+	// escalation watermark: for hood h, every digest round below
+	// DigestWatermarks[h] has already been folded (or absorbed by the
+	// rewind window), so re-sent digests — from a retrying old leader or a
+	// failed-over successor draining the same backlog — are adopted
+	// idempotently after a restart too. Nil for gossip-node checkpoints.
+	DigestWatermarks map[int]int `json:"digest_watermarks,omitempty"`
 }
 
 // EncodeCheckpoint serializes a checkpoint payload.

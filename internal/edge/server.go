@@ -110,6 +110,16 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// SetShares seeds the policy broadcast's last-round decision distribution,
+// so a restarted server resumes from the distribution its predecessor
+// published instead of the uniform cold-start prior (which would perturb
+// every vehicle's next revision). Call before Serve with a length-K slice.
+func (s *Server) SetShares(shares []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shares = append([]float64(nil), shares...)
+}
+
 // EnablePerception configures edge-side perception (see perception.go):
 // the server contributes road-side sensor items of the given modalities to
 // every round's distribution.

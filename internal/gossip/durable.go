@@ -53,8 +53,13 @@ func (n *Node) Open(stateDir string) error {
 		n.fold.SetState(cp.State)
 		n.eng.SetLatest(cp.Round)
 		n.escalated = cp.Escalated
+		if n.failover {
+			n.epoch = cp.Epoch
+			n.leader = n.leaderAt(n.epoch) == n.cfg.Edge
+		}
 		fromCheckpoint = true
 	}
+	retain := n.leader || n.failover
 	replayed := 0
 	_, err = store.Replay(func(payload []byte) error {
 		rec, err := durable.DecodeRound(payload)
@@ -67,7 +72,7 @@ func (n *Node) Open(stateDir string) error {
 			// left behind, or an unacked round the leader's compaction
 			// retained. The latter still rebuilds the escalation backlog;
 			// re-applying it would double-fold.
-			if n.leader && rec.Round >= n.escalated {
+			if retain && rec.Round >= n.escalated {
 				n.pending = append(n.pending, rec)
 			}
 			return nil
@@ -76,9 +81,9 @@ func (n *Node) Open(stateDir string) error {
 			return fmt.Errorf("replaying round %d: %w", rec.Round, err)
 		}
 		n.eng.SetLatest(rec.Round)
-		if n.leader && rec.Round >= n.escalated {
+		if retain && rec.Round >= n.escalated {
 			n.pending = append(n.pending, rec)
-		} else if !n.leader {
+		} else if !retain {
 			n.escalated = rec.Round + 1
 		}
 		replayed++
@@ -91,10 +96,20 @@ func (n *Node) Open(stateDir string) error {
 	if replayed > 0 {
 		n.metrics.replayed.Add(int64(replayed))
 	}
+	if n.failover && n.leader && (fromCheckpoint || replayed > 0) {
+		// A recovered leadership claim is tentative: the neighborhood may
+		// have promoted a successor while this process was dead, and its
+		// higher-epoch beat must win before this node escalates anything.
+		// Only a quiet TTL confirms the claim. A genuinely fresh node (empty
+		// state directory) skips the hold-off — there is no prior state a
+		// successor could be draining.
+		n.tentative = true
+	}
 	if fromCheckpoint || replayed > 0 || len(n.pending) > 0 {
 		n.metrics.recoveries.Inc()
 		n.metrics.latestRound.Set(float64(n.eng.Latest()))
 		n.metrics.pendingGauge.Set(float64(len(n.pending)))
+		n.metrics.backlogGauge.Set(float64(len(n.pending)))
 		n.metrics.stateHash.Set(float64(n.fold.Hash()))
 		n.logf("gossip: edge %d: recovered state through round %d from %s (%d journal records replayed, %d pending escalation)",
 			n.cfg.Edge, n.eng.Latest(), stateDir, replayed, len(n.pending))
@@ -143,6 +158,7 @@ func (n *Node) checkpointLocked() error {
 		State:     n.fold.State(),
 		FDS:       n.fold.Memory(),
 		Escalated: n.escalated,
+		Epoch:     n.epoch,
 	}
 	payload, err := durable.EncodeCheckpoint(cp)
 	if err != nil {

@@ -15,6 +15,16 @@
 // watermark) through internal/durable, so a killed node recovers its fold
 // bit-identically and the neighborhood leader re-escalates exactly the
 // rounds the cloud has not acknowledged.
+//
+// With Config.FailoverTTL set, leadership survives the leader too: the
+// leader heartbeats the neighborhood every TTL/3, every member mirrors the
+// escalation backlog, and a member that hears nothing for a full TTL
+// advances the leadership epoch — promoting the rendezvous-ring successor
+// (members[epoch mod len(members)]), which drains the dead leader's
+// unescalated rounds to the cloud in round order. The cloud's per-
+// neighborhood digest watermark adopts re-sent rounds idempotently, so a
+// restarted old leader (which rejoins tentatively and is demoted by the
+// successor's higher-epoch beat) can never double-fold history.
 package gossip
 
 import (
@@ -61,6 +71,20 @@ type Config struct {
 	// in degraded mode (0 = wait forever; a dead peer then stalls the
 	// neighborhood).
 	Deadline time.Duration
+	// FailoverTTL enables leader failover: the leader heartbeats the
+	// neighborhood every FailoverTTL/3 and a member that hears nothing for
+	// a full TTL advances the leadership epoch, promoting the ring
+	// successor (members[epoch mod len(members)]). Every member then
+	// retains the escalation backlog so a promoted successor can drain the
+	// rounds the dead leader never escalated. 0 disables failover: the
+	// smallest member id leads forever (the pre-failover behavior).
+	FailoverTTL time.Duration
+	// MaxBacklog caps the retained escalation backlog: when more than
+	// MaxBacklog completed rounds await cloud acknowledgment the oldest
+	// are shed (counted by gossip_backlog_dropped_total) and permanently
+	// forgone — a bounded-memory trade that breaks control-plane hash
+	// equality for the shed rounds. 0 = unbounded.
+	MaxBacklog int
 	// ReplyTimeout bounds each peer ack and cloud digest reply wait
 	// (0 = forever).
 	ReplyTimeout time.Duration
@@ -80,16 +104,20 @@ type Config struct {
 
 // Node is one edge's gossip consensus participant.
 type Node struct {
-	cfg     Config
-	members []int // sorted copy
-	leader  bool
+	cfg      Config
+	members  []int // sorted copy
+	failover bool  // cfg.FailoverTTL > 0
 
 	mu        sync.Mutex
+	leader    bool // this node leads the current epoch
+	epoch     int  // leadership epoch; leader = members[epoch mod len(members)]
+	tentative bool // recovered self-leader holding off until a quiet TTL passes
+	lastBeat  time.Time
 	eng       *cloud.Engine
 	fold      *cloud.Fold
 	k         int                   // decisions per census
 	escalated int                   // next round the leader will escalate (rounds below are acked)
-	pending   []durable.RoundRecord // leader's unacked rounds, ascending
+	pending   []durable.RoundRecord // unacked rounds, ascending (every member retains them under failover)
 	peers     map[int]*peerLink
 	store     *durable.Store
 	sinceComp int
@@ -98,10 +126,11 @@ type Node struct {
 	obsv      *obs.Observer
 	metrics   nodeMetrics
 
-	conns  map[transport.Conn]struct{}
-	closed chan struct{}
-	once   sync.Once
-	wg     sync.WaitGroup
+	conns    map[transport.Conn]struct{}
+	closed   chan struct{}
+	once     sync.Once
+	beatOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // nodeMetrics are the node's registry-backed instruments. Counters are
@@ -122,8 +151,14 @@ type nodeMetrics struct {
 	journalErrs  *obs.Counter // gossip_journal_errors_total
 	recoveries   *obs.Counter // gossip_recoveries_total
 	replayed     *obs.Counter // gossip_replay_records_total
+	failovers    *obs.Counter // gossip_failovers_total
+	beatsSent    *obs.Counter // gossip_hood_beats_sent_total
+	beatsRecv    *obs.Counter // gossip_hood_beats_received_total
+	beatFailures *obs.Counter // gossip_hood_beat_failures_total
+	backlogDrop  *obs.Counter // gossip_backlog_dropped_total
 	latestRound  *obs.Gauge   // gossip_round_latest{edge}
 	pendingGauge *obs.Gauge   // gossip_pending_rounds{edge}
+	backlogGauge *obs.Gauge   // gossip_escalation_backlog{edge}
 	stateHash    *obs.Gauge   // gossip_state_hash{edge}
 }
 
@@ -144,8 +179,14 @@ func newNodeMetrics(o *obs.Observer, edge int) nodeMetrics {
 		journalErrs:  o.Counter("gossip_journal_errors_total", "gossip journal appends or checkpoints that failed (state kept in memory)"),
 		recoveries:   o.Counter("gossip_recoveries_total", "gossip node state recoveries from a state directory"),
 		replayed:     o.Counter("gossip_replay_records_total", "journal round records replayed during gossip recovery"),
+		failovers:    o.Counter("gossip_failovers_total", "leadership promotions after a leader's heartbeats went quiet for a full TTL"),
+		beatsSent:    o.Counter("gossip_hood_beats_sent_total", "leader liveness heartbeats sent to neighborhood peers"),
+		beatsRecv:    o.Counter("gossip_hood_beats_received_total", "leader liveness heartbeats received (stale epochs included)"),
+		beatFailures: o.Counter("gossip_hood_beat_failures_total", "heartbeat sends abandoned after redial attempts"),
+		backlogDrop:  o.Counter("gossip_backlog_dropped_total", "oldest backlog rounds shed by the max-backlog cap (permanently unescalated)"),
 		latestRound:  r.GaugeVec("gossip_round_latest", "highest completed local round (-1 before the first)", "edge").With(e),
 		pendingGauge: r.GaugeVec("gossip_pending_rounds", "completed local rounds awaiting cloud acknowledgment", "edge").With(e),
+		backlogGauge: r.GaugeVec("gossip_escalation_backlog", "completed rounds retained for digest escalation (with failover every member mirrors the leader's backlog)", "edge").With(e),
 		stateHash:    r.GaugeVec("gossip_state_hash", "CRC-32C of the node's canonical JSON game state", "edge").With(e),
 	}
 }
@@ -181,17 +222,18 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	o := obs.New()
 	n := &Node{
-		cfg:     cfg,
-		members: members,
-		leader:  members[0] == cfg.Edge,
-		eng:     cloud.NewEngine(),
-		fold:    cfg.Fold,
-		k:       cfg.Fold.Decisions(),
-		peers:   make(map[int]*peerLink),
-		obsv:    o,
-		metrics: newNodeMetrics(o, cfg.Edge),
-		conns:   make(map[transport.Conn]struct{}),
-		closed:  make(chan struct{}),
+		cfg:      cfg,
+		members:  members,
+		failover: cfg.FailoverTTL > 0,
+		leader:   members[0] == cfg.Edge,
+		eng:      cloud.NewEngine(),
+		fold:     cfg.Fold,
+		k:        cfg.Fold.Decisions(),
+		peers:    make(map[int]*peerLink),
+		obsv:     o,
+		metrics:  newNodeMetrics(o, cfg.Edge),
+		conns:    make(map[transport.Conn]struct{}),
+		closed:   make(chan struct{}),
 	}
 	for _, m := range members {
 		if m == cfg.Edge {
@@ -224,11 +266,32 @@ func (n *Node) Instrument(o *obs.Observer) {
 	n.metrics = newNodeMetrics(o, n.cfg.Edge)
 	n.metrics.latestRound.Set(float64(n.eng.Latest()))
 	n.metrics.pendingGauge.Set(float64(len(n.pending)))
+	n.metrics.backlogGauge.Set(float64(len(n.pending)))
 	n.metrics.stateHash.Set(float64(n.fold.Hash()))
 }
 
 // Leader reports whether this node escalates the neighborhood's digests.
-func (n *Node) Leader() bool { return n.leader }
+// With failover enabled leadership is epoch-based and can move; a recovered
+// self-leader that is still tentatively waiting out its first TTL reports
+// false.
+func (n *Node) Leader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader && !n.tentative
+}
+
+// Epoch returns the node's current leadership epoch (always 0 without
+// failover). The epoch's leader is members[epoch mod len(members)].
+func (n *Node) Epoch() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// leaderAt returns the member id leading the given epoch.
+func (n *Node) leaderAt(epoch int) int {
+	return n.members[epoch%len(n.members)]
+}
 
 // Latest returns the highest completed local round (-1 before the first).
 func (n *Node) Latest() int {
@@ -261,8 +324,10 @@ func (n *Node) CloudRatio() (float64, bool) {
 	return n.cloudX, n.cloudSeen
 }
 
-// Pending returns how many completed rounds await cloud acknowledgment
-// (always 0 on non-leader nodes).
+// Pending returns how many completed rounds await cloud acknowledgment.
+// Without failover only the leader retains a backlog; with failover every
+// member mirrors it so a promoted successor can drain the rounds the dead
+// leader never escalated.
 func (n *Node) Pending() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -276,8 +341,20 @@ func (n *Node) logf(format string, args ...interface{}) {
 }
 
 // Serve accepts peer connections on the node's gossip listener until the
-// listener is torn down or the node closes. Run in a goroutine.
+// listener is torn down or the node closes. Run in a goroutine. With
+// failover enabled, serving also starts the node's liveness loop: the
+// leader heartbeats the neighborhood and followers watch for the beats to
+// go quiet.
 func (n *Node) Serve(l transport.Listener) {
+	if n.failover {
+		n.beatOnce.Do(func() {
+			n.mu.Lock()
+			n.lastBeat = time.Now()
+			n.mu.Unlock()
+			n.wg.Add(1)
+			go n.failoverLoop()
+		})
+	}
 	transport.AcceptLoop(l, n.closed, func(conn transport.Conn) {
 		n.mu.Lock()
 		select {
@@ -311,9 +388,174 @@ func (n *Node) handleConn(conn transport.Conn) {
 			}
 			return sess.Ack(n.SubmitPeer(census))
 		},
+		transport.KindHoodBeat: func(m transport.Message) error {
+			var beat transport.HoodBeat
+			if err := transport.Decode(m, transport.KindHoodBeat, &beat); err != nil {
+				return sess.Ack(err)
+			}
+			return sess.Ack(n.submitBeat(beat))
+		},
 	}, func(m transport.Message) error {
 		return sess.Ack(fmt.Errorf("gossip: unexpected %s frame on peer link", m.Kind))
 	})
+}
+
+// submitBeat absorbs one leader heartbeat. Every well-formed beat is acked
+// — including stale-epoch ones, so a demoted leader's in-flight beats drain
+// cleanly — but only beats at or above the node's epoch move state: a
+// higher epoch is adopted (demoting this node if it thought it led) and the
+// expiry clock rewinds. The beat's escalation watermark prunes the mirrored
+// backlog: rounds the leader's digests already acked need no successor.
+func (n *Node) submitBeat(beat transport.HoodBeat) error {
+	if beat.Hood != n.cfg.Neighborhood {
+		return fmt.Errorf("gossip: beat for neighborhood %d on edge %d of neighborhood %d",
+			beat.Hood, n.cfg.Edge, n.cfg.Neighborhood)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics.beatsRecv.Inc()
+	if !n.failover || beat.Epoch < n.epoch || beat.Leader == n.cfg.Edge {
+		return nil // stale (or echoed) beat: receipt is all the sender needs
+	}
+	if beat.Leader != n.leaderAt(beat.Epoch) {
+		return fmt.Errorf("gossip: beat claims leader %d for epoch %d, ring says %d",
+			beat.Leader, beat.Epoch, n.leaderAt(beat.Epoch))
+	}
+	if beat.Epoch > n.epoch {
+		n.epoch = beat.Epoch
+		if n.leader {
+			n.leader = false
+			n.tentative = false
+			n.logf("gossip: edge %d: demoted by epoch %d beat from leader %d",
+				n.cfg.Edge, beat.Epoch, beat.Leader)
+		}
+	}
+	n.lastBeat = time.Now()
+	if beat.Escalated > n.escalated {
+		n.escalated = beat.Escalated
+		n.prunePendingLocked()
+	}
+	return nil
+}
+
+// prunePendingLocked drops backlog rounds below the escalation watermark
+// and refreshes the backlog gauges. Called with n.mu held.
+func (n *Node) prunePendingLocked() {
+	keep := n.pending[:0]
+	for _, rec := range n.pending {
+		if rec.Round >= n.escalated {
+			keep = append(keep, rec)
+		}
+	}
+	n.pending = keep
+	n.metrics.pendingGauge.Set(float64(len(n.pending)))
+	n.metrics.backlogGauge.Set(float64(len(n.pending)))
+}
+
+// failoverLoop is the node's liveness clock, ticking at a third of the
+// failover TTL. A leading node broadcasts a heartbeat each tick; a
+// following node that has heard nothing for a full TTL advances the epoch
+// and promotes itself when the ring says it is next, draining the mirrored
+// backlog to the cloud. A recovered self-leader stays tentative for one
+// quiet TTL first, so a successor elected while it was down can demote it
+// before it escalates anything.
+func (n *Node) failoverLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.FailoverTTL / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-ticker.C:
+			n.tickFailover()
+		}
+	}
+}
+
+func (n *Node) tickFailover() {
+	n.mu.Lock()
+	if n.leader && !n.tentative {
+		beat := transport.HoodBeat{
+			Hood:      n.cfg.Neighborhood,
+			Epoch:     n.epoch,
+			Leader:    n.cfg.Edge,
+			Escalated: n.escalated,
+			TTLMillis: n.cfg.FailoverTTL.Milliseconds(),
+		}
+		n.mu.Unlock()
+		n.broadcastBeat(beat)
+		return
+	}
+	if time.Since(n.lastBeat) < n.cfg.FailoverTTL {
+		n.mu.Unlock()
+		return
+	}
+	if n.tentative {
+		// A full TTL passed with no higher-epoch beat: the recovered
+		// leadership claim stands. (If a successor promoted concurrently its
+		// next beat carries a higher epoch and demotes us; the cloud's digest
+		// watermark absorbs anything both of us escalate meanwhile.)
+		n.tentative = false
+		epoch := n.epoch
+		n.mu.Unlock()
+		n.logf("gossip: edge %d: confirmed leadership of epoch %d after a quiet TTL", n.cfg.Edge, epoch)
+		return
+	}
+	n.epoch++
+	n.lastBeat = time.Now()
+	if n.leaderAt(n.epoch) != n.cfg.Edge {
+		// Someone else's turn: wait a fresh TTL for the successor's first
+		// beat before advancing again (it may also be dead).
+		n.leader = false
+		n.mu.Unlock()
+		return
+	}
+	n.leader = true
+	n.tentative = false
+	n.metrics.failovers.Inc()
+	backlog := len(n.pending)
+	epoch := n.epoch
+	n.mu.Unlock()
+	n.logf("gossip: edge %d: promoted to leader of epoch %d (%d rounds backlogged)",
+		n.cfg.Edge, epoch, backlog)
+	if backlog > 0 {
+		// Drain the dead leader's unescalated rounds immediately — the
+		// takeover half of the failover contract. A partitioned cloud fails
+		// the dial fast; the backlog stays for the next K boundary or Flush.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			_ = n.escalate()
+		}()
+	}
+}
+
+// broadcastBeat sends one heartbeat to every peer, concurrently. Beats are
+// best-effort: an unreachable peer just counts a failure and learns the
+// epoch from the next beat that lands.
+func (n *Node) broadcastBeat(beat transport.HoodBeat) {
+	var wg sync.WaitGroup
+	for _, pl := range n.peers {
+		wg.Add(1)
+		go func(pl *peerLink) {
+			defer wg.Done()
+			n.metrics.beatsSent.Inc()
+			if err := pl.sendBeat(beat, n.cfg.ReplyTimeout); err != nil {
+				n.metrics.beatFailures.Inc()
+			}
+		}(pl)
+	}
+	wg.Wait()
 }
 
 // SubmitPeer folds one peer's census into the pending local round. Unlike
@@ -436,7 +678,7 @@ func (n *Node) LocalRound(round int, counts []int) (float64, error) {
 
 	n.mu.Lock()
 	x := n.fold.X(n.cfg.Edge)
-	boundary := n.leader && (round+1)%n.cfg.EscalateEvery == 0 && len(n.pending) > 0
+	boundary := n.leader && !n.tentative && (round+1)%n.cfg.EscalateEvery == 0 && len(n.pending) > 0
 	n.mu.Unlock()
 	if boundary {
 		n.escalate()
@@ -452,8 +694,21 @@ func (n *Node) completeLocalLocked(round int, rb *cloud.Barrier, degraded bool) 
 	rb.Err = n.fold.Apply(rb.Censuses)
 	rec := durable.RoundRecord{Round: round, Degraded: degraded, Censuses: rb.Censuses}
 	n.persistRoundLocked(rec)
-	if n.leader {
+	if n.leader || n.failover {
+		// With failover every member mirrors the backlog: a follower promoted
+		// after the leader dies must hold the rounds the leader never
+		// escalated. Without failover only the leader keeps it.
 		n.pending = append(n.pending, rec)
+		if n.cfg.MaxBacklog > 0 && len(n.pending) > n.cfg.MaxBacklog {
+			shed := len(n.pending) - n.cfg.MaxBacklog
+			n.pending = append(n.pending[:0], n.pending[shed:]...)
+			// The shed rounds are permanently forgone; moving the watermark
+			// past them keeps recovery and beat pruning consistent with that.
+			n.escalated = n.pending[0].Round
+			n.metrics.backlogDrop.Add(int64(shed))
+			n.logf("gossip: edge %d: backlog cap %d shed %d oldest rounds (next escalation starts at %d)",
+				n.cfg.Edge, n.cfg.MaxBacklog, shed, n.escalated)
+		}
 	} else {
 		n.escalated = round + 1
 	}
@@ -464,6 +719,7 @@ func (n *Node) completeLocalLocked(round int, rb *cloud.Barrier, degraded bool) 
 	n.metrics.localRounds.Inc()
 	n.metrics.latestRound.Set(float64(n.eng.Latest()))
 	n.metrics.pendingGauge.Set(float64(len(n.pending)))
+	n.metrics.backlogGauge.Set(float64(len(n.pending)))
 	n.metrics.stateHash.Set(float64(n.fold.Hash()))
 	if degraded {
 		n.metrics.degraded.Inc()
@@ -478,13 +734,14 @@ func (n *Node) completeLocalLocked(round int, rb *cloud.Barrier, degraded bool) 
 
 // Flush escalates every pending round immediately, regardless of the K
 // boundary — the graceful shutdown path, so the control plane holds the
-// complete history before the node exits. No-op on non-leader nodes and
-// when nothing is pending.
+// complete history before the node exits. No-op on nodes not currently
+// leading and when nothing is pending.
 func (n *Node) Flush() error {
 	n.mu.Lock()
 	todo := len(n.pending) > 0
+	lead := n.leader && !n.tentative
 	n.mu.Unlock()
-	if !n.leader || !todo {
+	if !lead || !todo {
 		return nil
 	}
 	return n.escalate()
@@ -500,7 +757,9 @@ func (n *Node) escalate() error {
 		return fmt.Errorf("gossip: edge %d: no cloud dialer", n.cfg.Edge)
 	}
 	n.mu.Lock()
-	if len(n.pending) == 0 {
+	if len(n.pending) == 0 || !n.leader || n.tentative {
+		// A demotion can land between the boundary check and here; the new
+		// leader owns the backlog now.
 		n.mu.Unlock()
 		return nil
 	}
@@ -545,7 +804,9 @@ func (n *Node) escalate() error {
 		}
 	}
 	// Drop exactly the rounds this digest carried; rounds completed while
-	// the escalation was in flight stay pending for the next boundary.
+	// the escalation was in flight stay pending for the next boundary. The
+	// watermark only ever advances: a slow ack racing a larger concurrent
+	// escalation must not rewind it.
 	keep := n.pending[:0]
 	for _, rec := range n.pending {
 		if rec.Round > last {
@@ -553,9 +814,12 @@ func (n *Node) escalate() error {
 		}
 	}
 	n.pending = keep
-	n.escalated = last + 1
+	if last+1 > n.escalated {
+		n.escalated = last + 1
+	}
 	n.metrics.escalations.Inc()
 	n.metrics.pendingGauge.Set(float64(len(n.pending)))
+	n.metrics.backlogGauge.Set(float64(len(n.pending)))
 	if n.store != nil {
 		if err := n.checkpointLocked(); err != nil {
 			n.metrics.journalErrs.Inc()
@@ -604,6 +868,20 @@ type peerLink struct {
 }
 
 func (p *peerLink) send(edge, round int, counts []int, timeout time.Duration) error {
+	return p.exchange(func(conn transport.Conn) error {
+		return session.GossipCensus(conn, edge, round, counts, timeout)
+	})
+}
+
+func (p *peerLink) sendBeat(beat transport.HoodBeat, timeout time.Duration) error {
+	return p.exchange(func(conn transport.Conn) error {
+		return session.SendHoodBeat(conn, beat, timeout)
+	})
+}
+
+// exchange runs one acked frame exchange over the link, re-dialing and
+// re-sending across connection failures.
+func (p *peerLink) exchange(fn func(transport.Conn) error) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var lastErr error
@@ -615,7 +893,7 @@ func (p *peerLink) send(edge, round int, counts []int, timeout time.Duration) er
 			}
 			p.conn = conn
 		}
-		err := session.GossipCensus(p.conn, edge, round, counts, timeout)
+		err := fn(p.conn)
 		if err == nil {
 			return nil
 		}
@@ -626,7 +904,7 @@ func (p *peerLink) send(edge, round int, counts []int, timeout time.Duration) er
 		}
 		lastErr = err
 	}
-	return fmt.Errorf("gossip: census to peer %d failed after 3 attempts: %w", p.member, lastErr)
+	return fmt.Errorf("gossip: exchange with peer %d failed after 3 attempts: %w", p.member, lastErr)
 }
 
 func (p *peerLink) close() {

@@ -116,6 +116,12 @@ func counts(edge, round int) []int {
 // when non-nil, is consulted per cloud dial (false = partitioned).
 func hood(t *testing.T, m, escalateEvery int, cloudGate *atomic.Bool) ([]*Node, *cloud.Server, func()) {
 	t.Helper()
+	return hoodCfg(t, m, escalateEvery, cloudGate, nil)
+}
+
+// hoodCfg is hood with a config hook applied to every node before NewNode.
+func hoodCfg(t *testing.T, m, escalateEvery int, cloudGate *atomic.Bool, mutate func(*Config)) ([]*Node, *cloud.Server, func()) {
+	t.Helper()
 	netw := transport.NewInprocNetwork()
 	srv := testCloud(t, m)
 	cl, err := netw.Listen("cloud")
@@ -136,7 +142,7 @@ func hood(t *testing.T, m, escalateEvery int, cloudGate *atomic.Bool) ([]*Node, 
 			t.Fatal(err)
 		}
 		listeners = append(listeners, l)
-		node, err := NewNode(Config{
+		cfg := Config{
 			Edge:          i,
 			Members:       members,
 			Neighborhood:  0,
@@ -154,7 +160,11 @@ func hood(t *testing.T, m, escalateEvery int, cloudGate *atomic.Bool) ([]*Node, 
 				}
 				return netw.Dial("cloud")
 			},
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		node, err := NewNode(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -456,5 +466,225 @@ func TestRecoveryRebuildsFoldAndBacklog(t *testing.T) {
 	}
 	if srv.StateHash() != wantHash {
 		t.Errorf("cloud hash %08x != local %08x", srv.StateHash(), wantHash)
+	}
+}
+
+// waitFor polls cond until it holds or the timeout fails the test.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFailoverPromotesSuccessor checks the liveness half of failover: when
+// the leader dies silently, the ring successor promotes itself within the
+// TTL, the epoch propagates, and the survivors keep folding identically.
+func TestFailoverPromotesSuccessor(t *testing.T) {
+	var gate atomic.Bool // cloud partitioned throughout
+	nodes, _, teardown := hoodCfg(t, 3, 100, &gate, func(c *Config) {
+		c.FailoverTTL = 100 * time.Millisecond
+		c.Deadline = 500 * time.Millisecond
+	})
+	defer teardown()
+	driveRound(t, nodes, 0)
+	driveRound(t, nodes, 1)
+	if !nodes[0].Leader() || nodes[1].Leader() {
+		t.Fatal("epoch 0 leadership should sit on the smallest member")
+	}
+	if nodes[1].Pending() != 2 || nodes[2].Pending() != 2 {
+		t.Errorf("followers must mirror the backlog under failover: pending = %d,%d, want 2,2",
+			nodes[1].Pending(), nodes[2].Pending())
+	}
+
+	nodes[0].Close() // kill -9: no Flush, beats just stop
+	waitFor(t, 5*time.Second, "successor promotion", func() bool { return nodes[1].Leader() })
+	if got := nodes[1].Epoch(); got != 1 {
+		t.Errorf("successor epoch = %d, want 1", got)
+	}
+	if got := nodes[1].metrics.failovers.Value(); got != 1 {
+		t.Errorf("gossip_failovers_total = %d, want 1", got)
+	}
+	waitFor(t, 5*time.Second, "epoch propagation to the third member", func() bool {
+		return nodes[2].Epoch() == 1 && !nodes[2].Leader()
+	})
+
+	// Rounds keep completing (degraded by the dead member's deadline) and
+	// the survivors' folds stay bit-identical.
+	driveRound(t, []*Node{nil, nodes[1], nodes[2]}, 2)
+	if nodes[1].StateHash() != nodes[2].StateHash() {
+		t.Errorf("survivor folds diverged: %08x vs %08x", nodes[1].StateHash(), nodes[2].StateHash())
+	}
+	if nodes[1].Latest() != 2 {
+		t.Errorf("rounds stalled after failover: latest = %d, want 2", nodes[1].Latest())
+	}
+}
+
+// TestBacklogCapShedsOldest checks the bounded-backlog satellite: with the
+// cloud partitioned, a capped leader sheds its oldest unacked rounds
+// (counting them) and later escalates only what it kept — the cloud still
+// folds the surviving tail.
+func TestBacklogCapShedsOldest(t *testing.T) {
+	var gate atomic.Bool // cloud partitioned: the backlog grows
+	nodes, srv, teardown := hoodCfg(t, 2, 100, &gate, func(c *Config) {
+		c.MaxBacklog = 3
+	})
+	defer teardown()
+	for r := 0; r < 6; r++ {
+		driveRound(t, nodes, r)
+	}
+	if got := nodes[0].Pending(); got != 3 {
+		t.Errorf("leader pending = %d, want capped at 3", got)
+	}
+	if got := nodes[0].metrics.backlogDrop.Value(); got != 3 {
+		t.Errorf("gossip_backlog_dropped_total = %d, want 3", got)
+	}
+	if got := nodes[1].Pending(); got != 0 {
+		t.Errorf("non-failover follower pending = %d, want 0", got)
+	}
+	gate.Store(true)
+	if err := nodes[0].Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := srv.Latest(); got != 5 {
+		t.Errorf("cloud latest = %d, want 5 (shed rounds are forgone, the kept tail still folds)", got)
+	}
+}
+
+// TestGossipLeaderFailoverGolden is the acceptance bar for leader failover:
+// a run whose leader is kill -9'd mid-partition — successor takeover,
+// journal-backed backlog handoff, and the old leader restarting from its
+// journal as a demoted follower — must produce cloud and local state hashes
+// bit-identical to an always-healthy lossless run.
+func TestGossipLeaderFailoverGolden(t *testing.T) {
+	const (
+		m      = 3
+		rounds = 8
+		ttl    = 150 * time.Millisecond
+	)
+	run := func(kill bool) (uint32, uint32) {
+		var gate atomic.Bool
+		gate.Store(true)
+		netw := transport.NewInprocNetwork()
+		srv := testCloud(t, m)
+		defer srv.Close()
+		cl, err := netw.Listen("cloud")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		go srv.Serve(cl)
+
+		members := []int{0, 1, 2}
+		dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+		nodes := make([]*Node, m)
+		listeners := make([]transport.Listener, m)
+		mk := func(i int) {
+			l, err := netw.Listen(fmt.Sprintf("gossip-%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			node, err := NewNode(Config{
+				Edge: i, Members: members, Neighborhood: 0, Of: 1,
+				EscalateEvery: 2,
+				Deadline:      2 * time.Second,
+				ReplyTimeout:  2 * time.Second,
+				FailoverTTL:   ttl,
+				Fold:          testFold(t, m),
+				PeerDial: func(member int) (transport.Conn, error) {
+					return netw.Dial(fmt.Sprintf("gossip-%d", member))
+				},
+				CloudDial: func() (transport.Conn, error) {
+					if !gate.Load() {
+						return nil, fmt.Errorf("cloud partitioned away")
+					}
+					return netw.Dial("cloud")
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := node.Open(dirs[i]); err != nil {
+				t.Fatal(err)
+			}
+			go node.Serve(l)
+			nodes[i], listeners[i] = node, l
+		}
+		for i := 0; i < m; i++ {
+			mk(i)
+		}
+		defer func() {
+			for _, n := range nodes {
+				n.Close()
+			}
+			for _, l := range listeners {
+				l.Close()
+			}
+		}()
+
+		// Rounds 0-1 connected (the boundary escalation acks them), rounds
+		// 2-5 partitioned from the cloud, rounds 6-7 healed.
+		for r := 0; r < 4; r++ {
+			gate.Store(r < 2)
+			driveRound(t, nodes, r)
+		}
+		if kill {
+			// kill -9 the leader mid-partition: no Flush, its journal is all
+			// that survives. The successor must promote and inherit the
+			// backlog its own journal-backed history mirrors.
+			nodes[0].Close()
+			listeners[0].Close()
+			waitFor(t, 10*time.Second, "successor promotion", func() bool { return nodes[1].Leader() })
+			// Restart the killed leader from its journal: it recovers its
+			// fold, rejoins tentatively, and the successor's higher-epoch
+			// beat demotes it to follower before it escalates anything.
+			mk(0)
+			waitFor(t, 10*time.Second, "old leader demotion", func() bool {
+				return nodes[0].Epoch() >= 1 && !nodes[0].Leader()
+			})
+		}
+		for r := 4; r < rounds; r++ {
+			gate.Store(r >= 6)
+			driveRound(t, nodes, r)
+		}
+		gate.Store(true)
+		for _, n := range nodes {
+			if err := n.Flush(); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+		}
+		if kill {
+			if nodes[0].Leader() {
+				t.Error("restarted old leader still claims leadership")
+			}
+			if !nodes[1].Leader() {
+				t.Error("successor lost leadership after the old leader rejoined")
+			}
+		}
+		for i := 1; i < m; i++ {
+			if nodes[i].StateHash() != nodes[0].StateHash() {
+				t.Errorf("edge %d local hash %08x != edge 0 %08x", i, nodes[i].StateHash(), nodes[0].StateHash())
+			}
+		}
+		if got := srv.Latest(); got != rounds-1 {
+			t.Errorf("cloud latest = %d, want %d", got, rounds-1)
+		}
+		return srv.StateHash(), nodes[0].StateHash()
+	}
+	cloudA, localA := run(false)
+	cloudB, localB := run(true)
+	if cloudB != cloudA {
+		t.Errorf("leader-killed cloud hash %08x != lossless %08x", cloudB, cloudA)
+	}
+	if localB != localA {
+		t.Errorf("leader-killed local hash %08x != lossless %08x", localB, localA)
+	}
+	if cloudA != localA {
+		t.Errorf("cloud hash %08x != local hash %08x", cloudA, localA)
 	}
 }

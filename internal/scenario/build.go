@@ -327,6 +327,8 @@ func (c *NodeConfig) NewGossipNode(members []int, peerDial func(int) (transport.
 		Of:            c.GossipOf,
 		EscalateEvery: c.GossipEvery,
 		Deadline:      c.GossipDeadline,
+		FailoverTTL:   c.GossipFailoverTTL,
+		MaxBacklog:    c.GossipMaxBacklog,
 		ReplyTimeout:  30 * time.Second,
 		Fold:          fold,
 		PeerDial:      peerDial,

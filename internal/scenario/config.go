@@ -100,6 +100,12 @@ type NodeConfig struct {
 	GossipOf       int           // total neighborhoods reporting to the cloud
 	GossipEvery    int           // leader escalates a digest every K-th local round
 	GossipDeadline time.Duration // local round barrier deadline (0 = wait forever)
+	// GossipFailoverTTL enables leader failover: heartbeat lease, ring
+	// successor promotion, mirrored-backlog drain (0 = static leadership).
+	GossipFailoverTTL time.Duration
+	// GossipMaxBacklog caps the mirrored escalation backlog; the oldest
+	// unacked rounds are shed past it (0 = unbounded).
+	GossipMaxBacklog int
 
 	// Vehicles.
 	EdgeAddr string
@@ -344,6 +350,19 @@ func GossipDeadline(d time.Duration) Option {
 	return mkOpt("gossip-deadline", func(c *NodeConfig) { c.GossipDeadline = d }, RoleEdge)
 }
 
+// GossipFailoverTTL enables neighborhood leader failover: members track the
+// leader's heartbeat lease and promote the ring successor when it lapses
+// (edge; 0 keeps leadership static).
+func GossipFailoverTTL(d time.Duration) Option {
+	return mkOpt("gossip-failover-ttl", func(c *NodeConfig) { c.GossipFailoverTTL = d }, RoleEdge)
+}
+
+// GossipMaxBacklog caps the mirrored escalation backlog, shedding the oldest
+// unacked rounds past it (edge; 0 is unbounded).
+func GossipMaxBacklog(n int) Option {
+	return mkOpt("gossip-max-backlog", func(c *NodeConfig) { c.GossipMaxBacklog = n }, RoleEdge)
+}
+
 // EdgeAddr points a vehicle fleet at its edge server (vehicles).
 func EdgeAddr(addr string) Option {
 	return mkOpt("edge", func(c *NodeConfig) { c.EdgeAddr = addr }, RoleVehicles)
@@ -485,6 +504,12 @@ func (c *NodeConfig) Validate() error {
 			}
 			if c.GossipDeadline < 0 {
 				return fmt.Errorf("scenario: gossip-deadline must be >= 0")
+			}
+			if c.GossipFailoverTTL < 0 {
+				return fmt.Errorf("scenario: gossip-failover-ttl must be >= 0")
+			}
+			if c.GossipMaxBacklog < 0 {
+				return fmt.Errorf("scenario: gossip-max-backlog must be >= 0")
 			}
 			if c.Shards > 1 {
 				return fmt.Errorf("scenario: gossip edges report digests straight to the cloud; shards > 1 is not supported")

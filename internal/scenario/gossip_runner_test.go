@@ -36,6 +36,37 @@ func TestRunCloudPartitionSpec(t *testing.T) {
 	}
 }
 
+// TestRunLeaderKillSpec: the checked-in leader-kill scenario — the hood
+// leader is killed without warning mid-partition, the ring successor
+// promotes and takes over the mirrored escalation backlog, and the dead
+// node restarts from its journal as a follower — passes its verdict,
+// including hash equality with the always-healthy lossless twin.
+func TestRunLeaderKillSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full scenario run in -short mode")
+	}
+	spec := loadSpec(t, "leader-kill.yaml")
+	if !spec.Verdict.RequireHashEqual {
+		t.Fatal("leader-kill.yaml no longer requires hash equality")
+	}
+	v, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Errorf("leader-kill verdict failed: %+v", v.Checks)
+	}
+	if v.Baseline == nil || !v.Baseline.HashEqual {
+		t.Errorf("leader-killed hash %s != lossless twin %v", v.ConsensusStateHash, v.Baseline)
+	}
+	if v.GossipFailovers == 0 {
+		t.Error("no failovers — the leader kill never promoted a successor")
+	}
+	if v.Recoveries == 0 {
+		t.Error("no recoveries — the killed leader's journal restart did not replay")
+	}
+}
+
 // gossipKillSpec is a four-region, two-neighborhood gossip run (hoods {0,2}
 // and {1,3}) that kills non-leader edge 3 at round 4 and restarts it from
 // its journal at round 7. With partition set, the cloud is additionally

@@ -75,6 +75,12 @@ type Verdict struct {
 	// GossipPartitionLocalRounds counts local rounds completed while the
 	// cloud was partitioned away — the edge-autonomy witness.
 	GossipPartitionLocalRounds uint64 `json:"gossip_rounds_during_partition,omitempty"`
+	// GossipFailovers counts leadership promotions (leader-kill events or
+	// organic lease expiries under failover_ttl).
+	GossipFailovers uint64 `json:"gossip_failovers,omitempty"`
+	// GossipBacklogDropped counts mirrored-backlog rounds shed past the
+	// max_backlog cap.
+	GossipBacklogDropped uint64 `json:"gossip_backlog_dropped,omitempty"`
 
 	Welfare      WelfareReport `json:"welfare"`
 	RoundLatency LatencyReport `json:"round_latency"`
@@ -172,6 +178,8 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 	v.GossipEscalations = res.counter("gossip_digest_escalations_total")
 	v.GossipEscalationFailures = res.counter("gossip_escalation_failures_total")
 	v.GossipPartitionLocalRounds = res.gossipPartRounds
+	v.GossipFailovers = res.counter("gossip_failovers_total")
+	v.GossipBacklogDropped = res.counter("gossip_backlog_dropped_total")
 	v.FaultsInjected = res.counter("transport_fault_dropped_total") +
 		res.counter("transport_fault_duplicated_total") +
 		res.counter("transport_fault_delayed_total") +
@@ -258,6 +266,10 @@ func evaluateChecks(spec *Spec, v *Verdict) {
 	if vs.MinPartitionLocalRounds > 0 {
 		add("min_partition_local_rounds", v.GossipPartitionLocalRounds >= uint64(vs.MinPartitionLocalRounds),
 			fmt.Sprintf("%d local rounds during partition >= %d", v.GossipPartitionLocalRounds, vs.MinPartitionLocalRounds))
+	}
+	if vs.MinGossipFailovers > 0 {
+		add("min_gossip_failovers", v.GossipFailovers >= uint64(vs.MinGossipFailovers),
+			fmt.Sprintf("%d failovers >= %d", v.GossipFailovers, vs.MinGossipFailovers))
 	}
 	v.Pass = true
 	for _, c := range v.Checks {
@@ -406,12 +418,13 @@ type edgeState struct {
 	down   atomic.Bool // outage: silent toward the tier
 	killed atomic.Bool
 
-	mu       sync.Mutex
-	x        float64
-	corrX    float64 // latest pushed correction
-	hasCorr  bool
-	expected int // vehicles that should be registered
-	percept  func(*edge.Server) error
+	mu         sync.Mutex
+	x          float64
+	corrX      float64 // latest pushed correction
+	hasCorr    bool
+	lastCounts []int // last completed census; re-seeds a restarted server's shares
+	expected   int   // vehicles that should be registered
+	percept    func(*edge.Server) error
 }
 
 // shardState is the driver's view of one shard coordinator.
@@ -754,6 +767,8 @@ func (r *runner) buildEdges() error {
 		nc.GossipOf = len(hoods)
 		nc.GossipEvery = g.EscalateEvery
 		nc.GossipDeadline = time.Duration(g.Deadline)
+		nc.GossipFailoverTTL = time.Duration(g.FailoverTTL)
+		nc.GossipMaxBacklog = g.MaxBacklog
 		r.gossipNC = nc
 		r.logf("gossip data plane: %d neighborhoods over %d regions, escalate every %d rounds, steering toward %s",
 			len(hoods), m, g.EscalateEvery, what)
@@ -827,6 +842,15 @@ func (r *runner) startEdge(es *edgeState) error {
 			return err
 		}
 	}
+	es.mu.Lock()
+	if es.lastCounts != nil {
+		// A restart: resume the policy broadcast from the distribution the
+		// dead server last published, not the uniform cold-start prior —
+		// otherwise every vehicle's next revision diverges from a run that
+		// never lost the server.
+		es.srv.SetShares(edge.Shares(es.lastCounts))
+	}
+	es.mu.Unlock()
 	l, err := r.net.listen(fmt.Sprintf("edge-%d", es.id))
 	if err != nil {
 		return err
@@ -1062,6 +1086,7 @@ type timeline struct {
 	edgeRestart  map[int][]int
 	shardKill    map[int][]int
 	shardRestart map[int][]int
+	leaderKill   map[int][]int // neighborhood indices, by round
 	partStart    map[int]bool
 	partEnd      map[int]bool
 	surges       map[int][]Event
@@ -1075,6 +1100,7 @@ func buildTimeline(events []Event) (*timeline, error) {
 		edgeRestart:  map[int][]int{},
 		shardKill:    map[int][]int{},
 		shardRestart: map[int][]int{},
+		leaderKill:   map[int][]int{},
 		partStart:    map[int]bool{},
 		partEnd:      map[int]bool{},
 		surges:       map[int][]Event{},
@@ -1106,6 +1132,12 @@ func buildTimeline(events []Event) (*timeline, error) {
 					tl.shardRestart[e.Until] = append(tl.shardRestart[e.Until], n)
 				}
 			}
+		case "leader-kill":
+			_, n, err := e.TargetKind()
+			if err != nil {
+				return nil, err
+			}
+			tl.leaderKill[e.Round] = append(tl.leaderKill[e.Round], n)
 		case "partition":
 			tl.partStart[e.Round] = true
 			if e.Until > 0 {
@@ -1218,6 +1250,9 @@ func (r *runner) edgeRound(es *edgeState, t int) {
 		r.failedRep.Add(1)
 		return
 	}
+	es.mu.Lock()
+	es.lastCounts = counts
+	es.mu.Unlock()
 	if es.gnode != nil {
 		// Gossip data plane: fold the neighborhood's censuses locally; the
 		// new ratio comes from the local fold, never from the cloud, so the
@@ -1279,6 +1314,11 @@ func (r *runner) applyEvents(tl *timeline, t int) error {
 		r.stopEdge(r.edges[id])
 		r.logf("round %d: edge %d killed", t, id)
 	}
+	for _, h := range tl.leaderKill[t] {
+		if err := r.killHoodLeader(h, t); err != nil {
+			return err
+		}
+	}
 	for _, id := range tl.shardRestart[t] {
 		st := r.shards[id]
 		if len(r.shardTab.Regions(id)) == 0 {
@@ -1307,6 +1347,70 @@ func (r *runner) applyEvents(tl *timeline, t int) error {
 		// the next census sees most of them.
 		r.awaitRegistrationsBrief(time.Second)
 	}
+	return nil
+}
+
+// killHoodLeader implements the leader-kill event: kill neighborhood h's
+// current leader without warning (no flush — its unacked backlog dies with
+// it), wait for the ring successor to notice the lapsed lease and promote,
+// then restart the dead node from its journal and wait for it to adopt the
+// successor's epoch as a follower. The whole sequence completes between
+// round boundaries, so no census is lost and the fold trajectory stays
+// bit-identical to an unperturbed run — the successor re-escalates the
+// mirrored backlog and the cloud's per-hood watermark absorbs any overlap.
+func (r *runner) killHoodLeader(h, t int) error {
+	members := r.hoods[h]
+	deadline := time.Now().Add(15 * time.Second)
+	var victim *edgeState
+	for victim == nil {
+		for _, id := range members {
+			es := r.edges[id]
+			if es.gnode != nil && !es.killed.Load() && es.gnode.Leader() {
+				victim = es
+				break
+			}
+		}
+		if victim == nil {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("leader-kill at round %d: neighborhood %d has no confirmed leader", t, h)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r.stopEdge(victim)
+	r.logf("round %d: leader-kill — edge %d (neighborhood %d leader) killed", t, victim.id, h)
+
+	var succ *edgeState
+	for succ == nil {
+		for _, id := range members {
+			es := r.edges[id]
+			if es != victim && es.gnode != nil && !es.killed.Load() && es.gnode.Leader() {
+				succ = es
+				break
+			}
+		}
+		if succ == nil {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("leader-kill at round %d: no successor promoted in neighborhood %d", t, h)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	succEpoch := succ.gnode.Epoch()
+	r.logf("round %d: leader-kill — edge %d promoted at epoch %d", t, succ.id, succEpoch)
+
+	victim.killed.Store(false)
+	if err := r.startEdge(victim); err != nil {
+		return fmt.Errorf("leader-kill at round %d: restarting edge %d: %w", t, victim.id, err)
+	}
+	for victim.gnode.Epoch() < succEpoch {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leader-kill at round %d: edge %d did not rejoin as a follower", t, victim.id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.logf("round %d: leader-kill — edge %d rejoined as a follower at epoch %d", t, victim.id, victim.gnode.Epoch())
+	r.awaitEdgeReregistration(victim, 5*time.Second)
 	return nil
 }
 

@@ -79,6 +79,17 @@ type GossipSpec struct {
 	// but outage/kill events then need a deadline or the neighborhood
 	// stalls.
 	Deadline Duration `json:"deadline"`
+	// FailoverTTL enables leader failover: every member tracks the leader's
+	// heartbeat lease and, when it lapses for a full TTL, promotes the next
+	// member in ring order and drains the escalation backlog it mirrored.
+	// Zero keeps leadership static (killing a leader then loses the
+	// backlog, so Validate rejects it).
+	FailoverTTL Duration `json:"failover_ttl"`
+	// MaxBacklog caps each member's mirrored escalation backlog; when a
+	// partition outlasts the cap the oldest unacked rounds are shed (they
+	// never reach the cloud, so hash-equal verdicts forbid a cap). Zero is
+	// unbounded.
+	MaxBacklog int `json:"max_backlog"`
 }
 
 // CloudSpec parameterizes the aggregation tier: the FDS controller, the
@@ -204,12 +215,17 @@ type Event struct {
 	Round int `json:"round"`
 	// Action is "outage" (a region goes silent: no reports, no
 	// heartbeats), "kill" (tear a component down mid-run), "surge"
-	// (extra vehicles arrive), or "partition" (gossip topologies: the
+	// (extra vehicles arrive), "partition" (gossip topologies: the
 	// cloud becomes unreachable; edges keep folding local rounds and the
-	// escalation backlog drains on heal).
+	// escalation backlog drains on heal), or "leader-kill" (gossip
+	// topologies with failover_ttl: the neighborhood's current leader is
+	// killed at a round boundary, the runner waits for the ring successor
+	// to promote, then restarts the dead node from its journal and waits
+	// for it to rejoin as a follower — no census is lost, so the action is
+	// legal under require_hash_equal).
 	Action string `json:"action"`
 	// Target for outage is "region:N"; for kill, "edge:N" or "shard:N";
-	// for partition, the literal "cloud".
+	// for partition, the literal "cloud"; for leader-kill, "hood:N".
 	Target string `json:"target"`
 	// Until, when > Round, ends the outage / restarts the killed component
 	// at that round; zero makes it permanent.
@@ -256,6 +272,9 @@ type VerdictSpec struct {
 	// least this many local rounds while the cloud was partitioned away —
 	// the edge-autonomy witness (needs a partition event).
 	MinPartitionLocalRounds int `json:"min_partition_local_rounds"`
+	// MinGossipFailovers demands at least this many leadership promotions —
+	// the failover witness (needs gossip with failover_ttl > 0).
+	MinGossipFailovers int `json:"min_gossip_failovers"`
 }
 
 // Duration marshals as a time.ParseDuration string ("150ms", "5s").
@@ -467,6 +486,12 @@ func (s *Spec) Validate() error {
 		if g.Deadline < 0 {
 			bad("topology.gossip.deadline must be >= 0")
 		}
+		if g.FailoverTTL < 0 {
+			bad("topology.gossip.failover_ttl must be >= 0")
+		}
+		if g.MaxBacklog < 0 {
+			bad("topology.gossip.max_backlog must be >= 0")
+		}
 		if t.Shards > 1 {
 			bad("topology.gossip is incompatible with topology.shards > 1 (digests go straight to the cloud)")
 		}
@@ -644,8 +669,8 @@ func (s *Spec) Validate() error {
 					if !s.Cloud.Durable {
 						bad("%s: edge kills under gossip need cloud.durable (a cold node cannot resume its local fold)", where)
 					}
-					if h := gossip.HoodOf(hoods, n); h >= 0 && hoods[h][0] == n {
-						bad("%s: edge %d leads neighborhood %d; the leader carries the escalation backlog, kill a non-leader", where, n, h)
+					if h := gossip.HoodOf(hoods, n); h >= 0 && hoods[h][0] == n && t.Gossip.FailoverTTL == 0 {
+						bad("%s: edge %d leads neighborhood %d and the leader carries the escalation backlog; set topology.gossip.failover_ttl so a successor takes over, or kill a non-leader", where, n, h)
 					}
 				}
 			case "shard":
@@ -659,6 +684,36 @@ func (s *Spec) Validate() error {
 				}
 			default:
 				bad("%s: kill targets edge:N or shard:N, got %q", where, e.Target)
+			}
+		case "leader-kill":
+			// No deadline requirement: the kill, the successor promotion, and
+			// the journal restart all complete inside one round boundary, so
+			// no local round ever barriers on a dead member.
+			if t.Gossip == nil {
+				bad("%s: leader-kill events need topology.gossip", where)
+			} else {
+				if t.Gossip.FailoverTTL == 0 {
+					bad("%s: leader-kill events need topology.gossip.failover_ttl > 0 (static leadership cannot promote a successor)", where)
+				}
+				if !s.Cloud.Durable {
+					bad("%s: leader-kill events need cloud.durable (the dead leader restarts from its journal)", where)
+				}
+				kind, n, err := e.TargetKind()
+				if err != nil {
+					bad("%s: %v", where, err)
+				} else if kind != "hood" {
+					bad("%s: leader-kill targets hood:N, got %q", where, e.Target)
+				} else if n < 0 || n >= t.Gossip.Neighborhoods {
+					bad("%s: neighborhood %d out of 0..%d", where, n, t.Gossip.Neighborhoods-1)
+				} else if n < len(hoods) && len(hoods[n]) < 2 {
+					bad("%s: neighborhood %d has one member; there is no successor to promote", where, n)
+				}
+			}
+			if e.Until != 0 {
+				bad("%s: leader-kill is atomic at its round boundary; until does not apply", where)
+			}
+			if e.Cohort != "" || e.Count != 0 {
+				bad("%s: cohort/count do not apply to leader-kill events", where)
 			}
 		case "partition":
 			if t.Gossip == nil {
@@ -687,7 +742,7 @@ func (s *Spec) Validate() error {
 				bad("%s: target does not apply to surge events", where)
 			}
 		default:
-			bad("%s: unknown action %q (want outage, kill, surge, or partition)", where, e.Action)
+			bad("%s: unknown action %q (want outage, kill, leader-kill, surge, or partition)", where, e.Action)
 		}
 	}
 	if needsDeadline {
@@ -725,6 +780,11 @@ func (s *Spec) Validate() error {
 			bad("verdict.min_partition_local_rounds needs a partition event")
 		}
 	}
+	if v.MinGossipFailovers < 0 {
+		bad("verdict.min_gossip_failovers must be >= 0")
+	} else if v.MinGossipFailovers > 0 && (t.Gossip == nil || t.Gossip.FailoverTTL == 0) {
+		bad("verdict.min_gossip_failovers needs topology.gossip.failover_ttl > 0 (static leadership never fails over)")
+	}
 	if v.RequireHashEqual {
 		if s.Cloud.RoundDeadline != 0 {
 			bad("verdict.require_hash_equal needs cloud.round_deadline 0: degraded rounds publish a different ratio trajectory than the lossless twin")
@@ -743,9 +803,16 @@ func (s *Spec) Validate() error {
 			}
 		}
 		for ei := range s.Events {
+			// leader-kill is deliberately legal here: the handoff happens at a
+			// round boundary, the successor drains the mirrored backlog, and
+			// the cloud adopts re-sent digest rounds idempotently — the fold
+			// trajectory is bit-identical to the lossless twin's.
 			if a := s.Events[ei].Action; a == "outage" || a == "kill" {
 				bad("verdict.require_hash_equal forbids %s events (events[%d])", a, ei)
 			}
+		}
+		if t.Gossip != nil && t.Gossip.MaxBacklog > 0 {
+			bad("verdict.require_hash_equal forbids topology.gossip.max_backlog: shed backlog rounds never reach the cloud")
 		}
 	}
 

@@ -239,11 +239,57 @@ func TestValidateErrors(t *testing.T) {
 			s.Topology.Gossip = &GossipSpec{Deadline: Duration(time.Second)}
 			s.Events = []Event{{Round: 1, Action: "kill", Target: "edge:1"}}
 		}, "edge kills under gossip need cloud.durable"},
-		{"gossip leader kill", func(s *Spec) {
+		{"gossip leader kill without failover", func(s *Spec) {
 			s.Topology.Gossip = &GossipSpec{Deadline: Duration(time.Second)}
 			s.Cloud.Durable = true
 			s.Events = []Event{{Round: 1, Action: "kill", Target: "edge:0"}}
-		}, "leads neighborhood"},
+		}, "set topology.gossip.failover_ttl"},
+		{"negative failover ttl", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{FailoverTTL: Duration(-time.Second)}
+		}, "failover_ttl must be >= 0"},
+		{"negative max backlog", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{MaxBacklog: -1}
+		}, "max_backlog must be >= 0"},
+		{"leader-kill without gossip", func(s *Spec) {
+			s.Events = []Event{{Round: 1, Action: "leader-kill", Target: "hood:0"}}
+		}, "leader-kill events need topology.gossip"},
+		{"leader-kill without failover ttl", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{}
+			s.Cloud.Durable = true
+			s.Events = []Event{{Round: 1, Action: "leader-kill", Target: "hood:0"}}
+		}, "failover_ttl > 0"},
+		{"leader-kill without durable", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{FailoverTTL: Duration(time.Second)}
+			s.Events = []Event{{Round: 1, Action: "leader-kill", Target: "hood:0"}}
+		}, "leader-kill events need cloud.durable"},
+		{"leader-kill wrong target", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{FailoverTTL: Duration(time.Second)}
+			s.Cloud.Durable = true
+			s.Events = []Event{{Round: 1, Action: "leader-kill", Target: "edge:0"}}
+		}, "leader-kill targets hood:N"},
+		{"leader-kill hood out of range", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{FailoverTTL: Duration(time.Second)}
+			s.Cloud.Durable = true
+			s.Events = []Event{{Round: 1, Action: "leader-kill", Target: "hood:3"}}
+		}, "neighborhood 3 out of 0..0"},
+		{"leader-kill single-member hood", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{Neighborhoods: 2, FailoverTTL: Duration(time.Second)}
+			s.Cloud.Durable = true
+			s.Events = []Event{{Round: 1, Action: "leader-kill", Target: "hood:0"}}
+		}, "no successor to promote"},
+		{"leader-kill with until", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{FailoverTTL: Duration(time.Second)}
+			s.Cloud.Durable = true
+			s.Events = []Event{{Round: 1, Until: 3, Action: "leader-kill", Target: "hood:0"}}
+		}, "atomic at its round boundary"},
+		{"failover floor without failover", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{}
+			s.Verdict.MinGossipFailovers = 1
+		}, "needs topology.gossip.failover_ttl > 0"},
+		{"hash-equal with backlog cap", func(s *Spec) {
+			s.Topology.Gossip = &GossipSpec{FailoverTTL: Duration(time.Second), MaxBacklog: 4}
+			s.Verdict.RequireHashEqual = true
+		}, "forbids topology.gossip.max_backlog"},
 		{"hash-equal with gossip deadline", func(s *Spec) {
 			s.Topology.Gossip = &GossipSpec{Deadline: Duration(time.Second)}
 			s.Verdict.RequireHashEqual = true
@@ -283,6 +329,34 @@ func TestValidateReportsAllProblems(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("joined error is missing %q:\n%v", want, err)
 		}
+	}
+}
+
+// TestLeaderKillAccepted: with failover enabled, both a plain kill of the
+// neighborhood leader and the atomic leader-kill event validate — and
+// leader-kill stays legal under require_hash_equal, since the handoff loses
+// no census.
+func TestLeaderKillAccepted(t *testing.T) {
+	s := validSpec()
+	s.Topology.Gossip = &GossipSpec{Deadline: Duration(time.Second), FailoverTTL: Duration(200 * time.Millisecond)}
+	s.Cloud.Durable = true
+	s.Events = []Event{{Round: 1, Action: "kill", Target: "edge:0", Until: 4}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("leader kill with failover_ttl rejected: %v", err)
+	}
+
+	s = validSpec()
+	s.Topology.Gossip = &GossipSpec{FailoverTTL: Duration(200 * time.Millisecond)}
+	s.Cloud.Durable = true
+	s.Events = []Event{{Round: 1, Action: "leader-kill", Target: "hood:0"}}
+	s.Verdict.RequireHashEqual = true
+	s.Verdict.MinGossipFailovers = 1
+	if err := s.Validate(); err != nil {
+		t.Fatalf("leader-kill under require_hash_equal rejected: %v", err)
+	}
+	twin := s.LosslessTwin()
+	if len(twin.Events) != 0 {
+		t.Errorf("lossless twin kept %d events, want leader-kill stripped", len(twin.Events))
 	}
 }
 

@@ -18,7 +18,7 @@ import (
 //	kindTag := 1 hello | 2 census | 3 ratio | 4 policy
 //	         | 5 upload | 6 delivery | 7 ack | 8 lease
 //	         | 9 ratio_correction | 10 census_batch | 11 ratio_batch
-//	         | 12 digest
+//	         | 12 digest | 13 hood_beat
 //	int     := zigzag varint            (encoding/binary PutVarint)
 //	len     := uvarint                  (encoding/binary PutUvarint)
 //	f64     := 8-byte little-endian IEEE-754 bits
@@ -38,6 +38,7 @@ import (
 //	ratio_batch  := int(round) len [int(edge)]... [f64(x)]...
 //	digest_round := int(round) int(degraded 0|1) len [census]...
 //	digest       := int(neighborhood) int(of) len [int(member)]... len [digest_round]...
+//	hood_beat    := int(hood) int(epoch) int(leader) int(escalated) int(ttl_ms)
 //
 // Decoding is strict: truncated fields, lengths that cannot fit in the
 // remaining bytes (which also caps decode allocations), unknown kind tags,
@@ -58,6 +59,7 @@ const (
 	tagCensusBatch
 	tagRatioBatch
 	tagDigest
+	tagHoodBeat
 )
 
 // censusScratch and ratioScratch recycle the payload structs the per-round
@@ -223,6 +225,17 @@ func (binaryCodec) AppendEncode(dst []byte, m Message) ([]byte, error) {
 			}
 		}
 		return dst, nil
+	case KindHoodBeat:
+		var hb HoodBeat
+		if err := payloadFor(m, &hb); err != nil {
+			return nil, err
+		}
+		dst = append(dst, tagHoodBeat)
+		dst = appendInt(dst, int64(hb.Hood))
+		dst = appendInt(dst, int64(hb.Epoch))
+		dst = appendInt(dst, int64(hb.Leader))
+		dst = appendInt(dst, int64(hb.Escalated))
+		return appendInt(dst, hb.TTLMillis), nil
 	default:
 		return nil, fmt.Errorf("transport: binary codec cannot encode kind %q", m.Kind)
 	}
@@ -317,6 +330,15 @@ func (binaryCodec) Decode(frame []byte) (Message, error) {
 			}
 		}
 		kind, body = KindDigest, d
+	case tagHoodBeat:
+		kind = KindHoodBeat
+		body = HoodBeat{
+			Hood:      int(r.int()),
+			Epoch:     int(r.int()),
+			Leader:    int(r.int()),
+			Escalated: int(r.int()),
+			TTLMillis: r.int(),
+		}
 	default:
 		return Message{}, fmt.Errorf("transport: unknown binary kind tag 0x%02x", frame[0])
 	}

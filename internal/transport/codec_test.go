@@ -47,6 +47,7 @@ func allKindsMessages(t *testing.T) []Message {
 				{Edge: 2, Round: 7, Counts: []int{2, 2}},
 			}},
 		}}},
+		{KindHoodBeat, HoodBeat{Hood: 1, Epoch: 2, Leader: 3, Escalated: 6, TTLMillis: 750}},
 	}
 	out := make([]Message, len(payloads))
 	for i, p := range payloads {
@@ -174,6 +175,21 @@ func TestBinaryGoldenBytes(t *testing.T) {
 				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,
 				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F},
 		},
+		{
+			name: "digest",
+			kind: KindDigest,
+			body: Digest{Neighborhood: 1, Of: 2, Members: []int{2, 3}, Rounds: []DigestRound{
+				{Round: 6, Censuses: []Census{{Edge: 2, Round: 6, Counts: []int{3, 1}}}},
+			}},
+			want: []byte{0x0C, 0x02, 0x04, 0x02, 0x04, 0x06,
+				0x01, 0x0C, 0x00, 0x01, 0x04, 0x0C, 0x02, 0x06, 0x02},
+		},
+		{
+			name: "hood_beat",
+			kind: KindHoodBeat,
+			body: HoodBeat{Hood: 1, Epoch: 2, Leader: 3, Escalated: 6, TTLMillis: 750},
+			want: []byte{0x0D, 0x02, 0x04, 0x06, 0x0C, 0xDC, 0x0B},
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -245,6 +261,13 @@ func TestBinaryDecodeHardening(t *testing.T) {
 		{"census_batch truncated census", []byte{0x0A, 0x02, 0x06, 0x02, 0x00, 0x06, 0x02, 0x04}},
 		{"ratio_batch length exceeds remaining", []byte{0x0B, 0x08, 0x7F, 0x00}},
 		{"ratio_batch truncated float", []byte{0x0B, 0x08, 0x01, 0x00, 0x00, 0x00, 0xE0, 0x3F}},
+		{"digest members length overflow", []byte{0x0C, 0x02, 0x04, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
+		{"digest rounds length overflow", []byte{0x0C, 0x02, 0x04, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
+		{"digest truncated round", []byte{0x0C, 0x02, 0x04, 0x00, 0x01, 0x0C, 0x00}},
+		{"digest census counts overflow", []byte{0x0C, 0x02, 0x04, 0x00, 0x01, 0x0C, 0x00, 0x01, 0x04, 0x0C, 0xFF, 0xFF, 0x03}},
+		{"digest trailing garbage", []byte{0x0C, 0x02, 0x04, 0x00, 0x00, 0xAA}},
+		{"hood_beat truncated", []byte{0x0D, 0x02, 0x04}},
+		{"hood_beat trailing garbage", []byte{0x0D, 0x02, 0x04, 0x06, 0x0C, 0x00, 0xAA}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -555,6 +578,13 @@ func FuzzDecodeFrame(f *testing.F) {
 		{KindAck, Ack{Err: "nope"}},
 		{KindCensusBatch, CensusBatch{Shard: 1, Round: 3, Censuses: []Census{{Edge: 0, Round: 3, Counts: []int{2, 1}}}}},
 		{KindRatioBatch, RatioBatch{Round: 4, Edges: []int{0, 1}, X: []float64{0.5, 0.25}}},
+		{KindLease, Lease{Edge: 2, TTLMillis: 1500}},
+		{KindRatioCorrection, RatioCorrection{Edge: 2, Round: 7, Seq: 3, X: 0.5}},
+		{KindDigest, Digest{Neighborhood: 1, Of: 2, Members: []int{2, 3}, Rounds: []DigestRound{
+			{Round: 6, Censuses: []Census{{Edge: 2, Round: 6, Counts: []int{3, 1}}}},
+			{Round: 7, Degraded: true, Censuses: []Census{{Edge: 3, Round: 7, Counts: []int{0, 5}}}},
+		}}},
+		{KindHoodBeat, HoodBeat{Hood: 1, Epoch: 2, Leader: 3, Escalated: 6, TTLMillis: 750}},
 	}
 	for _, p := range payloads {
 		m, err := Encode(p.kind, p.body)
@@ -574,6 +604,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		[]byte{0x7F},
 		[]byte{0x02, 0x80},
 		[]byte{0x02, 0x02, 0x06, 0xFF, 0xFF, 0x03},
+		[]byte{0x0C, 0x02, 0x04, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, // digest claiming huge member list
+		[]byte{0x0C, 0x02, 0x04, 0x00, 0x01, 0x0C, 0x00},       // digest with a truncated round
+		[]byte{0x0D, 0x02, 0x04},                               // truncated hood_beat
 	)
 	for _, s := range seeds {
 		f.Add(s)

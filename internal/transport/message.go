@@ -57,6 +57,12 @@ const (
 	// a RatioBatch carrying the control plane's current ratios for the
 	// neighborhood's members.
 	KindDigest Kind = "digest"
+	// KindHoodBeat is a gossip leader's liveness heartbeat to its
+	// neighborhood peers (answered with an Ack). While beats for the current
+	// leadership epoch keep arriving within their TTL, followers hold their
+	// promotion timers; when the beats lapse every member deterministically
+	// promotes the rendezvous-ring successor of the next epoch.
+	KindHoodBeat Kind = "hood_beat"
 )
 
 // Message is the wire envelope. A message carries its payload in one of two
@@ -200,6 +206,22 @@ type Digest struct {
 	Of           int           `json:"of"`
 	Members      []int         `json:"members"`
 	Rounds       []DigestRound `json:"rounds"`
+}
+
+// HoodBeat is a gossip leadership heartbeat (KindHoodBeat): Leader asserts
+// it leads neighborhood Hood for leadership epoch Epoch, and promises the
+// next beat within TTLMillis. Escalated is the leader's escalation
+// watermark — the first local round not yet compacted into a
+// cloud-acknowledged digest — which followers use to prune their own
+// standby backlogs. Beats carrying an older epoch than the receiver's are
+// acked but otherwise ignored; beats carrying a newer epoch demote a stale
+// leader back to follower.
+type HoodBeat struct {
+	Hood      int   `json:"hood"`
+	Epoch     int   `json:"epoch"`
+	Leader    int   `json:"leader"`
+	Escalated int   `json:"escalated"`
+	TTLMillis int64 `json:"ttl_ms"`
 }
 
 // Encode wraps a payload struct in a Message envelope. Encoding is lazy:
@@ -352,6 +374,15 @@ func copyTyped(body, out interface{}) bool {
 			*dst = src
 			return true
 		case *Digest:
+			*dst = *src
+			return true
+		}
+	case *HoodBeat:
+		switch src := body.(type) {
+		case HoodBeat:
+			*dst = src
+			return true
+		case *HoodBeat:
 			*dst = *src
 			return true
 		}

@@ -296,6 +296,34 @@ func GossipCensus(conn transport.Conn, edgeID, round int, counts []int,
 	return nil
 }
 
+// SendHoodBeat pushes one gossip leadership heartbeat to a neighborhood
+// peer on conn and waits for the peer's ack, mirroring the lease-renewal
+// exchange (beat → ack on a connection the sender owns). Receivers ack
+// every well-formed beat — including stale-epoch ones, which they ignore
+// after acking — so a beat refusal (*RejectedError) means the frame itself
+// was malformed, not that the peer disputes the leadership. timeout bounds
+// the ack wait (0 = forever); on expiry the conn is closed and must be
+// redialed.
+func SendHoodBeat(conn transport.Conn, beat transport.HoodBeat,
+	timeout time.Duration) error {
+	s := Wrap(conn)
+	if err := s.Send(transport.KindHoodBeat, beat); err != nil {
+		return fmt.Errorf("sending hood beat: %w", err)
+	}
+	m, err := transport.RecvTimeout(conn, timeout)
+	if err != nil {
+		return fmt.Errorf("waiting for hood-beat ack: %w", err)
+	}
+	var ack transport.Ack
+	if err := transport.Decode(m, transport.KindAck, &ack); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return &RejectedError{Reason: ack.Err}
+	}
+	return nil
+}
+
 // EscalateDigest submits a neighborhood's compacted round digest to the
 // cloud control plane and waits for the matching RatioBatch reply (the
 // cloud's current view of the digest members' ratios, round = the digest's
